@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark): throughput of the substrates the
+// experiment harness is built on — hashes, 256-bit arithmetic, samplers,
+// protocol steps, and the Monte Carlo engine end to end.
+
+#include <benchmark/benchmark.h>
+
+#include "core/monte_carlo.hpp"
+#include "crypto/keccak256.hpp"
+#include "crypto/sha256.hpp"
+#include "math/distributions.hpp"
+#include "protocol/c_pos.hpp"
+#include "protocol/ml_pos.hpp"
+#include "protocol/pow.hpp"
+#include "protocol/sl_pos.hpp"
+#include "protocol/win_probability.hpp"
+#include "support/rng.hpp"
+#include "support/u256.hpp"
+
+namespace {
+
+using namespace fairchain;
+
+void BM_Sha256_64B(benchmark::State& state) {
+  std::uint8_t data[64] = {0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256Digest(data, sizeof(data)));
+    data[0]++;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Keccak256_64B(benchmark::State& state) {
+  std::uint8_t data[64] = {0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Keccak256Digest(data, sizeof(data)));
+    data[0]++;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Keccak256_64B);
+
+void BM_U256_Division(benchmark::State& state) {
+  const U256 numerator = U256::FromHex(
+      "fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210");
+  U256 denominator = U256::FromHex("1234567890abcdef1234567");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerator / denominator);
+  }
+}
+BENCHMARK(BM_U256_Division);
+
+void BM_U256_MulDivU64(benchmark::State& state) {
+  const U256 value = U256::FromHex(
+      "fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(value.MulDivU64(123456789, 987654321));
+  }
+}
+BENCHMARK(BM_U256_MulDivU64);
+
+void BM_RngNextDouble(benchmark::State& state) {
+  RngStream rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextDouble());
+}
+BENCHMARK(BM_RngNextDouble);
+
+void BM_SampleBinomial32(benchmark::State& state) {
+  RngStream rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::SampleBinomial(rng, 32, 0.2));
+  }
+}
+BENCHMARK(BM_SampleBinomial32);
+
+template <typename Model>
+void StepBenchmark(benchmark::State& state, const Model& model) {
+  protocol::StakeState stake({0.2, 0.8});
+  RngStream rng(3);
+  for (auto _ : state) {
+    model.Step(stake, rng);
+    stake.AdvanceStep();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_PowStep(benchmark::State& state) {
+  StepBenchmark(state, protocol::PowModel(0.01));
+}
+BENCHMARK(BM_PowStep);
+
+void BM_MlPosStep(benchmark::State& state) {
+  StepBenchmark(state, protocol::MlPosModel(0.01));
+}
+BENCHMARK(BM_MlPosStep);
+
+void BM_SlPosStep(benchmark::State& state) {
+  StepBenchmark(state, protocol::SlPosModel(0.01));
+}
+BENCHMARK(BM_SlPosStep);
+
+void BM_CPosEpoch(benchmark::State& state) {
+  StepBenchmark(state, protocol::CPosModel(0.01, 0.1, 32));
+}
+BENCHMARK(BM_CPosEpoch);
+
+void BM_SlPosLemma61Integral(benchmark::State& state) {
+  const std::vector<double> stakes = {0.1, 0.15, 0.2, 0.25, 0.3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        protocol::SlPosMultiMinerWinProbability(stakes, 0));
+  }
+}
+BENCHMARK(BM_SlPosLemma61Integral);
+
+void BM_MonteCarloCampaign(benchmark::State& state) {
+  protocol::MlPosModel model(0.01);
+  core::SimulationConfig config;
+  config.steps = 1000;
+  config.replications = 100;
+  config.threads = 1;
+  config.checkpoints = {1000};
+  core::MonteCarloEngine engine(config, core::FairnessSpec{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RunTwoMiner(model, 0.2));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100 *
+                          1000);
+}
+BENCHMARK(BM_MonteCarloCampaign)->Unit(benchmark::kMillisecond);
+
+}  // namespace

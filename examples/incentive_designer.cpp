@@ -1,0 +1,98 @@
+// Incentive designer: use the paper's theorems *backwards* — given a
+// fairness target (ε, δ) and a miner profile a, find protocol parameters
+// that provably achieve robust fairness.
+//
+//   * PoW     : minimum number of blocks (Theorem 4.2)
+//   * ML-PoS  : maximum block reward w (Theorem 4.3) and the exact Beta-
+//               limit check (sharper than the sufficient condition)
+//   * C-PoS   : minimum inflation reward v for a given (w, P)
+//               (Theorem 4.10)
+//
+// Build & run:  ./build/examples/incentive_designer
+
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace fairchain;
+
+  const core::FairnessSpec spec{0.1, 0.1};
+  std::cout << "Designing for (epsilon, delta) = (0.1, 0.1): every miner's "
+               "return within +/-10% of\nproportional with probability >= "
+               "90%.\n\n";
+
+  // PoW: how long must the chain run for miners of different sizes?
+  Table pow_table({"miner share a", "sufficient n (Hoeffding)",
+                   "exact n (binomial)"});
+  pow_table.SetTitle("PoW: blocks needed for robust fairness");
+  for (const double a : {0.05, 0.1, 0.2, 0.3, 0.4}) {
+    // Exact crossover: smallest n with Delta(eps; n, a) >= 1 - delta.
+    std::uint64_t lo = 1, hi = 1 << 22;
+    while (lo < hi) {
+      const std::uint64_t mid = (lo + hi) / 2;
+      if (core::PowExactFairProbability(mid, a, spec.epsilon) >=
+          1.0 - spec.delta) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    pow_table.AddRow();
+    pow_table.Cell(a, 2);
+    pow_table.Cell(static_cast<std::uint64_t>(
+        core::PowSufficientBlocks(a, spec) + 1.0));
+    pow_table.Cell(lo);
+  }
+  pow_table.Print(std::cout);
+  std::cout << "\nSmall miners need dramatically longer horizons — the "
+               "1/a^2 law of Theorem 4.2.\n\n";
+
+  // ML-PoS: how small must the block reward be?
+  Table ml_table({"miner share a", "max w (Theorem 4.3)",
+                  "max w (exact Beta limit)"});
+  ml_table.SetTitle("ML-PoS: largest fair block reward (n -> infinity)");
+  for (const double a : {0.05, 0.1, 0.2, 0.3, 0.4}) {
+    // Exact: largest w with limit unfair probability <= delta (bisection).
+    double lo = 1e-8, hi = 1.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (core::MlPosLimitUnfairProbability(a, mid, spec.epsilon) <=
+          spec.delta) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    ml_table.AddRow();
+    ml_table.Cell(a, 2);
+    ml_table.CellSci(core::MlPosMaxRewardForFairness(a, spec), 3);
+    ml_table.CellSci(lo, 3);
+  }
+  ml_table.Print(std::cout);
+  std::cout << "\nThe sufficient condition is ~4x conservative versus the "
+               "exact Polya-urn limit.\n\n";
+
+  // C-PoS: how much inflation does Ethereum 2.0 need?
+  Table cpos_table({"proposer reward w", "shards P", "min inflation v",
+                    "v / w ratio"});
+  cpos_table.SetTitle(
+      "C-PoS: minimum inflation for robust fairness at a = 0.2");
+  for (const double w : {0.001, 0.01, 0.1}) {
+    for (const std::uint32_t P : {1u, 32u}) {
+      const double v =
+          core::CPosMinInflationForFairness(w, P, 0.2, spec);
+      cpos_table.AddRow();
+      cpos_table.CellSci(w, 1);
+      cpos_table.Cell(static_cast<std::uint64_t>(P));
+      cpos_table.CellSci(v, 3);
+      cpos_table.Cell(v / w, 2);
+    }
+  }
+  cpos_table.Print(std::cout);
+  std::cout << "\nSharding (P = 32) slashes the inflation requirement by "
+               "32x; Ethereum 2.0's v ~ 20w\nis comfortably above the "
+               "threshold for moderate miners.\n";
+  return 0;
+}

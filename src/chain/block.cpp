@@ -1,0 +1,43 @@
+#include "chain/block.hpp"
+
+namespace fairchain::chain {
+
+std::string ProofKindName(ProofKind kind) {
+  switch (kind) {
+    case ProofKind::kGenesis:
+      return "genesis";
+    case ProofKind::kPow:
+      return "PoW";
+    case ProofKind::kMlPos:
+      return "ML-PoS";
+    case ProofKind::kSlPos:
+      return "SL-PoS";
+    case ProofKind::kCPos:
+      return "C-PoS";
+  }
+  return "unknown";
+}
+
+void BlockHeader::Absorb(crypto::Sha256* hasher) const {
+  hasher->UpdateU64(height);
+  hasher->Update(prev_hash.data(), prev_hash.size());
+  hasher->UpdateU64(proposer);
+  hasher->UpdateU64(timestamp);
+  hasher->UpdateU64(nonce);
+  hasher->UpdateU64(static_cast<std::uint64_t>(kind));
+  std::uint8_t target_bytes[32];
+  target.ToBigEndianBytes(target_bytes);
+  hasher->Update(target_bytes, sizeof(target_bytes));
+}
+
+crypto::Digest BlockHeader::Hash() const {
+  crypto::Sha256 hasher;
+  Absorb(&hasher);
+  return hasher.Finalize();
+}
+
+U256 DigestToU256(const crypto::Digest& digest) {
+  return U256::FromBigEndianBytes(digest.data());
+}
+
+}  // namespace fairchain::chain

@@ -1,0 +1,74 @@
+// Block and header structures for the hash-level chain substrate.
+//
+// This module is the stand-in for the real clients the paper deployed
+// (Geth / Qtum / NXT): blocks carry real 256-bit hashes computed with the
+// from-scratch SHA-256, link by previous-hash, and record the mining proof
+// (nonce / kernel timestamp / lottery deadline) so the whole chain is
+// re-verifiable after the fact.  Blocks carry only a coinbase (the block
+// reward to the proposer) — the paper's experiments measure reward
+// attribution, not transaction throughput, so a transaction pool would add
+// noise without changing any measured quantity (see DESIGN.md).
+
+#ifndef FAIRCHAIN_CHAIN_BLOCK_HPP_
+#define FAIRCHAIN_CHAIN_BLOCK_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "support/u256.hpp"
+
+namespace fairchain::chain {
+
+/// Identifier of a miner within a simulated network.
+using MinerId = std::uint32_t;
+
+/// Amount type: integer stake/reward atoms (no floating point on-chain).
+using Amount = std::uint64_t;
+
+/// The consensus proof type a block was produced under.
+enum class ProofKind : std::uint8_t {
+  kGenesis = 0,
+  kPow = 1,
+  kMlPos = 2,
+  kSlPos = 3,
+  kCPos = 4,
+};
+
+/// Returns a human-readable name for a proof kind.
+std::string ProofKindName(ProofKind kind);
+
+/// A block header; its SHA-256 over the canonical serialisation is the
+/// block hash.
+struct BlockHeader {
+  std::uint64_t height = 0;
+  crypto::Digest prev_hash{};   ///< hash of the parent block
+  MinerId proposer = 0;
+  std::uint64_t timestamp = 0;  ///< simulated seconds since genesis
+  std::uint64_t nonce = 0;      ///< PoW nonce / PoS kernel discriminator
+  ProofKind kind = ProofKind::kGenesis;
+  U256 target;                  ///< difficulty target the proof satisfied
+
+  /// Canonical serialisation absorbed into the hash.
+  void Absorb(crypto::Sha256* hasher) const;
+
+  /// SHA-256 of the canonical serialisation.
+  crypto::Digest Hash() const;
+};
+
+/// A block: header plus the coinbase reward it mints.
+struct Block {
+  BlockHeader header;
+  Amount reward = 0;  ///< coinbase credited to header.proposer
+
+  /// The block's hash (header hash).
+  crypto::Digest Hash() const { return header.Hash(); }
+};
+
+/// Interprets a digest as a 256-bit big-endian integer (the mining-target
+/// comparison convention).
+U256 DigestToU256(const crypto::Digest& digest);
+
+}  // namespace fairchain::chain
+
+#endif  // FAIRCHAIN_CHAIN_BLOCK_HPP_

@@ -1,0 +1,128 @@
+#include "chain/block_tree.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace fairchain::chain {
+
+BlockTree::BlockTree(const Block& genesis) {
+  if (genesis.header.height != 0) {
+    throw std::invalid_argument("BlockTree: genesis must have height 0");
+  }
+  Node node;
+  node.block = genesis;
+  node.parent = crypto::Digest{};
+  node.arrival = next_arrival_++;
+  tip_hash_ = genesis.Hash();
+  nodes_.emplace(tip_hash_, std::move(node));
+}
+
+std::uint64_t BlockTree::TipHeight() const {
+  return nodes_.at(tip_hash_).block.header.height;
+}
+
+bool BlockTree::Contains(const crypto::Digest& hash) const {
+  return nodes_.find(hash) != nodes_.end();
+}
+
+AddBlockResult BlockTree::Add(const Block& block) {
+  const crypto::Digest hash = block.Hash();
+  if (Contains(hash)) return AddBlockResult::kDuplicate;
+  if (!Contains(block.header.prev_hash)) {
+    orphans_.emplace(block.header.prev_hash, block);
+    return AddBlockResult::kOrphaned;
+  }
+  return Attach(block);
+}
+
+AddBlockResult BlockTree::Attach(const Block& block) {
+  const auto parent_it = nodes_.find(block.header.prev_hash);
+  if (block.header.height != parent_it->second.block.header.height + 1) {
+    return AddBlockResult::kInvalid;
+  }
+  const crypto::Digest hash = block.Hash();
+  Node node;
+  node.block = block;
+  node.parent = block.header.prev_hash;
+  node.arrival = next_arrival_++;
+  nodes_.emplace(hash, std::move(node));
+  MaybeAdoptTip(hash);
+  TryAttachOrphans(hash);
+  return AddBlockResult::kAdded;
+}
+
+void BlockTree::TryAttachOrphans(const crypto::Digest& parent_hash) {
+  // Iteratively attach any buffered descendants (orphan chains can be
+  // arbitrarily deep, so keep a worklist).
+  std::vector<crypto::Digest> worklist = {parent_hash};
+  while (!worklist.empty()) {
+    const crypto::Digest parent = worklist.back();
+    worklist.pop_back();
+    auto range = orphans_.equal_range(parent);
+    std::vector<Block> ready;
+    for (auto it = range.first; it != range.second; ++it) {
+      ready.push_back(it->second);
+    }
+    orphans_.erase(range.first, range.second);
+    for (const Block& block : ready) {
+      if (Attach(block) == AddBlockResult::kAdded) {
+        worklist.push_back(block.Hash());
+      }
+    }
+  }
+}
+
+void BlockTree::MaybeAdoptTip(const crypto::Digest& candidate_hash) {
+  const Node& candidate = nodes_.at(candidate_hash);
+  const Node& current = nodes_.at(tip_hash_);
+  const std::uint64_t candidate_height = candidate.block.header.height;
+  const std::uint64_t current_height = current.block.header.height;
+  // Longest chain wins; first-seen wins ties (strictly-greater check).
+  if (candidate_height <= current_height) return;
+  // A reorg happened unless the new tip directly extends the old one.
+  if (candidate.parent != tip_hash_) ++reorg_count_;
+  tip_hash_ = candidate_hash;
+}
+
+bool BlockTree::IsCanonical(const crypto::Digest& hash) const {
+  const auto it = nodes_.find(hash);
+  if (it == nodes_.end()) return false;
+  // Walk back from the tip to the block's height.
+  crypto::Digest cursor = tip_hash_;
+  while (true) {
+    const Node& node = nodes_.at(cursor);
+    if (node.block.header.height < it->second.block.header.height) {
+      return false;
+    }
+    if (cursor == hash) return true;
+    if (node.block.header.height == 0) return false;
+    cursor = node.parent;
+  }
+}
+
+std::vector<Block> BlockTree::CanonicalChain() const {
+  std::vector<Block> chain;
+  crypto::Digest cursor = tip_hash_;
+  while (true) {
+    const Node& node = nodes_.at(cursor);
+    chain.push_back(node.block);
+    if (node.block.header.height == 0) break;
+    cursor = node.parent;
+  }
+  std::vector<Block> ordered(chain.rbegin(), chain.rend());
+  return ordered;
+}
+
+std::uint64_t BlockTree::CanonicalBlocksBy(MinerId miner) const {
+  std::uint64_t count = 0;
+  crypto::Digest cursor = tip_hash_;
+  while (true) {
+    const Node& node = nodes_.at(cursor);
+    if (node.block.header.height == 0) break;
+    if (node.block.header.proposer == miner) ++count;
+    cursor = node.parent;
+  }
+  return count;
+}
+
+}  // namespace fairchain::chain

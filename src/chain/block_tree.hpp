@@ -1,0 +1,97 @@
+// BlockTree: fork-aware block storage with longest-chain fork choice.
+//
+// The linear Blockchain container is enough for the paper's two-miner
+// evaluation (honest miners never fork), but a credible substrate must
+// handle competing branches: the selfish-mining extension and any
+// adversarial analysis need reorgs.  BlockTree stores the full block DAG
+// (a tree rooted at genesis), applies the longest-chain rule with
+// first-seen tie-breaking (Bitcoin's rule), buffers orphans that arrive
+// before their parents, and counts chain reorganisations.
+
+#ifndef FAIRCHAIN_CHAIN_BLOCK_TREE_HPP_
+#define FAIRCHAIN_CHAIN_BLOCK_TREE_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.hpp"
+
+namespace fairchain::chain {
+
+/// Outcome of BlockTree::Add.
+enum class AddBlockResult {
+  kAdded,      ///< attached to the tree (tip may have changed)
+  kOrphaned,   ///< parent unknown; buffered until the parent arrives
+  kDuplicate,  ///< already present
+  kInvalid,    ///< malformed (height does not extend its parent)
+};
+
+/// A tree of blocks with longest-chain fork choice.
+class BlockTree {
+ public:
+  /// Roots the tree at a genesis block.
+  explicit BlockTree(const Block& genesis);
+
+  /// Inserts a block.  Orphans are buffered and attached automatically
+  /// when their parent arrives.
+  AddBlockResult Add(const Block& block);
+
+  /// Hash of the current best tip.
+  const crypto::Digest& TipHash() const { return tip_hash_; }
+
+  /// Height of the current best tip.
+  std::uint64_t TipHeight() const;
+
+  /// True when `hash` is a known (attached) block.
+  bool Contains(const crypto::Digest& hash) const;
+
+  /// True when `hash` lies on the canonical (best) chain.
+  bool IsCanonical(const crypto::Digest& hash) const;
+
+  /// The canonical chain, genesis first.
+  std::vector<Block> CanonicalChain() const;
+
+  /// Number of canonical blocks proposed by `miner` (excluding genesis).
+  std::uint64_t CanonicalBlocksBy(MinerId miner) const;
+
+  /// Number of attached blocks (including genesis).
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Orphans currently buffered.
+  std::size_t orphan_count() const { return orphans_.size(); }
+
+  /// Number of tip switches that abandoned at least one block (reorgs).
+  std::uint64_t reorg_count() const { return reorg_count_; }
+
+ private:
+  struct Node {
+    Block block;
+    crypto::Digest parent;
+    std::uint64_t arrival = 0;  // insertion order, for first-seen ties
+  };
+
+  struct DigestHasher {
+    std::size_t operator()(const crypto::Digest& digest) const {
+      std::size_t value = 0;
+      for (int i = 0; i < 8; ++i) {
+        value = (value << 8) | digest[i];
+      }
+      return value;
+    }
+  };
+
+  AddBlockResult Attach(const Block& block);
+  void TryAttachOrphans(const crypto::Digest& parent_hash);
+  void MaybeAdoptTip(const crypto::Digest& candidate_hash);
+
+  std::unordered_map<crypto::Digest, Node, DigestHasher> nodes_;
+  std::unordered_multimap<crypto::Digest, Block, DigestHasher> orphans_;
+  crypto::Digest tip_hash_{};
+  std::uint64_t next_arrival_ = 0;
+  std::uint64_t reorg_count_ = 0;
+};
+
+}  // namespace fairchain::chain
+
+#endif  // FAIRCHAIN_CHAIN_BLOCK_TREE_HPP_

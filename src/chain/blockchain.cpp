@@ -1,0 +1,87 @@
+#include "chain/blockchain.hpp"
+
+#include <stdexcept>
+
+namespace fairchain::chain {
+
+Blockchain::Blockchain(std::uint64_t genesis_salt) {
+  Block genesis;
+  genesis.header.height = 0;
+  genesis.header.kind = ProofKind::kGenesis;
+  genesis.header.nonce = genesis_salt;
+  genesis.header.timestamp = 0;
+  genesis.header.target = U256::Max();
+  genesis.reward = 0;
+  blocks_.push_back(genesis);
+  tip_hash_ = genesis.Hash();
+}
+
+void Blockchain::Append(const Block& block) {
+  const Block& tip = Tip();
+  if (block.header.height != tip.header.height + 1) {
+    throw std::invalid_argument("Blockchain::Append: non-consecutive height");
+  }
+  if (block.header.prev_hash != tip_hash_) {
+    throw std::invalid_argument("Blockchain::Append: parent hash mismatch");
+  }
+  if (block.header.timestamp < tip.header.timestamp) {
+    throw std::invalid_argument("Blockchain::Append: timestamp regression");
+  }
+  blocks_.push_back(block);
+  tip_hash_ = block.Hash();
+}
+
+ValidationReport Blockchain::Validate() const {
+  ValidationReport report;
+  crypto::Digest expected_prev = blocks_.front().Hash();
+  for (std::size_t i = 1; i < blocks_.size(); ++i) {
+    const Block& block = blocks_[i];
+    if (block.header.height != i) {
+      report.ok = false;
+      report.error = "height mismatch";
+      report.bad_height = block.header.height;
+      return report;
+    }
+    if (block.header.prev_hash != expected_prev) {
+      report.ok = false;
+      report.error = "broken hash link";
+      report.bad_height = block.header.height;
+      return report;
+    }
+    if (block.header.timestamp < blocks_[i - 1].header.timestamp) {
+      report.ok = false;
+      report.error = "timestamp regression";
+      report.bad_height = block.header.height;
+      return report;
+    }
+    if (block.header.kind == ProofKind::kPow) {
+      // The proof of work is the header hash itself meeting the target.
+      if (DigestToU256(block.Hash()) >= block.header.target) {
+        report.ok = false;
+        report.error = "PoW proof does not meet target";
+        report.bad_height = block.header.height;
+        return report;
+      }
+    }
+    expected_prev = block.Hash();
+  }
+  return report;
+}
+
+std::uint64_t Blockchain::BlocksBy(MinerId miner) const {
+  std::uint64_t count = 0;
+  for (std::size_t i = 1; i < blocks_.size(); ++i) {
+    if (blocks_[i].header.proposer == miner) ++count;
+  }
+  return count;
+}
+
+double Blockchain::MeanBlockInterval() const {
+  if (blocks_.size() < 2) return 0.0;
+  const std::uint64_t span =
+      blocks_.back().header.timestamp - blocks_.front().header.timestamp;
+  return static_cast<double>(span) /
+         static_cast<double>(blocks_.size() - 1);
+}
+
+}  // namespace fairchain::chain

@@ -1,0 +1,77 @@
+// Blockchain: an append-only, hash-linked chain of blocks with full
+// re-verification.
+//
+// The chain substrate builds real header chains so that tests can assert
+// structural integrity (hash links, height monotonicity, proof-satisfies-
+// target) on every simulated mining game — the property a real client's
+// block validation enforces.
+
+#ifndef FAIRCHAIN_CHAIN_BLOCKCHAIN_HPP_
+#define FAIRCHAIN_CHAIN_BLOCKCHAIN_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/block.hpp"
+
+namespace fairchain::chain {
+
+/// Result of chain validation.
+struct ValidationReport {
+  bool ok = true;
+  std::string error;          ///< empty when ok
+  std::uint64_t bad_height = 0;  ///< height of the first offending block
+};
+
+/// An in-memory chain anchored at a genesis block.
+class Blockchain {
+ public:
+  /// Creates a chain from a genesis salt: the salt (typically a per-
+  /// replication random value) is hashed into the genesis header so that
+  /// independent simulated networks have independent hash randomness —
+  /// exactly how distinct testnets behave.
+  explicit Blockchain(std::uint64_t genesis_salt);
+
+  /// The genesis block.
+  const Block& genesis() const { return blocks_.front(); }
+
+  /// The current tip.
+  const Block& Tip() const { return blocks_.back(); }
+
+  /// Hash of the current tip (cached).
+  const crypto::Digest& TipHash() const { return tip_hash_; }
+
+  /// Number of blocks excluding genesis.
+  std::uint64_t height() const {
+    return static_cast<std::uint64_t>(blocks_.size()) - 1;
+  }
+
+  /// Block at `height` (0 = genesis).
+  const Block& at(std::uint64_t height) const { return blocks_[height]; }
+
+  /// All blocks, genesis first.
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Appends a block after structural checks (parent hash, height,
+  /// timestamp monotonicity).  Throws std::invalid_argument on violation.
+  void Append(const Block& block);
+
+  /// Re-verifies the whole chain: hash links, heights, timestamps, and for
+  /// PoW blocks that the header hash meets the recorded target.
+  ValidationReport Validate() const;
+
+  /// Count of blocks proposed by `miner` (excluding genesis).
+  std::uint64_t BlocksBy(MinerId miner) const;
+
+  /// Average inter-block time in simulated seconds (0 with < 2 blocks).
+  double MeanBlockInterval() const;
+
+ private:
+  std::vector<Block> blocks_;
+  crypto::Digest tip_hash_{};
+};
+
+}  // namespace fairchain::chain
+
+#endif  // FAIRCHAIN_CHAIN_BLOCKCHAIN_HPP_

@@ -1,0 +1,68 @@
+#include "chain/difficulty.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fairchain::chain {
+
+U256 TargetFromProbability(double p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("TargetFromProbability: p must be in (0, 1]");
+  }
+  if (p == 1.0) return U256::Max();
+  // Write p = m * 2^e with m in [0.5, 1); target = floor(m * 2^64) << (192+e).
+  int exponent = 0;
+  const double mantissa = std::frexp(p, &exponent);  // p = mantissa * 2^exp
+  const std::uint64_t mantissa_bits = static_cast<std::uint64_t>(
+      std::ldexp(mantissa, 64));  // in [2^63, 2^64)
+  const int shift = 192 + exponent;
+  if (shift <= -64) return U256(1);  // below representable: smallest target
+  U256 target = U256(mantissa_bits);
+  if (shift >= 0) {
+    target = target << static_cast<unsigned>(shift);
+  } else {
+    target = target >> static_cast<unsigned>(-shift);
+  }
+  return target.IsZero() ? U256(1) : target;
+}
+
+double ProbabilityFromTarget(const U256& target) {
+  constexpr double kTwo256 = 1.157920892373162e77;
+  return target.ToDouble() / kTwo256;
+}
+
+U256 Retarget(const U256& current, std::uint64_t actual_timespan,
+              std::uint64_t expected_timespan, std::uint64_t max_adjustment) {
+  if (expected_timespan == 0 || max_adjustment == 0) {
+    throw std::invalid_argument("Retarget: invalid parameters");
+  }
+  std::uint64_t clamped = actual_timespan;
+  const std::uint64_t low = expected_timespan / max_adjustment;
+  const std::uint64_t high = expected_timespan * max_adjustment;
+  if (clamped < low) clamped = low;
+  if (clamped > high) clamped = high;
+  if (clamped == 0) clamped = 1;
+  U256 adjusted = current.MulDivU64(clamped, expected_timespan);
+  return adjusted.IsZero() ? U256(1) : adjusted;
+}
+
+U256 NextPowTarget(const Blockchain& chain, const U256& genesis_target,
+                   const DifficultyConfig& config) {
+  const std::uint64_t height = chain.height();
+  if (config.retarget_interval == 0) return genesis_target;
+  // Walk forward interval by interval, replaying each adjustment — the
+  // target is a pure function of the chain, as in real clients.
+  U256 target = genesis_target;
+  const std::uint64_t interval = config.retarget_interval;
+  for (std::uint64_t boundary = interval; boundary <= height;
+       boundary += interval) {
+    const std::uint64_t window_start = boundary - interval;
+    const std::uint64_t actual = chain.at(boundary).header.timestamp -
+                                 chain.at(window_start).header.timestamp;
+    const std::uint64_t expected = interval * config.target_block_time;
+    target = Retarget(target, actual, expected, config.max_adjustment);
+  }
+  return target;
+}
+
+}  // namespace fairchain::chain

@@ -1,0 +1,44 @@
+// Difficulty targets and Bitcoin-style retargeting for the PoW engine.
+
+#ifndef FAIRCHAIN_CHAIN_DIFFICULTY_HPP_
+#define FAIRCHAIN_CHAIN_DIFFICULTY_HPP_
+
+#include <cstdint>
+
+#include "chain/blockchain.hpp"
+#include "support/u256.hpp"
+
+namespace fairchain::chain {
+
+/// Difficulty-adjustment parameters.
+struct DifficultyConfig {
+  /// Blocks between retargets (Bitcoin: 2016).
+  std::uint64_t retarget_interval = 64;
+  /// Desired seconds between blocks.
+  std::uint64_t target_block_time = 60;
+  /// Per-retarget adjustment clamp (Bitcoin: 4).
+  std::uint64_t max_adjustment = 4;
+};
+
+/// Converts a per-trial success probability p in (0, 1] to the 256-bit
+/// target T with Pr[hash < T] = p (up to 64-bit precision in the mantissa).
+U256 TargetFromProbability(double p);
+
+/// The success probability corresponding to a target (T / 2^256).
+double ProbabilityFromTarget(const U256& target);
+
+/// One retarget step:  new = old * actual_timespan / expected_timespan,
+/// with the timespan ratio clamped to [1/max_adjustment, max_adjustment]
+/// (the Bitcoin rule).  Never returns zero.
+U256 Retarget(const U256& current, std::uint64_t actual_timespan,
+              std::uint64_t expected_timespan, std::uint64_t max_adjustment);
+
+/// Computes the target the next PoW block must satisfy, given the chain so
+/// far: `genesis_target` until the first full interval, then retargeted
+/// every `config.retarget_interval` blocks from observed timestamps.
+U256 NextPowTarget(const Blockchain& chain, const U256& genesis_target,
+                   const DifficultyConfig& config);
+
+}  // namespace fairchain::chain
+
+#endif  // FAIRCHAIN_CHAIN_DIFFICULTY_HPP_

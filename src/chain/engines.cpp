@@ -1,0 +1,355 @@
+#include "chain/engines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fairchain::chain {
+
+namespace {
+
+// Guard against a mis-configured network that can never find a block.
+constexpr std::uint64_t kMaxTicksPerBlock = 50'000'000;
+
+// A deterministic 64-bit value derived from a digest (its first 8 bytes,
+// big-endian) — used as lottery "hit" values and committee seeds.
+std::uint64_t DigestPrefix(const crypto::Digest& digest) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value = (value << 8) | digest[i];
+  return value;
+}
+
+}  // namespace
+
+crypto::Digest MinerPublicKey(MinerId miner) {
+  crypto::Sha256 hasher;
+  hasher.Update("fairchain-miner-pk");
+  hasher.UpdateU64(miner);
+  return hasher.Finalize();
+}
+
+// ---------------------------------------------------------------------------
+// PoW
+// ---------------------------------------------------------------------------
+
+PowEngine::PowEngine(PowEngineConfig config) : config_(std::move(config)) {
+  if (config_.hash_rates.empty()) {
+    throw std::invalid_argument("PowEngine: hash_rates must be non-empty");
+  }
+  std::uint64_t total_rate = 0;
+  for (const std::uint64_t rate : config_.hash_rates) total_rate += rate;
+  if (total_rate == 0) {
+    throw std::invalid_argument("PowEngine: zero total hash rate");
+  }
+  if (!(config_.initial_expected_trials >= 1.0)) {
+    throw std::invalid_argument(
+        "PowEngine: initial_expected_trials must be >= 1");
+  }
+  genesis_target_ =
+      TargetFromProbability(1.0 / config_.initial_expected_trials);
+  // Align the difficulty config's notion of "block time" with the hash
+  // rates: expected seconds per block = expected_trials / total_rate.
+  if (config_.difficulty.target_block_time == 0) {
+    config_.difficulty.target_block_time = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(config_.initial_expected_trials /
+                                      static_cast<double>(total_rate)));
+  }
+  nonce_counters_.assign(config_.hash_rates.size(), 0);
+}
+
+U256 PowEngine::CurrentTarget(const Blockchain& chain) const {
+  return NextPowTarget(chain, genesis_target_, config_.difficulty);
+}
+
+Block PowEngine::MineNext(const Blockchain& chain, StakeLedger& ledger,
+                          RngStream& rng) {
+  const U256 target = CurrentTarget(chain);
+  const std::size_t miners = config_.hash_rates.size();
+  if (ledger.miner_count() != miners) {
+    throw std::invalid_argument("PowEngine: ledger/miner count mismatch");
+  }
+  Block candidate;
+  candidate.header.height = chain.height() + 1;
+  candidate.header.prev_hash = chain.TipHash();
+  candidate.header.kind = ProofKind::kPow;
+  candidate.header.target = target;
+  candidate.reward = config_.block_reward;
+
+  // Grind: every simulated second, each miner checks hash_rate nonces on its
+  // own candidate header (headers differ by proposer + nonce).  All
+  // successes within the same second race; the winner is the success with
+  // the earliest sub-second position, which is uniform — drawn via rng.
+  std::uint64_t tick = chain.Tip().header.timestamp;
+  for (std::uint64_t elapsed = 0; elapsed < kMaxTicksPerBlock; ++elapsed) {
+    ++tick;
+    candidate.header.timestamp = tick;
+    std::uint32_t successes = 0;
+    MinerId success_miner = 0;
+    std::uint64_t success_nonce = 0;
+    for (MinerId m = 0; m < miners; ++m) {
+      candidate.header.proposer = m;
+      for (std::uint64_t trial = 0; trial < config_.hash_rates[m]; ++trial) {
+        candidate.header.nonce = nonce_counters_[m]++;
+        if (DigestToU256(candidate.Hash()) < target) {
+          ++successes;
+          // Reservoir-sample uniformly among this second's successes.
+          if (successes == 1 || rng.NextBounded(successes) == 0) {
+            success_miner = m;
+            success_nonce = candidate.header.nonce;
+          }
+        }
+      }
+    }
+    if (successes > 0) {
+      candidate.header.proposer = success_miner;
+      candidate.header.nonce = success_nonce;
+      ledger.Mint(success_miner, config_.block_reward, RewardStakes());
+      return candidate;
+    }
+  }
+  throw std::runtime_error("PowEngine: no block found within tick budget");
+}
+
+// ---------------------------------------------------------------------------
+// ML-PoS
+// ---------------------------------------------------------------------------
+
+MlPosEngine::MlPosEngine(MlPosEngineConfig config) : config_(config) {
+  if (config_.block_reward == 0) {
+    throw std::invalid_argument("MlPosEngine: block_reward must be > 0");
+  }
+  if (config_.target_spacing == 0) {
+    throw std::invalid_argument("MlPosEngine: target_spacing must be > 0");
+  }
+}
+
+U256 MlPosEngine::KernelBaseTarget(const StakeLedger& ledger) const {
+  // Network-wide per-second success probability 1 / target_spacing:
+  //   sum_i  D * stake_i / 2^256 = 1 / spacing
+  //   =>  D = 2^256 / (spacing * total_stake).
+  const U256 numerator = U256::Max();  // 2^256 - 1 ~ 2^256
+  return numerator / U256(config_.target_spacing).SaturatingMulU64(
+                         ledger.total());
+}
+
+Block MlPosEngine::MineNext(const Blockchain& chain, StakeLedger& ledger,
+                            RngStream& rng) {
+  const std::size_t miners = ledger.miner_count();
+  const U256 base_target = KernelBaseTarget(ledger);
+  Block block;
+  block.header.height = chain.height() + 1;
+  block.header.prev_hash = chain.TipHash();
+  block.header.kind = ProofKind::kMlPos;
+  block.header.target = base_target;
+  block.reward = config_.block_reward;
+
+  std::uint64_t t = chain.Tip().header.timestamp;
+  for (std::uint64_t elapsed = 0; elapsed < kMaxTicksPerBlock; ++elapsed) {
+    ++t;
+    std::uint32_t successes = 0;
+    MinerId winner = 0;
+    for (MinerId m = 0; m < miners; ++m) {
+      const Amount stake = ledger.balance(m);
+      if (stake == 0) continue;
+      // Staking kernel: one trial per timestamp per miner, weighted target.
+      crypto::Sha256 kernel;
+      kernel.Update(chain.TipHash().data(), 32);
+      kernel.UpdateU64(t);
+      const crypto::Digest pk = MinerPublicKey(m);
+      kernel.Update(pk.data(), pk.size());
+      const U256 kernel_value = DigestToU256(kernel.Finalize());
+      const U256 miner_target = base_target.SaturatingMulU64(stake);
+      if (kernel_value < miner_target) {
+        ++successes;
+        // Simultaneous successes tie-break uniformly (50 % for two miners,
+        // matching Section 2.2).
+        if (successes == 1 || rng.NextBounded(successes) == 0) winner = m;
+      }
+    }
+    if (successes > 0) {
+      block.header.proposer = winner;
+      block.header.timestamp = t;
+      block.header.nonce = 0;
+      ledger.Mint(winner, config_.block_reward, RewardStakes());
+      return block;
+    }
+  }
+  throw std::runtime_error("MlPosEngine: no kernel hit within tick budget");
+}
+
+// ---------------------------------------------------------------------------
+// SL-PoS / FSL-PoS
+// ---------------------------------------------------------------------------
+
+SlPosEngine::SlPosEngine(SlPosEngineConfig config) : config_(config) {
+  if (config_.block_reward == 0) {
+    throw std::invalid_argument("SlPosEngine: block_reward must be > 0");
+  }
+  if (config_.basetime == 0) {
+    throw std::invalid_argument("SlPosEngine: basetime must be > 0");
+  }
+}
+
+std::uint64_t SlPosEngine::Deadline(const crypto::Digest& tip_hash,
+                                    MinerId miner, Amount stake) const {
+  if (stake == 0) return UINT64_MAX;
+  crypto::Sha256 lottery;
+  lottery.Update(tip_hash.data(), 32);
+  const crypto::Digest pk = MinerPublicKey(miner);
+  lottery.Update(pk.data(), pk.size());
+  const std::uint64_t hit = DigestPrefix(lottery.Finalize());
+  if (!config_.fair_transform) {
+    // NXT rule: deadline = basetime * hit / stake (exact 128-bit arithmetic).
+    const unsigned __int128 scaled =
+        static_cast<unsigned __int128>(hit) * config_.basetime;
+    return static_cast<std::uint64_t>(scaled / stake);
+  }
+  // FSL-PoS treatment (Section 6.2): deadline = basetime * -ln(1-u) / stake
+  // with u = hit / 2^64 — exponential deadlines restore proportionality.
+  const double u =
+      (static_cast<double>(hit) + 0.5) * 0x1.0p-64;  // u in (0, 1)
+  const double transformed = -std::log1p(-u);
+  const double deadline = static_cast<double>(config_.basetime) *
+                          transformed * 9.2233720368547758e18 /
+                          static_cast<double>(stake);
+  if (deadline >= 1.8e19) return UINT64_MAX;
+  return static_cast<std::uint64_t>(deadline);
+}
+
+Block SlPosEngine::MineNext(const Blockchain& chain, StakeLedger& ledger,
+                            RngStream& rng) {
+  const std::size_t miners = ledger.miner_count();
+  MinerId winner = 0;
+  std::uint64_t best = UINT64_MAX;
+  std::uint32_t ties = 0;
+  for (MinerId m = 0; m < miners; ++m) {
+    const std::uint64_t deadline =
+        Deadline(chain.TipHash(), m, ledger.balance(m));
+    if (deadline < best) {
+      best = deadline;
+      winner = m;
+      ties = 1;
+    } else if (deadline == best && deadline != UINT64_MAX) {
+      // Exact 64-bit deadline collision: 50/50 per the paper's tie rule.
+      ++ties;
+      if (rng.NextBounded(ties) == 0) winner = m;
+    }
+  }
+  if (best == UINT64_MAX) {
+    throw std::runtime_error("SlPosEngine: no miner could forge");
+  }
+  Block block;
+  block.header.height = chain.height() + 1;
+  block.header.prev_hash = chain.TipHash();
+  block.header.kind = ProofKind::kSlPos;
+  block.header.proposer = winner;
+  // Deadlines can be astronomically large in simulated "seconds"; keep the
+  // chain clock bounded while preserving ordering.
+  block.header.timestamp =
+      chain.Tip().header.timestamp + 1 + best % 1000000;
+  block.header.nonce = best;  // record the winning deadline as the proof
+  block.header.target = U256::Max();
+  block.reward = config_.block_reward;
+  ledger.Mint(winner, config_.block_reward, RewardStakes());
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// C-PoS
+// ---------------------------------------------------------------------------
+
+CPosEngine::CPosEngine(CPosEngineConfig config) : config_(config) {
+  if (config_.proposer_reward == 0) {
+    throw std::invalid_argument("CPosEngine: proposer_reward must be > 0");
+  }
+  if (config_.shards == 0) {
+    throw std::invalid_argument("CPosEngine: shards must be >= 1");
+  }
+}
+
+Block CPosEngine::MineNext(const Blockchain& chain, StakeLedger& ledger,
+                           RngStream& rng) {
+  (void)rng;  // All epoch randomness derives from the chain (RANDAO-style).
+  const std::size_t miners = ledger.miner_count();
+
+  // Epoch randomness: hash the tip (the beacon-chain RANDAO stand-in).
+  crypto::Sha256 seed_hasher;
+  seed_hasher.Update("fairchain-cpos-epoch-seed");
+  seed_hasher.Update(chain.TipHash().data(), 32);
+  RngStream epoch_rng(DigestPrefix(seed_hasher.Finalize()));
+
+  // Snapshot epoch-start balances: all slot draws and attester rewards use
+  // the distribution at the start of the epoch.
+  std::vector<Amount> snapshot(miners);
+  Amount total = 0;
+  for (MinerId m = 0; m < miners; ++m) {
+    snapshot[m] = ledger.balance(m);
+    total += snapshot[m];
+  }
+
+  // Proposer slots: P independent stake-proportional draws.
+  const Amount per_slot = config_.proposer_reward / config_.shards;
+  Amount proposer_remainder =
+      config_.proposer_reward - per_slot * config_.shards;
+  MinerId slot0_proposer = 0;
+  for (std::uint32_t slot = 0; slot < config_.shards; ++slot) {
+    const std::uint64_t pick = epoch_rng.NextBounded(total);
+    std::uint64_t cumulative = 0;
+    MinerId chosen = static_cast<MinerId>(miners - 1);
+    for (MinerId m = 0; m < miners; ++m) {
+      cumulative += snapshot[m];
+      if (pick < cumulative) {
+        chosen = m;
+        break;
+      }
+    }
+    Amount amount = per_slot;
+    if (slot == 0) {
+      slot0_proposer = chosen;
+      amount += proposer_remainder;  // conservation: dust to slot 0
+    }
+    ledger.Mint(chosen, amount, RewardStakes());
+  }
+
+  // Attester (inflation) rewards: exact largest-remainder apportionment of
+  // `inflation_reward` proportional to the snapshot.
+  if (config_.inflation_reward > 0) {
+    std::vector<std::pair<unsigned __int128, MinerId>> remainders;
+    remainders.reserve(miners);
+    Amount distributed = 0;
+    for (MinerId m = 0; m < miners; ++m) {
+      const unsigned __int128 numerator =
+          static_cast<unsigned __int128>(config_.inflation_reward) *
+          snapshot[m];
+      const Amount share = static_cast<Amount>(numerator / total);
+      const unsigned __int128 remainder = numerator % total;
+      if (share > 0) ledger.Mint(m, share, RewardStakes());
+      distributed += share;
+      remainders.emplace_back(remainder, m);
+    }
+    Amount leftover = config_.inflation_reward - distributed;
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (std::size_t k = 0; leftover > 0 && k < remainders.size(); ++k) {
+      ledger.Mint(remainders[k].second, 1, RewardStakes());
+      --leftover;
+    }
+  }
+
+  Block block;
+  block.header.height = chain.height() + 1;
+  block.header.prev_hash = chain.TipHash();
+  block.header.kind = ProofKind::kCPos;
+  block.header.proposer = slot0_proposer;
+  block.header.timestamp =
+      chain.Tip().header.timestamp + config_.epoch_seconds;
+  block.header.nonce = 0;
+  block.header.target = U256::Max();
+  block.reward = config_.proposer_reward + config_.inflation_reward;
+  return block;
+}
+
+}  // namespace fairchain::chain

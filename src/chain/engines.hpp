@@ -1,0 +1,192 @@
+// Hash-level mining engines: the substitute for the real clients (Geth,
+// Qtum, NXT) the paper deployed on EC2.
+//
+// Each engine mines blocks by evaluating the *actual* consensus rule with
+// real SHA-256 over candidate headers / staking kernels, against 256-bit
+// targets in exact integer arithmetic:
+//
+//   PowEngine    — grinds header nonces; hash(header) < target; Bitcoin-
+//                  style retargeting keeps the block interval on target.
+//   MlPosEngine  — Qtum/Blackcoin staking: one kernel trial per miner per
+//                  timestamp, success iff hash(prev, t, pk) < D * stake;
+//                  simultaneous successes tie-break uniformly (the paper's
+//                  50 % rule).
+//   SlPosEngine  — NXT forging: a single lottery per block,
+//                  deadline = basetime * hit / stake, smallest deadline
+//                  forges.  With `fair_transform` it becomes the paper's
+//                  FSL-PoS treatment: deadline = basetime * -ln(1 - u)/stake.
+//   CPosEngine   — Ethereum-2.0-style epochs: P proposer slots drawn from a
+//                  hash-seeded committee shuffle + proportional attester
+//                  (inflation) rewards, with exact integer conservation.
+//
+// Randomness: all lottery inputs derive from block hashes (seeded by a
+// per-game genesis salt), so a game is a deterministic function of its
+// genesis — replications differ only through the salt, as real testnets do.
+// The explicit RngStream is used solely for tie-breaks among simultaneous
+// successes.
+
+#ifndef FAIRCHAIN_CHAIN_ENGINES_HPP_
+#define FAIRCHAIN_CHAIN_ENGINES_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "chain/difficulty.hpp"
+#include "chain/ledger.hpp"
+#include "support/rng.hpp"
+
+namespace fairchain::chain {
+
+/// Abstract block producer for one simulated network.
+class MiningEngine {
+ public:
+  virtual ~MiningEngine() = default;
+
+  /// Engine name for reports.
+  virtual std::string name() const = 0;
+
+  /// Mines the next block on top of `chain`, minting rewards into `ledger`.
+  /// `rng` is used only for tie-breaking.  Implementations never mutate the
+  /// chain; the caller appends the returned block.
+  virtual Block MineNext(const Blockchain& chain, StakeLedger& ledger,
+                         RngStream& rng) = 0;
+
+  /// Whether minted rewards enter the staking balance (PoS) or not (PoW).
+  virtual bool RewardStakes() const = 0;
+};
+
+/// Deterministic per-miner public key (hash of the miner id) — the pk
+/// argument of the staking kernels.
+crypto::Digest MinerPublicKey(MinerId miner);
+
+// ---------------------------------------------------------------------------
+
+/// PoW engine configuration.
+struct PowEngineConfig {
+  /// Hash trials per simulated second, per miner (relative hash power).
+  std::vector<std::uint64_t> hash_rates;
+  /// Coinbase reward per block, in atoms.
+  Amount block_reward = 1000000;
+  /// Expected hash trials to find a block at genesis difficulty.
+  double initial_expected_trials = 4096.0;
+  /// Retargeting rule.
+  DifficultyConfig difficulty;
+};
+
+/// Nonce-grinding PoW miner network.
+class PowEngine : public MiningEngine {
+ public:
+  explicit PowEngine(PowEngineConfig config);
+
+  std::string name() const override { return "PoW/chain"; }
+  Block MineNext(const Blockchain& chain, StakeLedger& ledger,
+                 RngStream& rng) override;
+  bool RewardStakes() const override { return false; }
+
+  /// The target the next block must satisfy (exposed for tests).
+  U256 CurrentTarget(const Blockchain& chain) const;
+
+ private:
+  PowEngineConfig config_;
+  U256 genesis_target_;
+  std::vector<std::uint64_t> nonce_counters_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// ML-PoS engine configuration.
+struct MlPosEngineConfig {
+  /// Block reward in atoms (compounds into stake).
+  Amount block_reward = 10000000;
+  /// Desired expected timestamps per block (the paper quotes p ~ 1/1200
+  /// per miner-second; this is the network-wide expectation).
+  std::uint64_t target_spacing = 64;
+};
+
+/// Qtum/Blackcoin-style multi-lottery staking network.
+class MlPosEngine : public MiningEngine {
+ public:
+  explicit MlPosEngine(MlPosEngineConfig config);
+
+  std::string name() const override { return "ML-PoS/chain"; }
+  Block MineNext(const Blockchain& chain, StakeLedger& ledger,
+                 RngStream& rng) override;
+  bool RewardStakes() const override { return true; }
+
+  /// Per-atom kernel target, recomputed from current circulation so the
+  /// expected spacing stays constant as stake inflates (staking-coin
+  /// retargeting).
+  U256 KernelBaseTarget(const StakeLedger& ledger) const;
+
+ private:
+  MlPosEngineConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// SL-PoS engine configuration.
+struct SlPosEngineConfig {
+  /// Block reward in atoms (compounds into stake).
+  Amount block_reward = 10000000;
+  /// Deadline multiplier (NXT's basetime); deadlines are
+  /// basetime * hit / stake simulated seconds with hit a 64-bit hash.
+  std::uint64_t basetime = 1;
+  /// Apply the paper's FSL-PoS inverse-exponential transform (Section 6.2).
+  bool fair_transform = false;
+};
+
+/// NXT-style single-lottery forging network (optionally FSL-PoS).
+class SlPosEngine : public MiningEngine {
+ public:
+  explicit SlPosEngine(SlPosEngineConfig config);
+
+  std::string name() const override {
+    return config_.fair_transform ? "FSL-PoS/chain" : "SL-PoS/chain";
+  }
+  Block MineNext(const Blockchain& chain, StakeLedger& ledger,
+                 RngStream& rng) override;
+  bool RewardStakes() const override { return true; }
+
+  /// The forging deadline of `miner` on top of `tip_hash` (exposed so tests
+  /// can verify the winner really had the smallest deadline).
+  std::uint64_t Deadline(const crypto::Digest& tip_hash, MinerId miner,
+                         Amount stake) const;
+
+ private:
+  SlPosEngineConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// C-PoS engine configuration.
+struct CPosEngineConfig {
+  /// Total proposer reward per epoch, in atoms.
+  Amount proposer_reward = 10000000;
+  /// Total inflation (attester) reward per epoch, in atoms.
+  Amount inflation_reward = 100000000;
+  /// Proposer slots (shards) per epoch; Ethereum 2.0 uses 32.
+  std::uint32_t shards = 32;
+  /// Seconds per epoch (timestamp bookkeeping only).
+  std::uint64_t epoch_seconds = 384;  // 32 slots * 12 s
+};
+
+/// Ethereum-2.0-style compound staking network; one block per epoch is
+/// recorded (the slot-0 proposer), rewards cover all P slots + attesters.
+class CPosEngine : public MiningEngine {
+ public:
+  explicit CPosEngine(CPosEngineConfig config);
+
+  std::string name() const override { return "C-PoS/chain"; }
+  Block MineNext(const Blockchain& chain, StakeLedger& ledger,
+                 RngStream& rng) override;
+  bool RewardStakes() const override { return true; }
+
+ private:
+  CPosEngineConfig config_;
+};
+
+}  // namespace fairchain::chain
+
+#endif  // FAIRCHAIN_CHAIN_ENGINES_HPP_

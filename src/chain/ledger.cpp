@@ -1,0 +1,40 @@
+#include "chain/ledger.hpp"
+
+#include <stdexcept>
+
+namespace fairchain::chain {
+
+StakeLedger::StakeLedger(std::vector<Amount> initial)
+    : initial_(std::move(initial)) {
+  if (initial_.empty()) {
+    throw std::invalid_argument("StakeLedger: at least one miner required");
+  }
+  balance_ = initial_;
+  reward_.assign(initial_.size(), 0);
+  for (const Amount b : balance_) total_ += b;
+  if (total_ == 0) {
+    throw std::invalid_argument("StakeLedger: zero total initial balance");
+  }
+}
+
+void StakeLedger::Mint(MinerId i, Amount amount, bool staking) {
+  if (i >= balance_.size()) {
+    throw std::invalid_argument("StakeLedger::Mint: miner out of range");
+  }
+  reward_[i] += amount;
+  total_rewards_ += amount;
+  if (staking) {
+    balance_[i] += amount;
+    total_ += amount;
+  }
+}
+
+void StakeLedger::Reset() {
+  balance_ = initial_;
+  for (auto& r : reward_) r = 0;
+  total_ = 0;
+  for (const Amount b : balance_) total_ += b;
+  total_rewards_ = 0;
+}
+
+}  // namespace fairchain::chain

@@ -1,0 +1,75 @@
+// StakeLedger: integer-atom balances for the chain substrate.
+//
+// Real clients account stake in integral base units (satoshi / wei /
+// NXT-quants); the ledger mirrors that so reward arithmetic is exact and
+// conservation can be asserted to the atom in tests.
+
+#ifndef FAIRCHAIN_CHAIN_LEDGER_HPP_
+#define FAIRCHAIN_CHAIN_LEDGER_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/block.hpp"
+
+namespace fairchain::chain {
+
+/// Per-miner balances in atoms, with O(1) total maintenance.
+class StakeLedger {
+ public:
+  /// Creates a ledger with the given initial balances (at least one miner,
+  /// positive total).  Throws std::invalid_argument otherwise.
+  explicit StakeLedger(std::vector<Amount> initial);
+
+  /// Number of accounts.
+  std::size_t miner_count() const { return balance_.size(); }
+
+  /// Balance of miner `i` in atoms.
+  Amount balance(MinerId i) const { return balance_[i]; }
+
+  /// Total atoms in circulation.
+  Amount total() const { return total_; }
+
+  /// Miner i's stake share as a double (for statistics only; consensus code
+  /// uses atom arithmetic).
+  double Share(MinerId i) const {
+    return static_cast<double>(balance_[i]) / static_cast<double>(total_);
+  }
+
+  /// Cumulative rewards credited to miner `i` (excludes initial balance).
+  Amount reward(MinerId i) const { return reward_[i]; }
+
+  /// Total rewards minted so far.
+  Amount total_rewards() const { return total_rewards_; }
+
+  /// Miner i's fraction of all minted rewards (0 before any mint).
+  double RewardFraction(MinerId i) const {
+    return total_rewards_ == 0
+               ? 0.0
+               : static_cast<double>(reward_[i]) /
+                     static_cast<double>(total_rewards_);
+  }
+
+  /// Mints `amount` atoms of reward to miner `i`.
+  ///
+  /// `staking` controls whether the reward joins the miner's staking balance
+  /// (PoS) or is tracked as reward only (PoW / NEO-gas semantics).
+  void Mint(MinerId i, Amount amount, bool staking);
+
+  /// Initial balance of miner `i`.
+  Amount initial_balance(MinerId i) const { return initial_[i]; }
+
+  /// Restores the initial state.
+  void Reset();
+
+ private:
+  std::vector<Amount> initial_;
+  std::vector<Amount> balance_;
+  std::vector<Amount> reward_;
+  Amount total_ = 0;
+  Amount total_rewards_ = 0;
+};
+
+}  // namespace fairchain::chain
+
+#endif  // FAIRCHAIN_CHAIN_LEDGER_HPP_

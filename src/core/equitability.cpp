@@ -1,0 +1,36 @@
+#include "core/equitability.hpp"
+
+#include <stdexcept>
+
+#include "support/stats.hpp"
+
+namespace fairchain::core {
+
+EquitabilityReport ComputeEquitability(const std::vector<double>& lambdas,
+                                       double a) {
+  if (lambdas.empty()) {
+    throw std::invalid_argument("ComputeEquitability: empty sample");
+  }
+  if (!(a > 0.0) || !(a < 1.0)) {
+    throw std::invalid_argument("ComputeEquitability: a must be in (0, 1)");
+  }
+  RunningStats stats;
+  for (const double lambda : lambdas) stats.Add(lambda);
+  EquitabilityReport report;
+  report.initial_share = a;
+  report.lambda_variance = stats.Variance();
+  report.normalised_variance = stats.Variance() / (a * (1.0 - a));
+  return report;
+}
+
+double MlPosLimitNormalisedVariance(double w) {
+  if (!(w > 0.0)) {
+    throw std::invalid_argument(
+        "MlPosLimitNormalisedVariance: w must be > 0");
+  }
+  // Beta(a/w, (1-a)/w): Var = a(1-a) / (1/w + 1)  =>  Var/(a(1-a)) =
+  // w / (1 + w).
+  return w / (1.0 + w);
+}
+
+}  // namespace fairchain::core

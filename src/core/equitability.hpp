@@ -1,0 +1,44 @@
+// Equitability (Fanti et al., FC 2019) — the variance-based fairness
+// metric the paper contrasts with in Section 7.
+//
+// For a compounding PoS system, Fanti et al. call an incentive scheme
+// "equitable" when the variance of a miner's final stake fraction stays
+// proportional to its initial fraction's dispersion.  fairchain computes
+// the empirical normalised variance
+//
+//     Eq(lambda) = Var[lambda] / (a (1 - a))
+//
+// (0 = perfectly concentrated, 1 = the variance of a single Bernoulli(a)
+// draw — the worst one-shot case), which lets the two notions be compared
+// on the same simulations: the paper's point is that expectational
+// fairness + low equitability variance still does not imply robust
+// (ε, δ)-fairness, and this module makes that observable.
+
+#ifndef FAIRCHAIN_CORE_EQUITABILITY_HPP_
+#define FAIRCHAIN_CORE_EQUITABILITY_HPP_
+
+#include <vector>
+
+namespace fairchain::core {
+
+/// Equitability report for one protocol at one horizon.
+struct EquitabilityReport {
+  double initial_share = 0.0;       ///< a
+  double lambda_variance = 0.0;     ///< Var[λ] across replications
+  double normalised_variance = 0.0; ///< Var[λ] / (a (1 - a))
+};
+
+/// Computes the report from per-replication reward fractions.
+/// Throws std::invalid_argument when `lambdas` is empty or a is not in
+/// (0, 1).
+EquitabilityReport ComputeEquitability(const std::vector<double>& lambdas,
+                                       double a);
+
+/// Analytic normalised variance of the ML-PoS limit Beta(a/w, (1-a)/w):
+///   Var / (a(1-a)) = w / (1 + w)  — independent of a, the closed form of
+/// Fanti et al.'s equitability for the Pólya-urn limit.
+double MlPosLimitNormalisedVariance(double w);
+
+}  // namespace fairchain::core
+
+#endif  // FAIRCHAIN_CORE_EQUITABILITY_HPP_

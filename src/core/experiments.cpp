@@ -1,0 +1,57 @@
+#include "core/experiments.hpp"
+
+#include <stdexcept>
+
+#include "protocol/c_pos.hpp"
+#include "protocol/ml_pos.hpp"
+#include "protocol/pow.hpp"
+#include "protocol/sl_pos.hpp"
+
+namespace fairchain::core::experiments {
+
+FairnessSpec DefaultSpec() { return FairnessSpec{0.1, 0.1}; }
+
+std::vector<std::unique_ptr<protocol::IncentiveModel>> MakeStandardProtocols(
+    double w, double v, std::uint32_t shards) {
+  std::vector<std::unique_ptr<protocol::IncentiveModel>> models;
+  models.push_back(std::make_unique<protocol::PowModel>(w));
+  models.push_back(std::make_unique<protocol::MlPosModel>(w));
+  models.push_back(std::make_unique<protocol::SlPosModel>(w));
+  models.push_back(std::make_unique<protocol::CPosModel>(w, v, shards));
+  return models;
+}
+
+std::vector<double> WhaleStakes(std::size_t miners, double a) {
+  if (miners < 2) {
+    throw std::invalid_argument("WhaleStakes: at least two miners required");
+  }
+  if (!(a > 0.0) || !(a < 1.0)) {
+    throw std::invalid_argument("WhaleStakes: a must be in (0, 1)");
+  }
+  std::vector<double> stakes(miners,
+                             (1.0 - a) / static_cast<double>(miners - 1));
+  stakes[0] = a;
+  return stakes;
+}
+
+MultiMinerOutcome RunMultiMinerGame(const protocol::IncentiveModel& model,
+                                    std::size_t miners, double a,
+                                    const SimulationConfig& config,
+                                    const FairnessSpec& spec) {
+  MonteCarloEngine engine(config, spec);
+  const SimulationResult result =
+      engine.Run(model, WhaleStakes(miners, a));
+  MultiMinerOutcome outcome;
+  outcome.protocol = model.name();
+  outcome.miners = miners;
+  outcome.avg_lambda = result.Final().mean;
+  outcome.unfair_probability = result.Final().unfair_probability;
+  outcome.convergence_step = result.ConvergenceStep();
+  return outcome;
+}
+
+std::string FormatConvergence(const std::optional<std::uint64_t>& step) {
+  return step ? std::to_string(*step) : std::string("Never");
+}
+
+}  // namespace fairchain::core::experiments

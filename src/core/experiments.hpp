@@ -1,0 +1,60 @@
+// Shared experiment descriptors: the paper's default parameters and the
+// campaign runners used by both the bench harness and the integration
+// tests (so the tests assert on exactly the code paths the benches print).
+
+#ifndef FAIRCHAIN_CORE_EXPERIMENTS_HPP_
+#define FAIRCHAIN_CORE_EXPERIMENTS_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monte_carlo.hpp"
+#include "protocol/incentive_model.hpp"
+
+namespace fairchain::core::experiments {
+
+// Paper defaults (Sections 5.1 and 5.2).
+inline constexpr double kDefaultA = 0.2;        ///< miner A's initial share
+inline constexpr double kDefaultW = 0.01;       ///< block / proposer reward
+inline constexpr double kDefaultV = 0.1;        ///< C-PoS inflation reward
+inline constexpr std::uint32_t kDefaultShards = 32;  ///< Ethereum 2.0 P
+inline constexpr std::uint64_t kDefaultSteps = 5000;  ///< Figure 2 horizon
+
+/// The paper's default robust-fairness parameters: ε = 0.1, δ = 10 %.
+FairnessSpec DefaultSpec();
+
+/// The four protocols of the main evaluation (Figure 2 / Figure 3 / Table 1)
+/// in paper order: PoW, ML-PoS, SL-PoS, C-PoS, at the given parameters.
+std::vector<std::unique_ptr<protocol::IncentiveModel>> MakeStandardProtocols(
+    double w = kDefaultW, double v = kDefaultV,
+    std::uint32_t shards = kDefaultShards);
+
+/// Table 1 stake vector: miner A holds share `a`; the remaining 1 - a is
+/// split equally among `miners - 1` competitors.  Requires miners >= 2.
+std::vector<double> WhaleStakes(std::size_t miners, double a);
+
+/// One Table 1 cell group: the multi-miner outcome for a protocol.
+struct MultiMinerOutcome {
+  std::string protocol;
+  std::size_t miners = 0;
+  double avg_lambda = 0.0;
+  double unfair_probability = 0.0;
+  /// First step from which (ε,δ)-fairness holds; nullopt = "Never".
+  std::optional<std::uint64_t> convergence_step;
+};
+
+/// Runs the Table 1 scenario for one protocol and miner count.
+MultiMinerOutcome RunMultiMinerGame(const protocol::IncentiveModel& model,
+                                    std::size_t miners, double a,
+                                    const SimulationConfig& config,
+                                    const FairnessSpec& spec);
+
+/// Formats a convergence step as the paper does ("Never" when absent).
+std::string FormatConvergence(const std::optional<std::uint64_t>& step);
+
+}  // namespace fairchain::core::experiments
+
+#endif  // FAIRCHAIN_CORE_EXPERIMENTS_HPP_

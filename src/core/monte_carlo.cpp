@@ -1,0 +1,196 @@
+#include "core/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/env.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+
+namespace fairchain::core {
+
+void SimulationConfig::Validate() const {
+  if (steps == 0) {
+    throw std::invalid_argument("SimulationConfig: steps must be > 0");
+  }
+  if (replications == 0) {
+    throw std::invalid_argument("SimulationConfig: replications must be > 0");
+  }
+  std::uint64_t previous = 0;
+  for (const std::uint64_t cp : checkpoints) {
+    if (cp == 0 || cp > steps) {
+      throw std::invalid_argument(
+          "SimulationConfig: checkpoints must lie in [1, steps]");
+    }
+    if (cp <= previous) {
+      throw std::invalid_argument(
+          "SimulationConfig: checkpoints must be strictly ascending");
+    }
+    previous = cp;
+  }
+}
+
+const CheckpointStats& SimulationResult::Final() const {
+  if (checkpoints.empty()) {
+    throw std::logic_error("SimulationResult: no checkpoints recorded");
+  }
+  return checkpoints.back();
+}
+
+std::optional<std::uint64_t> SimulationResult::ConvergenceStep() const {
+  std::optional<std::uint64_t> candidate;
+  for (const auto& cp : checkpoints) {
+    if (cp.unfair_probability <= spec.delta) {
+      if (!candidate) candidate = cp.step;
+    } else {
+      candidate.reset();
+    }
+  }
+  return candidate;
+}
+
+ExpectationalFairnessReport SimulationResult::Expectational() const {
+  return CheckExpectationalFairness(final_lambdas, initial_share);
+}
+
+MonteCarloEngine::MonteCarloEngine(SimulationConfig config, FairnessSpec spec)
+    : config_(std::move(config)), spec_(spec) {
+  config_.Validate();
+  spec_.Validate();
+  if (config_.checkpoints.empty()) {
+    const std::size_t count =
+        config_.steps < 120 ? static_cast<std::size_t>(config_.steps) : 120;
+    config_.checkpoints = LinearCheckpoints(config_.steps, count);
+  }
+}
+
+SimulationResult MonteCarloEngine::Run(
+    const protocol::IncentiveModel& model,
+    const std::vector<double>& initial_stakes) const {
+  if (config_.miner >= initial_stakes.size()) {
+    throw std::invalid_argument("MonteCarloEngine: miner index out of range");
+  }
+  const std::uint64_t reps = config_.replications;
+  const std::size_t cp_count = config_.checkpoints.size();
+  const std::size_t miner = config_.miner;
+
+  // lambda_matrix[c * reps + r] = λ of replication r at checkpoint c.
+  std::vector<double> lambda_matrix(cp_count * reps);
+
+  const unsigned threads =
+      config_.threads != 0 ? config_.threads : EnvThreads();
+  const RngStream master(config_.seed);
+
+  ParallelForChunked(
+      threads, static_cast<std::size_t>(reps),
+      [&](std::size_t begin, std::size_t end) {
+        protocol::StakeState state(initial_stakes, config_.withhold_period);
+        for (std::size_t rep = begin; rep < end; ++rep) {
+          state.Reset();
+          RngStream rng = master.Split(rep);
+          std::size_t next_cp = 0;
+          for (std::uint64_t step = 1; step <= config_.steps; ++step) {
+            model.Step(state, rng);
+            state.AdvanceStep();
+            if (next_cp < cp_count && config_.checkpoints[next_cp] == step) {
+              lambda_matrix[next_cp * reps + rep] =
+                  state.RewardFraction(miner);
+              ++next_cp;
+            }
+          }
+        }
+      });
+
+  SimulationResult result;
+  result.protocol = model.name();
+  {
+    double total = 0.0;
+    for (const double s : initial_stakes) total += s;
+    result.initial_share = initial_stakes[miner] / total;
+  }
+  result.spec = spec_;
+  result.config = config_;
+  result.checkpoints.reserve(cp_count);
+
+  const double fair_low = spec_.FairLow(result.initial_share);
+  const double fair_high = spec_.FairHigh(result.initial_share);
+  std::vector<double> column(reps);
+  for (std::size_t c = 0; c < cp_count; ++c) {
+    std::copy_n(lambda_matrix.begin() + static_cast<std::ptrdiff_t>(c * reps),
+                reps, column.begin());
+    CheckpointStats stats;
+    stats.step = config_.checkpoints[c];
+    RunningStats running;
+    std::size_t outside = 0;
+    for (const double lambda : column) {
+      running.Add(lambda);
+      if (lambda < fair_low || lambda > fair_high) ++outside;
+    }
+    stats.mean = running.Mean();
+    stats.std_dev = running.StdDev();
+    stats.min = running.Min();
+    stats.max = running.Max();
+    stats.unfair_probability =
+        static_cast<double>(outside) / static_cast<double>(reps);
+    const std::vector<double> qs =
+        Quantiles(column, {0.05, 0.25, 0.5, 0.75, 0.95});
+    stats.p05 = qs[0];
+    stats.p25 = qs[1];
+    stats.median = qs[2];
+    stats.p75 = qs[3];
+    stats.p95 = qs[4];
+    result.checkpoints.push_back(stats);
+    if (c + 1 == cp_count) result.final_lambdas = column;
+  }
+  return result;
+}
+
+SimulationResult MonteCarloEngine::RunTwoMiner(
+    const protocol::IncentiveModel& model, double a) const {
+  if (!(a > 0.0) || !(a < 1.0)) {
+    throw std::invalid_argument("RunTwoMiner: a must be in (0, 1)");
+  }
+  return Run(model, {a, 1.0 - a});
+}
+
+std::vector<std::uint64_t> LinearCheckpoints(std::uint64_t steps,
+                                             std::size_t count) {
+  if (steps == 0) {
+    throw std::invalid_argument("LinearCheckpoints: steps must be > 0");
+  }
+  if (count == 0 || count > steps) count = static_cast<std::size_t>(steps);
+  std::vector<std::uint64_t> checkpoints;
+  checkpoints.reserve(count);
+  for (std::size_t k = 1; k <= count; ++k) {
+    const std::uint64_t cp = steps * k / count;
+    if (checkpoints.empty() || cp > checkpoints.back()) {
+      checkpoints.push_back(cp);
+    }
+  }
+  return checkpoints;
+}
+
+std::vector<std::uint64_t> LogCheckpoints(std::uint64_t steps,
+                                          std::size_t count,
+                                          std::uint64_t first) {
+  if (steps == 0 || first == 0 || first > steps) {
+    throw std::invalid_argument("LogCheckpoints: need 0 < first <= steps");
+  }
+  if (count < 2) throw std::invalid_argument("LogCheckpoints: count >= 2");
+  std::vector<std::uint64_t> checkpoints;
+  const double log_first = std::log(static_cast<double>(first));
+  const double log_last = std::log(static_cast<double>(steps));
+  for (std::size_t k = 0; k < count; ++k) {
+    const double t = static_cast<double>(k) / static_cast<double>(count - 1);
+    const std::uint64_t cp = static_cast<std::uint64_t>(
+        std::llround(std::exp(log_first + t * (log_last - log_first))));
+    if (checkpoints.empty() || cp > checkpoints.back()) {
+      checkpoints.push_back(cp);
+    }
+  }
+  if (checkpoints.back() != steps) checkpoints.push_back(steps);
+  return checkpoints;
+}
+
+}  // namespace fairchain::core

@@ -1,0 +1,126 @@
+// Replicated Monte Carlo simulation of mining games.
+//
+// The engine runs R independent replications of a mining game for n steps,
+// records miner A's reward fraction λ at a set of checkpoints, and reduces
+// the per-checkpoint samples to the statistics the paper plots:
+//   * mean λ                         (expectational fairness — Figure 2 line)
+//   * 5th / 95th percentile band     (Figure 2 shaded area)
+//   * unfair probability             (Figures 3 & 5)
+//   * convergence step               (Table 1 "Cvg. Time": first checkpoint
+//                                     from which (ε, δ)-fairness holds)
+//
+// Determinism: replication r always uses RngStream(seed).Split(r), so
+// results are identical for any thread count.
+
+#ifndef FAIRCHAIN_CORE_MONTE_CARLO_HPP_
+#define FAIRCHAIN_CORE_MONTE_CARLO_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fairness.hpp"
+#include "protocol/incentive_model.hpp"
+
+namespace fairchain::core {
+
+/// Configuration of one simulation campaign.
+struct SimulationConfig {
+  /// Horizon: number of blocks (or epochs) per replication.
+  std::uint64_t steps = 5000;
+  /// Number of independent replications (the paper uses 10,000).
+  std::uint64_t replications = 10000;
+  /// Master seed; replication r uses the r-th split stream.
+  std::uint64_t seed = 20210620;  // SIGMOD'21 opening day
+  /// Worker threads (0 = use EnvThreads()).
+  unsigned threads = 0;
+  /// Steps at which λ is recorded, ascending, each in [1, steps].
+  /// Empty = ~120 evenly spaced checkpoints ending exactly at `steps`.
+  std::vector<std::uint64_t> checkpoints;
+  /// Reward-withholding period (Section 6.3); 0 disables.
+  std::uint64_t withhold_period = 0;
+  /// Index of the miner whose λ is tracked (the paper's miner A).
+  std::size_t miner = 0;
+
+  /// Validates ranges; throws std::invalid_argument.
+  void Validate() const;
+};
+
+/// Statistics of λ at one checkpoint, across replications.
+struct CheckpointStats {
+  std::uint64_t step = 0;
+  double mean = 0.0;
+  double std_dev = 0.0;
+  double p05 = 0.0;   ///< 5th percentile (bottom of the paper's blue band)
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;   ///< 95th percentile (top of the band)
+  double min = 0.0;
+  double max = 0.0;
+  double unfair_probability = 0.0;  ///< Pr[λ outside fair area]
+};
+
+/// Full result of a simulation campaign.
+struct SimulationResult {
+  std::string protocol;
+  double initial_share = 0.0;  ///< a — miner A's initial resource share
+  FairnessSpec spec;
+  SimulationConfig config;
+  std::vector<CheckpointStats> checkpoints;
+  /// λ of every replication at the final checkpoint (for distribution
+  /// inspection / histograms).
+  std::vector<double> final_lambdas;
+
+  /// The last checkpoint's statistics.
+  const CheckpointStats& Final() const;
+
+  /// First checkpoint step from which the unfair probability stays <= δ
+  /// through the horizon; std::nullopt when never achieved ("Never" in
+  /// Table 1).
+  std::optional<std::uint64_t> ConvergenceStep() const;
+
+  /// Expectational fairness report at the horizon.
+  ExpectationalFairnessReport Expectational() const;
+};
+
+/// The Monte Carlo engine.  Immutable after construction; Run is
+/// re-entrant and thread-safe.
+class MonteCarloEngine {
+ public:
+  /// Creates an engine; validates both arguments.
+  MonteCarloEngine(SimulationConfig config, FairnessSpec spec);
+
+  /// Runs a campaign of `config.replications` games of `model`, all starting
+  /// from `initial_stakes` (absolute values; the tracked miner's *share* is
+  /// derived).  Throws when `config.miner` is out of range.
+  SimulationResult Run(const protocol::IncentiveModel& model,
+                       const std::vector<double>& initial_stakes) const;
+
+  /// Convenience for the paper's two-miner setting: miner A starts with
+  /// share `a`, miner B with 1 - a.
+  SimulationResult RunTwoMiner(const protocol::IncentiveModel& model,
+                               double a) const;
+
+  const SimulationConfig& config() const { return config_; }
+  const FairnessSpec& spec() const { return spec_; }
+
+ private:
+  SimulationConfig config_;
+  FairnessSpec spec_;
+};
+
+/// Evenly spaced checkpoints {step/count, 2*step/count, ..., steps}.
+std::vector<std::uint64_t> LinearCheckpoints(std::uint64_t steps,
+                                             std::size_t count);
+
+/// Log-spaced checkpoints from `first` to `steps` (inclusive, deduplicated);
+/// used for the 10^5-block SL-PoS horizon of Figure 4.
+std::vector<std::uint64_t> LogCheckpoints(std::uint64_t steps,
+                                          std::size_t count,
+                                          std::uint64_t first = 10);
+
+}  // namespace fairchain::core
+
+#endif  // FAIRCHAIN_CORE_MONTE_CARLO_HPP_

@@ -1,0 +1,66 @@
+#include "core/polya.hpp"
+
+#include <stdexcept>
+
+namespace fairchain::core {
+
+PolyaUrn::PolyaUrn(std::vector<double> initial, double reinforcement)
+    : initial_(std::move(initial)), reinforcement_(reinforcement) {
+  if (initial_.empty()) {
+    throw std::invalid_argument("PolyaUrn: at least one color required");
+  }
+  if (!(reinforcement_ > 0.0)) {
+    throw std::invalid_argument("PolyaUrn: reinforcement must be > 0");
+  }
+  for (const double m : initial_) {
+    if (m < 0.0) throw std::invalid_argument("PolyaUrn: negative mass");
+    total_ += m;
+  }
+  if (!(total_ > 0.0)) {
+    throw std::invalid_argument("PolyaUrn: initial masses sum to zero");
+  }
+  mass_ = initial_;
+}
+
+std::size_t PolyaUrn::Draw(RngStream& rng) {
+  const double target = rng.NextDouble() * total_;
+  double cumulative = 0.0;
+  std::size_t drawn = mass_.size() - 1;
+  for (std::size_t i = 0; i + 1 < mass_.size(); ++i) {
+    cumulative += mass_[i];
+    if (target < cumulative) {
+      drawn = i;
+      break;
+    }
+  }
+  mass_[drawn] += reinforcement_;
+  total_ += reinforcement_;
+  ++draws_;
+  return drawn;
+}
+
+std::uint64_t PolyaUrn::Run(RngStream& rng, std::uint64_t n,
+                            std::size_t color) {
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (Draw(rng) == color) ++hits;
+  }
+  return hits;
+}
+
+void PolyaUrn::Reset() {
+  mass_ = initial_;
+  total_ = 0.0;
+  for (const double m : mass_) total_ += m;
+  draws_ = 0;
+}
+
+BetaParams PolyaUrn::TwoColorLimit(double s0, double s1, double w) {
+  if (!(s0 > 0.0) || !(s1 > 0.0) || !(w > 0.0)) {
+    throw std::invalid_argument(
+        "PolyaUrn::TwoColorLimit: masses and reinforcement must be > 0");
+  }
+  return BetaParams{s0 / w, s1 / w};
+}
+
+}  // namespace fairchain::core

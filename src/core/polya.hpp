@@ -1,0 +1,72 @@
+// The (classical) Pólya urn underlying ML-PoS (Section 4.3).
+//
+// ML-PoS with initial stakes (S_0, ..., S_{m-1}) and block reward w is
+// exactly a Pólya urn: each draw picks color i with probability
+// proportional to its current mass and adds w to that color.  For two
+// colors, the fraction of draws won by color 0 converges almost surely to
+// Beta(S_0 / w, S_1 / w)  [Mahmoud 2008, Thm 3.2], which the paper uses to
+// characterise ML-PoS's limiting reward distribution.
+//
+// This class exists both as an analysis tool (limit parameters, exact
+// fairness probabilities) and as an independently tested model that the
+// ML-PoS implementation is cross-validated against.
+
+#ifndef FAIRCHAIN_CORE_POLYA_HPP_
+#define FAIRCHAIN_CORE_POLYA_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "support/rng.hpp"
+
+namespace fairchain::core {
+
+/// A Pólya urn with real-valued masses and constant reinforcement.
+class PolyaUrn {
+ public:
+  /// Creates an urn.  Throws std::invalid_argument when `initial` is empty,
+  /// has negative entries, sums to zero, or `reinforcement` <= 0.
+  PolyaUrn(std::vector<double> initial, double reinforcement);
+
+  /// Draws one color (probability proportional to mass), reinforces it,
+  /// and returns its index.
+  std::size_t Draw(RngStream& rng);
+
+  /// Runs `n` draws; returns the number of times color `color` was drawn.
+  std::uint64_t Run(RngStream& rng, std::uint64_t n, std::size_t color);
+
+  /// Current mass of color `i`.
+  double mass(std::size_t i) const { return mass_[i]; }
+
+  /// Current total mass.
+  double total_mass() const { return total_; }
+
+  /// Current share of color `i`.
+  double Share(std::size_t i) const { return mass_[i] / total_; }
+
+  /// Number of colors.
+  std::size_t colors() const { return mass_.size(); }
+
+  /// Number of draws performed.
+  std::uint64_t draws() const { return draws_; }
+
+  /// Restores the initial composition.
+  void Reset();
+
+  /// Limit law of color 0's share for a TWO-color urn:
+  /// Beta(s0 / w, s1 / w).
+  static BetaParams TwoColorLimit(double s0, double s1, double w);
+
+ private:
+  std::vector<double> initial_;
+  std::vector<double> mass_;
+  double total_ = 0.0;
+  double reinforcement_;
+  std::uint64_t draws_ = 0;
+};
+
+}  // namespace fairchain::core
+
+#endif  // FAIRCHAIN_CORE_POLYA_HPP_

@@ -1,0 +1,74 @@
+// Selfish mining (Eyal & Sirer 2014) — the incentive attack the paper
+// flags as future work ("we aim to take into account malicious attacks on
+// incentives that can change reward distribution"; Sections 6.5, 8).
+//
+// A selfish pool with hash share alpha withholds found blocks and releases
+// them strategically; gamma is the fraction of honest power that mines on
+// the pool's branch during a tie.  The pool's long-run revenue share is
+//
+//            alpha (1-alpha)^2 (4 alpha + gamma (1 - 2 alpha)) - alpha^3
+//   R = ---------------------------------------------------------------- ,
+//                    1 - alpha (1 + (2 - alpha) alpha)
+//
+// which exceeds the fair share alpha once alpha > (1-gamma)/(3-2gamma).
+// In fairchain's vocabulary: selfish mining breaks PoW's *expectational*
+// fairness (E[lambda] != alpha), turning the honest-PoW column of the
+// paper's Table into an attack-dependent quantity.
+//
+// This module provides the closed form, the profitability threshold, and
+// an event-level simulator of the Eyal-Sirer state machine that the tests
+// cross-validate against the formula.
+
+#ifndef FAIRCHAIN_CORE_SELFISH_MINING_HPP_
+#define FAIRCHAIN_CORE_SELFISH_MINING_HPP_
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace fairchain::core {
+
+/// Closed-form long-run revenue share of a selfish pool (Eyal-Sirer
+/// equation (8)).  alpha in (0, 0.5], gamma in [0, 1].
+double SelfishMiningRevenue(double alpha, double gamma);
+
+/// The profitability threshold: selfish mining beats honest mining when
+/// alpha > (1 - gamma) / (3 - 2 gamma).
+double SelfishMiningThreshold(double gamma);
+
+/// Outcome of a simulated selfish-mining campaign.
+struct SelfishMiningResult {
+  std::uint64_t selfish_blocks = 0;  ///< pool blocks on the main chain
+  std::uint64_t honest_blocks = 0;   ///< honest blocks on the main chain
+  std::uint64_t orphaned_blocks = 0; ///< blocks displaced by either side
+
+  /// The pool's share of main-chain blocks (its lambda).
+  double RevenueShare() const {
+    const std::uint64_t total = selfish_blocks + honest_blocks;
+    return total == 0 ? 0.0
+                      : static_cast<double>(selfish_blocks) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Event-level simulator of the Eyal-Sirer state machine.
+class SelfishMiningSimulator {
+ public:
+  /// Creates a simulator; alpha in (0, 1), gamma in [0, 1].
+  SelfishMiningSimulator(double alpha, double gamma);
+
+  /// Simulates `block_events` block discoveries and returns the outcome.
+  /// The private lead is settled (published) at the end of the campaign.
+  SelfishMiningResult Run(RngStream& rng, std::uint64_t block_events) const;
+
+  double alpha() const { return alpha_; }
+  double gamma() const { return gamma_; }
+
+ private:
+  double alpha_;
+  double gamma_;
+};
+
+}  // namespace fairchain::core
+
+#endif  // FAIRCHAIN_CORE_SELFISH_MINING_HPP_

@@ -1,0 +1,154 @@
+#include "core/stochastic_approximation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "protocol/win_probability.hpp"
+
+namespace fairchain::core {
+
+double SlPosDriftTwoMiner(double z) {
+  if (z < 0.0 || z > 1.0) {
+    throw std::invalid_argument("SlPosDriftTwoMiner: z must be in [0, 1]");
+  }
+  if (z == 0.0) return 0.0;
+  if (z == 1.0) return 0.0;
+  if (z <= 0.5) return z / (2.0 * (1.0 - z)) - z;
+  return 1.0 - (1.0 - z) / (2.0 * z) - z;
+}
+
+std::vector<double> SlPosDriftField(const std::vector<double>& shares) {
+  double total = 0.0;
+  for (const double s : shares) {
+    if (s < 0.0) throw std::invalid_argument("SlPosDriftField: negative share");
+    total += s;
+  }
+  if (std::fabs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument(
+        "SlPosDriftField: shares must sum to 1 (probability vector)");
+  }
+  const std::vector<double> win =
+      protocol::SlPosWinProbabilities(shares);
+  std::vector<double> drift(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    drift[i] = win[i] - shares[i];
+  }
+  return drift;
+}
+
+namespace {
+
+double BisectZero(const std::function<double(double)>& f, double lo,
+                  double hi, double tolerance) {
+  double flo = f(lo);
+  for (int iter = 0; iter < 200 && hi - lo > tolerance; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if ((flo <= 0.0) == (fmid <= 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+bool ClassifyStable(const std::function<double(double)>& f, double z) {
+  // Stable iff f points toward z on both sides:  f(z-h) > 0 and f(z+h) < 0.
+  const double h = 1e-4;
+  const double left = z - h;
+  const double right = z + h;
+  bool stable_left = true;
+  bool stable_right = true;
+  if (left >= 0.0) stable_left = f(left) > 0.0;
+  if (right <= 1.0) stable_right = f(right) < 0.0;
+  return stable_left && stable_right;
+}
+
+}  // namespace
+
+std::vector<DriftZero> FindDriftZeros(const std::function<double(double)>& f,
+                                      std::size_t grid, double tolerance) {
+  if (grid < 2) throw std::invalid_argument("FindDriftZeros: grid too small");
+  std::vector<DriftZero> zeros;
+  auto add_zero = [&](double z) {
+    for (const auto& existing : zeros) {
+      if (std::fabs(existing.location - z) < 1e-6) return;
+    }
+    zeros.push_back(DriftZero{z, ClassifyStable(f, z)});
+  };
+  const double step = 1.0 / static_cast<double>(grid);
+  double prev_x = 0.0;
+  double prev_f = f(0.0);
+  if (std::fabs(prev_f) < tolerance) add_zero(0.0);
+  for (std::size_t k = 1; k <= grid; ++k) {
+    const double x = static_cast<double>(k) * step;
+    const double fx = f(x);
+    if (std::fabs(fx) < tolerance) {
+      add_zero(x);
+    } else if ((prev_f < 0.0 && fx > 0.0) || (prev_f > 0.0 && fx < 0.0)) {
+      add_zero(BisectZero(f, prev_x, x, tolerance));
+    }
+    prev_x = x;
+    prev_f = fx;
+  }
+  std::sort(zeros.begin(), zeros.end(),
+            [](const DriftZero& a, const DriftZero& b) {
+              return a.location < b.location;
+            });
+  return zeros;
+}
+
+std::vector<DriftZero> SlPosTwoMinerZeros() {
+  return FindDriftZeros([](double z) { return SlPosDriftTwoMiner(z); });
+}
+
+StochasticApproximationProcess::StochasticApproximationProcess(
+    double z0, Drift drift, Noise noise, StepSize step_size)
+    : z_(z0), drift_(std::move(drift)), noise_(std::move(noise)),
+      step_size_(std::move(step_size)) {
+  if (z0 < 0.0 || z0 > 1.0) {
+    throw std::invalid_argument(
+        "StochasticApproximationProcess: z0 must be in [0, 1]");
+  }
+}
+
+double StochasticApproximationProcess::Step(RngStream& rng) {
+  ++steps_;
+  const double gamma = step_size_(steps_);
+  const double drift = drift_(z_);
+  const double noise = noise_(z_, drift, rng);
+  z_ = std::clamp(z_ + gamma * (drift + noise), 0.0, 1.0);
+  return z_;
+}
+
+double StochasticApproximationProcess::Run(RngStream& rng, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) Step(rng);
+  return z_;
+}
+
+StochasticApproximationProcess MakeSlPosShareProcess(double a, double w) {
+  if (!(a >= 0.0) || !(a <= 1.0)) {
+    throw std::invalid_argument("MakeSlPosShareProcess: a must be in [0, 1]");
+  }
+  if (!(w > 0.0)) {
+    throw std::invalid_argument("MakeSlPosShareProcess: w must be > 0");
+  }
+  // Z_{n+1} - Z_n = γ_{n+1} (X_{n+1} - Z_n), where X_{n+1} ~ Bernoulli(p)
+  // with p = the SL-PoS win probability at share Z_n.  Decomposed into
+  // drift f(z) = p(z) - z and noise U = X - p(z).
+  auto drift = [](double z) { return SlPosDriftTwoMiner(z); };
+  auto noise = [](double z, double drift_value, RngStream& rng) {
+    const double win_probability = drift_value + z;  // p(z) = f(z) + z
+    const bool win = rng.NextBernoulli(win_probability);
+    return (win ? 1.0 : 0.0) - win_probability;
+  };
+  auto step_size = [w](std::uint64_t n) {
+    return w / (1.0 + static_cast<double>(n) * w);
+  };
+  return StochasticApproximationProcess(a, drift, noise, step_size);
+}
+
+}  // namespace fairchain::core

@@ -1,0 +1,141 @@
+#include "crypto/keccak256.hpp"
+
+#include <cstring>
+
+namespace fairchain::crypto {
+
+namespace {
+
+constexpr std::uint64_t kRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr int kRotationOffsets[25] = {
+    0,  1,  62, 28, 27,   // y = 0
+    36, 44, 6,  55, 20,   // y = 1
+    3,  10, 43, 25, 39,   // y = 2
+    41, 45, 15, 21, 8,    // y = 3
+    18, 2,  61, 56, 14};  // y = 4
+
+inline std::uint64_t Rotl64(std::uint64_t x, int n) {
+  return n == 0 ? x : (x << n) | (x >> (64 - n));
+}
+
+}  // namespace
+
+Keccak256::Keccak256() { Reset(); }
+
+void Keccak256::Reset() {
+  state_.fill(0);
+  buffer_len_ = 0;
+}
+
+void Keccak256::Update(const void* data, std::size_t len) {
+  const std::uint8_t* bytes = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const std::size_t space = kRateBytes - buffer_len_;
+    const std::size_t take = len < space ? len : space;
+    std::memcpy(buffer_.data() + buffer_len_, bytes, take);
+    buffer_len_ += take;
+    bytes += take;
+    len -= take;
+    if (buffer_len_ == kRateBytes) {
+      Absorb(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+void Keccak256::Update(std::string_view data) {
+  Update(data.data(), data.size());
+}
+
+void Keccak256::UpdateU64(std::uint64_t value) {
+  std::uint8_t encoded[8];
+  for (int i = 0; i < 8; ++i) {
+    encoded[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  Update(encoded, 8);
+}
+
+Digest Keccak256::Finalize() {
+  // Keccak (pre-FIPS) multi-rate padding: 0x01 ... 0x80.
+  std::memset(buffer_.data() + buffer_len_, 0, kRateBytes - buffer_len_);
+  buffer_[buffer_len_] = 0x01;
+  buffer_[kRateBytes - 1] |= 0x80;
+  Absorb(buffer_.data());
+  Digest digest;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t lane = state_[i];
+    for (int byte = 0; byte < 8; ++byte) {
+      digest[8 * i + byte] = static_cast<std::uint8_t>(lane >> (8 * byte));
+    }
+  }
+  return digest;
+}
+
+void Keccak256::Absorb(const std::uint8_t* block) {
+  for (std::size_t lane = 0; lane < kRateBytes / 8; ++lane) {
+    std::uint64_t word = 0;
+    for (int byte = 7; byte >= 0; --byte) {
+      word = (word << 8) | block[lane * 8 + static_cast<std::size_t>(byte)];
+    }
+    state_[lane] ^= word;
+  }
+  Permute();
+}
+
+void Keccak256::Permute() {
+  for (int round = 0; round < 24; ++round) {
+    // Theta.
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = state_[x] ^ state_[x + 5] ^ state_[x + 10] ^ state_[x + 15] ^
+             state_[x + 20];
+    }
+    std::uint64_t d[5];
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ Rotl64(c[(x + 1) % 5], 1);
+    }
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) state_[y * 5 + x] ^= d[x];
+    }
+    // Rho + Pi.
+    std::uint64_t b[25];
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        const int from = y * 5 + x;
+        const int to_x = y;
+        const int to_y = (2 * x + 3 * y) % 5;
+        b[to_y * 5 + to_x] = Rotl64(state_[from], kRotationOffsets[from]);
+      }
+    }
+    // Chi.
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        state_[y * 5 + x] =
+            b[y * 5 + x] ^ (~b[y * 5 + (x + 1) % 5] & b[y * 5 + (x + 2) % 5]);
+      }
+    }
+    // Iota.
+    state_[0] ^= kRoundConstants[round];
+  }
+}
+
+Digest Keccak256Digest(const void* data, std::size_t len) {
+  Keccak256 ctx;
+  ctx.Update(data, len);
+  return ctx.Finalize();
+}
+
+Digest Keccak256Digest(std::string_view data) {
+  return Keccak256Digest(data.data(), data.size());
+}
+
+}  // namespace fairchain::crypto

@@ -1,0 +1,57 @@
+// Keccak-256 (the pre-NIST padding variant used by Ethereum).
+//
+// Geth hashes block headers with Keccak-256; the PoW engine uses it so the
+// substituted "real system" leg of the evaluation mirrors the client the
+// paper deployed (Geth v1.9.11).  Verified against known vectors in
+// tests/crypto/keccak256_test.cpp.
+
+#ifndef FAIRCHAIN_CRYPTO_KECCAK256_HPP_
+#define FAIRCHAIN_CRYPTO_KECCAK256_HPP_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/sha256.hpp"  // for Digest
+
+namespace fairchain::crypto {
+
+/// Streaming Keccak-256 context (rate 1088 bits, capacity 512, pad 0x01).
+class Keccak256 {
+ public:
+  Keccak256();
+
+  /// Absorbs `len` bytes.
+  void Update(const void* data, std::size_t len);
+  /// Absorbs a string view.
+  void Update(std::string_view data);
+  /// Absorbs a little-endian 64-bit integer.
+  void UpdateU64(std::uint64_t value);
+
+  /// Finalises and returns the 32-byte digest.
+  Digest Finalize();
+
+  /// Restores the initial state.
+  void Reset();
+
+ private:
+  static constexpr std::size_t kRateBytes = 136;  // 1088 bits
+
+  void Absorb(const std::uint8_t* block);
+  void Permute();
+
+  std::array<std::uint64_t, 25> state_;
+  std::array<std::uint8_t, kRateBytes> buffer_;
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot Keccak-256 of a byte buffer.
+Digest Keccak256Digest(const void* data, std::size_t len);
+
+/// One-shot Keccak-256 of a string.
+Digest Keccak256Digest(std::string_view data);
+
+}  // namespace fairchain::crypto
+
+#endif  // FAIRCHAIN_CRYPTO_KECCAK256_HPP_

@@ -1,0 +1,158 @@
+#include "crypto/sha256.hpp"
+
+#include <cstring>
+
+namespace fairchain::crypto {
+
+namespace {
+
+constexpr std::uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::array<std::uint32_t, 8> kInitialState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+inline std::uint32_t Rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+Sha256::Sha256() { Reset(); }
+
+void Sha256::Reset() {
+  state_ = kInitialState;
+  bit_count_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha256::Update(const void* data, std::size_t len) {
+  const std::uint8_t* bytes = static_cast<const std::uint8_t*>(data);
+  bit_count_ += static_cast<std::uint64_t>(len) * 8;
+  while (len > 0) {
+    const std::size_t space = 64 - buffer_len_;
+    const std::size_t take = len < space ? len : space;
+    std::memcpy(buffer_.data() + buffer_len_, bytes, take);
+    buffer_len_ += take;
+    bytes += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+void Sha256::Update(std::string_view data) { Update(data.data(), data.size()); }
+
+void Sha256::UpdateU64(std::uint64_t value) {
+  std::uint8_t encoded[8];
+  for (int i = 0; i < 8; ++i) {
+    encoded[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  Update(encoded, 8);
+}
+
+Digest Sha256::Finalize() {
+  const std::uint64_t total_bits = bit_count_;
+  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit length.
+  const std::uint8_t pad_byte = 0x80;
+  Update(&pad_byte, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) Update(&zero, 1);
+  std::uint8_t length_be[8];
+  for (int i = 0; i < 8; ++i) {
+    length_be[i] = static_cast<std::uint8_t>(total_bits >> (8 * (7 - i)));
+  }
+  Update(length_be, 8);
+  Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[4 * i + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+void Sha256::ProcessBlock(const std::uint8_t block[64]) {
+  std::uint32_t w[64];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 64; ++t) {
+    const std::uint32_t s0 =
+        Rotr(w[t - 15], 7) ^ Rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+    const std::uint32_t s1 =
+        Rotr(w[t - 2], 17) ^ Rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int t = 0; t < 64; ++t) {
+    const std::uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 = h + s1 + ch + kRoundConstants[t] + w[t];
+    const std::uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+Digest Sha256Digest(const void* data, std::size_t len) {
+  Sha256 ctx;
+  ctx.Update(data, len);
+  return ctx.Finalize();
+}
+
+Digest Sha256Digest(std::string_view data) {
+  return Sha256Digest(data.data(), data.size());
+}
+
+Digest Sha256d(const void* data, std::size_t len) {
+  const Digest first = Sha256Digest(data, len);
+  return Sha256Digest(first.data(), first.size());
+}
+
+std::string DigestToHex(const Digest& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (const std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace fairchain::crypto

@@ -1,0 +1,116 @@
+#include "math/integrate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fairchain::math {
+
+namespace {
+
+double SimpsonRule(const std::function<double(double)>& f, double a, double fa,
+                   double b, double fb, double* fm_out) {
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  *fm_out = fm;
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double AdaptiveSimpsonRecurse(const std::function<double(double)>& f, double a,
+                              double fa, double b, double fb, double m,
+                              double fm, double whole, double tol, int depth) {
+  double flm, frm;
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double left = SimpsonRule(f, a, fa, m, fm, &flm);
+  const double right = SimpsonRule(f, m, fm, b, fb, &frm);
+  (void)lm;
+  (void)rm;
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return AdaptiveSimpsonRecurse(f, a, fa, m, fm, 0.5 * (a + m), flm, left,
+                                0.5 * tol, depth - 1) +
+         AdaptiveSimpsonRecurse(f, m, fm, b, fb, 0.5 * (m + b), frm, right,
+                                0.5 * tol, depth - 1);
+}
+
+// Gauss-Legendre nodes/weights on [-1, 1] for orders 8, 16, 32
+// (positive half; symmetric).
+constexpr double kNodes8[4] = {0.1834346424956498, 0.5255324099163290,
+                               0.7966664774136267, 0.9602898564975363};
+constexpr double kWeights8[4] = {0.3626837833783620, 0.3137066458778873,
+                                 0.2223810344533745, 0.1012285362903763};
+
+constexpr double kNodes16[8] = {
+    0.0950125098376374, 0.2816035507792589, 0.4580167776572274,
+    0.6178762444026438, 0.7554044083550030, 0.8656312023878318,
+    0.9445750230732326, 0.9894009349916499};
+constexpr double kWeights16[8] = {
+    0.1894506104550685, 0.1826034150449236, 0.1691565193950025,
+    0.1495959888165767, 0.1246289712555339, 0.0951585116824928,
+    0.0622535239386479, 0.0271524594117541};
+
+constexpr double kNodes32[16] = {
+    0.0483076656877383, 0.1444719615827965, 0.2392873622521371,
+    0.3318686022821277, 0.4213512761306353, 0.5068999089322294,
+    0.5877157572407623, 0.6630442669302152, 0.7321821187402897,
+    0.7944837959679424, 0.8493676137325700, 0.8963211557660521,
+    0.9349060759377397, 0.9647622555875064, 0.9856115115452684,
+    0.9972638618494816};
+constexpr double kWeights32[16] = {
+    0.0965400885147278, 0.0956387200792749, 0.0938443990808046,
+    0.0911738786957639, 0.0876520930044038, 0.0833119242269467,
+    0.0781938957870703, 0.0723457941088485, 0.0658222227763618,
+    0.0586840934785355, 0.0509980592623762, 0.0428358980222267,
+    0.0342738629130214, 0.0253920653092621, 0.0162743947309057,
+    0.0070186100094701};
+
+}  // namespace
+
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol, int max_depth) {
+  if (a == b) return 0.0;
+  const double fa = f(a);
+  const double fb = f(b);
+  double fm;
+  const double whole = SimpsonRule(f, a, fa, b, fb, &fm);
+  return AdaptiveSimpsonRecurse(f, a, fa, b, fb, 0.5 * (a + b), fm, whole, tol,
+                                max_depth);
+}
+
+double GaussLegendre(const std::function<double(double)>& f, double a,
+                     double b, int order) {
+  const double* nodes;
+  const double* weights;
+  int half;
+  switch (order) {
+    case 8:
+      nodes = kNodes8;
+      weights = kWeights8;
+      half = 4;
+      break;
+    case 16:
+      nodes = kNodes16;
+      weights = kWeights16;
+      half = 8;
+      break;
+    case 32:
+      nodes = kNodes32;
+      weights = kWeights32;
+      half = 16;
+      break;
+    default:
+      throw std::invalid_argument("GaussLegendre: order must be 8, 16 or 32");
+  }
+  const double center = 0.5 * (a + b);
+  const double half_width = 0.5 * (b - a);
+  double sum = 0.0;
+  for (int i = 0; i < half; ++i) {
+    const double dx = half_width * nodes[i];
+    sum += weights[i] * (f(center - dx) + f(center + dx));
+  }
+  return sum * half_width;
+}
+
+}  // namespace fairchain::math

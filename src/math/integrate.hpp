@@ -1,0 +1,29 @@
+// Numerical integration.
+//
+// Lemma 6.1 expresses the multi-miner SL-PoS win probability as
+//   Pr[miner i wins] = S_i * Integral_0^{1/S_max}  Prod_{j != i} (1 - S_j z) dz
+// which has no closed form for heterogeneous stakes.  AdaptiveSimpson
+// evaluates it to near machine precision; GaussLegendre provides a fixed-cost
+// alternative used inside the stochastic-approximation drift field where the
+// integrand is polynomial (degree m-1) and a fixed rule is exact.
+
+#ifndef FAIRCHAIN_MATH_INTEGRATE_HPP_
+#define FAIRCHAIN_MATH_INTEGRATE_HPP_
+
+#include <functional>
+
+namespace fairchain::math {
+
+/// Adaptive Simpson quadrature of `f` over [a, b] to absolute tolerance
+/// `tol`; recursion depth capped at `max_depth`.
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol = 1e-12, int max_depth = 40);
+
+/// Fixed-order Gauss-Legendre quadrature over [a, b].
+/// Supported orders: 8, 16, 32 (exact for polynomials of degree 2n-1).
+double GaussLegendre(const std::function<double(double)>& f, double a,
+                     double b, int order = 16);
+
+}  // namespace fairchain::math
+
+#endif  // FAIRCHAIN_MATH_INTEGRATE_HPP_

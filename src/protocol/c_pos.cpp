@@ -1,0 +1,63 @@
+#include "protocol/c_pos.hpp"
+
+#include <stdexcept>
+
+#include "math/distributions.hpp"
+
+namespace fairchain::protocol {
+
+CPosModel::CPosModel(double w, double v, std::uint32_t shards)
+    : w_(w), v_(v), shards_(shards) {
+  ValidateReward(w, "CPosModel: w");
+  if (v < 0.0) throw std::invalid_argument("CPosModel: v must be >= 0");
+  if (shards == 0) {
+    throw std::invalid_argument("CPosModel: shards must be >= 1");
+  }
+}
+
+void CPosModel::Step(StakeState& state, RngStream& rng) const {
+  const std::size_t n = state.miner_count();
+  const double total = state.total_stake();
+  const double per_slot_reward = w_ / static_cast<double>(shards_);
+
+  // All rewards in an epoch are computed against the epoch-start stake
+  // distribution (the paper's X ~ Bin(P, S_A / (S_A + S_B)) snapshot).
+  // Credits are applied as we sweep miner by miner; this is safe because
+  // crediting miner i mutates only stake_[i], which is read exactly once —
+  // before its own credit — and `total` / `remaining_stake` are derived
+  // from epoch-start values.
+  //
+  // Proposer slots follow a multinomial over shares, sampled as a chain of
+  // conditional binomials:  slots_i ~ Bin(remaining, s_i / remaining_stake).
+  std::uint64_t remaining_slots = shards_;
+  double remaining_stake = total;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double stake = state.stake(i);  // epoch-start value for miner i
+    double credit = 0.0;
+    if (stake > 0.0) {
+      // Inflation (attester) reward: exactly proportional to share.
+      if (v_ > 0.0) credit += v_ * (stake / total);
+      // Proposer reward for this miner's slots.
+      if (remaining_slots > 0) {
+        std::uint64_t slots;
+        if (stake >= remaining_stake) {
+          slots = remaining_slots;
+        } else {
+          slots = math::SampleBinomial(rng, remaining_slots,
+                                       stake / remaining_stake);
+        }
+        remaining_slots -= slots;
+        credit += per_slot_reward * static_cast<double>(slots);
+      }
+    }
+    if (credit > 0.0) state.Credit(i, credit, /*compounds=*/true);
+    remaining_stake -= stake;
+  }
+}
+
+double CPosModel::WinProbability(const StakeState& state,
+                                 std::size_t i) const {
+  return state.StakeShare(i);
+}
+
+}  // namespace fairchain::protocol

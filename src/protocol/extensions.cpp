@@ -1,0 +1,75 @@
+#include "protocol/extensions.hpp"
+
+#include <stdexcept>
+
+namespace fairchain::protocol {
+
+NeoModel::NeoModel(double w) : w_(w) { ValidateReward(w, "NeoModel: w"); }
+
+void NeoModel::Step(StakeState& state, RngStream& rng) const {
+  // Proposer ∝ base-asset share; the base asset never changes because gas
+  // rewards are a separate token (compounds = false keeps stakes fixed).
+  const double target = rng.NextDouble() * state.total_stake();
+  double cumulative = 0.0;
+  const std::size_t n = state.miner_count();
+  std::size_t winner = n - 1;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    cumulative += state.stake(i);
+    if (target < cumulative) {
+      winner = i;
+      break;
+    }
+  }
+  state.Credit(winner, w_, /*compounds=*/false);
+}
+
+double NeoModel::WinProbability(const StakeState& state,
+                                std::size_t i) const {
+  return state.StakeShare(i);
+}
+
+AlgorandModel::AlgorandModel(double v) : v_(v) {
+  ValidateReward(v, "AlgorandModel: v");
+}
+
+void AlgorandModel::Step(StakeState& state, RngStream& rng) const {
+  (void)rng;  // Fully deterministic: inflation only.
+  const std::size_t n = state.miner_count();
+  const double total = state.total_stake();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double stake = state.stake(i);  // epoch-start value (see C-PoS)
+    if (stake > 0.0) {
+      state.Credit(i, v_ * (stake / total), /*compounds=*/true);
+    }
+  }
+}
+
+double AlgorandModel::WinProbability(const StakeState& state,
+                                     std::size_t i) const {
+  return state.StakeShare(i);
+}
+
+EosModel::EosModel(double w, double v) : w_(w), v_(v) {
+  ValidateReward(w, "EosModel: w");
+  if (v < 0.0) throw std::invalid_argument("EosModel: v must be >= 0");
+}
+
+void EosModel::Step(StakeState& state, RngStream& rng) const {
+  (void)rng;  // Round-robin proposing: deterministic per round.
+  const std::size_t n = state.miner_count();
+  const double total = state.total_stake();
+  const double constant_part = w_ / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double stake = state.stake(i);  // round-start value
+    double credit = constant_part;
+    if (v_ > 0.0 && stake > 0.0) credit += v_ * (stake / total);
+    state.Credit(i, credit, /*compounds=*/true);
+  }
+}
+
+double EosModel::WinProbability(const StakeState& state,
+                                std::size_t /*i*/) const {
+  return 1.0 / static_cast<double>(state.miner_count());
+}
+
+}  // namespace fairchain::protocol

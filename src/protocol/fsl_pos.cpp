@@ -1,0 +1,37 @@
+#include "protocol/fsl_pos.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace fairchain::protocol {
+
+FslPosModel::FslPosModel(double w) : w_(w) {
+  ValidateReward(w, "FslPosModel: w");
+}
+
+void FslPosModel::Step(StakeState& state, RngStream& rng) const {
+  // Exponential-deadline race:  T_i = -ln(U_i) / stake_i.  The minimum of
+  // independent exponentials falls on miner i with probability
+  // stake_i / total — the lottery is kept in its sampled form (rather than
+  // a single categorical draw) to mirror the protocol's actual mechanism.
+  const std::size_t n = state.miner_count();
+  std::size_t winner = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double stake = state.stake(i);
+    if (stake <= 0.0) continue;
+    const double deadline = -std::log(rng.NextOpenDouble()) / stake;
+    if (deadline < best) {
+      best = deadline;
+      winner = i;
+    }
+  }
+  state.Credit(winner, w_, /*compounds=*/true);
+}
+
+double FslPosModel::WinProbability(const StakeState& state,
+                                   std::size_t i) const {
+  return state.StakeShare(i);
+}
+
+}  // namespace fairchain::protocol

@@ -1,0 +1,62 @@
+#include "protocol/hybrid.hpp"
+
+#include <stdexcept>
+
+namespace fairchain::protocol {
+
+HybridModel::HybridModel(double w, double alpha, std::vector<double> fixed)
+    : w_(w), alpha_(alpha), fixed_(std::move(fixed)) {
+  ValidateReward(w, "HybridModel: w");
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("HybridModel: alpha must be in [0, 1]");
+  }
+  if (fixed_.empty()) {
+    throw std::invalid_argument("HybridModel: fixed resources empty");
+  }
+  for (const double f : fixed_) {
+    if (f < 0.0) {
+      throw std::invalid_argument("HybridModel: negative fixed resource");
+    }
+    fixed_total_ += f;
+  }
+  if (!(fixed_total_ > 0.0)) {
+    throw std::invalid_argument("HybridModel: zero total fixed resource");
+  }
+}
+
+double HybridModel::Weight(const StakeState& state, std::size_t i) const {
+  return alpha_ * (fixed_[i] / fixed_total_) +
+         (1.0 - alpha_) * state.StakeShare(i);
+}
+
+void HybridModel::Step(StakeState& state, RngStream& rng) const {
+  const std::size_t n = state.miner_count();
+  if (n != fixed_.size()) {
+    throw std::invalid_argument(
+        "HybridModel: state/fixed-resource miner count mismatch");
+  }
+  // Weights sum to 1 by construction (convex combination of two
+  // probability vectors), so sample directly against a unit total.
+  const double target = rng.NextDouble();
+  double cumulative = 0.0;
+  std::size_t winner = n - 1;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    cumulative += Weight(state, i);
+    if (target < cumulative) {
+      winner = i;
+      break;
+    }
+  }
+  state.Credit(winner, w_, /*compounds=*/true);
+}
+
+double HybridModel::WinProbability(const StakeState& state,
+                                   std::size_t i) const {
+  if (state.miner_count() != fixed_.size()) {
+    throw std::invalid_argument(
+        "HybridModel: state/fixed-resource miner count mismatch");
+  }
+  return Weight(state, i);
+}
+
+}  // namespace fairchain::protocol

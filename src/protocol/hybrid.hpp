@@ -1,0 +1,59 @@
+// Filecoin-style hybrid incentive model (Section 6.4, last paragraph).
+//
+// Filecoin's mining power combines contributions that do NOT compound
+// (committed storage, analogous to PoW hash power) with pledge stakes that
+// DO compound.  HybridModel generalises this: miner i's selection weight is
+//
+//     power_i = alpha * fixed_i + (1 - alpha) * stake_share_i,
+//
+// where `fixed_i` is the (normalised) non-compounding resource and the
+// stake component evolves like ML-PoS.  alpha = 1 degenerates to PoW,
+// alpha = 0 to ML-PoS; intermediate alphas interpolate the fairness
+// behaviour between them — "our analysis of PoW and PoS protocols is
+// useful for understanding the fairness of the Filecoin incentive".
+
+#ifndef FAIRCHAIN_PROTOCOL_HYBRID_HPP_
+#define FAIRCHAIN_PROTOCOL_HYBRID_HPP_
+
+#include <vector>
+
+#include "protocol/incentive_model.hpp"
+
+namespace fairchain::protocol {
+
+/// Hybrid fixed-resource / compounding-stake proposer selection.
+class HybridModel : public IncentiveModel {
+ public:
+  /// Creates a hybrid model.
+  ///
+  /// \param w      block reward (> 0); credited to the stake component
+  /// \param alpha  weight of the fixed resource in [0, 1]
+  /// \param fixed  per-miner fixed resource (storage); must match the
+  ///               miner count of the states it is run with, be
+  ///               non-negative, and have a positive sum
+  HybridModel(double w, double alpha, std::vector<double> fixed);
+
+  std::string name() const override { return "Hybrid"; }
+  void Step(StakeState& state, RngStream& rng) const override;
+  double RewardPerStep() const override { return w_; }
+  double WinProbability(const StakeState& state, std::size_t i) const override;
+  bool RewardCompounds() const override { return true; }
+
+  double alpha() const { return alpha_; }
+  /// Fixed-resource share of miner i.
+  double FixedShare(std::size_t i) const {
+    return fixed_[i] / fixed_total_;
+  }
+
+ private:
+  double Weight(const StakeState& state, std::size_t i) const;
+
+  double w_;
+  double alpha_;
+  std::vector<double> fixed_;
+  double fixed_total_ = 0.0;
+};
+
+}  // namespace fairchain::protocol
+
+#endif  // FAIRCHAIN_PROTOCOL_HYBRID_HPP_

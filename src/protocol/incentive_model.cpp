@@ -1,0 +1,21 @@
+#include "protocol/incentive_model.hpp"
+
+#include <stdexcept>
+
+namespace fairchain::protocol {
+
+void IncentiveModel::RunGame(StakeState& state, RngStream& rng,
+                             std::uint64_t steps) const {
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    Step(state, rng);
+    state.AdvanceStep();
+  }
+}
+
+void ValidateReward(double w, const char* what) {
+  if (!(w > 0.0)) {
+    throw std::invalid_argument(std::string(what) + " must be positive");
+  }
+}
+
+}  // namespace fairchain::protocol

@@ -1,0 +1,28 @@
+#include "protocol/ml_pos.hpp"
+
+namespace fairchain::protocol {
+
+MlPosModel::MlPosModel(double w) : w_(w) { ValidateReward(w, "MlPosModel: w"); }
+
+void MlPosModel::Step(StakeState& state, RngStream& rng) const {
+  // Proposer selection proportional to current effective stake.
+  const double target = rng.NextDouble() * state.total_stake();
+  double cumulative = 0.0;
+  const std::size_t n = state.miner_count();
+  std::size_t winner = n - 1;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    cumulative += state.stake(i);
+    if (target < cumulative) {
+      winner = i;
+      break;
+    }
+  }
+  state.Credit(winner, w_, /*compounds=*/true);
+}
+
+double MlPosModel::WinProbability(const StakeState& state,
+                                  std::size_t i) const {
+  return state.StakeShare(i);
+}
+
+}  // namespace fairchain::protocol

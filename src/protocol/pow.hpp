@@ -1,0 +1,37 @@
+// PoW incentive model (Section 2.1).
+//
+// The proposer of each block is the winner of a race between independent
+// Poisson processes with rates proportional to hash power; equivalently each
+// block is won by miner i with probability H_i / Σ H_j, independently of all
+// previous outcomes.  Rewards are currency, not hash power, so they never
+// feed back into the competition: PoW does not compound.
+
+#ifndef FAIRCHAIN_PROTOCOL_POW_HPP_
+#define FAIRCHAIN_PROTOCOL_POW_HPP_
+
+#include "protocol/incentive_model.hpp"
+
+namespace fairchain::protocol {
+
+/// Proof-of-Work: i.i.d. proportional proposer selection, block reward `w`.
+class PowModel : public IncentiveModel {
+ public:
+  /// Creates a PoW model with per-block reward `w` > 0.
+  explicit PowModel(double w);
+
+  std::string name() const override { return "PoW"; }
+  void Step(StakeState& state, RngStream& rng) const override;
+  double RewardPerStep() const override { return w_; }
+  double WinProbability(const StakeState& state, std::size_t i) const override;
+  bool RewardCompounds() const override { return false; }
+
+  /// Per-block reward.
+  double block_reward() const { return w_; }
+
+ private:
+  double w_;
+};
+
+}  // namespace fairchain::protocol
+
+#endif  // FAIRCHAIN_PROTOCOL_POW_HPP_

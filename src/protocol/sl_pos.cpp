@@ -1,0 +1,43 @@
+#include "protocol/sl_pos.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "protocol/win_probability.hpp"
+
+namespace fairchain::protocol {
+
+SlPosModel::SlPosModel(double w) : w_(w) { ValidateReward(w, "SlPosModel: w"); }
+
+void SlPosModel::Step(StakeState& state, RngStream& rng) const {
+  // One lottery ticket per miner: deadline U_i / stake_i (basetime cancels).
+  // Draws are independent uniforms, so ties have probability zero; a miner
+  // with zero stake never has the smallest deadline.
+  const std::size_t n = state.miner_count();
+  std::size_t winner = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double stake = state.stake(i);
+    if (stake <= 0.0) continue;
+    const double deadline = rng.NextOpenDouble() / stake;
+    if (deadline < best) {
+      best = deadline;
+      winner = i;
+    }
+  }
+  state.Credit(winner, w_, /*compounds=*/true);
+}
+
+double SlPosModel::WinProbability(const StakeState& state,
+                                  std::size_t i) const {
+  const std::size_t n = state.miner_count();
+  if (n == 2) {
+    const std::size_t other = i == 0 ? 1 : 0;
+    return SlPosTwoMinerWinProbability(state.stake(i), state.stake(other));
+  }
+  std::vector<double> stakes(n);
+  for (std::size_t j = 0; j < n; ++j) stakes[j] = state.stake(j);
+  return SlPosMultiMinerWinProbability(stakes, i);
+}
+
+}  // namespace fairchain::protocol

@@ -1,0 +1,111 @@
+// StakeState: the evolving state of a mining game.
+//
+// Tracks, per miner, the effective mining power ("stake"), the cumulative
+// credited income, and — when reward withholding (Section 6.3) is enabled —
+// rewards that have been issued but do not yet count as mining power.
+//
+// Conventions (matching Section 3.1 of the paper):
+//   * initial stakes are the miners' resource shares a, b, ...; the library
+//     does not require them to sum to 1 but the paper's parameters (w, v)
+//     are interpreted relative to the initial total;
+//   * income is credited per step; λ_i = income_i / Σ income_j;
+//   * for protocols where rewards compound (all PoS variants), credited
+//     income also increases mining power; for PoW / NEO it does not.
+
+#ifndef FAIRCHAIN_PROTOCOL_STAKE_STATE_HPP_
+#define FAIRCHAIN_PROTOCOL_STAKE_STATE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fairchain::protocol {
+
+/// Mutable per-game state shared by every incentive model.
+class StakeState {
+ public:
+  /// Starts a game with the given initial resource vector.
+  ///
+  /// `withhold_period` > 0 enables the paper's reward-withholding remedy:
+  /// compounding rewards issued at step s only become mining power at the
+  /// next multiple of the period strictly after s (e.g. a reward issued at
+  /// block 1024 with period 1000 takes effect at block 2000).
+  ///
+  /// Throws std::invalid_argument when `initial` is empty, contains a
+  /// negative entry, or sums to zero.
+  explicit StakeState(std::vector<double> initial,
+                      std::uint64_t withhold_period = 0);
+
+  /// Number of competing miners.
+  std::size_t miner_count() const { return stake_.size(); }
+
+  /// Current effective mining power of miner `i`.
+  double stake(std::size_t i) const { return stake_[i]; }
+
+  /// Total effective mining power (maintained incrementally).
+  double total_stake() const { return total_stake_; }
+
+  /// Miner i's share of effective mining power, Z_i in the paper.
+  double StakeShare(std::size_t i) const { return stake_[i] / total_stake_; }
+
+  /// Cumulative income credited to miner `i`.
+  double income(std::size_t i) const { return income_[i]; }
+
+  /// Total income credited so far.
+  double total_income() const { return total_income_; }
+
+  /// λ_i: miner i's fraction of all credited rewards (0 before any reward).
+  double RewardFraction(std::size_t i) const {
+    return total_income_ > 0.0 ? income_[i] / total_income_ : 0.0;
+  }
+
+  /// Miner i's initial resource.
+  double initial_stake(std::size_t i) const { return initial_[i]; }
+
+  /// Miner i's initial resource share (the paper's a).
+  double InitialShare(std::size_t i) const {
+    return initial_[i] / initial_total_;
+  }
+
+  /// Initial total resource.
+  double initial_total() const { return initial_total_; }
+
+  /// Number of completed steps (blocks / epochs).
+  std::uint64_t step() const { return step_; }
+
+  /// Withholding period (0 = disabled).
+  std::uint64_t withhold_period() const { return withhold_period_; }
+
+  /// Credits `amount` of reward to miner `i`.
+  ///
+  /// Income is always recorded immediately.  When `compounds` is true the
+  /// amount also becomes mining power — immediately, or at the next
+  /// withholding boundary when withholding is enabled.
+  void Credit(std::size_t i, double amount, bool compounds);
+
+  /// Marks the end of a step: advances the block/epoch counter and releases
+  /// withheld rewards when a boundary is crossed.  Called by the model
+  /// driver after each IncentiveModel::Step.
+  void AdvanceStep();
+
+  /// Sum of rewards issued but not yet effective (0 without withholding).
+  double PendingTotal() const;
+
+  /// Resets to the initial configuration (reuses allocations).
+  void Reset();
+
+ private:
+  std::vector<double> initial_;
+  std::vector<double> stake_;
+  std::vector<double> income_;
+  std::vector<double> pending_;
+  double initial_total_ = 0.0;
+  double total_stake_ = 0.0;
+  double total_income_ = 0.0;
+  std::uint64_t step_ = 0;
+  std::uint64_t withhold_period_ = 0;
+};
+
+}  // namespace fairchain::protocol
+
+#endif  // FAIRCHAIN_PROTOCOL_STAKE_STATE_HPP_

@@ -1,0 +1,50 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace fairchain {
+
+std::optional<std::string> GetEnv(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::uint64_t GetEnvU64(const std::string& name, std::uint64_t fallback) {
+  auto raw = GetEnv(name);
+  if (!raw) return fallback;
+  try {
+    const unsigned long long parsed = std::stoull(*raw);
+    return static_cast<std::uint64_t>(parsed);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  auto raw = GetEnv(name);
+  if (!raw) return fallback;
+  try {
+    return std::stod(*raw);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool FastModeEnabled() { return GetEnvU64("FAIRCHAIN_FAST", 0) != 0; }
+
+std::uint64_t EnvReps(std::uint64_t fallback, std::uint64_t fast_fallback) {
+  auto explicit_reps = GetEnv("FAIRCHAIN_REPS");
+  if (explicit_reps) return GetEnvU64("FAIRCHAIN_REPS", fallback);
+  return FastModeEnabled() ? fast_fallback : fallback;
+}
+
+unsigned EnvThreads() {
+  const std::uint64_t configured = GetEnvU64("FAIRCHAIN_THREADS", 0);
+  if (configured > 0) return static_cast<unsigned>(configured);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace fairchain

@@ -1,0 +1,43 @@
+// Environment-variable helpers used by the experiment harness.
+//
+// The benchmark binaries mirror the paper's replication counts by default
+// (e.g. 10,000 Monte Carlo repetitions).  On small machines these can be
+// scaled down without recompiling:
+//
+//   FAIRCHAIN_REPS=500  ./build/bench/fig2_lambda_evolution
+//   FAIRCHAIN_FAST=1    ./build/bench/table1_multiminer   (CI-sized run)
+//   FAIRCHAIN_THREADS=8 ...                               (worker threads)
+
+#ifndef FAIRCHAIN_SUPPORT_ENV_HPP_
+#define FAIRCHAIN_SUPPORT_ENV_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace fairchain {
+
+/// Reads an environment variable; returns std::nullopt when unset or empty.
+std::optional<std::string> GetEnv(const std::string& name);
+
+/// Reads an integer-valued environment variable.  Returns `fallback` when the
+/// variable is unset or does not parse as a non-negative integer.
+std::uint64_t GetEnvU64(const std::string& name, std::uint64_t fallback);
+
+/// Reads a floating-point environment variable with a fallback.
+double GetEnvDouble(const std::string& name, double fallback);
+
+/// True when FAIRCHAIN_FAST is set to a non-zero value.  Benchmarks use this
+/// to select a CI-sized configuration (fewer repetitions, shorter horizons).
+bool FastModeEnabled();
+
+/// Repetition count for Monte Carlo experiments: FAIRCHAIN_REPS when set,
+/// otherwise `fast_fallback` under FAIRCHAIN_FAST=1, otherwise `fallback`.
+std::uint64_t EnvReps(std::uint64_t fallback, std::uint64_t fast_fallback);
+
+/// Worker-thread count: FAIRCHAIN_THREADS when set, else hardware concurrency.
+unsigned EnvThreads();
+
+}  // namespace fairchain
+
+#endif  // FAIRCHAIN_SUPPORT_ENV_HPP_

@@ -1,0 +1,90 @@
+#include "support/flags.hpp"
+
+#include <stdexcept>
+
+namespace fairchain {
+
+FlagSet FlagSet::Parse(const std::vector<std::string>& args) {
+  FlagSet set;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      set.positionals_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("FlagSet: bare '--' is not a flag");
+    }
+    const std::size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      set.flags_[body.substr(0, equals)] = body.substr(equals + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another flag (then treat as
+    // a boolean switch).
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      set.flags_[body] = args[i + 1];
+      ++i;
+    } else {
+      set.flags_[body] = "";
+    }
+  }
+  return set;
+}
+
+FlagSet FlagSet::Parse(int argc, const char* const argv[]) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+bool FlagSet::Has(const std::string& name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double FlagSet::GetDouble(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("tail");
+    return value;
+  } catch (...) {
+    throw std::invalid_argument("FlagSet: --" + name +
+                                " expects a number, got '" + it->second +
+                                "'");
+  }
+}
+
+std::uint64_t FlagSet::GetU64(const std::string& name,
+                              std::uint64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("tail");
+    return static_cast<std::uint64_t>(value);
+  } catch (...) {
+    throw std::invalid_argument("FlagSet: --" + name +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+bool FlagSet::GetBool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& value = it->second;
+  return value.empty() || value == "1" || value == "true" || value == "yes";
+}
+
+}  // namespace fairchain

@@ -1,0 +1,57 @@
+// Minimal command-line flag parsing for the fairchain CLI.
+//
+// Supports `--name value` and `--name=value` long flags plus positional
+// arguments; typed accessors with defaults and range validation.  No
+// external dependencies, deliberately small.
+
+#ifndef FAIRCHAIN_SUPPORT_FLAGS_HPP_
+#define FAIRCHAIN_SUPPORT_FLAGS_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fairchain {
+
+/// Parsed command line: positionals in order, flags by name.
+class FlagSet {
+ public:
+  /// Parses argv-style input (excluding argv[0]).  Throws
+  /// std::invalid_argument on a malformed flag (e.g. missing value).
+  static FlagSet Parse(const std::vector<std::string>& args);
+
+  /// Convenience overload for main()'s argc/argv (skips argv[0]).
+  static FlagSet Parse(int argc, const char* const argv[]);
+
+  /// True when --name was supplied.
+  bool Has(const std::string& name) const;
+
+  /// String flag with default.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+
+  /// Double flag with default; throws std::invalid_argument when the
+  /// supplied value does not parse.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// Unsigned integer flag with default; throws on malformed values.
+  std::uint64_t GetU64(const std::string& name,
+                       std::uint64_t fallback) const;
+
+  /// Boolean flag: present without value (or with "true"/"1") = true.
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  /// Positional arguments in order.
+  const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace fairchain
+
+#endif  // FAIRCHAIN_SUPPORT_FLAGS_HPP_

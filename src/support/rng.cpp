@@ -1,0 +1,96 @@
+#include "support/rng.hpp"
+
+#include <stdexcept>
+
+namespace fairchain {
+
+RngStream::RngStream(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm.Next();
+  // An all-zero state is the single fixed point of xoshiro; SplitMix64 cannot
+  // produce four zero outputs in a row from any seed, but guard regardless.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+RngStream::RngStream(const std::array<std::uint64_t, 4>& state) : state_(state) {
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    throw std::invalid_argument("RngStream: all-zero state is invalid");
+  }
+}
+
+std::uint64_t RngStream::NextU64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double RngStream::NextDouble() {
+  // 53 high bits -> uniform on [0, 1) with full double precision.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::NextOpenDouble() {
+  // (u + 0.5) / 2^53 lies in (0, 1) strictly.
+  return (static_cast<double>(NextU64() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+std::uint64_t RngStream::NextBounded(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("NextBounded: bound must be > 0");
+  // Rejection sampling over the largest multiple of `bound`.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+bool RngStream::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+void RngStream::FillDoubles(std::vector<double>* out) {
+  for (auto& value : *out) value = NextDouble();
+}
+
+RngStream RngStream::Split(std::uint64_t index) const {
+  // Derive a child seed by hashing (state, index) through SplitMix64 chains.
+  SplitMix64 mix(state_[0] ^ Rotl(state_[3], 13) ^
+                 (index * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL));
+  std::uint64_t child_seed = mix.Next() ^ state_[1];
+  SplitMix64 expander(child_seed + index);
+  std::array<std::uint64_t, 4> child_state;
+  for (auto& word : child_state) word = expander.Next();
+  if (child_state[0] == 0 && child_state[1] == 0 && child_state[2] == 0 &&
+      child_state[3] == 0) {
+    child_state[0] = 0x9E3779B97F4A7C15ULL;
+  }
+  return RngStream(child_state);
+}
+
+void RngStream::Jump() {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      NextU64();
+    }
+  }
+  state_ = acc;
+}
+
+}  // namespace fairchain

@@ -1,0 +1,61 @@
+// Console table / CSV rendering for the experiment harness.
+//
+// Every bench binary prints its figure or table through this class so output
+// is uniform: an aligned ASCII table on stdout and, when FAIRCHAIN_CSV_DIR is
+// set, a CSV file per experiment for plotting.
+
+#ifndef FAIRCHAIN_SUPPORT_TABLE_HPP_
+#define FAIRCHAIN_SUPPORT_TABLE_HPP_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fairchain {
+
+/// An in-memory table with typed cell formatting helpers.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Optional caption printed above the table.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// Starts a new (empty) row.
+  void AddRow();
+
+  /// Appends a string cell to the last row.
+  void Cell(const std::string& value);
+  /// Appends an integer cell.
+  void Cell(std::uint64_t value);
+  /// Appends a signed integer cell.
+  void Cell(std::int64_t value);
+  /// Appends a floating cell with `precision` digits after the point.
+  void Cell(double value, int precision = 4);
+  /// Appends a cell formatted in scientific notation.
+  void CellSci(double value, int precision = 2);
+
+  std::size_t rows() const { return cells_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Renders an aligned ASCII table.
+  void Print(std::ostream& out) const;
+
+  /// Writes RFC-4180-ish CSV (quotes applied only when needed).
+  void WriteCsv(std::ostream& out) const;
+
+  /// Convenience: Print to stdout and, if FAIRCHAIN_CSV_DIR is set, write
+  /// `<dir>/<basename>.csv`.
+  void Emit(const std::string& basename) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace fairchain
+
+#endif  // FAIRCHAIN_SUPPORT_TABLE_HPP_

@@ -1,0 +1,298 @@
+#include "support/u256.hpp"
+
+#include <stdexcept>
+
+namespace fairchain {
+
+namespace {
+
+// 64x64 -> 128 multiply via the compiler's native unsigned __int128.
+inline void Mul64(std::uint64_t a, std::uint64_t b, std::uint64_t* lo,
+                  std::uint64_t* hi) {
+  const unsigned __int128 p =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  *lo = static_cast<std::uint64_t>(p);
+  *hi = static_cast<std::uint64_t>(p >> 64);
+}
+
+inline int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+U256 U256::FromHex(const std::string& hex) {
+  std::size_t start = 0;
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    start = 2;
+  }
+  if (start == hex.size()) {
+    throw std::invalid_argument("U256::FromHex: empty input");
+  }
+  if (hex.size() - start > 64) {
+    throw std::invalid_argument("U256::FromHex: more than 64 hex digits");
+  }
+  U256 value;
+  for (std::size_t i = start; i < hex.size(); ++i) {
+    const int digit = HexDigit(hex[i]);
+    if (digit < 0) {
+      throw std::invalid_argument("U256::FromHex: invalid hex digit");
+    }
+    value = (value << 4) | U256(static_cast<std::uint64_t>(digit));
+  }
+  return value;
+}
+
+U256 U256::FromBigEndianBytes(const std::uint8_t bytes[32]) {
+  U256 value;
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t word = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      word = (word << 8) | bytes[(3 - limb) * 8 + byte];
+    }
+    value.limbs_[limb] = word;
+  }
+  return value;
+}
+
+void U256::ToBigEndianBytes(std::uint8_t out[32]) const {
+  for (int limb = 0; limb < 4; ++limb) {
+    const std::uint64_t word = limbs_[3 - limb];
+    for (int byte = 0; byte < 8; ++byte) {
+      out[limb * 8 + byte] =
+          static_cast<std::uint8_t>(word >> (8 * (7 - byte)));
+    }
+  }
+}
+
+std::string U256::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  if (IsZero()) return "0";
+  std::string result;
+  bool leading = true;
+  for (int limb = 3; limb >= 0; --limb) {
+    for (int nibble = 15; nibble >= 0; --nibble) {
+      const int digit =
+          static_cast<int>((limbs_[limb] >> (4 * nibble)) & 0xF);
+      if (leading && digit == 0) continue;
+      leading = false;
+      result.push_back(kDigits[digit]);
+    }
+  }
+  return result;
+}
+
+double U256::ToDouble() const {
+  double value = 0.0;
+  for (int limb = 3; limb >= 0; --limb) {
+    value = value * 18446744073709551616.0 /* 2^64 */ +
+            static_cast<double>(limbs_[limb]);
+  }
+  return value;
+}
+
+int U256::BitLength() const {
+  for (int limb = 3; limb >= 0; --limb) {
+    if (limbs_[limb] != 0) {
+      return limb * 64 + (63 - __builtin_clzll(limbs_[limb]));
+    }
+  }
+  return -1;
+}
+
+U256 U256::operator+(const U256& other) const {
+  U256 result;
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned __int128 sum =
+        static_cast<unsigned __int128>(limbs_[i]) + other.limbs_[i] + carry;
+    result.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return result;
+}
+
+U256 U256::operator-(const U256& other) const {
+  U256 result;
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t a = limbs_[i];
+    const std::uint64_t b = other.limbs_[i];
+    const std::uint64_t diff1 = a - b;
+    const std::uint64_t borrow1 = a < b ? 1u : 0u;
+    const std::uint64_t diff2 = diff1 - borrow;
+    const std::uint64_t borrow2 = diff1 < borrow ? 1u : 0u;
+    result.limbs_[i] = diff2;
+    borrow = borrow1 | borrow2;
+  }
+  return result;
+}
+
+U256 U256::operator*(const U256& other) const {
+  // Schoolbook multiply, keeping only the low 256 bits.
+  std::array<std::uint64_t, 4> out = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; i + j < 4; ++j) {
+      std::uint64_t lo, hi;
+      Mul64(limbs_[i], other.limbs_[j], &lo, &hi);
+      unsigned __int128 acc = static_cast<unsigned __int128>(out[i + j]) +
+                              lo + carry;
+      out[i + j] = static_cast<std::uint64_t>(acc);
+      carry = hi + static_cast<std::uint64_t>(acc >> 64);
+    }
+  }
+  return U256(out[0], out[1], out[2], out[3]);
+}
+
+void U256::DivMod(const U256& num, const U256& den, U256* quot, U256* rem) {
+  if (den.IsZero()) throw std::invalid_argument("U256: division by zero");
+  if (num < den) {
+    *quot = U256();
+    *rem = num;
+    return;
+  }
+  if (den.FitsU64()) {
+    auto [q, r] = num.DivModU64(den.ToU64());
+    *quot = q;
+    *rem = U256(r);
+    return;
+  }
+  // Shift-subtract long division over at most 256 bits.
+  U256 quotient;
+  U256 remainder;
+  const int bits = num.BitLength();
+  for (int bit = bits; bit >= 0; --bit) {
+    remainder = remainder << 1;
+    const std::uint64_t numerator_bit =
+        (num.limbs_[bit / 64] >> (bit % 64)) & 1ULL;
+    remainder.limbs_[0] |= numerator_bit;
+    if (remainder >= den) {
+      remainder -= den;
+      quotient.limbs_[bit / 64] |= (1ULL << (bit % 64));
+    }
+  }
+  *quot = quotient;
+  *rem = remainder;
+}
+
+U256 U256::operator/(const U256& divisor) const {
+  U256 q, r;
+  DivMod(*this, divisor, &q, &r);
+  return q;
+}
+
+U256 U256::operator%(const U256& divisor) const {
+  U256 q, r;
+  DivMod(*this, divisor, &q, &r);
+  return r;
+}
+
+U256 U256::operator<<(unsigned shift) const {
+  if (shift >= 256) return U256();
+  const unsigned limb_shift = shift / 64;
+  const unsigned bit_shift = shift % 64;
+  U256 result;
+  for (int i = 3; i >= 0; --i) {
+    std::uint64_t value = 0;
+    const int src = i - static_cast<int>(limb_shift);
+    if (src >= 0) {
+      value = limbs_[src] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) {
+        value |= limbs_[src - 1] >> (64 - bit_shift);
+      }
+    }
+    result.limbs_[i] = value;
+  }
+  return result;
+}
+
+U256 U256::operator>>(unsigned shift) const {
+  if (shift >= 256) return U256();
+  const unsigned limb_shift = shift / 64;
+  const unsigned bit_shift = shift % 64;
+  U256 result;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t value = 0;
+    const std::size_t src = i + limb_shift;
+    if (src < 4) {
+      value = limbs_[src] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < 4) {
+        value |= limbs_[src + 1] << (64 - bit_shift);
+      }
+    }
+    result.limbs_[i] = value;
+  }
+  return result;
+}
+
+U256 U256::operator&(const U256& o) const {
+  return U256(limbs_[0] & o.limbs_[0], limbs_[1] & o.limbs_[1],
+              limbs_[2] & o.limbs_[2], limbs_[3] & o.limbs_[3]);
+}
+
+U256 U256::operator|(const U256& o) const {
+  return U256(limbs_[0] | o.limbs_[0], limbs_[1] | o.limbs_[1],
+              limbs_[2] | o.limbs_[2], limbs_[3] | o.limbs_[3]);
+}
+
+U256 U256::operator^(const U256& o) const {
+  return U256(limbs_[0] ^ o.limbs_[0], limbs_[1] ^ o.limbs_[1],
+              limbs_[2] ^ o.limbs_[2], limbs_[3] ^ o.limbs_[3]);
+}
+
+U256 U256::SaturatingMulU64(std::uint64_t m) const {
+  std::array<std::uint64_t, 4> out;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t lo, hi;
+    Mul64(limbs_[i], m, &lo, &hi);
+    const unsigned __int128 acc = static_cast<unsigned __int128>(lo) + carry;
+    out[i] = static_cast<std::uint64_t>(acc);
+    carry = hi + static_cast<std::uint64_t>(acc >> 64);
+  }
+  if (carry != 0) return Max();
+  return U256(out[0], out[1], out[2], out[3]);
+}
+
+U256 U256::MulDivU64(std::uint64_t m, std::uint64_t d) const {
+  if (d == 0) throw std::invalid_argument("U256::MulDivU64: divide by zero");
+  // 256 x 64 -> 320-bit product in five limbs.
+  std::array<std::uint64_t, 5> product = {0, 0, 0, 0, 0};
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t lo, hi;
+    Mul64(limbs_[i], m, &lo, &hi);
+    const unsigned __int128 acc = static_cast<unsigned __int128>(lo) + carry;
+    product[i] = static_cast<std::uint64_t>(acc);
+    carry = hi + static_cast<std::uint64_t>(acc >> 64);
+  }
+  product[4] = carry;
+  // Long division of the 320-bit product by the 64-bit divisor.
+  std::array<std::uint64_t, 5> quotient = {0, 0, 0, 0, 0};
+  unsigned __int128 remainder = 0;
+  for (int i = 4; i >= 0; --i) {
+    const unsigned __int128 cur = (remainder << 64) | product[i];
+    quotient[i] = static_cast<std::uint64_t>(cur / d);
+    remainder = cur % d;
+  }
+  if (quotient[4] != 0) return Max();
+  return U256(quotient[0], quotient[1], quotient[2], quotient[3]);
+}
+
+std::pair<U256, std::uint64_t> U256::DivModU64(std::uint64_t d) const {
+  if (d == 0) throw std::invalid_argument("U256::DivModU64: divide by zero");
+  U256 quotient;
+  unsigned __int128 remainder = 0;
+  for (int i = 3; i >= 0; --i) {
+    const unsigned __int128 cur = (remainder << 64) | limbs_[i];
+    quotient.limbs_[i] = static_cast<std::uint64_t>(cur / d);
+    remainder = cur % d;
+  }
+  return {quotient, static_cast<std::uint64_t>(remainder)};
+}
+
+}  // namespace fairchain

@@ -1,0 +1,136 @@
+// U256: a 256-bit unsigned integer.
+//
+// Blockchain mining rules compare 256-bit hash outputs against 256-bit
+// targets (PoW: Hash < D; ML-PoS: Hash < D * stake) and compute lottery
+// deadlines (SL-PoS: time = basetime * Hash / stake).  U256 implements the
+// minimal arithmetic needed for those rules exactly, with explicit overflow
+// semantics, so the chain substrate never rounds through doubles.
+//
+// Representation: four 64-bit limbs, little-endian (limb 0 = least
+// significant).  All arithmetic is constant-size and allocation-free.
+
+#ifndef FAIRCHAIN_SUPPORT_U256_HPP_
+#define FAIRCHAIN_SUPPORT_U256_HPP_
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fairchain {
+
+/// 256-bit unsigned integer with wrapping add/sub/mul and exact division.
+class U256 {
+ public:
+  /// Zero.
+  constexpr U256() : limbs_{0, 0, 0, 0} {}
+
+  /// Value-constructs from a 64-bit integer.
+  constexpr U256(std::uint64_t low) : limbs_{low, 0, 0, 0} {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from explicit limbs, least-significant first.
+  constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2,
+                 std::uint64_t l3)
+      : limbs_{l0, l1, l2, l3} {}
+
+  /// The largest representable value (2^256 - 1).
+  static constexpr U256 Max() {
+    return U256(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  }
+
+  /// Parses a hexadecimal string (optional "0x" prefix, up to 64 digits).
+  /// Throws std::invalid_argument on malformed input.
+  static U256 FromHex(const std::string& hex);
+
+  /// Interprets 32 bytes as a big-endian integer (hash-digest convention).
+  static U256 FromBigEndianBytes(const std::uint8_t bytes[32]);
+
+  /// Serialises to 32 big-endian bytes.
+  void ToBigEndianBytes(std::uint8_t out[32]) const;
+
+  /// Lowercase hexadecimal rendering without leading zeros ("0" for zero).
+  std::string ToHex() const;
+
+  /// Limb accessor, least-significant first; index < 4.
+  constexpr std::uint64_t limb(std::size_t i) const { return limbs_[i]; }
+
+  /// True iff the value is zero.
+  constexpr bool IsZero() const {
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+
+  /// Truncates to the low 64 bits.
+  constexpr std::uint64_t ToU64() const { return limbs_[0]; }
+
+  /// True iff the value fits in 64 bits.
+  constexpr bool FitsU64() const {
+    return (limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+
+  /// Converts to double (may lose precision beyond 53 bits; monotone).
+  double ToDouble() const;
+
+  /// Index of the highest set bit, or -1 for zero.
+  int BitLength() const;
+
+  friend constexpr bool operator==(const U256& a, const U256& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend constexpr std::strong_ordering operator<=>(const U256& a,
+                                                    const U256& b) {
+    for (int i = 3; i >= 0; --i) {
+      if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+    }
+    return std::strong_ordering::equal;
+  }
+
+  /// Wrapping addition (mod 2^256).
+  U256 operator+(const U256& other) const;
+  /// Wrapping subtraction (mod 2^256).
+  U256 operator-(const U256& other) const;
+  /// Wrapping multiplication (mod 2^256).
+  U256 operator*(const U256& other) const;
+  /// Quotient of exact integer division; throws on divide-by-zero.
+  U256 operator/(const U256& divisor) const;
+  /// Remainder of exact integer division; throws on divide-by-zero.
+  U256 operator%(const U256& divisor) const;
+
+  U256& operator+=(const U256& o) { return *this = *this + o; }
+  U256& operator-=(const U256& o) { return *this = *this - o; }
+
+  /// Left shift; shifts >= 256 yield zero.
+  U256 operator<<(unsigned shift) const;
+  /// Right shift; shifts >= 256 yield zero.
+  U256 operator>>(unsigned shift) const;
+
+  U256 operator&(const U256& o) const;
+  U256 operator|(const U256& o) const;
+  U256 operator^(const U256& o) const;
+
+  /// Multiplies by a 64-bit value, saturating at Max() on overflow.
+  ///
+  /// Mining targets are computed as `base_target * stake`; saturation matches
+  /// the "difficulty cannot exceed the hash range" semantics of real clients.
+  U256 SaturatingMulU64(std::uint64_t m) const;
+
+  /// Computes floor(value * m / d) exactly using a 320-bit intermediate.
+  ///
+  /// This is the SL-PoS lottery transform `basetime * Hash / stake`.
+  /// Saturates at Max() if the true quotient exceeds 2^256 - 1.
+  /// Throws std::invalid_argument when d == 0.
+  U256 MulDivU64(std::uint64_t m, std::uint64_t d) const;
+
+  /// (quotient, remainder) of division by a 64-bit divisor.
+  /// Throws std::invalid_argument when d == 0.
+  std::pair<U256, std::uint64_t> DivModU64(std::uint64_t d) const;
+
+ private:
+  static void DivMod(const U256& num, const U256& den, U256* quot, U256* rem);
+
+  std::array<std::uint64_t, 4> limbs_;
+};
+
+}  // namespace fairchain
+
+#endif  // FAIRCHAIN_SUPPORT_U256_HPP_

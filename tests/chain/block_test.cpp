@@ -1,0 +1,86 @@
+// Tests for block headers and hashing.
+
+#include "chain/block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairchain::chain {
+namespace {
+
+BlockHeader SampleHeader() {
+  BlockHeader header;
+  header.height = 7;
+  header.prev_hash = crypto::Sha256Digest("parent");
+  header.proposer = 1;
+  header.timestamp = 1234;
+  header.nonce = 99;
+  header.kind = ProofKind::kPow;
+  header.target = U256::FromHex("ffff000000000000");
+  return header;
+}
+
+TEST(BlockHeaderTest, HashIsDeterministic) {
+  const BlockHeader header = SampleHeader();
+  EXPECT_EQ(header.Hash(), header.Hash());
+}
+
+TEST(BlockHeaderTest, EveryFieldAffectsHash) {
+  const BlockHeader base = SampleHeader();
+  BlockHeader changed = base;
+  changed.height = 8;
+  EXPECT_NE(base.Hash(), changed.Hash());
+  changed = base;
+  changed.prev_hash = crypto::Sha256Digest("other-parent");
+  EXPECT_NE(base.Hash(), changed.Hash());
+  changed = base;
+  changed.proposer = 2;
+  EXPECT_NE(base.Hash(), changed.Hash());
+  changed = base;
+  changed.timestamp = 1235;
+  EXPECT_NE(base.Hash(), changed.Hash());
+  changed = base;
+  changed.nonce = 100;
+  EXPECT_NE(base.Hash(), changed.Hash());
+  changed = base;
+  changed.kind = ProofKind::kMlPos;
+  EXPECT_NE(base.Hash(), changed.Hash());
+  changed = base;
+  changed.target = U256::FromHex("ffff000000000001");
+  EXPECT_NE(base.Hash(), changed.Hash());
+}
+
+TEST(BlockTest, BlockHashEqualsHeaderHash) {
+  Block block;
+  block.header = SampleHeader();
+  block.reward = 50;
+  EXPECT_EQ(block.Hash(), block.header.Hash());
+}
+
+TEST(DigestToU256Test, BigEndianInterpretation) {
+  crypto::Digest digest{};
+  digest[31] = 0x2A;  // least-significant byte
+  EXPECT_EQ(DigestToU256(digest).ToU64(), 0x2Au);
+  digest = crypto::Digest{};
+  digest[0] = 0x80;  // most-significant byte => huge value
+  EXPECT_FALSE(DigestToU256(digest).FitsU64());
+  EXPECT_EQ(DigestToU256(digest).BitLength(), 255);
+}
+
+TEST(DigestToU256Test, RoundTripsThroughU256) {
+  const crypto::Digest digest = crypto::Sha256Digest("round-trip");
+  const U256 value = DigestToU256(digest);
+  std::uint8_t bytes[32];
+  value.ToBigEndianBytes(bytes);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(bytes[i], digest[i]);
+}
+
+TEST(ProofKindTest, Names) {
+  EXPECT_EQ(ProofKindName(ProofKind::kGenesis), "genesis");
+  EXPECT_EQ(ProofKindName(ProofKind::kPow), "PoW");
+  EXPECT_EQ(ProofKindName(ProofKind::kMlPos), "ML-PoS");
+  EXPECT_EQ(ProofKindName(ProofKind::kSlPos), "SL-PoS");
+  EXPECT_EQ(ProofKindName(ProofKind::kCPos), "C-PoS");
+}
+
+}  // namespace
+}  // namespace fairchain::chain

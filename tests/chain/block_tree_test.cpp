@@ -1,0 +1,174 @@
+// Tests for the fork-aware BlockTree.
+
+#include "chain/block_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairchain::chain {
+namespace {
+
+Block Genesis() {
+  Block genesis;
+  genesis.header.height = 0;
+  genesis.header.kind = ProofKind::kGenesis;
+  genesis.header.nonce = 7;
+  genesis.header.target = U256::Max();
+  return genesis;
+}
+
+Block Child(const Block& parent, MinerId proposer, std::uint64_t nonce = 0) {
+  Block block;
+  block.header.height = parent.header.height + 1;
+  block.header.prev_hash = parent.Hash();
+  block.header.proposer = proposer;
+  block.header.timestamp = parent.header.timestamp + 10;
+  block.header.nonce = nonce;
+  block.header.kind = ProofKind::kPow;
+  block.header.target = U256::Max();
+  return block;
+}
+
+TEST(BlockTreeTest, RequiresGenesisHeightZero) {
+  Block bad = Genesis();
+  bad.header.height = 1;
+  EXPECT_THROW(BlockTree{bad}, std::invalid_argument);
+}
+
+TEST(BlockTreeTest, InitialState) {
+  const Block genesis = Genesis();
+  BlockTree tree(genesis);
+  EXPECT_EQ(tree.TipHash(), genesis.Hash());
+  EXPECT_EQ(tree.TipHeight(), 0u);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.reorg_count(), 0u);
+}
+
+TEST(BlockTreeTest, LinearExtension) {
+  const Block genesis = Genesis();
+  BlockTree tree(genesis);
+  Block b1 = Child(genesis, 0);
+  Block b2 = Child(b1, 1);
+  EXPECT_EQ(tree.Add(b1), AddBlockResult::kAdded);
+  EXPECT_EQ(tree.Add(b2), AddBlockResult::kAdded);
+  EXPECT_EQ(tree.TipHash(), b2.Hash());
+  EXPECT_EQ(tree.TipHeight(), 2u);
+  EXPECT_EQ(tree.reorg_count(), 0u);
+  EXPECT_TRUE(tree.IsCanonical(b1.Hash()));
+}
+
+TEST(BlockTreeTest, DuplicateDetected) {
+  const Block genesis = Genesis();
+  BlockTree tree(genesis);
+  const Block b1 = Child(genesis, 0);
+  EXPECT_EQ(tree.Add(b1), AddBlockResult::kAdded);
+  EXPECT_EQ(tree.Add(b1), AddBlockResult::kDuplicate);
+}
+
+TEST(BlockTreeTest, InvalidHeightRejected) {
+  const Block genesis = Genesis();
+  BlockTree tree(genesis);
+  Block bad = Child(genesis, 0);
+  bad.header.height = 5;
+  EXPECT_EQ(tree.Add(bad), AddBlockResult::kInvalid);
+}
+
+TEST(BlockTreeTest, FirstSeenWinsTies) {
+  const Block genesis = Genesis();
+  BlockTree tree(genesis);
+  const Block first = Child(genesis, 0, /*nonce=*/1);
+  const Block second = Child(genesis, 1, /*nonce=*/2);
+  tree.Add(first);
+  tree.Add(second);  // same height: must NOT displace the first
+  EXPECT_EQ(tree.TipHash(), first.Hash());
+  EXPECT_TRUE(tree.IsCanonical(first.Hash()));
+  EXPECT_FALSE(tree.IsCanonical(second.Hash()));
+  EXPECT_EQ(tree.reorg_count(), 0u);
+}
+
+TEST(BlockTreeTest, LongerForkTriggersReorg) {
+  const Block genesis = Genesis();
+  BlockTree tree(genesis);
+  const Block a1 = Child(genesis, 0, 1);
+  tree.Add(a1);
+  // Competing branch from genesis grows to length 2.
+  const Block b1 = Child(genesis, 1, 2);
+  const Block b2 = Child(b1, 1, 3);
+  tree.Add(b1);
+  EXPECT_EQ(tree.TipHash(), a1.Hash());  // tie: first seen holds
+  tree.Add(b2);
+  EXPECT_EQ(tree.TipHash(), b2.Hash());  // longer chain wins
+  EXPECT_EQ(tree.reorg_count(), 1u);
+  EXPECT_FALSE(tree.IsCanonical(a1.Hash()));
+  EXPECT_TRUE(tree.IsCanonical(b1.Hash()));
+}
+
+TEST(BlockTreeTest, OrphanBufferedAndAttached) {
+  const Block genesis = Genesis();
+  BlockTree tree(genesis);
+  const Block b1 = Child(genesis, 0);
+  const Block b2 = Child(b1, 0);
+  const Block b3 = Child(b2, 0);
+  // Deliver out of order: children first.
+  EXPECT_EQ(tree.Add(b3), AddBlockResult::kOrphaned);
+  EXPECT_EQ(tree.Add(b2), AddBlockResult::kOrphaned);
+  EXPECT_EQ(tree.orphan_count(), 2u);
+  EXPECT_EQ(tree.Add(b1), AddBlockResult::kAdded);
+  // The whole orphan chain must have attached.
+  EXPECT_EQ(tree.orphan_count(), 0u);
+  EXPECT_EQ(tree.TipHash(), b3.Hash());
+  EXPECT_EQ(tree.TipHeight(), 3u);
+}
+
+TEST(BlockTreeTest, CanonicalChainOrdered) {
+  const Block genesis = Genesis();
+  BlockTree tree(genesis);
+  Block parent = genesis;
+  for (int i = 0; i < 5; ++i) {
+    const Block block = Child(parent, static_cast<MinerId>(i % 2));
+    tree.Add(block);
+    parent = block;
+  }
+  const auto chain = tree.CanonicalChain();
+  ASSERT_EQ(chain.size(), 6u);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(chain[i].header.height, i);
+  }
+  EXPECT_EQ(chain.back().Hash(), tree.TipHash());
+}
+
+TEST(BlockTreeTest, CanonicalBlocksByCountsAfterReorg) {
+  const Block genesis = Genesis();
+  BlockTree tree(genesis);
+  // Miner 0 mines one block; miner 1 forks it off with two.
+  tree.Add(Child(genesis, 0, 1));
+  const Block b1 = Child(genesis, 1, 2);
+  const Block b2 = Child(b1, 1, 3);
+  tree.Add(b1);
+  tree.Add(b2);
+  EXPECT_EQ(tree.CanonicalBlocksBy(0), 0u);  // orphaned by the reorg
+  EXPECT_EQ(tree.CanonicalBlocksBy(1), 2u);
+}
+
+TEST(BlockTreeTest, DeepForkCompetition) {
+  // Two branches race for 20 blocks; the one that finishes longer wins.
+  const Block genesis = Genesis();
+  BlockTree tree(genesis);
+  Block a = genesis;
+  Block b = genesis;
+  for (int i = 0; i < 20; ++i) {
+    a = Child(a, 0, static_cast<std::uint64_t>(i) * 2);
+    tree.Add(a);
+  }
+  for (int i = 0; i < 21; ++i) {
+    b = Child(b, 1, static_cast<std::uint64_t>(i) * 2 + 1);
+    tree.Add(b);
+  }
+  EXPECT_EQ(tree.TipHash(), b.Hash());
+  EXPECT_EQ(tree.TipHeight(), 21u);
+  EXPECT_EQ(tree.CanonicalBlocksBy(1), 21u);
+  EXPECT_GE(tree.reorg_count(), 1u);
+  EXPECT_EQ(tree.size(), 42u);  // genesis + 20 + 21
+}
+
+}  // namespace
+}  // namespace fairchain::chain

@@ -1,0 +1,121 @@
+// Tests for the blockchain container: linking, validation, and tamper
+// detection.
+
+#include "chain/blockchain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairchain::chain {
+namespace {
+
+Block MakeChild(const Blockchain& chain, MinerId proposer,
+                std::uint64_t dt = 10) {
+  Block block;
+  block.header.height = chain.height() + 1;
+  block.header.prev_hash = chain.TipHash();
+  block.header.proposer = proposer;
+  block.header.timestamp = chain.Tip().header.timestamp + dt;
+  block.header.kind = ProofKind::kMlPos;
+  block.header.target = U256::Max();
+  block.reward = 100;
+  return block;
+}
+
+TEST(BlockchainTest, GenesisInitialisation) {
+  Blockchain chain(42);
+  EXPECT_EQ(chain.height(), 0u);
+  EXPECT_EQ(chain.genesis().header.height, 0u);
+  EXPECT_EQ(chain.genesis().header.kind, ProofKind::kGenesis);
+  EXPECT_EQ(chain.TipHash(), chain.genesis().Hash());
+}
+
+TEST(BlockchainTest, DistinctSaltsDistinctGenesis) {
+  Blockchain a(1), b(2);
+  EXPECT_NE(a.TipHash(), b.TipHash());
+}
+
+TEST(BlockchainTest, AppendAdvancesTip) {
+  Blockchain chain(42);
+  const Block block = MakeChild(chain, 0);
+  chain.Append(block);
+  EXPECT_EQ(chain.height(), 1u);
+  EXPECT_EQ(chain.TipHash(), block.Hash());
+  EXPECT_EQ(chain.at(1).header.proposer, 0u);
+}
+
+TEST(BlockchainTest, AppendRejectsWrongHeight) {
+  Blockchain chain(42);
+  Block block = MakeChild(chain, 0);
+  block.header.height = 5;
+  EXPECT_THROW(chain.Append(block), std::invalid_argument);
+}
+
+TEST(BlockchainTest, AppendRejectsWrongParent) {
+  Blockchain chain(42);
+  Block block = MakeChild(chain, 0);
+  block.header.prev_hash = crypto::Sha256Digest("imposter");
+  EXPECT_THROW(chain.Append(block), std::invalid_argument);
+}
+
+TEST(BlockchainTest, AppendRejectsTimestampRegression) {
+  Blockchain chain(42);
+  chain.Append(MakeChild(chain, 0, 100));
+  Block late = MakeChild(chain, 1, 0);
+  late.header.timestamp = 5;  // before parent
+  EXPECT_THROW(chain.Append(late), std::invalid_argument);
+}
+
+TEST(BlockchainTest, ValidateAcceptsHonestChain) {
+  Blockchain chain(42);
+  for (int i = 0; i < 20; ++i) {
+    chain.Append(MakeChild(chain, static_cast<MinerId>(i % 3)));
+  }
+  const ValidationReport report = chain.Validate();
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(BlockchainTest, BlocksByCountsProposals) {
+  Blockchain chain(42);
+  chain.Append(MakeChild(chain, 0));
+  chain.Append(MakeChild(chain, 1));
+  chain.Append(MakeChild(chain, 0));
+  EXPECT_EQ(chain.BlocksBy(0), 2u);
+  EXPECT_EQ(chain.BlocksBy(1), 1u);
+  EXPECT_EQ(chain.BlocksBy(9), 0u);
+}
+
+TEST(BlockchainTest, MeanBlockInterval) {
+  Blockchain chain(42);
+  chain.Append(MakeChild(chain, 0, 10));
+  chain.Append(MakeChild(chain, 0, 30));
+  EXPECT_DOUBLE_EQ(chain.MeanBlockInterval(), 20.0);
+}
+
+TEST(BlockchainTest, MeanBlockIntervalEmptyChain) {
+  Blockchain chain(42);
+  EXPECT_DOUBLE_EQ(chain.MeanBlockInterval(), 0.0);
+}
+
+TEST(BlockchainTest, PowValidationChecksProofAgainstTarget) {
+  Blockchain chain(42);
+  Block block = MakeChild(chain, 0);
+  block.header.kind = ProofKind::kPow;
+  block.header.target = U256(1);  // essentially impossible target
+  chain.Append(block);            // structural checks pass
+  const ValidationReport report = chain.Validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.error, "PoW proof does not meet target");
+  EXPECT_EQ(report.bad_height, 1u);
+}
+
+TEST(BlockchainTest, PowValidationAcceptsEasyTarget) {
+  Blockchain chain(42);
+  Block block = MakeChild(chain, 0);
+  block.header.kind = ProofKind::kPow;
+  block.header.target = U256::Max();  // every hash qualifies
+  chain.Append(block);
+  EXPECT_TRUE(chain.Validate().ok);
+}
+
+}  // namespace
+}  // namespace fairchain::chain

@@ -1,0 +1,102 @@
+// Tests for targets and retargeting.
+
+#include "chain/difficulty.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairchain::chain {
+namespace {
+
+TEST(TargetTest, ProbabilityRoundTrip) {
+  for (const double p : {1e-6, 1e-4, 0.01, 0.25, 0.5, 0.999}) {
+    const U256 target = TargetFromProbability(p);
+    EXPECT_NEAR(ProbabilityFromTarget(target), p, p * 1e-9) << p;
+  }
+}
+
+TEST(TargetTest, FullProbabilityIsMax) {
+  EXPECT_EQ(TargetFromProbability(1.0), U256::Max());
+}
+
+TEST(TargetTest, RejectsOutOfRange) {
+  EXPECT_THROW(TargetFromProbability(0.0), std::invalid_argument);
+  EXPECT_THROW(TargetFromProbability(1.5), std::invalid_argument);
+}
+
+TEST(TargetTest, MonotoneInP) {
+  EXPECT_LT(TargetFromProbability(1e-6), TargetFromProbability(1e-3));
+  EXPECT_LT(TargetFromProbability(1e-3), TargetFromProbability(0.5));
+}
+
+TEST(RetargetTest, FasterBlocksLowerTarget) {
+  const U256 current = TargetFromProbability(0.01);
+  // Blocks came twice as fast as expected: halve the target.
+  const U256 adjusted = Retarget(current, 500, 1000, 4);
+  EXPECT_LT(adjusted, current);
+  EXPECT_NEAR(ProbabilityFromTarget(adjusted),
+              ProbabilityFromTarget(current) / 2.0, 1e-6);
+}
+
+TEST(RetargetTest, SlowerBlocksRaiseTarget) {
+  const U256 current = TargetFromProbability(0.01);
+  const U256 adjusted = Retarget(current, 2000, 1000, 4);
+  EXPECT_GT(adjusted, current);
+}
+
+TEST(RetargetTest, ClampsExtremeAdjustments) {
+  const U256 current = TargetFromProbability(0.01);
+  // 100x too fast, but clamp is 4x.
+  const U256 adjusted = Retarget(current, 10, 1000, 4);
+  EXPECT_NEAR(ProbabilityFromTarget(adjusted),
+              ProbabilityFromTarget(current) / 4.0, 1e-6);
+  const U256 raised = Retarget(current, 100000, 1000, 4);
+  EXPECT_NEAR(ProbabilityFromTarget(raised),
+              ProbabilityFromTarget(current) * 4.0, 1e-6);
+}
+
+TEST(RetargetTest, PerfectTimingNoChange) {
+  const U256 current = TargetFromProbability(0.01);
+  EXPECT_EQ(Retarget(current, 1000, 1000, 4), current);
+}
+
+TEST(RetargetTest, NeverReturnsZero) {
+  EXPECT_FALSE(Retarget(U256(1), 1, 1000000, 1000000).IsZero());
+}
+
+TEST(RetargetTest, Rejections) {
+  EXPECT_THROW(Retarget(U256(100), 10, 0, 4), std::invalid_argument);
+  EXPECT_THROW(Retarget(U256(100), 10, 100, 0), std::invalid_argument);
+}
+
+TEST(NextPowTargetTest, GenesisTargetBeforeFirstInterval) {
+  Blockchain chain(1);
+  const U256 genesis_target = TargetFromProbability(0.01);
+  DifficultyConfig config;
+  config.retarget_interval = 10;
+  config.target_block_time = 60;
+  EXPECT_EQ(NextPowTarget(chain, genesis_target, config), genesis_target);
+}
+
+TEST(NextPowTargetTest, AdjustsAfterInterval) {
+  Blockchain chain(1);
+  DifficultyConfig config;
+  config.retarget_interval = 4;
+  config.target_block_time = 60;
+  const U256 genesis_target = TargetFromProbability(0.01);
+  // Append 4 blocks spaced 30s (twice as fast as the 60s target).
+  for (int i = 0; i < 4; ++i) {
+    Block block;
+    block.header.height = chain.height() + 1;
+    block.header.prev_hash = chain.TipHash();
+    block.header.timestamp = chain.Tip().header.timestamp + 30;
+    block.header.kind = ProofKind::kMlPos;  // skip PoW proof validation
+    block.header.target = U256::Max();
+    chain.Append(block);
+  }
+  const U256 next = NextPowTarget(chain, genesis_target, config);
+  EXPECT_NEAR(ProbabilityFromTarget(next),
+              ProbabilityFromTarget(genesis_target) / 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace fairchain::chain

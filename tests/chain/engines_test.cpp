@@ -1,0 +1,302 @@
+// Tests for the hash-level mining engines.
+
+#include "chain/engines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairchain::chain {
+namespace {
+
+TEST(MinerPublicKeyTest, DistinctAndStable) {
+  EXPECT_EQ(MinerPublicKey(0), MinerPublicKey(0));
+  EXPECT_NE(MinerPublicKey(0), MinerPublicKey(1));
+}
+
+// --- PoW engine ---
+
+PowEngineConfig SmallPowConfig() {
+  PowEngineConfig config;
+  config.hash_rates = {4, 16};  // A holds 20% of hash power
+  config.block_reward = 1000;
+  config.initial_expected_trials = 256.0;
+  config.difficulty.retarget_interval = 16;
+  return config;
+}
+
+TEST(PowEngineTest, ConstructionValidation) {
+  PowEngineConfig config = SmallPowConfig();
+  config.hash_rates = {};
+  EXPECT_THROW(PowEngine{config}, std::invalid_argument);
+  config = SmallPowConfig();
+  config.hash_rates = {0, 0};
+  EXPECT_THROW(PowEngine{config}, std::invalid_argument);
+  config = SmallPowConfig();
+  config.initial_expected_trials = 0.5;
+  EXPECT_THROW(PowEngine{config}, std::invalid_argument);
+}
+
+TEST(PowEngineTest, MinesValidBlocks) {
+  PowEngine engine(SmallPowConfig());
+  StakeLedger ledger({200, 800});
+  Blockchain chain(1);
+  RngStream rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const Block block = engine.MineNext(chain, ledger, rng);
+    EXPECT_EQ(block.header.kind, ProofKind::kPow);
+    // The proof: header hash below the recorded target.
+    EXPECT_LT(DigestToU256(block.Hash()), block.header.target);
+    chain.Append(block);
+  }
+  EXPECT_TRUE(chain.Validate().ok);
+  EXPECT_EQ(ledger.total_rewards(), 20u * 1000u);
+}
+
+TEST(PowEngineTest, RewardsDoNotStake) {
+  PowEngine engine(SmallPowConfig());
+  StakeLedger ledger({200, 800});
+  Blockchain chain(2);
+  RngStream rng(2);
+  for (int i = 0; i < 10; ++i) chain.Append(engine.MineNext(chain, ledger, rng));
+  EXPECT_EQ(ledger.total(), 1000u);  // balances unchanged
+  EXPECT_GT(ledger.total_rewards(), 0u);
+}
+
+TEST(PowEngineTest, ProposerFrequencyTracksHashPower) {
+  PowEngine engine(SmallPowConfig());
+  StakeLedger ledger({200, 800});
+  Blockchain chain(3);
+  RngStream rng(3);
+  const int blocks = 400;
+  for (int i = 0; i < blocks; ++i) {
+    chain.Append(engine.MineNext(chain, ledger, rng));
+  }
+  const double share =
+      static_cast<double>(chain.BlocksBy(0)) / static_cast<double>(blocks);
+  EXPECT_NEAR(share, 0.2, 0.1);  // 400 blocks: wide tolerance
+}
+
+TEST(PowEngineTest, TimestampsAdvance) {
+  PowEngine engine(SmallPowConfig());
+  StakeLedger ledger({200, 800});
+  Blockchain chain(4);
+  RngStream rng(4);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Block block = engine.MineNext(chain, ledger, rng);
+    EXPECT_GT(block.header.timestamp, prev);
+    prev = block.header.timestamp;
+    chain.Append(block);
+  }
+}
+
+// --- ML-PoS engine ---
+
+MlPosEngineConfig SmallMlConfig() {
+  MlPosEngineConfig config;
+  config.block_reward = 10000;  // 1% of initial total
+  config.target_spacing = 16;
+  return config;
+}
+
+TEST(MlPosEngineTest, ConstructionValidation) {
+  MlPosEngineConfig config = SmallMlConfig();
+  config.block_reward = 0;
+  EXPECT_THROW(MlPosEngine{config}, std::invalid_argument);
+  config = SmallMlConfig();
+  config.target_spacing = 0;
+  EXPECT_THROW(MlPosEngine{config}, std::invalid_argument);
+}
+
+TEST(MlPosEngineTest, MinesAndCompounds) {
+  MlPosEngine engine(SmallMlConfig());
+  StakeLedger ledger({200000, 800000});
+  Blockchain chain(5);
+  RngStream rng(5);
+  for (int i = 0; i < 50; ++i) chain.Append(engine.MineNext(chain, ledger, rng));
+  EXPECT_TRUE(chain.Validate().ok);
+  EXPECT_EQ(ledger.total(), 1000000u + 50u * 10000u);  // rewards staked
+  EXPECT_EQ(ledger.total_rewards(), 50u * 10000u);
+}
+
+TEST(MlPosEngineTest, KernelTargetScalesWithCirculation) {
+  MlPosEngine engine(SmallMlConfig());
+  StakeLedger small({1000, 1000});
+  StakeLedger large({100000, 100000});
+  // Larger circulation => smaller per-atom target (same network spacing).
+  EXPECT_GT(engine.KernelBaseTarget(small), engine.KernelBaseTarget(large));
+}
+
+TEST(MlPosEngineTest, BlockSpacingNearTarget) {
+  MlPosEngine engine(SmallMlConfig());
+  StakeLedger ledger({500000, 500000});
+  Blockchain chain(6);
+  RngStream rng(6);
+  const int blocks = 200;
+  for (int i = 0; i < blocks; ++i) {
+    chain.Append(engine.MineNext(chain, ledger, rng));
+  }
+  // Geometric spacing with mean ~ target_spacing = 16 (within noise).
+  EXPECT_NEAR(chain.MeanBlockInterval(), 16.0, 4.0);
+}
+
+TEST(MlPosEngineTest, ZeroStakeMinerNeverForges) {
+  MlPosEngine engine(SmallMlConfig());
+  StakeLedger ledger({0, 1000000});
+  Blockchain chain(7);
+  RngStream rng(7);
+  for (int i = 0; i < 30; ++i) chain.Append(engine.MineNext(chain, ledger, rng));
+  EXPECT_EQ(chain.BlocksBy(0), 0u);
+  EXPECT_EQ(chain.BlocksBy(1), 30u);
+}
+
+// --- SL-PoS engine ---
+
+SlPosEngineConfig SmallSlConfig(bool fair = false) {
+  SlPosEngineConfig config;
+  config.block_reward = 10000;
+  config.basetime = 1;
+  config.fair_transform = fair;
+  return config;
+}
+
+TEST(SlPosEngineTest, ConstructionValidation) {
+  SlPosEngineConfig config = SmallSlConfig();
+  config.block_reward = 0;
+  EXPECT_THROW(SlPosEngine{config}, std::invalid_argument);
+  config = SmallSlConfig();
+  config.basetime = 0;
+  EXPECT_THROW(SlPosEngine{config}, std::invalid_argument);
+}
+
+TEST(SlPosEngineTest, WinnerHasSmallestDeadline) {
+  SlPosEngine engine(SmallSlConfig());
+  StakeLedger ledger({200000, 300000, 500000});
+  Blockchain chain(8);
+  RngStream rng(8);
+  for (int i = 0; i < 30; ++i) {
+    const Block block = engine.MineNext(chain, ledger, rng);
+    // Recompute all deadlines on the same tip and verify the argmin.
+    std::uint64_t best = UINT64_MAX;
+    MinerId best_miner = 0;
+    for (MinerId m = 0; m < 3; ++m) {
+      const std::uint64_t deadline =
+          engine.Deadline(chain.TipHash(), m, ledger.balance(m) -
+                          (m == block.header.proposer ? 10000 : 0));
+      if (deadline < best) {
+        best = deadline;
+        best_miner = m;
+      }
+    }
+    EXPECT_EQ(block.header.proposer, best_miner);
+    chain.Append(block);
+  }
+}
+
+TEST(SlPosEngineTest, DeadlineInverseInStake) {
+  SlPosEngine engine(SmallSlConfig());
+  const crypto::Digest tip = crypto::Sha256Digest("tip");
+  const std::uint64_t rich = engine.Deadline(tip, 0, 1000000);
+  const std::uint64_t poor = engine.Deadline(tip, 0, 1000);
+  EXPECT_LT(rich, poor);
+  EXPECT_EQ(engine.Deadline(tip, 0, 0), UINT64_MAX);
+}
+
+TEST(SlPosEngineTest, DeterministicGivenTip) {
+  SlPosEngine engine(SmallSlConfig());
+  const crypto::Digest tip = crypto::Sha256Digest("tip");
+  EXPECT_EQ(engine.Deadline(tip, 1, 500), engine.Deadline(tip, 1, 500));
+}
+
+TEST(SlPosEngineTest, FairTransformChangesDeadlines) {
+  SlPosEngine plain(SmallSlConfig(false));
+  SlPosEngine fair(SmallSlConfig(true));
+  const crypto::Digest tip = crypto::Sha256Digest("tip");
+  EXPECT_NE(plain.Deadline(tip, 0, 100000), fair.Deadline(tip, 0, 100000));
+}
+
+TEST(SlPosEngineTest, GamesValidate) {
+  SlPosEngine engine(SmallSlConfig());
+  StakeLedger ledger({200000, 800000});
+  Blockchain chain(9);
+  RngStream rng(9);
+  for (int i = 0; i < 100; ++i) {
+    chain.Append(engine.MineNext(chain, ledger, rng));
+  }
+  EXPECT_TRUE(chain.Validate().ok);
+  EXPECT_EQ(ledger.total_rewards(), 100u * 10000u);
+}
+
+// --- C-PoS engine ---
+
+CPosEngineConfig SmallCPosConfig() {
+  CPosEngineConfig config;
+  config.proposer_reward = 10000;
+  config.inflation_reward = 100000;
+  config.shards = 32;
+  return config;
+}
+
+TEST(CPosEngineTest, ConstructionValidation) {
+  CPosEngineConfig config = SmallCPosConfig();
+  config.proposer_reward = 0;
+  EXPECT_THROW(CPosEngine{config}, std::invalid_argument);
+  config = SmallCPosConfig();
+  config.shards = 0;
+  EXPECT_THROW(CPosEngine{config}, std::invalid_argument);
+}
+
+TEST(CPosEngineTest, ExactConservationPerEpoch) {
+  CPosEngine engine(SmallCPosConfig());
+  StakeLedger ledger({123457, 876543});  // awkward numbers force rounding
+  Blockchain chain(10);
+  RngStream rng(10);
+  for (int i = 0; i < 25; ++i) {
+    chain.Append(engine.MineNext(chain, ledger, rng));
+    // Total minted must be exactly (proposer + inflation) * epochs.
+    EXPECT_EQ(ledger.total_rewards(),
+              static_cast<Amount>(i + 1) * (10000u + 100000u));
+  }
+  EXPECT_EQ(ledger.total(), 1000000u + 25u * 110000u);
+}
+
+TEST(CPosEngineTest, InflationApproximatelyProportional) {
+  CPosEngineConfig config = SmallCPosConfig();
+  config.proposer_reward = 32;  // negligible
+  config.inflation_reward = 1000000;
+  CPosEngine engine(config);
+  StakeLedger ledger({200000, 800000});
+  Blockchain chain(11);
+  RngStream rng(11);
+  chain.Append(engine.MineNext(chain, ledger, rng));
+  // Miner 0 should have received ~20% of the inflation.
+  EXPECT_NEAR(static_cast<double>(ledger.reward(0)), 200000.0, 100.0);
+}
+
+TEST(CPosEngineTest, EpochTimestampsAdvanceUniformly) {
+  CPosEngine engine(SmallCPosConfig());
+  StakeLedger ledger({500000, 500000});
+  Blockchain chain(12);
+  RngStream rng(12);
+  chain.Append(engine.MineNext(chain, ledger, rng));
+  chain.Append(engine.MineNext(chain, ledger, rng));
+  EXPECT_EQ(chain.at(2).header.timestamp - chain.at(1).header.timestamp,
+            384u);
+}
+
+TEST(CPosEngineTest, EpochRandomnessDerivesFromChain) {
+  // Two chains with the same genesis salt produce identical epochs even
+  // with different tie-break RNGs (the engine ignores rng).
+  CPosEngine e1(SmallCPosConfig()), e2(SmallCPosConfig());
+  StakeLedger l1({200000, 800000}), l2({200000, 800000});
+  Blockchain c1(13), c2(13);
+  RngStream r1(1), r2(999);
+  for (int i = 0; i < 10; ++i) {
+    c1.Append(e1.MineNext(c1, l1, r1));
+    c2.Append(e2.MineNext(c2, l2, r2));
+  }
+  EXPECT_EQ(l1.reward(0), l2.reward(0));
+  EXPECT_EQ(c1.TipHash(), c2.TipHash());
+}
+
+}  // namespace
+}  // namespace fairchain::chain

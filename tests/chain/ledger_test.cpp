@@ -1,0 +1,84 @@
+// Tests for the integer-atom stake ledger.
+
+#include "chain/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairchain::chain {
+namespace {
+
+TEST(LedgerTest, InitialBalances) {
+  StakeLedger ledger({200, 800});
+  EXPECT_EQ(ledger.miner_count(), 2u);
+  EXPECT_EQ(ledger.balance(0), 200u);
+  EXPECT_EQ(ledger.total(), 1000u);
+  EXPECT_DOUBLE_EQ(ledger.Share(0), 0.2);
+  EXPECT_EQ(ledger.total_rewards(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.RewardFraction(0), 0.0);
+}
+
+TEST(LedgerTest, ConstructionValidation) {
+  EXPECT_THROW(StakeLedger({}), std::invalid_argument);
+  EXPECT_THROW(StakeLedger({0, 0}), std::invalid_argument);
+}
+
+TEST(LedgerTest, StakingMintRaisesBalance) {
+  StakeLedger ledger({200, 800});
+  ledger.Mint(0, 50, /*staking=*/true);
+  EXPECT_EQ(ledger.balance(0), 250u);
+  EXPECT_EQ(ledger.total(), 1050u);
+  EXPECT_EQ(ledger.reward(0), 50u);
+  EXPECT_EQ(ledger.total_rewards(), 50u);
+}
+
+TEST(LedgerTest, NonStakingMintLeavesBalance) {
+  StakeLedger ledger({200, 800});
+  ledger.Mint(1, 50, /*staking=*/false);
+  EXPECT_EQ(ledger.balance(1), 800u);
+  EXPECT_EQ(ledger.total(), 1000u);
+  EXPECT_EQ(ledger.reward(1), 50u);
+}
+
+TEST(LedgerTest, RewardFractions) {
+  StakeLedger ledger({500, 500});
+  ledger.Mint(0, 30, true);
+  ledger.Mint(1, 10, true);
+  EXPECT_DOUBLE_EQ(ledger.RewardFraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(ledger.RewardFraction(1), 0.25);
+}
+
+TEST(LedgerTest, MintOutOfRangeThrows) {
+  StakeLedger ledger({100});
+  EXPECT_THROW(ledger.Mint(1, 5, true), std::invalid_argument);
+}
+
+TEST(LedgerTest, ResetRestoresInitial) {
+  StakeLedger ledger({200, 800});
+  ledger.Mint(0, 50, true);
+  ledger.Reset();
+  EXPECT_EQ(ledger.balance(0), 200u);
+  EXPECT_EQ(ledger.total(), 1000u);
+  EXPECT_EQ(ledger.reward(0), 0u);
+  EXPECT_EQ(ledger.total_rewards(), 0u);
+}
+
+TEST(LedgerTest, ConservationInvariant) {
+  StakeLedger ledger({100, 200, 300});
+  ledger.Mint(0, 11, true);
+  ledger.Mint(1, 13, true);
+  ledger.Mint(2, 17, false);
+  Amount balance_sum = 0;
+  for (MinerId m = 0; m < 3; ++m) balance_sum += ledger.balance(m);
+  EXPECT_EQ(balance_sum, ledger.total());
+  EXPECT_EQ(ledger.total(), 600u + 11u + 13u);
+  EXPECT_EQ(ledger.total_rewards(), 41u);
+}
+
+TEST(LedgerTest, InitialBalanceAccessor) {
+  StakeLedger ledger({123, 456});
+  ledger.Mint(0, 9, true);
+  EXPECT_EQ(ledger.initial_balance(0), 123u);
+}
+
+}  // namespace
+}  // namespace fairchain::chain

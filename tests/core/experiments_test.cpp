@@ -1,0 +1,77 @@
+// Tests for the shared experiment descriptors.
+
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairchain::core::experiments {
+namespace {
+
+TEST(ExperimentsTest, DefaultSpecMatchesPaper) {
+  const FairnessSpec spec = DefaultSpec();
+  EXPECT_DOUBLE_EQ(spec.epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(spec.delta, 0.1);
+}
+
+TEST(ExperimentsTest, StandardProtocolsInPaperOrder) {
+  const auto models = MakeStandardProtocols();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0]->name(), "PoW");
+  EXPECT_EQ(models[1]->name(), "ML-PoS");
+  EXPECT_EQ(models[2]->name(), "SL-PoS");
+  EXPECT_EQ(models[3]->name(), "C-PoS");
+}
+
+TEST(ExperimentsTest, StandardProtocolRewards) {
+  const auto models = MakeStandardProtocols(0.01, 0.1, 32);
+  EXPECT_DOUBLE_EQ(models[0]->RewardPerStep(), 0.01);
+  EXPECT_DOUBLE_EQ(models[1]->RewardPerStep(), 0.01);
+  EXPECT_DOUBLE_EQ(models[2]->RewardPerStep(), 0.01);
+  EXPECT_DOUBLE_EQ(models[3]->RewardPerStep(), 0.11);
+}
+
+TEST(ExperimentsTest, WhaleStakesShape) {
+  const auto stakes = WhaleStakes(5, 0.2);
+  ASSERT_EQ(stakes.size(), 5u);
+  EXPECT_DOUBLE_EQ(stakes[0], 0.2);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_DOUBLE_EQ(stakes[i], 0.2);
+  double total = 0.0;
+  for (const double s : stakes) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ExperimentsTest, WhaleStakesTenMiners) {
+  const auto stakes = WhaleStakes(10, 0.2);
+  EXPECT_DOUBLE_EQ(stakes[0], 0.2);
+  EXPECT_NEAR(stakes[1], 0.8 / 9.0, 1e-12);
+}
+
+TEST(ExperimentsTest, WhaleStakesValidation) {
+  EXPECT_THROW(WhaleStakes(1, 0.2), std::invalid_argument);
+  EXPECT_THROW(WhaleStakes(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(WhaleStakes(5, 1.0), std::invalid_argument);
+}
+
+TEST(ExperimentsTest, FormatConvergence) {
+  EXPECT_EQ(FormatConvergence(std::nullopt), "Never");
+  EXPECT_EQ(FormatConvergence(1055), "1055");
+}
+
+TEST(ExperimentsTest, MultiMinerGameRunsEndToEnd) {
+  const auto models = MakeStandardProtocols();
+  SimulationConfig config;
+  config.steps = 300;
+  config.replications = 300;
+  config.seed = 5;
+  config.checkpoints = LinearCheckpoints(300, 10);
+  const auto outcome =
+      RunMultiMinerGame(*models[0], 3, 0.2, config, DefaultSpec());
+  EXPECT_EQ(outcome.protocol, "PoW");
+  EXPECT_EQ(outcome.miners, 3u);
+  EXPECT_NEAR(outcome.avg_lambda, 0.2, 0.02);
+  EXPECT_GE(outcome.unfair_probability, 0.0);
+  EXPECT_LE(outcome.unfair_probability, 1.0);
+}
+
+}  // namespace
+}  // namespace fairchain::core::experiments

@@ -1,0 +1,249 @@
+// Tests for the Monte Carlo engine: determinism, checkpoint statistics,
+// and convergence detection.
+
+#include "core/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "math/special.hpp"
+#include "protocol/ml_pos.hpp"
+#include "protocol/pow.hpp"
+
+namespace fairchain::core {
+namespace {
+
+SimulationConfig SmallConfig() {
+  SimulationConfig config;
+  config.steps = 200;
+  config.replications = 400;
+  config.seed = 7;
+  config.checkpoints = {50, 100, 200};
+  return config;
+}
+
+TEST(SimulationConfigTest, ValidatesRanges) {
+  SimulationConfig config = SmallConfig();
+  EXPECT_NO_THROW(config.Validate());
+  config.steps = 0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = SmallConfig();
+  config.replications = 0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = SmallConfig();
+  config.checkpoints = {0, 100};
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = SmallConfig();
+  config.checkpoints = {100, 100};
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = SmallConfig();
+  config.checkpoints = {100, 300};
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+}
+
+TEST(LinearCheckpointsTest, EndsAtStepsAndAscends) {
+  const auto cps = LinearCheckpoints(1000, 10);
+  EXPECT_EQ(cps.back(), 1000u);
+  for (std::size_t i = 1; i < cps.size(); ++i) EXPECT_GT(cps[i], cps[i - 1]);
+}
+
+TEST(LinearCheckpointsTest, CountCappedBySteps) {
+  const auto cps = LinearCheckpoints(5, 100);
+  EXPECT_EQ(cps.size(), 5u);
+  EXPECT_EQ(cps.front(), 1u);
+}
+
+TEST(LogCheckpointsTest, LogSpacedAndComplete) {
+  const auto cps = LogCheckpoints(100000, 20, 10);
+  EXPECT_EQ(cps.front(), 10u);
+  EXPECT_EQ(cps.back(), 100000u);
+  for (std::size_t i = 1; i < cps.size(); ++i) EXPECT_GT(cps[i], cps[i - 1]);
+  EXPECT_THROW(LogCheckpoints(10, 5, 100), std::invalid_argument);
+}
+
+TEST(MonteCarloEngineTest, AutoCheckpointsWhenEmpty) {
+  SimulationConfig config;
+  config.steps = 50;
+  config.replications = 10;
+  MonteCarloEngine engine(config, FairnessSpec{});
+  EXPECT_FALSE(engine.config().checkpoints.empty());
+  EXPECT_EQ(engine.config().checkpoints.back(), 50u);
+}
+
+TEST(MonteCarloEngineTest, ResultShapeMatchesConfig) {
+  MonteCarloEngine engine(SmallConfig(), FairnessSpec{});
+  protocol::PowModel model(0.01);
+  const SimulationResult result = engine.RunTwoMiner(model, 0.2);
+  EXPECT_EQ(result.protocol, "PoW");
+  EXPECT_DOUBLE_EQ(result.initial_share, 0.2);
+  ASSERT_EQ(result.checkpoints.size(), 3u);
+  EXPECT_EQ(result.checkpoints[0].step, 50u);
+  EXPECT_EQ(result.checkpoints[2].step, 200u);
+  EXPECT_EQ(result.final_lambdas.size(), 400u);
+  EXPECT_EQ(result.Final().step, 200u);
+}
+
+TEST(MonteCarloEngineTest, DeterministicAcrossThreadCounts) {
+  protocol::MlPosModel model(0.01);
+  SimulationConfig config = SmallConfig();
+  config.threads = 1;
+  MonteCarloEngine engine1(config, FairnessSpec{});
+  config.threads = 4;
+  MonteCarloEngine engine4(config, FairnessSpec{});
+  const auto r1 = engine1.RunTwoMiner(model, 0.2);
+  const auto r4 = engine4.RunTwoMiner(model, 0.2);
+  ASSERT_EQ(r1.final_lambdas.size(), r4.final_lambdas.size());
+  for (std::size_t i = 0; i < r1.final_lambdas.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.final_lambdas[i], r4.final_lambdas[i]);
+  }
+}
+
+TEST(MonteCarloEngineTest, SameSeedSameResult) {
+  protocol::PowModel model(0.01);
+  MonteCarloEngine engine(SmallConfig(), FairnessSpec{});
+  const auto r1 = engine.RunTwoMiner(model, 0.2);
+  const auto r2 = engine.RunTwoMiner(model, 0.2);
+  EXPECT_EQ(r1.final_lambdas, r2.final_lambdas);
+}
+
+TEST(MonteCarloEngineTest, DifferentSeedsDiffer) {
+  protocol::PowModel model(0.01);
+  SimulationConfig config = SmallConfig();
+  MonteCarloEngine e1(config, FairnessSpec{});
+  config.seed = 8;
+  MonteCarloEngine e2(config, FairnessSpec{});
+  EXPECT_NE(e1.RunTwoMiner(model, 0.2).final_lambdas,
+            e2.RunTwoMiner(model, 0.2).final_lambdas);
+}
+
+TEST(MonteCarloEngineTest, CheckpointStatsInternallyConsistent) {
+  protocol::PowModel model(0.01);
+  MonteCarloEngine engine(SmallConfig(), FairnessSpec{});
+  const auto result = engine.RunTwoMiner(model, 0.2);
+  for (const auto& cp : result.checkpoints) {
+    EXPECT_LE(cp.min, cp.p05);
+    EXPECT_LE(cp.p05, cp.p25);
+    EXPECT_LE(cp.p25, cp.median);
+    EXPECT_LE(cp.median, cp.p75);
+    EXPECT_LE(cp.p75, cp.p95);
+    EXPECT_LE(cp.p95, cp.max);
+    EXPECT_GE(cp.unfair_probability, 0.0);
+    EXPECT_LE(cp.unfair_probability, 1.0);
+    EXPECT_GE(cp.mean, cp.min);
+    EXPECT_LE(cp.mean, cp.max);
+  }
+}
+
+TEST(MonteCarloEngineTest, PowStatisticsMatchBinomialTheory) {
+  // At checkpoint n, n*lambda ~ Bin(n, a): verify mean and the unfair
+  // probability against the exact binomial computation.
+  protocol::PowModel model(1.0);
+  SimulationConfig config;
+  config.steps = 400;
+  config.replications = 6000;
+  config.seed = 11;
+  config.checkpoints = {400};
+  const FairnessSpec spec{0.1, 0.1};
+  MonteCarloEngine engine(config, spec);
+  const auto result = engine.RunTwoMiner(model, 0.2);
+  const auto& cp = result.Final();
+  EXPECT_NEAR(cp.mean, 0.2, 0.003);
+  const double exact_unfair = 1.0 - math::PowDeltaExact(400, 0.2, 0.1);
+  EXPECT_NEAR(cp.unfair_probability, exact_unfair, 0.025);
+}
+
+TEST(MonteCarloEngineTest, ConvergenceStepDetected) {
+  // PoW with a = 0.2 converges within a few thousand blocks.
+  protocol::PowModel model(0.01);
+  SimulationConfig config;
+  config.steps = 3000;
+  config.replications = 1500;
+  config.seed = 12;
+  config.checkpoints = LinearCheckpoints(3000, 30);
+  MonteCarloEngine engine(config, FairnessSpec{0.1, 0.1});
+  const auto result = engine.RunTwoMiner(model, 0.2);
+  const auto convergence = result.ConvergenceStep();
+  ASSERT_TRUE(convergence.has_value());
+  EXPECT_GT(*convergence, 400u);
+  EXPECT_LT(*convergence, 2500u);
+}
+
+TEST(MonteCarloEngineTest, NoConvergenceReportedAsNullopt) {
+  // ML-PoS at w = 0.1 never clears delta = 0.1 (limit Beta(2, 8)).
+  protocol::MlPosModel model(0.1);
+  SimulationConfig config;
+  config.steps = 1000;
+  config.replications = 1000;
+  config.seed = 13;
+  config.checkpoints = LinearCheckpoints(1000, 20);
+  MonteCarloEngine engine(config, FairnessSpec{0.1, 0.1});
+  const auto result = engine.RunTwoMiner(model, 0.2);
+  EXPECT_FALSE(result.ConvergenceStep().has_value());
+}
+
+TEST(MonteCarloEngineTest, ConvergenceRequiresStayingConverged) {
+  // Construct a synthetic result where unfairness dips then rises: the
+  // first dip must not count.
+  SimulationResult result;
+  result.spec = FairnessSpec{0.1, 0.1};
+  CheckpointStats cp;
+  cp.step = 10;
+  cp.unfair_probability = 0.05;  // dips below delta
+  result.checkpoints.push_back(cp);
+  cp.step = 20;
+  cp.unfair_probability = 0.5;   // rises again
+  result.checkpoints.push_back(cp);
+  cp.step = 30;
+  cp.unfair_probability = 0.08;  // final convergence
+  result.checkpoints.push_back(cp);
+  const auto convergence = result.ConvergenceStep();
+  ASSERT_TRUE(convergence.has_value());
+  EXPECT_EQ(*convergence, 30u);
+}
+
+TEST(MonteCarloEngineTest, WithholdingConfigPlumbsThrough) {
+  protocol::MlPosModel model(0.05);
+  SimulationConfig config = SmallConfig();
+  config.withhold_period = 100;
+  MonteCarloEngine engine(config, FairnessSpec{});
+  const auto result = engine.RunTwoMiner(model, 0.2);
+  EXPECT_EQ(result.config.withhold_period, 100u);
+  // Expectational fairness still holds under withholding.
+  EXPECT_NEAR(result.Final().mean, 0.2, 0.03);
+}
+
+TEST(MonteCarloEngineTest, MinerIndexOutOfRangeThrows) {
+  protocol::PowModel model(0.01);
+  SimulationConfig config = SmallConfig();
+  config.miner = 5;
+  MonteCarloEngine engine(config, FairnessSpec{});
+  EXPECT_THROW(engine.Run(model, {0.2, 0.8}), std::invalid_argument);
+}
+
+TEST(MonteCarloEngineTest, TracksNonZeroMiner) {
+  protocol::PowModel model(0.01);
+  SimulationConfig config = SmallConfig();
+  config.miner = 1;
+  MonteCarloEngine engine(config, FairnessSpec{});
+  const auto result = engine.Run(model, {0.2, 0.8});
+  EXPECT_DOUBLE_EQ(result.initial_share, 0.8);
+  EXPECT_NEAR(result.Final().mean, 0.8, 0.02);
+}
+
+TEST(MonteCarloEngineTest, RunTwoMinerValidatesShare) {
+  protocol::PowModel model(0.01);
+  MonteCarloEngine engine(SmallConfig(), FairnessSpec{});
+  EXPECT_THROW(engine.RunTwoMiner(model, 0.0), std::invalid_argument);
+  EXPECT_THROW(engine.RunTwoMiner(model, 1.0), std::invalid_argument);
+}
+
+TEST(MonteCarloEngineTest, ExpectationalReportConsistentForPow) {
+  protocol::PowModel model(0.01);
+  MonteCarloEngine engine(SmallConfig(), FairnessSpec{});
+  const auto result = engine.RunTwoMiner(model, 0.2);
+  const auto report = result.Expectational();
+  EXPECT_TRUE(report.consistent);
+  EXPECT_DOUBLE_EQ(report.target, 0.2);
+}
+
+}  // namespace
+}  // namespace fairchain::core

@@ -1,0 +1,102 @@
+// Tests for the Pólya urn and its Beta limit.
+
+#include "core/polya.hpp"
+
+#include <gtest/gtest.h>
+
+#include "math/special.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace fairchain::core {
+namespace {
+
+TEST(PolyaUrnTest, ConstructionValidation) {
+  EXPECT_THROW(PolyaUrn({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(PolyaUrn({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(PolyaUrn({-1.0, 1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(PolyaUrn({0.0, 0.0}, 1.0), std::invalid_argument);
+}
+
+TEST(PolyaUrnTest, DrawReinforcesDrawnColor) {
+  PolyaUrn urn({1.0, 1.0}, 0.5);
+  RngStream rng(1);
+  const std::size_t color = urn.Draw(rng);
+  EXPECT_DOUBLE_EQ(urn.mass(color), 1.5);
+  EXPECT_DOUBLE_EQ(urn.total_mass(), 2.5);
+  EXPECT_EQ(urn.draws(), 1u);
+}
+
+TEST(PolyaUrnTest, RunCountsHits) {
+  PolyaUrn urn({1.0, 0.0}, 1.0);  // color 1 can never be drawn
+  RngStream rng(2);
+  EXPECT_EQ(urn.Run(rng, 100, 0), 100u);
+  EXPECT_EQ(urn.draws(), 100u);
+}
+
+TEST(PolyaUrnTest, ResetRestoresMasses) {
+  PolyaUrn urn({2.0, 3.0}, 1.0);
+  RngStream rng(3);
+  urn.Run(rng, 50, 0);
+  urn.Reset();
+  EXPECT_DOUBLE_EQ(urn.mass(0), 2.0);
+  EXPECT_DOUBLE_EQ(urn.mass(1), 3.0);
+  EXPECT_DOUBLE_EQ(urn.total_mass(), 5.0);
+  EXPECT_EQ(urn.draws(), 0u);
+}
+
+TEST(PolyaUrnTest, ExpectedShareIsMartingale) {
+  // E[share after n draws] = initial share.
+  RunningStats stats;
+  const RngStream master(4);
+  for (std::uint64_t rep = 0; rep < 5000; ++rep) {
+    PolyaUrn urn({0.2, 0.8}, 0.05);
+    RngStream rng = master.Split(rep);
+    urn.Run(rng, 200, 0);
+    stats.Add(urn.Share(0));
+  }
+  EXPECT_NEAR(stats.Mean(), 0.2, 4.0 * stats.StdError());
+}
+
+TEST(PolyaUrnTest, ShareVarianceMatchesBetaLimit) {
+  // Classical two-color urn: share -> Beta(s0/w, s1/w); compare moments at
+  // a long horizon.
+  const double w = 0.1;
+  const BetaParams limit = PolyaUrn::TwoColorLimit(0.2, 0.8, w);
+  RunningStats stats;
+  const RngStream master(5);
+  for (std::uint64_t rep = 0; rep < 4000; ++rep) {
+    PolyaUrn urn({0.2, 0.8}, w);
+    RngStream rng = master.Split(rep);
+    urn.Run(rng, 2000, 0);
+    stats.Add(urn.Share(0));
+  }
+  EXPECT_NEAR(stats.Mean(), math::BetaMean(limit.alpha, limit.beta), 0.01);
+  EXPECT_NEAR(stats.Variance(),
+              math::BetaVariance(limit.alpha, limit.beta),
+              0.15 * math::BetaVariance(limit.alpha, limit.beta));
+}
+
+TEST(PolyaUrnTest, TwoColorLimitParameters) {
+  const BetaParams params = PolyaUrn::TwoColorLimit(0.2, 0.8, 0.01);
+  EXPECT_DOUBLE_EQ(params.alpha, 20.0);
+  EXPECT_DOUBLE_EQ(params.beta, 80.0);
+  EXPECT_THROW(PolyaUrn::TwoColorLimit(0.0, 0.8, 0.01),
+               std::invalid_argument);
+}
+
+TEST(PolyaUrnTest, ThreeColorSharesSumToOne) {
+  PolyaUrn urn({1.0, 2.0, 3.0}, 0.5);
+  RngStream rng(6);
+  urn.Run(rng, 500, 0);
+  EXPECT_NEAR(urn.Share(0) + urn.Share(1) + urn.Share(2), 1.0, 1e-12);
+}
+
+TEST(PolyaUrnTest, DeterministicGivenSeed) {
+  PolyaUrn u1({0.3, 0.7}, 0.1), u2({0.3, 0.7}, 0.1);
+  RngStream r1(7), r2(7);
+  EXPECT_EQ(u1.Run(r1, 1000, 0), u2.Run(r2, 1000, 0));
+}
+
+}  // namespace
+}  // namespace fairchain::core

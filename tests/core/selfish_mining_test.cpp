@@ -1,0 +1,114 @@
+// Tests for the selfish-mining extension (Eyal-Sirer model).
+
+#include "core/selfish_mining.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace fairchain::core {
+namespace {
+
+TEST(SelfishRevenueTest, Validation) {
+  EXPECT_THROW(SelfishMiningRevenue(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(SelfishMiningRevenue(0.6, 0.5), std::invalid_argument);
+  EXPECT_THROW(SelfishMiningRevenue(0.3, -0.1), std::invalid_argument);
+  EXPECT_THROW(SelfishMiningRevenue(0.3, 1.1), std::invalid_argument);
+}
+
+TEST(SelfishRevenueTest, EqualsAlphaAtThreshold) {
+  // At gamma = 0 the threshold is 1/3 and R(1/3, 0) = 1/3 exactly.
+  EXPECT_NEAR(SelfishMiningRevenue(1.0 / 3.0, 0.0), 1.0 / 3.0, 1e-12);
+  // At gamma = 1 the threshold is 0: any alpha profits.
+  EXPECT_GT(SelfishMiningRevenue(0.1, 1.0), 0.1);
+}
+
+TEST(SelfishRevenueTest, BelowThresholdUnprofitable) {
+  EXPECT_LT(SelfishMiningRevenue(0.2, 0.0), 0.2);
+  EXPECT_LT(SelfishMiningRevenue(0.3, 0.0), 0.3);
+}
+
+TEST(SelfishRevenueTest, AboveThresholdProfitable) {
+  EXPECT_GT(SelfishMiningRevenue(0.4, 0.0), 0.4);
+  EXPECT_GT(SelfishMiningRevenue(0.45, 0.5), 0.45);
+}
+
+TEST(SelfishRevenueTest, IncreasingInGamma) {
+  double prev = 0.0;
+  for (const double gamma : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double revenue = SelfishMiningRevenue(0.3, gamma);
+    EXPECT_GT(revenue, prev);
+    prev = revenue;
+  }
+}
+
+TEST(SelfishThresholdTest, ClassicValues) {
+  EXPECT_NEAR(SelfishMiningThreshold(0.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(SelfishMiningThreshold(0.5), 0.25, 1e-12);
+  EXPECT_NEAR(SelfishMiningThreshold(1.0), 0.0, 1e-12);
+  EXPECT_THROW(SelfishMiningThreshold(-0.1), std::invalid_argument);
+}
+
+TEST(SelfishSimulatorTest, Validation) {
+  EXPECT_THROW(SelfishMiningSimulator(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(SelfishMiningSimulator(1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(SelfishMiningSimulator(0.3, 2.0), std::invalid_argument);
+}
+
+TEST(SelfishSimulatorTest, MatchesClosedFormAcrossAlphas) {
+  for (const double alpha : {0.15, 0.25, 0.35, 0.45}) {
+    for (const double gamma : {0.0, 0.5, 1.0}) {
+      SelfishMiningSimulator simulator(alpha, gamma);
+      RngStream rng(static_cast<std::uint64_t>(alpha * 1000 + gamma * 10));
+      const SelfishMiningResult result = simulator.Run(rng, 2000000);
+      EXPECT_NEAR(result.RevenueShare(),
+                  SelfishMiningRevenue(alpha, gamma), 0.01)
+          << "alpha=" << alpha << " gamma=" << gamma;
+    }
+  }
+}
+
+TEST(SelfishSimulatorTest, OrphansOnlyWhenForking) {
+  // A selfish miner with overwhelming power rarely forks against itself;
+  // a balanced fight produces many orphans.
+  SelfishMiningSimulator weak(0.1, 0.0);
+  SelfishMiningSimulator strong(0.45, 0.0);
+  RngStream rng1(1), rng2(2);
+  const auto weak_result = weak.Run(rng1, 200000);
+  const auto strong_result = strong.Run(rng2, 200000);
+  EXPECT_GT(strong_result.orphaned_blocks, weak_result.orphaned_blocks);
+}
+
+TEST(SelfishSimulatorTest, BreaksExpectationalFairness) {
+  // The fairness framing: honest PoW gives lambda = alpha; a selfish pool
+  // with alpha = 0.4, gamma = 0.5 earns measurably more.
+  SelfishMiningSimulator simulator(0.4, 0.5);
+  RngStream rng(3);
+  const auto result = simulator.Run(rng, 1000000);
+  EXPECT_GT(result.RevenueShare(), 0.44);
+}
+
+TEST(SelfishSimulatorTest, Deterministic) {
+  SelfishMiningSimulator simulator(0.3, 0.5);
+  RngStream r1(9), r2(9);
+  const auto a = simulator.Run(r1, 100000);
+  const auto b = simulator.Run(r2, 100000);
+  EXPECT_EQ(a.selfish_blocks, b.selfish_blocks);
+  EXPECT_EQ(a.honest_blocks, b.honest_blocks);
+  EXPECT_EQ(a.orphaned_blocks, b.orphaned_blocks);
+}
+
+TEST(SelfishSimulatorTest, ConservationOfEvents) {
+  // Every simulated discovery ends up committed or orphaned (up to the
+  // settled lead).
+  SelfishMiningSimulator simulator(0.3, 0.0);
+  RngStream rng(4);
+  const std::uint64_t events = 500000;
+  const auto result = simulator.Run(rng, events);
+  EXPECT_EQ(result.selfish_blocks + result.honest_blocks +
+                result.orphaned_blocks,
+            events);
+}
+
+}  // namespace
+}  // namespace fairchain::core

@@ -1,0 +1,101 @@
+// Keccak-256 against the well-known (pre-NIST padding) vectors used by
+// Ethereum.
+
+#include "crypto/keccak256.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fairchain::crypto {
+namespace {
+
+TEST(Keccak256Test, EmptyString) {
+  // The ubiquitous Ethereum empty hash.
+  EXPECT_EQ(DigestToHex(Keccak256Digest("")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Keccak256Digest("abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak256Test, QuickBrownFox) {
+  EXPECT_EQ(DigestToHex(Keccak256Digest(
+                "The quick brown fox jumps over the lazy dog")),
+            "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15");
+}
+
+TEST(Keccak256Test, DiffersFromSha3) {
+  // SHA3-256("") = a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a
+  // Keccak-256 must NOT equal it (different padding).
+  EXPECT_NE(DigestToHex(Keccak256Digest("")),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+}
+
+TEST(Keccak256Test, StreamingEqualsOneShot) {
+  const std::string message(500, 'q');
+  Keccak256 ctx;
+  ctx.Update(message.substr(0, 100));
+  ctx.Update(message.substr(100, 300));
+  ctx.Update(message.substr(400));
+  EXPECT_EQ(ctx.Finalize(), Keccak256Digest(message));
+}
+
+TEST(Keccak256Test, SplitAtRateBoundary) {
+  const std::string part1(136, 'r');  // exactly one rate block
+  const std::string part2 = "tail";
+  Keccak256 ctx;
+  ctx.Update(part1);
+  ctx.Update(part2);
+  EXPECT_EQ(ctx.Finalize(), Keccak256Digest(part1 + part2));
+}
+
+TEST(Keccak256Test, ResetRestoresInitialState) {
+  Keccak256 ctx;
+  ctx.Update("garbage");
+  ctx.Reset();
+  ctx.Update("abc");
+  EXPECT_EQ(DigestToHex(ctx.Finalize()),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak256Test, UpdateU64MatchesByteEncoding) {
+  Keccak256 a;
+  a.UpdateU64(0x1122334455667788ULL);
+  const std::uint8_t bytes[8] = {0x88, 0x77, 0x66, 0x55,
+                                 0x44, 0x33, 0x22, 0x11};
+  Keccak256 b;
+  b.Update(bytes, 8);
+  EXPECT_EQ(a.Finalize(), b.Finalize());
+}
+
+TEST(Keccak256Test, LongMessage) {
+  // Self-consistency on a multi-block message (10 KiB).
+  const std::string message(10240, 'z');
+  const Digest d1 = Keccak256Digest(message);
+  Keccak256 ctx;
+  for (std::size_t i = 0; i < message.size(); i += 1000) {
+    ctx.Update(message.substr(i, 1000));
+  }
+  EXPECT_EQ(ctx.Finalize(), d1);
+}
+
+TEST(Keccak256Test, AvalancheOnSingleBitFlip) {
+  std::string a = "fairchain";
+  std::string b = a;
+  b[0] = static_cast<char>(b[0] ^ 1);
+  const Digest da = Keccak256Digest(a);
+  const Digest db = Keccak256Digest(b);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    differing_bits += __builtin_popcount(da[i] ^ db[i]);
+  }
+  // Expect ~128 of 256 bits to flip; allow a very wide window.
+  EXPECT_GT(differing_bits, 80);
+  EXPECT_LT(differing_bits, 176);
+}
+
+}  // namespace
+}  // namespace fairchain::crypto

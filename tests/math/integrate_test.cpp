@@ -1,0 +1,102 @@
+// Tests for numerical quadrature.
+
+#include "math/integrate.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairchain::math {
+namespace {
+
+TEST(AdaptiveSimpsonTest, ExactForCubics) {
+  auto cubic = [](double x) { return x * x * x - 2.0 * x + 1.0; };
+  // Integral over [0, 2]: 4 - 4 + 2 = 2.
+  EXPECT_NEAR(AdaptiveSimpson(cubic, 0.0, 2.0), 2.0, 1e-12);
+}
+
+TEST(AdaptiveSimpsonTest, KnownTranscendental) {
+  EXPECT_NEAR(AdaptiveSimpson([](double x) { return std::sin(x); }, 0.0, M_PI),
+              2.0, 1e-10);
+  EXPECT_NEAR(
+      AdaptiveSimpson([](double x) { return std::exp(-x); }, 0.0, 50.0),
+      1.0, 1e-9);
+}
+
+TEST(AdaptiveSimpsonTest, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(AdaptiveSimpson([](double) { return 42.0; }, 1.0, 1.0),
+                   0.0);
+}
+
+TEST(AdaptiveSimpsonTest, ReversedIntervalIsNegative) {
+  const double forward =
+      AdaptiveSimpson([](double x) { return x; }, 0.0, 1.0);
+  const double backward =
+      AdaptiveSimpson([](double x) { return x; }, 1.0, 0.0);
+  EXPECT_NEAR(forward, -backward, 1e-12);
+}
+
+TEST(AdaptiveSimpsonTest, HandlesSharpPeak) {
+  // Narrow Gaussian: integral over [-1, 1] of exp(-x^2 / (2 s^2)) with
+  // s = 0.01 is s * sqrt(2 pi).
+  const double s = 0.01;
+  const double value = AdaptiveSimpson(
+      [s](double x) { return std::exp(-x * x / (2.0 * s * s)); }, -1.0, 1.0,
+      1e-12);
+  EXPECT_NEAR(value, s * std::sqrt(2.0 * M_PI), 1e-8);
+}
+
+TEST(GaussLegendreTest, ExactForHighDegreePolynomials) {
+  // Order-16 Gauss-Legendre integrates degree <= 31 exactly.
+  auto poly = [](double x) {
+    double acc = 0.0;
+    double pw = 1.0;
+    for (int d = 0; d <= 15; ++d) {
+      acc += pw;
+      pw *= x;
+    }
+    return acc;  // sum x^d, d = 0..15
+  };
+  double exact = 0.0;
+  for (int d = 0; d <= 15; ++d) exact += 1.0 / (d + 1);  // over [0,1]
+  EXPECT_NEAR(GaussLegendre(poly, 0.0, 1.0, 16), exact, 1e-12);
+}
+
+TEST(GaussLegendreTest, AllOrdersAgreeOnSmoothFunction) {
+  auto f = [](double x) { return std::cos(x); };
+  const double exact = std::sin(1.5) - std::sin(0.5);
+  EXPECT_NEAR(GaussLegendre(f, 0.5, 1.5, 8), exact, 1e-10);
+  EXPECT_NEAR(GaussLegendre(f, 0.5, 1.5, 16), exact, 1e-12);
+  EXPECT_NEAR(GaussLegendre(f, 0.5, 1.5, 32), exact, 1e-12);
+}
+
+TEST(GaussLegendreTest, RejectsUnsupportedOrder) {
+  EXPECT_THROW(GaussLegendre([](double) { return 1.0; }, 0.0, 1.0, 12),
+               std::invalid_argument);
+}
+
+TEST(GaussLegendreTest, MatchesAdaptiveSimpsonOnLemma61Integrand) {
+  // The Lemma 6.1 integrand: product of (1 - S_j z) over [0, 1/S_max].
+  const std::vector<double> stakes = {0.2, 0.3, 0.5};
+  auto integrand = [&stakes](double z) {
+    double prod = 1.0;
+    for (std::size_t j = 1; j < stakes.size(); ++j) {
+      prod *= std::max(0.0, 1.0 - stakes[j] * z);
+    }
+    return prod;
+  };
+  const double upper = 1.0 / 0.5;
+  EXPECT_NEAR(GaussLegendre(integrand, 0.0, upper, 32),
+              AdaptiveSimpson(integrand, 0.0, upper, 1e-13), 1e-10);
+}
+
+TEST(GaussLegendreTest, LinearityInInterval) {
+  auto f = [](double x) { return x * x; };
+  const double whole = GaussLegendre(f, 0.0, 2.0, 16);
+  const double split =
+      GaussLegendre(f, 0.0, 1.0, 16) + GaussLegendre(f, 1.0, 2.0, 16);
+  EXPECT_NEAR(whole, split, 1e-12);
+}
+
+}  // namespace
+}  // namespace fairchain::math

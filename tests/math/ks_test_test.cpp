@@ -1,0 +1,139 @@
+// Tests for the Kolmogorov-Smirnov machinery.
+
+#include "math/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "math/distributions.hpp"
+#include "math/special.hpp"
+#include "support/rng.hpp"
+
+namespace fairchain::math {
+namespace {
+
+TEST(KolmogorovSurvivalTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(-1.0), 1.0);
+  // Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(KolmogorovSurvival(1.36), 0.049, 0.002);
+  // Q(1.63) ~ 0.010.
+  EXPECT_NEAR(KolmogorovSurvival(1.63), 0.010, 0.001);
+  EXPECT_LT(KolmogorovSurvival(3.0), 1e-6);
+}
+
+TEST(KolmogorovSurvivalTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double x = 0.1; x < 3.0; x += 0.1) {
+    const double q = KolmogorovSurvival(x);
+    EXPECT_LE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(KsOneSampleTest, UniformSampleAgainstUniformCdf) {
+  RngStream rng(1);
+  std::vector<double> sample(5000);
+  for (auto& v : sample) v = rng.NextDouble();
+  const KsResult result =
+      KsTestOneSample(sample, [](double x) { return x; });
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_LT(result.statistic, 0.05);
+}
+
+TEST(KsOneSampleTest, RejectsWrongDistribution) {
+  RngStream rng(2);
+  std::vector<double> sample(5000);
+  for (auto& v : sample) v = rng.NextDouble() * rng.NextDouble();  // not U
+  const KsResult result =
+      KsTestOneSample(sample, [](double x) { return x; });
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsOneSampleTest, BetaSampleAgainstBetaCdf) {
+  RngStream rng(3);
+  std::vector<double> sample(4000);
+  for (auto& v : sample) v = SampleBeta(rng, 20.0, 80.0);
+  const KsResult result = KsTestOneSample(
+      sample, [](double x) { return BetaCdf(20.0, 80.0, x); });
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(KsOneSampleTest, EmptySampleThrows) {
+  EXPECT_THROW(KsTestOneSample({}, [](double x) { return x; }),
+               std::invalid_argument);
+}
+
+TEST(KsTwoSampleTest, SameDistributionPasses) {
+  RngStream rng(4);
+  std::vector<double> a(3000), b(3000);
+  for (auto& v : a) v = SampleNormal(rng);
+  for (auto& v : b) v = SampleNormal(rng);
+  const KsResult result = KsTestTwoSample(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(KsTwoSampleTest, ShiftedDistributionFails) {
+  RngStream rng(5);
+  std::vector<double> a(3000), b(3000);
+  for (auto& v : a) v = SampleNormal(rng);
+  for (auto& v : b) v = SampleNormal(rng) + 0.5;
+  const KsResult result = KsTestTwoSample(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_GT(result.statistic, 0.1);
+}
+
+TEST(KsTwoSampleTest, IdenticalSamplesZeroStatistic) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const KsResult result = KsTestTwoSample(a, a);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(KsTwoSampleTest, EmptyThrows) {
+  EXPECT_THROW(KsTestTwoSample({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(KsTestTwoSample({1.0}, {}), std::invalid_argument);
+}
+
+TEST(ChiSquareGofTest, AcceptsTrueDistribution) {
+  RngStream rng(6);
+  const std::vector<double> probabilities = {0.1, 0.2, 0.3, 0.4};
+  std::vector<std::uint64_t> observed(4, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++observed[SampleCategorical(rng, {1.0, 2.0, 3.0, 4.0})];
+  }
+  const auto result = ChiSquareGofTest(observed, probabilities);
+  EXPECT_GT(result.p_value, 0.001);
+  EXPECT_EQ(result.degrees, 3u);
+}
+
+TEST(ChiSquareGofTest, RejectsWrongDistribution) {
+  RngStream rng(7);
+  std::vector<std::uint64_t> observed(4, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++observed[SampleCategorical(rng, {1.0, 1.0, 1.0, 1.0})];  // uniform
+  }
+  const std::vector<double> claimed = {0.1, 0.2, 0.3, 0.4};
+  const auto result = ChiSquareGofTest(observed, claimed);
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+TEST(ChiSquareGofTest, PoolsSparseCells) {
+  // 10 cells with tiny tail probabilities must be merged, not divided by
+  // near-zero expectations.
+  std::vector<std::uint64_t> observed = {500, 480, 15, 3, 1, 0, 0, 1, 0, 0};
+  std::vector<double> probabilities = {0.5,  0.48, 0.015, 0.003, 0.001,
+                                       1e-4, 1e-4, 1e-4,  1e-4,  2e-4};
+  const auto result = ChiSquareGofTest(observed, probabilities);
+  EXPECT_LT(result.degrees, 9u);  // cells were pooled
+  EXPECT_GT(result.p_value, 0.001);
+}
+
+TEST(ChiSquareGofTest, Validation) {
+  EXPECT_THROW(ChiSquareGofTest({}, {}), std::invalid_argument);
+  EXPECT_THROW(ChiSquareGofTest({1}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(ChiSquareGofTest({1, 2}, {-0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(ChiSquareGofTest({0, 0}, {0.5, 0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fairchain::math

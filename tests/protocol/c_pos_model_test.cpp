@@ -1,0 +1,165 @@
+// Tests for C-PoS (Section 2.4): sharded proposer lottery + inflation
+// (Theorems 3.5, 4.10).
+
+#include "protocol/c_pos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocol/ml_pos.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace fairchain::protocol {
+namespace {
+
+TEST(CPosModelTest, Metadata) {
+  CPosModel model(0.01, 0.1, 32);
+  EXPECT_EQ(model.name(), "C-PoS");
+  EXPECT_TRUE(model.RewardCompounds());
+  EXPECT_DOUBLE_EQ(model.RewardPerStep(), 0.11);
+  EXPECT_DOUBLE_EQ(model.proposer_reward(), 0.01);
+  EXPECT_DOUBLE_EQ(model.inflation_reward(), 0.1);
+  EXPECT_EQ(model.shards(), 32u);
+}
+
+TEST(CPosModelTest, RejectsInvalidParameters) {
+  EXPECT_THROW(CPosModel(0.0, 0.1, 32), std::invalid_argument);
+  EXPECT_THROW(CPosModel(0.01, -0.1, 32), std::invalid_argument);
+  EXPECT_THROW(CPosModel(0.01, 0.1, 0), std::invalid_argument);
+}
+
+TEST(CPosModelTest, EpochMintsExactTotalReward) {
+  CPosModel model(0.01, 0.1, 32);
+  StakeState state({0.2, 0.8});
+  RngStream rng(1);
+  model.Step(state, rng);
+  state.AdvanceStep();
+  EXPECT_NEAR(state.total_income(), 0.11, 1e-12);
+  EXPECT_NEAR(state.total_stake(), 1.11, 1e-12);
+}
+
+TEST(CPosModelTest, InflationAloneIsExactlyProportional) {
+  // With a tiny proposer reward the per-epoch credit is dominated by the
+  // deterministic inflation share.
+  CPosModel model(1e-12, 0.1, 1);
+  StakeState state({0.2, 0.8});
+  RngStream rng(2);
+  model.Step(state, rng);
+  EXPECT_NEAR(state.income(0), 0.1 * 0.2, 1e-10);
+  EXPECT_NEAR(state.income(1), 0.1 * 0.8, 1e-10);
+}
+
+TEST(CPosModelTest, ProposerSlotsFollowBinomial) {
+  // With v = 0 the income of miner A after one epoch is w * X / P with
+  // X ~ Bin(P, a): check the first two moments.
+  const std::uint32_t P = 32;
+  const double w = 1.0;
+  CPosModel model(w, 0.0, P);
+  RunningStats slots;
+  const RngStream master(3);
+  for (std::uint64_t rep = 0; rep < 100000; ++rep) {
+    StakeState state({0.2, 0.8});
+    RngStream rng = master.Split(rep);
+    model.Step(state, rng);
+    slots.Add(state.income(0) * P / w);  // recover X
+  }
+  EXPECT_NEAR(slots.Mean(), 32 * 0.2, 0.05);
+  EXPECT_NEAR(slots.Variance(), 32 * 0.2 * 0.8, 0.15);
+}
+
+TEST(CPosModelTest, ExpectationalFairness) {
+  // Theorem 3.5.
+  CPosModel model(0.01, 0.1, 32);
+  RunningStats lambda_stats;
+  const RngStream master(4);
+  for (std::uint64_t rep = 0; rep < 3000; ++rep) {
+    StakeState state({0.2, 0.8});
+    RngStream rng = master.Split(rep);
+    model.RunGame(state, rng, 200);
+    lambda_stats.Add(state.RewardFraction(0));
+  }
+  EXPECT_NEAR(lambda_stats.Mean(), 0.2, 4.0 * lambda_stats.StdError());
+}
+
+TEST(CPosModelTest, InflationShrinksLambdaVariance) {
+  // Theorem 4.10's mechanism: larger v => tighter lambda distribution.
+  auto run_variance = [](double v) {
+    CPosModel model(0.01, v, 32);
+    RunningStats stats;
+    const RngStream master(5);
+    for (std::uint64_t rep = 0; rep < 1500; ++rep) {
+      StakeState state({0.2, 0.8});
+      RngStream rng = master.Split(rep);
+      model.RunGame(state, rng, 500);
+      stats.Add(state.RewardFraction(0));
+    }
+    return stats.Variance();
+  };
+  const double var_v0 = run_variance(0.0);
+  const double var_v01 = run_variance(0.1);
+  EXPECT_LT(var_v01, var_v0 / 5.0);
+}
+
+TEST(CPosModelTest, MoreShardsShrinkVariance) {
+  auto run_variance = [](std::uint32_t shards) {
+    CPosModel model(0.05, 0.0, shards);
+    RunningStats stats;
+    const RngStream master(6);
+    for (std::uint64_t rep = 0; rep < 1500; ++rep) {
+      StakeState state({0.2, 0.8});
+      RngStream rng = master.Split(rep);
+      model.RunGame(state, rng, 300);
+      stats.Add(state.RewardFraction(0));
+    }
+    return stats.Variance();
+  };
+  EXPECT_LT(run_variance(32), run_variance(1));
+}
+
+TEST(CPosModelTest, DegeneratesToMlPosWithOneShardNoInflation) {
+  // v = 0, P = 1 should reproduce the ML-PoS distribution (Theorem 4.10
+  // remark).  Compare means and variances of final lambda.
+  const double w = 0.05;
+  RunningStats cpos_stats, mlpos_stats;
+  const RngStream master(7);
+  for (std::uint64_t rep = 0; rep < 3000; ++rep) {
+    {
+      CPosModel model(w, 0.0, 1);
+      StakeState state({0.2, 0.8});
+      RngStream rng = master.Split(rep);
+      model.RunGame(state, rng, 500);
+      cpos_stats.Add(state.RewardFraction(0));
+    }
+    {
+      MlPosModel model(w);
+      StakeState state({0.2, 0.8});
+      RngStream rng = master.Split(rep + 1000000);
+      model.RunGame(state, rng, 500);
+      mlpos_stats.Add(state.RewardFraction(0));
+    }
+  }
+  EXPECT_NEAR(cpos_stats.Mean(), mlpos_stats.Mean(), 0.01);
+  EXPECT_NEAR(cpos_stats.Variance(), mlpos_stats.Variance(),
+              0.35 * mlpos_stats.Variance());
+}
+
+TEST(CPosModelTest, MultiMinerConservation) {
+  CPosModel model(0.01, 0.1, 32);
+  StakeState state({0.1, 0.2, 0.3, 0.4});
+  RngStream rng(8);
+  model.RunGame(state, rng, 100);
+  EXPECT_NEAR(state.total_income(), 0.11 * 100, 1e-9);
+  double stake_sum = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) stake_sum += state.stake(i);
+  EXPECT_NEAR(stake_sum, state.total_stake(), 1e-9);
+  EXPECT_NEAR(state.total_stake(), 1.0 + 0.11 * 100, 1e-9);
+}
+
+TEST(CPosModelTest, WinProbabilityIsShare) {
+  CPosModel model(0.01, 0.1, 32);
+  StakeState state({0.2, 0.8});
+  EXPECT_DOUBLE_EQ(model.WinProbability(state, 0), 0.2);
+}
+
+}  // namespace
+}  // namespace fairchain::protocol

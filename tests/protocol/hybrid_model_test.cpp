@@ -1,0 +1,113 @@
+// Tests for the Filecoin-style hybrid model (Section 6.4).
+
+#include "protocol/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace fairchain::protocol {
+namespace {
+
+TEST(HybridModelTest, Validation) {
+  EXPECT_THROW(HybridModel(0.0, 0.5, {0.2, 0.8}), std::invalid_argument);
+  EXPECT_THROW(HybridModel(0.01, -0.1, {0.2, 0.8}), std::invalid_argument);
+  EXPECT_THROW(HybridModel(0.01, 1.1, {0.2, 0.8}), std::invalid_argument);
+  EXPECT_THROW(HybridModel(0.01, 0.5, {}), std::invalid_argument);
+  EXPECT_THROW(HybridModel(0.01, 0.5, {-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(HybridModel(0.01, 0.5, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(HybridModelTest, Metadata) {
+  HybridModel model(0.01, 0.5, {0.2, 0.8});
+  EXPECT_EQ(model.name(), "Hybrid");
+  EXPECT_TRUE(model.RewardCompounds());
+  EXPECT_DOUBLE_EQ(model.alpha(), 0.5);
+  EXPECT_DOUBLE_EQ(model.FixedShare(0), 0.2);
+}
+
+TEST(HybridModelTest, WinProbabilityIsConvexCombination) {
+  HybridModel model(0.01, 0.25, {0.4, 0.6});
+  StakeState state({0.2, 0.8});
+  // 0.25 * 0.4 + 0.75 * 0.2 = 0.25.
+  EXPECT_NEAR(model.WinProbability(state, 0), 0.25, 1e-12);
+  EXPECT_NEAR(model.WinProbability(state, 0) +
+                  model.WinProbability(state, 1),
+              1.0, 1e-12);
+}
+
+TEST(HybridModelTest, AlphaOneBehavesLikePow) {
+  // Pure fixed resource: win probability independent of earned stake.
+  HybridModel model(0.1, 1.0, {0.3, 0.7});
+  StakeState state({0.5, 0.5});
+  state.Credit(0, 100.0, true);  // huge stake gain must not matter
+  EXPECT_NEAR(model.WinProbability(state, 0), 0.3, 1e-12);
+}
+
+TEST(HybridModelTest, AlphaZeroBehavesLikeMlPos) {
+  HybridModel model(0.1, 0.0, {0.5, 0.5});
+  StakeState state({0.2, 0.8});
+  EXPECT_NEAR(model.WinProbability(state, 0), 0.2, 1e-12);
+  state.Credit(0, 0.2, true);
+  EXPECT_NEAR(model.WinProbability(state, 0), 0.4 / 1.2, 1e-12);
+}
+
+TEST(HybridModelTest, MinerCountMismatchThrows) {
+  HybridModel model(0.01, 0.5, {0.2, 0.3, 0.5});
+  StakeState state({0.5, 0.5});
+  RngStream rng(1);
+  EXPECT_THROW(model.Step(state, rng), std::invalid_argument);
+  EXPECT_THROW(model.WinProbability(state, 0), std::invalid_argument);
+}
+
+TEST(HybridModelTest, ExpectationalFairnessWhenResourcesAligned) {
+  // fixed_i == initial stake share_i: selection stays proportional to the
+  // initial resource mix, so E[lambda] = a for any alpha.
+  for (const double alpha : {0.0, 0.5, 1.0}) {
+    HybridModel model(0.01, alpha, {0.2, 0.8});
+    RunningStats stats;
+    const RngStream master(42 + static_cast<std::uint64_t>(alpha * 10));
+    for (std::uint64_t rep = 0; rep < 2000; ++rep) {
+      StakeState state({0.2, 0.8});
+      RngStream rng = master.Split(rep);
+      model.RunGame(state, rng, 300);
+      stats.Add(state.RewardFraction(0));
+    }
+    EXPECT_NEAR(stats.Mean(), 0.2, 5.0 * stats.StdError()) << alpha;
+  }
+}
+
+TEST(HybridModelTest, FixedComponentDampsVariance) {
+  // Larger alpha -> less compounding feedback -> tighter lambda.
+  auto lambda_variance = [](double alpha) {
+    HybridModel model(0.05, alpha, {0.2, 0.8});
+    RunningStats stats;
+    const RngStream master(77);
+    for (std::uint64_t rep = 0; rep < 1500; ++rep) {
+      StakeState state({0.2, 0.8});
+      RngStream rng = master.Split(rep);
+      model.RunGame(state, rng, 1000);
+      stats.Add(state.RewardFraction(0));
+    }
+    return stats.Variance();
+  };
+  const double var_pos = lambda_variance(0.0);   // pure ML-PoS
+  const double var_mid = lambda_variance(0.5);
+  const double var_pow = lambda_variance(1.0);   // pure fixed
+  EXPECT_LT(var_mid, var_pos);
+  EXPECT_LT(var_pow, var_mid);
+}
+
+TEST(HybridModelTest, StorageRichMinerDominatesWhenAlphaHigh) {
+  // A miner with most storage but little stake still wins most blocks at
+  // high alpha — Filecoin's power model.
+  HybridModel model(0.01, 0.9, {0.9, 0.1});
+  StakeState state({0.1, 0.9});
+  RngStream rng(5);
+  model.RunGame(state, rng, 20000);
+  EXPECT_GT(state.RewardFraction(0), 0.6);
+}
+
+}  // namespace
+}  // namespace fairchain::protocol

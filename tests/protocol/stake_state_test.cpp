@@ -1,0 +1,162 @@
+// Tests for StakeState: crediting, compounding, and reward withholding.
+
+#include "protocol/stake_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairchain::protocol {
+namespace {
+
+TEST(StakeStateTest, InitialisesFromStakes) {
+  StakeState state({0.2, 0.8});
+  EXPECT_EQ(state.miner_count(), 2u);
+  EXPECT_DOUBLE_EQ(state.stake(0), 0.2);
+  EXPECT_DOUBLE_EQ(state.stake(1), 0.8);
+  EXPECT_DOUBLE_EQ(state.total_stake(), 1.0);
+  EXPECT_DOUBLE_EQ(state.StakeShare(0), 0.2);
+  EXPECT_DOUBLE_EQ(state.InitialShare(0), 0.2);
+  EXPECT_EQ(state.step(), 0u);
+  EXPECT_DOUBLE_EQ(state.total_income(), 0.0);
+}
+
+TEST(StakeStateTest, UnnormalisedStakesWork) {
+  StakeState state({2.0, 8.0});
+  EXPECT_DOUBLE_EQ(state.InitialShare(0), 0.2);
+  EXPECT_DOUBLE_EQ(state.initial_total(), 10.0);
+}
+
+TEST(StakeStateTest, RejectsInvalidConstruction) {
+  EXPECT_THROW(StakeState({}), std::invalid_argument);
+  EXPECT_THROW(StakeState({-0.1, 0.5}), std::invalid_argument);
+  EXPECT_THROW(StakeState({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(StakeStateTest, CompoundingCreditRaisesStake) {
+  StakeState state({0.2, 0.8});
+  state.Credit(0, 0.01, /*compounds=*/true);
+  EXPECT_DOUBLE_EQ(state.stake(0), 0.21);
+  EXPECT_DOUBLE_EQ(state.total_stake(), 1.01);
+  EXPECT_DOUBLE_EQ(state.income(0), 0.01);
+  EXPECT_DOUBLE_EQ(state.total_income(), 0.01);
+}
+
+TEST(StakeStateTest, NonCompoundingCreditLeavesStake) {
+  StakeState state({0.2, 0.8});
+  state.Credit(0, 0.01, /*compounds=*/false);
+  EXPECT_DOUBLE_EQ(state.stake(0), 0.2);
+  EXPECT_DOUBLE_EQ(state.total_stake(), 1.0);
+  EXPECT_DOUBLE_EQ(state.income(0), 0.01);
+}
+
+TEST(StakeStateTest, RewardFraction) {
+  StakeState state({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(state.RewardFraction(0), 0.0);  // before any reward
+  state.Credit(0, 3.0, true);
+  state.Credit(1, 1.0, true);
+  EXPECT_DOUBLE_EQ(state.RewardFraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(state.RewardFraction(1), 0.25);
+}
+
+TEST(StakeStateTest, NegativeCreditRejected) {
+  StakeState state({1.0});
+  EXPECT_THROW(state.Credit(0, -0.5, true), std::invalid_argument);
+}
+
+TEST(StakeStateTest, AdvanceStepCounts) {
+  StakeState state({1.0});
+  state.AdvanceStep();
+  state.AdvanceStep();
+  EXPECT_EQ(state.step(), 2u);
+}
+
+TEST(StakeStateTest, ResetRestoresEverything) {
+  StakeState state({0.2, 0.8}, /*withhold_period=*/10);
+  state.Credit(0, 0.5, true);
+  state.AdvanceStep();
+  state.Reset();
+  EXPECT_DOUBLE_EQ(state.stake(0), 0.2);
+  EXPECT_DOUBLE_EQ(state.total_stake(), 1.0);
+  EXPECT_DOUBLE_EQ(state.income(0), 0.0);
+  EXPECT_DOUBLE_EQ(state.total_income(), 0.0);
+  EXPECT_EQ(state.step(), 0u);
+  EXPECT_DOUBLE_EQ(state.PendingTotal(), 0.0);
+}
+
+// --- Withholding semantics (Section 6.3) ---
+
+TEST(WithholdingTest, IncomeImmediateStakeDeferred) {
+  StakeState state({0.2, 0.8}, /*withhold_period=*/1000);
+  state.Credit(0, 0.01, true);
+  EXPECT_DOUBLE_EQ(state.income(0), 0.01);     // income recorded now
+  EXPECT_DOUBLE_EQ(state.stake(0), 0.2);       // mining power unchanged
+  EXPECT_DOUBLE_EQ(state.PendingTotal(), 0.01);
+}
+
+TEST(WithholdingTest, ReleasesAtBoundary) {
+  StakeState state({0.2, 0.8}, /*withhold_period=*/10);
+  state.Credit(0, 0.05, true);
+  for (int i = 0; i < 9; ++i) {
+    state.AdvanceStep();
+    EXPECT_DOUBLE_EQ(state.stake(0), 0.2) << "step " << state.step();
+  }
+  state.AdvanceStep();  // step 10: boundary
+  EXPECT_DOUBLE_EQ(state.stake(0), 0.25);
+  EXPECT_DOUBLE_EQ(state.total_stake(), 1.05);
+  EXPECT_DOUBLE_EQ(state.PendingTotal(), 0.0);
+}
+
+TEST(WithholdingTest, PaperExampleBlock1024TakesEffectAt2000) {
+  // "the reward is issued at the 1,024-th block but takes effect at the
+  //  2,000-th block" (Section 6.3, with period 1000).
+  StakeState state({0.2, 0.8}, /*withhold_period=*/1000);
+  for (int block = 1; block <= 1024; ++block) state.AdvanceStep();
+  state.Credit(0, 0.07, true);  // issued during block 1024's epoch
+  for (int block = 1025; block < 2000; ++block) {
+    state.AdvanceStep();
+    EXPECT_DOUBLE_EQ(state.stake(0), 0.2);
+  }
+  state.AdvanceStep();  // block 2000
+  EXPECT_DOUBLE_EQ(state.stake(0), 0.27);
+}
+
+TEST(WithholdingTest, NonCompoundingUnaffected) {
+  StakeState state({0.2, 0.8}, /*withhold_period=*/10);
+  state.Credit(0, 0.01, /*compounds=*/false);
+  EXPECT_DOUBLE_EQ(state.PendingTotal(), 0.0);
+  EXPECT_DOUBLE_EQ(state.income(0), 0.01);
+}
+
+TEST(WithholdingTest, MultipleMinersReleaseTogether) {
+  StakeState state({0.5, 0.5}, /*withhold_period=*/5);
+  state.Credit(0, 0.1, true);
+  state.Credit(1, 0.3, true);
+  for (int i = 0; i < 5; ++i) state.AdvanceStep();
+  EXPECT_DOUBLE_EQ(state.stake(0), 0.6);
+  EXPECT_DOUBLE_EQ(state.stake(1), 0.8);
+  EXPECT_DOUBLE_EQ(state.total_stake(), 1.4);
+}
+
+TEST(WithholdingTest, ZeroPeriodIsImmediate) {
+  StakeState state({0.2, 0.8}, /*withhold_period=*/0);
+  state.Credit(0, 0.01, true);
+  EXPECT_DOUBLE_EQ(state.stake(0), 0.21);
+  EXPECT_DOUBLE_EQ(state.PendingTotal(), 0.0);
+}
+
+TEST(StakeStateTest, TotalsStayConsistentUnderMixedCredits) {
+  StakeState state({1.0, 2.0, 3.0});
+  state.Credit(0, 0.5, true);
+  state.Credit(1, 0.25, false);
+  state.Credit(2, 0.125, true);
+  double stake_sum = 0.0;
+  double income_sum = 0.0;
+  for (std::size_t i = 0; i < state.miner_count(); ++i) {
+    stake_sum += state.stake(i);
+    income_sum += state.income(i);
+  }
+  EXPECT_DOUBLE_EQ(stake_sum, state.total_stake());
+  EXPECT_DOUBLE_EQ(income_sum, state.total_income());
+}
+
+}  // namespace
+}  // namespace fairchain::protocol

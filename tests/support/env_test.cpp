@@ -1,0 +1,86 @@
+// Tests for environment-variable helpers.
+
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace fairchain {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("FAIRCHAIN_TEST_VAR");
+    unsetenv("FAIRCHAIN_FAST");
+    unsetenv("FAIRCHAIN_REPS");
+    unsetenv("FAIRCHAIN_THREADS");
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(EnvTest, GetEnvUnsetReturnsNullopt) {
+  EXPECT_FALSE(GetEnv("FAIRCHAIN_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, GetEnvEmptyReturnsNullopt) {
+  setenv("FAIRCHAIN_TEST_VAR", "", 1);
+  EXPECT_FALSE(GetEnv("FAIRCHAIN_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, GetEnvReturnsValue) {
+  setenv("FAIRCHAIN_TEST_VAR", "hello", 1);
+  EXPECT_EQ(GetEnv("FAIRCHAIN_TEST_VAR").value(), "hello");
+}
+
+TEST_F(EnvTest, GetEnvU64ParsesNumbers) {
+  setenv("FAIRCHAIN_TEST_VAR", "12345", 1);
+  EXPECT_EQ(GetEnvU64("FAIRCHAIN_TEST_VAR", 7), 12345u);
+}
+
+TEST_F(EnvTest, GetEnvU64FallsBackOnGarbage) {
+  setenv("FAIRCHAIN_TEST_VAR", "not-a-number", 1);
+  EXPECT_EQ(GetEnvU64("FAIRCHAIN_TEST_VAR", 7), 7u);
+}
+
+TEST_F(EnvTest, GetEnvU64FallsBackWhenUnset) {
+  EXPECT_EQ(GetEnvU64("FAIRCHAIN_TEST_VAR", 99), 99u);
+}
+
+TEST_F(EnvTest, GetEnvDoubleParses) {
+  setenv("FAIRCHAIN_TEST_VAR", "0.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FAIRCHAIN_TEST_VAR", 1.0), 0.25);
+}
+
+TEST_F(EnvTest, FastModeOffByDefault) { EXPECT_FALSE(FastModeEnabled()); }
+
+TEST_F(EnvTest, FastModeOnWhenSet) {
+  setenv("FAIRCHAIN_FAST", "1", 1);
+  EXPECT_TRUE(FastModeEnabled());
+}
+
+TEST_F(EnvTest, EnvRepsDefault) { EXPECT_EQ(EnvReps(1000, 50), 1000u); }
+
+TEST_F(EnvTest, EnvRepsFastFallback) {
+  setenv("FAIRCHAIN_FAST", "1", 1);
+  EXPECT_EQ(EnvReps(1000, 50), 50u);
+}
+
+TEST_F(EnvTest, EnvRepsExplicitOverridesFast) {
+  setenv("FAIRCHAIN_FAST", "1", 1);
+  setenv("FAIRCHAIN_REPS", "77", 1);
+  EXPECT_EQ(EnvReps(1000, 50), 77u);
+}
+
+TEST_F(EnvTest, EnvThreadsExplicit) {
+  setenv("FAIRCHAIN_THREADS", "3", 1);
+  EXPECT_EQ(EnvThreads(), 3u);
+}
+
+TEST_F(EnvTest, EnvThreadsDefaultsPositive) {
+  EXPECT_GE(EnvThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace fairchain

@@ -1,0 +1,93 @@
+// Tests for the CLI flag parser.
+
+#include "support/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairchain {
+namespace {
+
+TEST(FlagsTest, EmptyInput) {
+  const FlagSet flags = FlagSet::Parse(std::vector<std::string>{});
+  EXPECT_TRUE(flags.positionals().empty());
+  EXPECT_FALSE(flags.Has("anything"));
+}
+
+TEST(FlagsTest, PositionalsPreserveOrder) {
+  const FlagSet flags = FlagSet::Parse({"simulate", "0.1", "0.9"});
+  ASSERT_EQ(flags.positionals().size(), 3u);
+  EXPECT_EQ(flags.positionals()[0], "simulate");
+  EXPECT_EQ(flags.positionals()[2], "0.9");
+}
+
+TEST(FlagsTest, SpaceSeparatedValue) {
+  const FlagSet flags = FlagSet::Parse({"--a", "0.2"});
+  EXPECT_TRUE(flags.Has("a"));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("a", 0.0), 0.2);
+}
+
+TEST(FlagsTest, EqualsSeparatedValue) {
+  const FlagSet flags = FlagSet::Parse({"--n=5000"});
+  EXPECT_EQ(flags.GetU64("n", 0), 5000u);
+}
+
+TEST(FlagsTest, BooleanSwitch) {
+  const FlagSet flags = FlagSet::Parse({"--fast", "--a", "0.3"});
+  EXPECT_TRUE(flags.GetBool("fast"));
+  EXPECT_FALSE(flags.GetBool("slow"));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("a", 0.0), 0.3);
+}
+
+TEST(FlagsTest, BooleanExplicitValues) {
+  EXPECT_TRUE(FlagSet::Parse({"--x=true"}).GetBool("x"));
+  EXPECT_TRUE(FlagSet::Parse({"--x=1"}).GetBool("x"));
+  EXPECT_FALSE(FlagSet::Parse({"--x=0"}).GetBool("x"));
+  EXPECT_FALSE(FlagSet::Parse({"--x=false"}).GetBool("x"));
+}
+
+TEST(FlagsTest, FlagFollowedByFlagIsSwitch) {
+  const FlagSet flags = FlagSet::Parse({"--verbose", "--n", "10"});
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_EQ(flags.GetU64("n", 0), 10u);
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const FlagSet flags = FlagSet::Parse({"cmd"});
+  EXPECT_EQ(flags.GetString("name", "def"), "def");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 1.5), 1.5);
+  EXPECT_EQ(flags.GetU64("n", 7), 7u);
+}
+
+TEST(FlagsTest, MalformedNumbersThrow) {
+  const FlagSet flags = FlagSet::Parse({"--a", "zebra", "--n", "12x"});
+  EXPECT_THROW(flags.GetDouble("a", 0.0), std::invalid_argument);
+  EXPECT_THROW(flags.GetU64("n", 0), std::invalid_argument);
+}
+
+TEST(FlagsTest, BareDoubleDashRejected) {
+  EXPECT_THROW(FlagSet::Parse({"--"}), std::invalid_argument);
+}
+
+TEST(FlagsTest, ArgcArgvOverloadSkipsProgramName) {
+  const char* argv[] = {"fairchain", "simulate", "--a", "0.25"};
+  const FlagSet flags = FlagSet::Parse(4, argv);
+  ASSERT_EQ(flags.positionals().size(), 1u);
+  EXPECT_EQ(flags.positionals()[0], "simulate");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("a", 0.0), 0.25);
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  const FlagSet flags = FlagSet::Parse({"--a", "0.1", "--a", "0.4"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("a", 0.0), 0.4);
+}
+
+TEST(FlagsTest, MixedPositionalsAndFlags) {
+  const FlagSet flags =
+      FlagSet::Parse({"winprob", "--protocol", "slpos", "0.1", "0.9"});
+  ASSERT_EQ(flags.positionals().size(), 3u);
+  EXPECT_EQ(flags.positionals()[0], "winprob");
+  EXPECT_EQ(flags.GetString("protocol", ""), "slpos");
+}
+
+}  // namespace
+}  // namespace fairchain

@@ -1,0 +1,103 @@
+// Tests for the thread pool and ParallelFor helpers.
+
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairchain {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<int> visits(1000, 0);
+  ParallelFor(4, visits.size(), [&visits](std::size_t i) { visits[i] += 1; });
+  for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(4, 0, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  std::vector<int> visits(50, 0);
+  ParallelFor(1, visits.size(), [&visits](std::size_t i) { visits[i] += 1; });
+  const int total = std::accumulate(visits.begin(), visits.end(), 0);
+  EXPECT_EQ(total, 50);
+}
+
+TEST(ParallelForChunkedTest, ChunksCoverRangeDisjointly) {
+  const std::size_t count = 997;  // prime: uneven chunks
+  std::vector<std::atomic<int>> visits(count);
+  ParallelForChunked(8, count, [&visits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForChunkedTest, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelForChunked(16, 3, [&visits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForChunkedTest, ResultIndependentOfThreadCount) {
+  auto run = [](unsigned threads) {
+    std::vector<double> out(256);
+    ParallelForChunked(threads, out.size(),
+                       [&out](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           out[i] = static_cast<double>(i * i);
+                         }
+                       });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+}  // namespace
+}  // namespace fairchain

@@ -1,0 +1,242 @@
+// Unit and property tests for the 256-bit integer.
+
+#include "support/u256.hpp"
+
+#include <cstdint>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace fairchain {
+namespace {
+
+TEST(U256Test, DefaultIsZero) {
+  U256 zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.ToU64(), 0u);
+  EXPECT_TRUE(zero.FitsU64());
+  EXPECT_EQ(zero.BitLength(), -1);
+}
+
+TEST(U256Test, U64Construction) {
+  U256 value(42);
+  EXPECT_FALSE(value.IsZero());
+  EXPECT_EQ(value.ToU64(), 42u);
+  EXPECT_TRUE(value.FitsU64());
+  EXPECT_EQ(value.BitLength(), 5);
+}
+
+TEST(U256Test, MaxHasAllBits) {
+  EXPECT_EQ(U256::Max().BitLength(), 255);
+  EXPECT_FALSE(U256::Max().FitsU64());
+}
+
+TEST(U256Test, HexRoundTripSmall) {
+  EXPECT_EQ(U256::FromHex("0").ToHex(), "0");
+  EXPECT_EQ(U256::FromHex("ff").ToHex(), "ff");
+  EXPECT_EQ(U256::FromHex("0xDEADBEEF").ToHex(), "deadbeef");
+}
+
+TEST(U256Test, HexRoundTripLarge) {
+  const std::string hex =
+      "123456789abcdef0fedcba9876543210aabbccddeeff00112233445566778899";
+  EXPECT_EQ(U256::FromHex(hex).ToHex(), hex);
+}
+
+TEST(U256Test, FromHexRejectsMalformed) {
+  EXPECT_THROW(U256::FromHex(""), std::invalid_argument);
+  EXPECT_THROW(U256::FromHex("0x"), std::invalid_argument);
+  EXPECT_THROW(U256::FromHex("xyz"), std::invalid_argument);
+  EXPECT_THROW(U256::FromHex(std::string(65, 'f')), std::invalid_argument);
+}
+
+TEST(U256Test, BigEndianBytesRoundTrip) {
+  const U256 value = U256::FromHex(
+      "0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+  std::uint8_t bytes[32];
+  value.ToBigEndianBytes(bytes);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[31], 0x20);
+  EXPECT_EQ(U256::FromBigEndianBytes(bytes), value);
+}
+
+TEST(U256Test, AdditionCarriesAcrossLimbs) {
+  const U256 a(~0ULL);  // 2^64 - 1
+  const U256 sum = a + U256(1);
+  EXPECT_EQ(sum.limb(0), 0u);
+  EXPECT_EQ(sum.limb(1), 1u);
+}
+
+TEST(U256Test, AdditionWrapsAtMax) {
+  EXPECT_TRUE((U256::Max() + U256(1)).IsZero());
+}
+
+TEST(U256Test, SubtractionBorrows) {
+  const U256 value(0, 1, 0, 0);  // 2^64
+  const U256 diff = value - U256(1);
+  EXPECT_EQ(diff.limb(0), ~0ULL);
+  EXPECT_EQ(diff.limb(1), 0u);
+}
+
+TEST(U256Test, SubtractionWrapsBelowZero) {
+  EXPECT_EQ(U256(0) - U256(1), U256::Max());
+}
+
+TEST(U256Test, MultiplicationSmall) {
+  EXPECT_EQ((U256(7) * U256(6)).ToU64(), 42u);
+}
+
+TEST(U256Test, MultiplicationCrossLimb) {
+  const U256 a(1ULL << 63);
+  const U256 product = a * U256(4);
+  EXPECT_EQ(product.limb(0), 0u);
+  EXPECT_EQ(product.limb(1), 2u);
+}
+
+TEST(U256Test, DivisionByLargerYieldsZero) {
+  EXPECT_TRUE((U256(5) / U256(10)).IsZero());
+  EXPECT_EQ((U256(5) % U256(10)).ToU64(), 5u);
+}
+
+TEST(U256Test, DivisionByZeroThrows) {
+  EXPECT_THROW(U256(5) / U256(0), std::invalid_argument);
+  EXPECT_THROW(U256(5) % U256(0), std::invalid_argument);
+  EXPECT_THROW(U256(5).DivModU64(0), std::invalid_argument);
+  EXPECT_THROW(U256(5).MulDivU64(1, 0), std::invalid_argument);
+}
+
+TEST(U256Test, ShiftLeftAndRightInverse) {
+  const U256 value(0x1234);
+  EXPECT_EQ((value << 100) >> 100, value);
+}
+
+TEST(U256Test, ShiftBeyondWidthIsZero) {
+  EXPECT_TRUE((U256::Max() << 256).IsZero());
+  EXPECT_TRUE((U256::Max() >> 256).IsZero());
+}
+
+TEST(U256Test, ComparisonOrdering) {
+  EXPECT_LT(U256(1), U256(2));
+  EXPECT_LT(U256(~0ULL), U256(0, 1, 0, 0));
+  EXPECT_GT(U256::Max(), U256(0, 0, 0, 1));
+  EXPECT_EQ(U256(7), U256(7));
+}
+
+TEST(U256Test, SaturatingMulSaturates) {
+  EXPECT_EQ(U256::Max().SaturatingMulU64(2), U256::Max());
+  EXPECT_EQ(U256(3).SaturatingMulU64(5).ToU64(), 15u);
+}
+
+TEST(U256Test, MulDivExactSmall) {
+  // (100 * 7) / 5 = 140
+  EXPECT_EQ(U256(100).MulDivU64(7, 5).ToU64(), 140u);
+}
+
+TEST(U256Test, MulDivAvoidsIntermediateOverflow) {
+  // Max * 3 / 3 == Max requires the 320-bit intermediate.
+  EXPECT_EQ(U256::Max().MulDivU64(3, 3), U256::Max());
+}
+
+TEST(U256Test, MulDivSaturatesWhenQuotientOverflows) {
+  EXPECT_EQ(U256::Max().MulDivU64(10, 3), U256::Max());
+}
+
+TEST(U256Test, DivModU64MatchesFullDivision) {
+  const U256 value = U256::FromHex("ffffffffffffffffffffffffff");
+  auto [q, r] = value.DivModU64(1234567);
+  EXPECT_EQ(q, value / U256(1234567));
+  EXPECT_EQ(U256(r), value % U256(1234567));
+}
+
+TEST(U256Test, ToDoubleMonotone) {
+  EXPECT_LT(U256(100).ToDouble(), U256(101).ToDouble());
+  EXPECT_NEAR(U256::Max().ToDouble(), 1.157920892373162e77, 1e63);
+}
+
+TEST(U256Test, BitwiseOperators) {
+  const U256 a = U256::FromHex("f0f0");
+  const U256 b = U256::FromHex("ff00");
+  EXPECT_EQ((a & b).ToHex(), "f000");
+  EXPECT_EQ((a | b).ToHex(), "fff0");
+  EXPECT_EQ((a ^ b).ToHex(), "ff0");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random 256-bit values must satisfy algebraic identities.
+// ---------------------------------------------------------------------------
+
+class U256PropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  U256 RandomValue(RngStream& rng) {
+    return U256(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64());
+  }
+};
+
+TEST_P(U256PropertyTest, AdditionCommutes) {
+  RngStream rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const U256 a = RandomValue(rng);
+    const U256 b = RandomValue(rng);
+    EXPECT_EQ(a + b, b + a);
+  }
+}
+
+TEST_P(U256PropertyTest, AddThenSubtractRoundTrips) {
+  RngStream rng(GetParam() ^ 0x1111);
+  for (int i = 0; i < 50; ++i) {
+    const U256 a = RandomValue(rng);
+    const U256 b = RandomValue(rng);
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+TEST_P(U256PropertyTest, DivModReconstructs) {
+  RngStream rng(GetParam() ^ 0x2222);
+  for (int i = 0; i < 50; ++i) {
+    const U256 numerator = RandomValue(rng);
+    U256 denominator = RandomValue(rng) >> (unsigned)(rng.NextBounded(200));
+    if (denominator.IsZero()) denominator = U256(1);
+    const U256 q = numerator / denominator;
+    const U256 r = numerator % denominator;
+    EXPECT_LT(r, denominator);
+    EXPECT_EQ(q * denominator + r, numerator);
+  }
+}
+
+TEST_P(U256PropertyTest, DistributesOverSmallMultipliers) {
+  RngStream rng(GetParam() ^ 0x3333);
+  for (int i = 0; i < 50; ++i) {
+    // Use values small enough that a*(m1+m2) cannot wrap.
+    const U256 a(rng.NextU64(), rng.NextU64(), rng.NextU64() & 0xFFFF, 0);
+    const std::uint64_t m1 = rng.NextBounded(1 << 20);
+    const std::uint64_t m2 = rng.NextBounded(1 << 20);
+    EXPECT_EQ(a.SaturatingMulU64(m1) + a.SaturatingMulU64(m2),
+              a.SaturatingMulU64(m1 + m2));
+  }
+}
+
+TEST_P(U256PropertyTest, ShiftsEquivalentToMulDivByPowersOfTwo) {
+  RngStream rng(GetParam() ^ 0x4444);
+  for (int i = 0; i < 50; ++i) {
+    const U256 a(rng.NextU64(), rng.NextU64(), 0, 0);
+    const unsigned k = static_cast<unsigned>(rng.NextBounded(63)) + 1;
+    EXPECT_EQ(a << k, a.SaturatingMulU64(1ULL << k));
+    EXPECT_EQ(a >> k, a / U256(1ULL << k));
+  }
+}
+
+TEST_P(U256PropertyTest, HexRoundTripsRandomValues) {
+  RngStream rng(GetParam() ^ 0x5555);
+  for (int i = 0; i < 50; ++i) {
+    const U256 a = RandomValue(rng);
+    EXPECT_EQ(U256::FromHex(a.ToHex()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256PropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+}  // namespace
+}  // namespace fairchain

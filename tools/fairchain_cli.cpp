@@ -1,0 +1,249 @@
+// fairchain — command-line driver for the fairness-analysis library.
+//
+// Subcommands:
+//   simulate  Monte Carlo campaign for one protocol
+//             fairchain simulate --protocol mlpos --a 0.2 --w 0.01
+//                 --n 5000 --reps 10000 [--v 0.1 --shards 32]
+//                 [--withhold 1000] [--eps 0.1 --delta 0.1] [--seed 42]
+//   bound     analytic robust-fairness bounds at given parameters
+//             fairchain bound --protocol pow --a 0.2 --n 5000
+//   design    inverse use of the theorems: parameters achieving (eps,delta)
+//             fairchain design --a 0.2 [--w 0.01 --shards 32]
+//   winprob   next-block win probabilities for a stake vector
+//             fairchain winprob --protocol slpos 0.1 0.3 0.6
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/bounds.hpp"
+#include "core/equitability.hpp"
+#include "core/experiments.hpp"
+#include "core/monte_carlo.hpp"
+#include "protocol/c_pos.hpp"
+#include "protocol/extensions.hpp"
+#include "protocol/fsl_pos.hpp"
+#include "protocol/ml_pos.hpp"
+#include "protocol/pow.hpp"
+#include "protocol/sl_pos.hpp"
+#include "protocol/win_probability.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace fairchain;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fairchain <simulate|bound|design|winprob> [flags]\n"
+      "  simulate --protocol pow|mlpos|slpos|cpos|fslpos|neo|algorand|eos\n"
+      "           [--a 0.2] [--w 0.01] [--v 0.1] [--shards 32] [--n 5000]\n"
+      "           [--reps 10000] [--withhold 0] [--eps 0.1] [--delta 0.1]\n"
+      "           [--seed 20210620]\n"
+      "  bound    --protocol pow|mlpos|cpos [--a] [--w] [--v] [--shards] [--n]\n"
+      "  design   [--a 0.2] [--w 0.01] [--shards 32] [--eps] [--delta]\n"
+      "  winprob  --protocol slpos|proportional s1 s2 [s3 ...]\n");
+  return 2;
+}
+
+std::unique_ptr<protocol::IncentiveModel> MakeModel(const FlagSet& flags) {
+  const std::string name = flags.GetString("protocol", "mlpos");
+  const double w = flags.GetDouble("w", core::experiments::kDefaultW);
+  const double v = flags.GetDouble("v", core::experiments::kDefaultV);
+  const auto shards = static_cast<std::uint32_t>(
+      flags.GetU64("shards", core::experiments::kDefaultShards));
+  if (name == "pow") return std::make_unique<protocol::PowModel>(w);
+  if (name == "mlpos") return std::make_unique<protocol::MlPosModel>(w);
+  if (name == "slpos") return std::make_unique<protocol::SlPosModel>(w);
+  if (name == "cpos") {
+    return std::make_unique<protocol::CPosModel>(w, v, shards);
+  }
+  if (name == "fslpos") return std::make_unique<protocol::FslPosModel>(w);
+  if (name == "neo") return std::make_unique<protocol::NeoModel>(w);
+  if (name == "algorand") {
+    return std::make_unique<protocol::AlgorandModel>(v);
+  }
+  if (name == "eos") return std::make_unique<protocol::EosModel>(w, v);
+  throw std::invalid_argument("unknown --protocol '" + name + "'");
+}
+
+int RunSimulate(const FlagSet& flags) {
+  const double a = flags.GetDouble("a", core::experiments::kDefaultA);
+  const auto model = MakeModel(flags);
+  core::SimulationConfig config;
+  config.steps = flags.GetU64("n", core::experiments::kDefaultSteps);
+  config.replications = flags.GetU64("reps", 10000);
+  config.seed = flags.GetU64("seed", 20210620);
+  config.withhold_period = flags.GetU64("withhold", 0);
+  const core::FairnessSpec spec{flags.GetDouble("eps", 0.1),
+                                flags.GetDouble("delta", 0.1)};
+  core::MonteCarloEngine engine(config, spec);
+  const auto result = engine.RunTwoMiner(*model, a);
+  const auto& final_stats = result.Final();
+  const auto expectational = result.Expectational();
+  const auto equitability =
+      core::ComputeEquitability(result.final_lambdas, a);
+
+  Table table({"metric", "value"});
+  table.SetTitle(result.protocol + ", a = " + std::to_string(a) + ", n = " +
+                 std::to_string(config.steps));
+  table.AddRow();
+  table.Cell(std::string("mean lambda"));
+  table.Cell(final_stats.mean, 4);
+  table.AddRow();
+  table.Cell(std::string("expectational fairness"));
+  table.Cell(std::string(expectational.consistent ? "holds" : "VIOLATED"));
+  table.AddRow();
+  table.Cell(std::string("5th-95th percentile band"));
+  table.Cell("[" + std::to_string(final_stats.p05) + ", " +
+             std::to_string(final_stats.p95) + "]");
+  table.AddRow();
+  table.Cell(std::string("unfair probability"));
+  table.Cell(final_stats.unfair_probability, 4);
+  table.AddRow();
+  table.Cell(std::string("robust (eps,delta)-fairness"));
+  table.Cell(std::string(
+      final_stats.unfair_probability <= spec.delta ? "holds" : "VIOLATED"));
+  table.AddRow();
+  table.Cell(std::string("convergence step"));
+  table.Cell(core::experiments::FormatConvergence(result.ConvergenceStep()));
+  table.AddRow();
+  table.Cell(std::string("equitability (normalised variance)"));
+  table.Cell(equitability.normalised_variance, 6);
+  table.Emit("cli_simulate");
+  return 0;
+}
+
+int RunBound(const FlagSet& flags) {
+  const std::string name = flags.GetString("protocol", "pow");
+  const double a = flags.GetDouble("a", core::experiments::kDefaultA);
+  const double w = flags.GetDouble("w", core::experiments::kDefaultW);
+  const double v = flags.GetDouble("v", core::experiments::kDefaultV);
+  const auto shards = static_cast<std::uint32_t>(
+      flags.GetU64("shards", core::experiments::kDefaultShards));
+  const std::uint64_t n = flags.GetU64("n", core::experiments::kDefaultSteps);
+  const core::FairnessSpec spec{flags.GetDouble("eps", 0.1),
+                                flags.GetDouble("delta", 0.1)};
+  Table table({"quantity", "value"});
+  if (name == "pow") {
+    table.SetTitle("PoW bounds (Theorem 4.2)");
+    table.AddRow();
+    table.Cell(std::string("Hoeffding unfair upper bound"));
+    table.Cell(core::PowUnfairUpperBound(n, a, spec.epsilon), 6);
+    table.AddRow();
+    table.Cell(std::string("exact unfair probability (binomial)"));
+    table.Cell(1.0 - core::PowExactFairProbability(n, a, spec.epsilon), 6);
+    table.AddRow();
+    table.Cell(std::string("sufficient n (Theorem 4.2)"));
+    table.Cell(core::PowSufficientBlocks(a, spec), 1);
+  } else if (name == "mlpos") {
+    table.SetTitle("ML-PoS bounds (Theorem 4.3 + Beta limit)");
+    table.AddRow();
+    table.Cell(std::string("Azuma unfair upper bound"));
+    table.Cell(core::MlPosUnfairUpperBound(n, w, a, spec.epsilon), 6);
+    table.AddRow();
+    table.Cell(std::string("Beta-limit unfair probability"));
+    table.Cell(core::MlPosLimitUnfairProbability(a, w, spec.epsilon), 6);
+    table.AddRow();
+    table.Cell(std::string("Theorem 4.3 condition satisfied"));
+    table.Cell(std::string(
+        core::MlPosSatisfiesBound(n, w, a, spec) ? "yes" : "no"));
+  } else if (name == "cpos") {
+    table.SetTitle("C-PoS bounds (Theorem 4.10)");
+    table.AddRow();
+    table.Cell(std::string("Azuma unfair upper bound"));
+    table.Cell(core::CPosUnfairUpperBound(n, w, v, shards, a, spec.epsilon),
+               6);
+    table.AddRow();
+    table.Cell(std::string("condition LHS"));
+    table.CellSci(core::CPosConditionLhs(n, w, v, shards), 3);
+    table.AddRow();
+    table.Cell(std::string("condition RHS"));
+    table.CellSci(core::AzumaConditionRhs(a, spec), 3);
+    table.AddRow();
+    table.Cell(std::string("Theorem 4.10 condition satisfied"));
+    table.Cell(std::string(
+        core::CPosSatisfiesBound(n, w, v, shards, a, spec) ? "yes" : "no"));
+  } else {
+    std::fprintf(stderr, "bound: unknown protocol '%s'\n", name.c_str());
+    return Usage();
+  }
+  table.Emit("cli_bound");
+  return 0;
+}
+
+int RunDesign(const FlagSet& flags) {
+  const double a = flags.GetDouble("a", core::experiments::kDefaultA);
+  const double w = flags.GetDouble("w", core::experiments::kDefaultW);
+  const auto shards = static_cast<std::uint32_t>(
+      flags.GetU64("shards", core::experiments::kDefaultShards));
+  const core::FairnessSpec spec{flags.GetDouble("eps", 0.1),
+                                flags.GetDouble("delta", 0.1)};
+  Table table({"protocol", "design rule", "value"});
+  table.SetTitle("Parameters achieving (" + std::to_string(spec.epsilon) +
+                 ", " + std::to_string(spec.delta) + ")-fairness at a = " +
+                 std::to_string(a));
+  table.AddRow();
+  table.Cell(std::string("PoW"));
+  table.Cell(std::string("minimum blocks (Thm 4.2)"));
+  table.Cell(core::PowSufficientBlocks(a, spec), 1);
+  table.AddRow();
+  table.Cell(std::string("ML-PoS"));
+  table.Cell(std::string("maximum block reward (Thm 4.3)"));
+  table.CellSci(core::MlPosMaxRewardForFairness(a, spec), 3);
+  table.AddRow();
+  table.Cell(std::string("C-PoS"));
+  table.Cell(std::string("minimum inflation at w, P (Thm 4.10)"));
+  table.CellSci(core::CPosMinInflationForFairness(w, shards, a, spec), 3);
+  table.Emit("cli_design");
+  return 0;
+}
+
+int RunWinProb(const FlagSet& flags) {
+  const std::string name = flags.GetString("protocol", "slpos");
+  std::vector<double> stakes;
+  for (std::size_t i = 1; i < flags.positionals().size(); ++i) {
+    stakes.push_back(std::stod(flags.positionals()[i]));
+  }
+  if (stakes.size() < 2) {
+    std::fprintf(stderr, "winprob: need at least two stakes\n");
+    return Usage();
+  }
+  Table table({"miner", "stake", "win probability", "proportional"});
+  table.SetTitle(name == "slpos" ? "SL-PoS lottery (Lemma 6.1)"
+                                 : "proportional selection");
+  double total = 0.0;
+  for (const double s : stakes) total += s;
+  for (std::size_t i = 0; i < stakes.size(); ++i) {
+    table.AddRow();
+    table.Cell(static_cast<std::uint64_t>(i));
+    table.Cell(stakes[i], 4);
+    table.Cell(name == "slpos"
+                   ? protocol::SlPosMultiMinerWinProbability(stakes, i)
+                   : protocol::ProportionalWinProbability(stakes, i),
+               6);
+    table.Cell(stakes[i] / total, 6);
+  }
+  table.Emit("cli_winprob");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const FlagSet flags = FlagSet::Parse(argc, argv);
+    if (flags.positionals().empty()) return Usage();
+    const std::string& command = flags.positionals()[0];
+    if (command == "simulate") return RunSimulate(flags);
+    if (command == "bound") return RunBound(flags);
+    if (command == "design") return RunDesign(flags);
+    if (command == "winprob") return RunWinProb(flags);
+    return Usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fairchain: %s\n", error.what());
+    return 1;
+  }
+}
