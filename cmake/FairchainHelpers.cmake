@@ -1,0 +1,45 @@
+# Helper functions shared by the root CMakeLists.txt.
+
+# Defines the static library fairchain_<name> from src/<name>/*.cpp with the
+# repo-root include convention (#include "layer/header.hpp").
+function(fairchain_add_layer name)
+  file(GLOB _srcs CONFIGURE_DEPENDS "${PROJECT_SOURCE_DIR}/src/${name}/*.cpp")
+  add_library(fairchain_${name} STATIC ${_srcs})
+  target_include_directories(fairchain_${name} PUBLIC
+    "${PROJECT_SOURCE_DIR}/src"
+    "${PROJECT_BINARY_DIR}/generated")
+  target_link_libraries(fairchain_${name} PRIVATE fairchain_warnings)
+endfunction()
+
+# Registers one gtest binary per tests/<layer>/*_test.cpp, named
+# <layer>_<file> both as a target and as a CTest test, labelled <layer>
+# so `ctest -L <layer>` runs one layer's suites.
+function(fairchain_add_test_dir layer)
+  file(GLOB _tests CONFIGURE_DEPENDS "${PROJECT_SOURCE_DIR}/tests/${layer}/*_test.cpp")
+  foreach(_src IN LISTS _tests)
+    get_filename_component(_name "${_src}" NAME_WE)
+    set(_target "${layer}_${_name}")
+    add_executable(${_target} "${_src}")
+    target_link_libraries(${_target} PRIVATE fairchain_all fairchain_warnings
+      GTest::gtest GTest::gtest_main)
+    add_test(NAME ${_target} COMMAND ${_target})
+    set_tests_properties(${_target} PROPERTIES LABELS ${layer})
+  endforeach()
+endfunction()
+
+# Resolves GoogleTest: system package when present, FetchContent otherwise
+# (the only path that needs network access).
+macro(fairchain_resolve_gtest)
+  find_package(GTest QUIET)
+  if(NOT GTest_FOUND)
+    message(STATUS "System GTest not found — fetching googletest via FetchContent")
+    include(FetchContent)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endmacro()

@@ -1,0 +1,61 @@
+// Link-coverage smoke test: instantiates at least one public type from every
+// layer library (support, math, crypto, protocol, core, chain) so that a
+// refactor which orphans a target from the build graph — or breaks the
+// support -> math -> protocol -> core / crypto -> chain link order — fails
+// this binary's link step instead of passing silently.
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "core/polya.hpp"
+#include "crypto/sha256.hpp"
+#include "math/special.hpp"
+#include "protocol/pow.hpp"
+#include "protocol/stake_state.hpp"
+#include "support/rng.hpp"
+#include "support/u256.hpp"
+#include "support/version.hpp"
+
+namespace {
+
+TEST(BuildSmokeTest, SupportLayerLinks) {
+  fairchain::RngStream rng(42);
+  EXPECT_EQ(rng.NextU64(), fairchain::RngStream(42).NextU64());
+  fairchain::U256 x(7);
+  EXPECT_EQ(x + x, fairchain::U256(14));
+  EXPECT_STRNE(fairchain::kVersionString, "");
+}
+
+TEST(BuildSmokeTest, MathLayerLinks) {
+  EXPECT_NEAR(fairchain::math::BetaMean(2.0, 3.0), 0.4, 1e-12);
+}
+
+TEST(BuildSmokeTest, CryptoLayerLinks) {
+  const fairchain::crypto::Digest digest =
+      fairchain::crypto::Sha256Digest("fairchain");
+  EXPECT_EQ(fairchain::crypto::DigestToHex(digest).size(), 64u);
+}
+
+TEST(BuildSmokeTest, ProtocolLayerLinks) {
+  fairchain::protocol::PowModel pow(1.0);
+  fairchain::protocol::StakeState state({1.0, 2.0, 3.0});
+  fairchain::RngStream rng(7);
+  pow.Step(state, rng);
+  EXPECT_EQ(state.miner_count(), 3u);
+}
+
+TEST(BuildSmokeTest, CoreLayerLinks) {
+  fairchain::core::PolyaUrn urn({1.0, 1.0}, 1.0);
+  fairchain::RngStream rng(11);
+  const std::size_t color = urn.Draw(rng);
+  EXPECT_LT(color, urn.colors());
+  EXPECT_DOUBLE_EQ(urn.total_mass(), 3.0);
+}
+
+TEST(BuildSmokeTest, ChainLayerLinks) {
+  fairchain::chain::Blockchain chain(/*genesis_salt=*/42);
+  EXPECT_EQ(chain.height(), 0u);
+  EXPECT_EQ(chain.TipHash(), chain.genesis().Hash());
+}
+
+}  // namespace

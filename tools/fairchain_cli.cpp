@@ -11,6 +11,7 @@
 //             fairchain design --a 0.2 [--w 0.01 --shards 32]
 //   winprob   next-block win probabilities for a stake vector
 //             fairchain winprob --protocol slpos 0.1 0.3 0.6
+//   version   print the build version and exit
 
 #include <cstdio>
 #include <memory>
@@ -29,6 +30,7 @@
 #include "protocol/win_probability.hpp"
 #include "support/flags.hpp"
 #include "support/table.hpp"
+#include "support/version.hpp"
 
 namespace {
 
@@ -37,14 +39,15 @@ using namespace fairchain;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: fairchain <simulate|bound|design|winprob> [flags]\n"
+      "usage: fairchain <simulate|bound|design|winprob|version> [flags]\n"
       "  simulate --protocol pow|mlpos|slpos|cpos|fslpos|neo|algorand|eos\n"
       "           [--a 0.2] [--w 0.01] [--v 0.1] [--shards 32] [--n 5000]\n"
       "           [--reps 10000] [--withhold 0] [--eps 0.1] [--delta 0.1]\n"
       "           [--seed 20210620]\n"
       "  bound    --protocol pow|mlpos|cpos [--a] [--w] [--v] [--shards] [--n]\n"
       "  design   [--a 0.2] [--w 0.01] [--shards 32] [--eps] [--delta]\n"
-      "  winprob  --protocol slpos|proportional s1 s2 [s3 ...]\n");
+      "  winprob  --protocol slpos|proportional s1 s2 [s3 ...]\n"
+      "  version  print the build version and exit\n");
   return 2;
 }
 
@@ -241,6 +244,10 @@ int main(int argc, char** argv) {
     if (command == "bound") return RunBound(flags);
     if (command == "design") return RunDesign(flags);
     if (command == "winprob") return RunWinProb(flags);
+    if (command == "version") {
+      std::printf("fairchain %s\n", kVersionString);
+      return 0;
+    }
     return Usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fairchain: %s\n", error.what());
