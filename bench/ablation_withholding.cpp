@@ -1,62 +1,18 @@
-// Ablation: reward-withholding period (the Section 6.3 remedy).
-//
-// Sweeps the withholding period over {off, 100, 500, 1000, 2500} blocks for
-// ML-PoS and FSL-PoS at the paper's defaults, reporting the terminal
-// unfair probability and the 5-95 band width.  Longer periods batch more
-// rewards per release, which the law of large numbers concentrates — the
-// mechanism behind Figure 6(b) — at the cost of slower stake activation.
+// Ablation: reward-withholding period (the Section 6.3 remedy) — a thin
+// wrapper over the registry's `withhold-grid` scenario: periods
+// {off, 100, 500, 1000, 2500} for ML-PoS and FSL-PoS at the paper's
+// defaults.  Longer periods batch more rewards per release, which the law
+// of large numbers concentrates — the mechanism behind Figure 6(b) — at
+// the cost of slower stake activation.
 
 #include <cstdio>
-#include <memory>
 
-#include "bench_common.hpp"
-#include "protocol/fsl_pos.hpp"
-#include "protocol/ml_pos.hpp"
+#include "campaign_common.hpp"
 
 int main() {
-  using namespace fairchain;
-  namespace exp = core::experiments;
-
-  auto base_config = bench::FigureConfig(exp::kDefaultSteps, 6000, 300, 25);
-  bench::Banner("Ablation", "reward-withholding period sweep (a = 0.2)",
-                base_config);
-  const core::FairnessSpec spec = exp::DefaultSpec();
-
-  const std::uint64_t periods[] = {0, 100, 500, 1000, 2500};
-
-  for (const bool use_fsl : {false, true}) {
-    std::unique_ptr<protocol::IncentiveModel> model;
-    if (use_fsl) {
-      model = std::make_unique<protocol::FslPosModel>(exp::kDefaultW);
-    } else {
-      model = std::make_unique<protocol::MlPosModel>(exp::kDefaultW);
-    }
-    Table table({"withhold period", "mean", "p5", "p95", "band width",
-                 "unfair prob", "robust"});
-    table.SetTitle(model->name() + " with reward withholding, w = 0.01");
-    for (const std::uint64_t period : periods) {
-      auto config = base_config;
-      config.withhold_period = period;
-      core::MonteCarloEngine engine(config, spec);
-      const auto result = engine.RunTwoMiner(*model, exp::kDefaultA);
-      const auto& final_stats = result.Final();
-      table.AddRow();
-      table.Cell(period == 0 ? std::string("off")
-                             : std::to_string(period));
-      table.Cell(final_stats.mean, 4);
-      table.Cell(final_stats.p05, 4);
-      table.Cell(final_stats.p95, 4);
-      table.Cell(final_stats.p95 - final_stats.p05, 4);
-      table.Cell(final_stats.unfair_probability, 3);
-      table.Cell(std::string(
-          final_stats.unfair_probability <= spec.delta ? "yes" : "NO"));
-    }
-    table.Emit(std::string("ablation_withholding_") +
-               (use_fsl ? "fslpos" : "mlpos"));
-  }
-
+  fairchain::bench::RunScenarioCampaign("withhold-grid");
   std::printf(
-      "Longer withholding periods shrink the band monotonically: each "
+      "\nLonger withholding periods shrink the band monotonically: each "
       "release point is a\nlaw-of-large-numbers average of ~period/10 "
       "expected wins, which decouples luck from\nfuture mining power.\n");
   return 0;

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "campaign_common.hpp"
 #include "core/stochastic_approximation.hpp"
 #include "protocol/win_probability.hpp"
 #include "support/rng.hpp"
@@ -72,6 +72,11 @@ int main() {
     check.Cell(static_cast<double>(wins) / trials, 4);
   }
   check.Emit("fig1_check");
+
+  // Game-level leg: the registry's fig1 scenario plays the drift out over
+  // whole mining games at the highlighted shares.
+  std::printf("\n");
+  bench::RunScenarioCampaign("fig1");
 
   std::printf(
       "Shape vs paper: win probability below the diagonal for Z < 1/2 and\n"

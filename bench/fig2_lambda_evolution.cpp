@@ -1,54 +1,26 @@
 // Figure 2: "Evolution of λ_A along with the number n of blocks under
-// a = 0.2, w = 0.01 and v = 0.1" — four panels (PoW, ML-PoS, SL-PoS,
-// C-PoS), each showing the mean of λ_A, the 5th-95th percentile band, the
-// fair area [0.18, 0.22], plus the real-system bars.
-//
-// The numerical-simulation leg uses the fast stake-evolution models at
-// paper-scale replication counts; the real-system leg (the paper's green
-// bars from Geth / Qtum / NXT on EC2) is substituted by the hash-level
-// chain engines (see DESIGN.md) at the paper's smaller repeat counts.
+// a = 0.2, w = 0.01 and v = 0.1" — the four-protocol panel set, now a thin
+// wrapper over the registry's `fig2` scenario run through the campaign
+// runner (full per-checkpoint evolution streams to FAIRCHAIN_CSV_DIR as
+// CSV/JSONL).  The real-system leg (the paper's green bars from
+// Geth / Qtum / NXT on EC2) is substituted by the hash-level chain engines
+// at the paper's smaller repeat counts.
 
 #include <cstdio>
 #include <memory>
 
-#include "bench_common.hpp"
+#include "campaign_common.hpp"
 #include "chain/mining_game.hpp"
 #include "support/stats.hpp"
 
 namespace {
 
 using namespace fairchain;
-namespace exp = core::experiments;
-
-void PrintPanel(const char* panel, const core::SimulationResult& result) {
-  Table table({"n", "mean", "p5", "p25", "median", "p75", "p95",
-               "unfair prob"});
-  table.SetTitle(std::string("Figure 2") + panel + " — " + result.protocol +
-                 "  (fair area [0.18, 0.22])");
-  // Print ~12 representative checkpoints of the evolution.
-  const std::size_t stride =
-      result.checkpoints.size() > 12 ? result.checkpoints.size() / 12 : 1;
-  for (std::size_t i = 0; i < result.checkpoints.size(); ++i) {
-    if (i % stride != 0 && i + 1 != result.checkpoints.size()) continue;
-    const auto& cp = result.checkpoints[i];
-    table.AddRow();
-    table.Cell(cp.step);
-    table.Cell(cp.mean, 4);
-    table.Cell(cp.p05, 4);
-    table.Cell(cp.p25, 4);
-    table.Cell(cp.median, 4);
-    table.Cell(cp.p75, 4);
-    table.Cell(cp.p95, 4);
-    table.Cell(cp.unfair_probability, 3);
-  }
-  table.Emit(std::string("fig2") + panel);
-}
 
 void PrintChainBar(const char* name, const std::vector<double>& lambdas) {
   RunningStats stats;
   for (const double l : lambdas) stats.Add(l);
-  std::vector<double> sorted = lambdas;
-  const auto qs = Quantiles(sorted, {0.05, 0.95});
+  const auto qs = Quantiles(lambdas, {0.05, 0.95});
   std::printf(
       "  real-system analog %-14s: mean %.4f, 5th pct %.4f, 95th pct %.4f "
       "(%zu runs)\n",
@@ -60,23 +32,12 @@ void PrintChainBar(const char* name, const std::vector<double>& lambdas) {
 int main() {
   using namespace fairchain;
 
-  auto config = bench::FigureConfig(exp::kDefaultSteps, 10000, 400, 60);
-  bench::Banner("Figure 2",
-                "evolution of lambda_A (a = 0.2, w = 0.01, v = 0.1, P = 32)",
-                config);
-  const core::FairnessSpec spec = exp::DefaultSpec();
-  core::MonteCarloEngine engine(config, spec);
-
-  const auto models = exp::MakeStandardProtocols();
-  const char* panels[] = {"a", "b", "c", "d"};
-  for (std::size_t i = 0; i < models.size(); ++i) {
-    const auto result = engine.RunTwoMiner(*models[i], exp::kDefaultA);
-    PrintPanel(panels[i], result);
-  }
+  bench::RunScenarioCampaign("fig2");
 
   // Real-system analog: hash-level chain games (paper: 10 PoW / 500 PoS
   // repeats; we default to 10 / 200 and honour FAIRCHAIN_FAST).
-  std::printf("Real-system analog (hash-level chain substrate, n = 1000):\n");
+  std::printf(
+      "\nReal-system analog (hash-level chain substrate, n = 1000):\n");
   const std::uint64_t pow_reps = FastModeEnabled() ? 3 : 10;
   const std::uint64_t pos_reps = EnvReps(200, 25);
   const std::uint64_t chain_blocks = FastModeEnabled() ? 200 : 1000;

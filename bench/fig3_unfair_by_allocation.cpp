@@ -1,62 +1,18 @@
 // Figure 3: "Unfair probabilities for PoW, ML-PoS, SL-PoS and C-PoS under
-// w = 0.01, v = 0.1 and different settings of a" — four panels, each
-// plotting the unfair probability vs the number of blocks for
-// a in {0.1, 0.2, 0.3, 0.4}, with the delta = 0.1 threshold line.
+// w = 0.01, v = 0.1 and different settings of a" — a thin wrapper over the
+// registry's `fig3` scenario (4 protocols × 4 allocations = 16 cells) run
+// through the campaign runner; the per-checkpoint curves stream to
+// FAIRCHAIN_CSV_DIR as CSV/JSONL.
 
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "campaign_common.hpp"
 
 int main() {
-  using namespace fairchain;
-  namespace exp = core::experiments;
-
-  auto config = bench::FigureConfig(exp::kDefaultSteps, 10000, 400, 40);
-  bench::Banner("Figure 3",
-                "unfair probability vs n under different allocations a",
-                config);
-  const core::FairnessSpec spec = exp::DefaultSpec();
-  core::MonteCarloEngine engine(config, spec);
-
-  const double allocations[] = {0.1, 0.2, 0.3, 0.4};
-  const auto models = exp::MakeStandardProtocols();
-  const char* panels[] = {"a", "b", "c", "d"};
-
-  for (std::size_t p = 0; p < models.size(); ++p) {
-    Table table({"n", "a=0.1", "a=0.2", "a=0.3", "a=0.4"});
-    table.SetTitle(std::string("Figure 3") + panels[p] + " — " +
-                   models[p]->name() +
-                   " unfair probability (threshold delta = 0.1)");
-    // Collect the four curves.
-    std::vector<core::SimulationResult> results;
-    for (const double a : allocations) {
-      results.push_back(engine.RunTwoMiner(*models[p], a));
-    }
-    const std::size_t stride = results[0].checkpoints.size() > 10
-                                   ? results[0].checkpoints.size() / 10
-                                   : 1;
-    for (std::size_t i = 0; i < results[0].checkpoints.size(); ++i) {
-      if (i % stride != 0 && i + 1 != results[0].checkpoints.size()) continue;
-      table.AddRow();
-      table.Cell(results[0].checkpoints[i].step);
-      for (const auto& result : results) {
-        table.Cell(result.checkpoints[i].unfair_probability, 3);
-      }
-    }
-    table.Emit(std::string("fig3") + panels[p]);
-
-    // Convergence summary (when each allocation clears delta).
-    std::printf("convergence (first n with unfair prob <= 0.1, sustained): ");
-    for (std::size_t k = 0; k < results.size(); ++k) {
-      std::printf("a=%.1f: %s%s", allocations[k],
-                  exp::FormatConvergence(results[k].ConvergenceStep()).c_str(),
-                  k + 1 < results.size() ? ",  " : "\n\n");
-    }
-  }
-
+  fairchain::bench::RunScenarioCampaign("fig3");
   std::printf(
-      "Shape vs paper: (a) PoW curves fall below delta, larger a faster;\n"
-      "(b) ML-PoS plateaus above delta with richer miners lower; (c) SL-PoS\n"
-      "rises to 1 for every a; (d) C-PoS falls fast and stays below delta.\n");
+      "\nShape vs paper: PoW curves fall below delta, larger a faster;\n"
+      "ML-PoS plateaus above delta with richer miners lower; SL-PoS\n"
+      "rises to 1 for every a; C-PoS falls fast and stays below delta.\n");
   return 0;
 }

@@ -1,74 +1,23 @@
-// Figure 4: "Average of reward proportion λ_A for SL-PoS":
-//   (a) different initial stake allocations a in {0.1..0.5} at w = 0.01;
-//   (b) different block rewards w in {1e-4..1e-1} at a = 0.2;
-// both on a long horizon (10^5 blocks in the paper), log-spaced.
-//
-// This is the expectational-UNfairness figure: every a < 0.5 decays to 0,
-// and smaller w decays slower.
+// Figure 4: "Average of reward proportion λ_A for SL-PoS" — two registry
+// scenarios run through the campaign runner:
+//   fig4a: allocation sweep a in {0.1..0.5} at w = 0.01;
+//   fig4b: reward sweep w in {1e-4..1e-1} at a = 0.2;
+// both over a 10^5-block log-spaced horizon.  This is the expectational-
+// UNfairness figure: every a < 0.5 decays to 0, and smaller w decays
+// slower.
 
 #include <cstdio>
 
-#include "bench_common.hpp"
-#include "protocol/sl_pos.hpp"
+#include "campaign_common.hpp"
 
 int main() {
-  using namespace fairchain;
-  namespace exp = core::experiments;
-
-  const std::uint64_t steps = FastModeEnabled() ? 5000 : 100000;
-  core::SimulationConfig config;
-  config.steps = steps;
-  config.replications = EnvReps(2000, 200);
-  config.seed = 20210620;
-  config.checkpoints = core::LogCheckpoints(steps, 18, 10);
-  bench::Banner("Figure 4", "SL-PoS mean lambda_A decay (log-spaced n)",
-                config);
-  core::MonteCarloEngine engine(config, exp::DefaultSpec());
-
-  // Panel (a): allocation sweep at w = 0.01.
-  {
-    const double allocations[] = {0.1, 0.2, 0.3, 0.4, 0.5};
-    protocol::SlPosModel model(exp::kDefaultW);
-    std::vector<core::SimulationResult> results;
-    for (const double a : allocations) {
-      results.push_back(engine.RunTwoMiner(model, a));
-    }
-    Table table({"n", "a=0.1", "a=0.2", "a=0.3", "a=0.4", "a=0.5"});
-    table.SetTitle("Figure 4a — mean lambda_A under w = 0.01");
-    for (std::size_t i = 0; i < results[0].checkpoints.size(); ++i) {
-      table.AddRow();
-      table.Cell(results[0].checkpoints[i].step);
-      for (const auto& result : results) {
-        table.Cell(result.checkpoints[i].mean, 4);
-      }
-    }
-    table.Emit("fig4a");
-  }
-
-  // Panel (b): reward sweep at a = 0.2.
-  {
-    const double rewards[] = {1e-4, 1e-3, 1e-2, 1e-1};
-    std::vector<core::SimulationResult> results;
-    for (const double w : rewards) {
-      protocol::SlPosModel model(w);
-      results.push_back(engine.RunTwoMiner(model, 0.2));
-    }
-    Table table({"n", "w=1e-4", "w=1e-3", "w=1e-2", "w=1e-1"});
-    table.SetTitle("Figure 4b — mean lambda_A under a = 0.2");
-    for (std::size_t i = 0; i < results[0].checkpoints.size(); ++i) {
-      table.AddRow();
-      table.Cell(results[0].checkpoints[i].step);
-      for (const auto& result : results) {
-        table.Cell(result.checkpoints[i].mean, 4);
-      }
-    }
-    table.Emit("fig4b");
-  }
-
+  fairchain::bench::RunScenarioCampaign("fig4a");
+  std::printf("\n");
+  fairchain::bench::RunScenarioCampaign("fig4b");
   std::printf(
-      "Shape vs paper: (a) every a < 0.5 decays toward 0 (larger a slower), "
-      "a = 0.5 stays at 0.5\nby symmetry; (b) larger w decays faster — the "
-      "first-block win rate is a/(2(1-a)) = 0.125\nand compounding does the "
-      "rest.\n");
+      "\nShape vs paper: (a) every a < 0.5 decays toward 0 (larger a "
+      "slower), a = 0.5 stays at 0.5\nby symmetry; (b) larger w decays "
+      "faster — the first-block win rate is a/(2(1-a)) = 0.125\nand "
+      "compounding does the rest.\n");
   return 0;
 }

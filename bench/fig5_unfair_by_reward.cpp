@@ -1,104 +1,22 @@
 // Figure 5: "Unfair probabilities ... under a = 0.2 and different settings
-// of w and v":
-//   (a) ML-PoS, w in {1e-4, 1e-3, 1e-2, 1e-1};
-//   (b) SL-PoS, same sweep (insensitive: all -> 1);
-//   (c) C-PoS, same sweep at v = 0.1;
-//   (d) C-PoS, v in {0, 0.01, 0.1} at w = 0.01.
-//
-// Panel (d) is printed for both P = 32 (the Ethereum 2.0 sharding the
-// paper's model states) and P = 1 (no sharding).  The P = 1 magnitudes
-// track the paper's plotted series (~70% / ~50% / ~10%); at P = 32 the
+// of w and v" — two registry scenarios run through the campaign runner:
+//   fig5:  panels a-c, the block-reward sweep for ML-PoS / SL-PoS / C-PoS;
+//   fig5d: the C-PoS inflation sweep, printed for both P = 32 (the
+//          Ethereum 2.0 sharding the paper's model states) and P = 1.
+// The P = 1 magnitudes track the paper's plotted series; at P = 32 the
 // sharding alone suppresses proposer variance so strongly that C-PoS is
-// essentially perfectly fair for v >= 0.01 — consistent with Theorem 4.10,
-// which predicts a 32x smaller LHS.  See EXPERIMENTS.md.
+// essentially perfectly fair for v >= 0.01 — consistent with Theorem 4.10.
 
 #include <cstdio>
 
-#include "bench_common.hpp"
-#include "protocol/c_pos.hpp"
-#include "protocol/ml_pos.hpp"
-#include "protocol/sl_pos.hpp"
-
-namespace {
-
-using namespace fairchain;
-namespace exp = core::experiments;
-
-template <typename MakeModel>
-void RewardSweepPanel(core::MonteCarloEngine& engine, const char* id,
-                      const char* what, MakeModel make_model) {
-  const double rewards[] = {1e-4, 1e-3, 1e-2, 1e-1};
-  std::vector<core::SimulationResult> results;
-  for (const double w : rewards) {
-    auto model = make_model(w);
-    results.push_back(engine.RunTwoMiner(*model, exp::kDefaultA));
-  }
-  Table table({"n", "w=1e-4", "w=1e-3", "w=1e-2", "w=1e-1"});
-  table.SetTitle(std::string("Figure 5") + id + " — " + what +
-                 " unfair probability (a = 0.2, delta = 0.1)");
-  const std::size_t stride = results[0].checkpoints.size() > 10
-                                 ? results[0].checkpoints.size() / 10
-                                 : 1;
-  for (std::size_t i = 0; i < results[0].checkpoints.size(); ++i) {
-    if (i % stride != 0 && i + 1 != results[0].checkpoints.size()) continue;
-    table.AddRow();
-    table.Cell(results[0].checkpoints[i].step);
-    for (const auto& result : results) {
-      table.Cell(result.checkpoints[i].unfair_probability, 3);
-    }
-  }
-  table.Emit(std::string("fig5") + id);
-}
-
-void InflationSweepPanel(core::MonteCarloEngine& engine, std::uint32_t P) {
-  const double inflations[] = {0.0, 0.01, 0.1};
-  std::vector<core::SimulationResult> results;
-  for (const double v : inflations) {
-    protocol::CPosModel model(exp::kDefaultW, v, P);
-    results.push_back(engine.RunTwoMiner(model, exp::kDefaultA));
-  }
-  Table table({"n", "v=0", "v=0.01", "v=0.1"});
-  table.SetTitle("Figure 5d — C-PoS unfair probability, w = 0.01, P = " +
-                 std::to_string(P));
-  const std::size_t stride = results[0].checkpoints.size() > 10
-                                 ? results[0].checkpoints.size() / 10
-                                 : 1;
-  for (std::size_t i = 0; i < results[0].checkpoints.size(); ++i) {
-    if (i % stride != 0 && i + 1 != results[0].checkpoints.size()) continue;
-    table.AddRow();
-    table.Cell(results[0].checkpoints[i].step);
-    for (const auto& result : results) {
-      table.Cell(result.checkpoints[i].unfair_probability, 3);
-    }
-  }
-  table.Emit("fig5d_P" + std::to_string(P));
-}
-
-}  // namespace
+#include "campaign_common.hpp"
 
 int main() {
-  using namespace fairchain;
-
-  auto config = bench::FigureConfig(exp::kDefaultSteps, 10000, 400, 40);
-  bench::Banner("Figure 5",
-                "unfair probability under reward sweeps (a = 0.2)", config);
-  core::MonteCarloEngine engine(config, exp::DefaultSpec());
-
-  RewardSweepPanel(engine, "a", "ML-PoS", [](double w) {
-    return std::make_unique<protocol::MlPosModel>(w);
-  });
-  RewardSweepPanel(engine, "b", "SL-PoS", [](double w) {
-    return std::make_unique<protocol::SlPosModel>(w);
-  });
-  RewardSweepPanel(engine, "c", "C-PoS (v = 0.1, P = 32)", [](double w) {
-    return std::make_unique<protocol::CPosModel>(w, exp::kDefaultV,
-                                                 exp::kDefaultShards);
-  });
-  InflationSweepPanel(engine, exp::kDefaultShards);
-  InflationSweepPanel(engine, 1);
-
+  fairchain::bench::RunScenarioCampaign("fig5");
+  std::printf("\n");
+  fairchain::bench::RunScenarioCampaign("fig5d");
   std::printf(
-      "Shape vs paper: (a) ML-PoS w = 1e-1 is >= 85%% unfair, w = 1e-4 "
+      "\nShape vs paper: (a) ML-PoS w = 1e-1 is >= 85%% unfair, w = 1e-4 "
       "clears delta;\n(b) SL-PoS rises to 1 regardless of w; (c) C-PoS "
       "dominated by ML-PoS everywhere;\n(d) unfair probability decreases "
       "in v (paper magnitudes at P = 1; at P = 32 sharding\nalready "

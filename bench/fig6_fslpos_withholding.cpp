@@ -1,73 +1,21 @@
 // Figure 6: "Evolution of λ_A ... under a = 0.2, w = 0.01" for the paper's
-// two remedies:
-//   (a) FSL-PoS — the fair single lottery (Section 6.2): expectational
-//       fairness restored, robust fairness still not;
-//   (b) FSL-PoS + reward withholding (Section 6.3): rewards take effect at
-//       the next 1000-block boundary — nearly all mass inside the fair
-//       area.
-//
-// The real-system leg (the paper modified NXT) is substituted by the
-// SL-PoS chain engine with the fair transform enabled.
+// two remedies — a thin wrapper over the registry's `fig6` scenario
+// (FSL-PoS plain, and FSL-PoS with rewards taking effect at the next
+// 1000-block boundary) run through the campaign runner.  The real-system
+// leg (the paper modified NXT) is substituted by the SL-PoS chain engine
+// with the fair transform enabled.
 
 #include <cstdio>
 #include <memory>
 
-#include "bench_common.hpp"
+#include "campaign_common.hpp"
 #include "chain/mining_game.hpp"
-#include "protocol/fsl_pos.hpp"
 #include "support/stats.hpp"
-
-namespace {
-
-using namespace fairchain;
-namespace exp = core::experiments;
-
-void PrintPanel(const char* panel, const char* what,
-                const core::SimulationResult& result) {
-  Table table({"n", "mean", "p5", "p95", "unfair prob"});
-  table.SetTitle(std::string("Figure 6") + panel + " — " + what +
-                 "  (fair area [0.18, 0.22])");
-  const std::size_t stride = result.checkpoints.size() > 12
-                                 ? result.checkpoints.size() / 12
-                                 : 1;
-  for (std::size_t i = 0; i < result.checkpoints.size(); ++i) {
-    if (i % stride != 0 && i + 1 != result.checkpoints.size()) continue;
-    const auto& cp = result.checkpoints[i];
-    table.AddRow();
-    table.Cell(cp.step);
-    table.Cell(cp.mean, 4);
-    table.Cell(cp.p05, 4);
-    table.Cell(cp.p95, 4);
-    table.Cell(cp.unfair_probability, 3);
-  }
-  table.Emit(std::string("fig6") + panel);
-}
-
-}  // namespace
 
 int main() {
   using namespace fairchain;
 
-  auto config = bench::FigureConfig(exp::kDefaultSteps, 10000, 400, 60);
-  bench::Banner("Figure 6", "FSL-PoS treatment and reward withholding",
-                config);
-  const core::FairnessSpec spec = exp::DefaultSpec();
-  protocol::FslPosModel model(exp::kDefaultW);
-
-  // Panel (a): plain FSL-PoS.
-  {
-    core::MonteCarloEngine engine(config, spec);
-    PrintPanel("a", "FSL-PoS", engine.RunTwoMiner(model, exp::kDefaultA));
-  }
-  // Panel (b): FSL-PoS with rewards taking effect at the next 1000-block
-  // boundary.
-  {
-    auto withheld = config;
-    withheld.withhold_period = 1000;
-    core::MonteCarloEngine engine(withheld, spec);
-    PrintPanel("b", "FSL-PoS + reward withholding (period 1000)",
-               engine.RunTwoMiner(model, exp::kDefaultA));
-  }
+  bench::RunScenarioCampaign("fig6");
 
   // Real-system analog: the NXT engine with the fair transform.
   const std::uint64_t reps = EnvReps(200, 25);
@@ -84,13 +32,13 @@ int main() {
   for (const double l : lambdas) stats.Add(l);
   const auto qs = Quantiles(lambdas, {0.05, 0.95});
   std::printf(
-      "real-system analog FSL-PoS/chain (n = %llu): mean %.4f, "
-      "5th pct %.4f, 95th pct %.4f (%zu runs)\n\n",
+      "\nreal-system analog FSL-PoS/chain (n = %llu): mean %.4f, "
+      "5th pct %.4f, 95th pct %.4f (%zu runs)\n",
       static_cast<unsigned long long>(blocks), stats.Mean(), qs[0], qs[1],
       lambdas.size());
 
   std::printf(
-      "Shape vs paper: (a) mean back at 0.2 but band outside the fair "
+      "\nShape vs paper: (a) mean back at 0.2 but band outside the fair "
       "area;\n(b) with withholding nearly all mass inside the fair area.\n");
   return 0;
 }

@@ -1,63 +1,18 @@
-// Table 1: "Results for Multi-Miner Game" — for 2, 3, 4, 5 and 10 miners
-// (miner A holds 20%, the rest split the remaining 80% equally; w = 0.01,
-// v = 0.1): the average of λ_A, the unfair probability, and the
-// convergence time ("Never" when (ε, δ)-fairness is never sustained).
+// Table 1: "Results for Multi-Miner Game" — a thin wrapper over the
+// registry's `table1` scenario (4 protocols × {2,3,4,5,10} miners; miner A
+// holds 20%, the rest split the remaining 80% equally; w = 0.01, v = 0.1)
+// run through the campaign runner.  The summary table reports, per cell,
+// the average of λ_A, the unfair probability, and the convergence time
+// ("Never" when (ε, δ)-fairness is never sustained).
 
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "campaign_common.hpp"
 
 int main() {
-  using namespace fairchain;
-  namespace exp = core::experiments;
-
-  // A longer horizon than Figure 2 so the SL-PoS monopoly dynamics play
-  // out (the paper's SL-PoS rows report fully-converged games).
-  const std::uint64_t steps = FastModeEnabled() ? 2000 : 20000;
-  core::SimulationConfig config;
-  config.steps = steps;
-  config.replications = EnvReps(4000, 200);
-  config.seed = 20210620;
-  config.checkpoints = core::LinearCheckpoints(steps, 200);
-  bench::Banner("Table 1", "multi-miner game (A holds 20%, rest equal)",
-                config);
-  const core::FairnessSpec spec = exp::DefaultSpec();
-
-  const std::size_t miner_counts[] = {2, 3, 4, 5, 10};
-  const auto models = exp::MakeStandardProtocols();
-
-  // The paper groups rows by metric; reproduce that layout.
-  Table avg({"No. of Miners", "PoW", "ML-PoS", "SL-PoS", "C-PoS"});
-  avg.SetTitle("Table 1 — Avg. of lambda_A");
-  Table unfair({"No. of Miners", "PoW", "ML-PoS", "SL-PoS", "C-PoS"});
-  unfair.SetTitle("Table 1 — Unfair Prob.");
-  Table cvg({"No. of Miners", "PoW", "ML-PoS", "SL-PoS", "C-PoS"});
-  cvg.SetTitle("Table 1 — Cvg. Time (blocks/epochs; Never = not sustained)");
-
-  for (const std::size_t miners : miner_counts) {
-    avg.AddRow();
-    unfair.AddRow();
-    cvg.AddRow();
-    const std::string label = std::to_string(miners) + " Miners";
-    avg.Cell(label);
-    unfair.Cell(label);
-    cvg.Cell(label);
-    for (const auto& model : models) {
-      const auto outcome = exp::RunMultiMinerGame(*model, miners,
-                                                  exp::kDefaultA, config,
-                                                  spec);
-      avg.Cell(outcome.avg_lambda, 2);
-      unfair.Cell(outcome.unfair_probability, 2);
-      cvg.Cell(exp::FormatConvergence(outcome.convergence_step));
-    }
-  }
-
-  avg.Emit("table1_avg_lambda");
-  unfair.Emit("table1_unfair");
-  cvg.Emit("table1_convergence");
-
+  fairchain::bench::RunScenarioCampaign("table1");
   std::printf(
-      "Shape vs paper: PoW/ML-PoS/C-PoS rows are invariant to the miner "
+      "\nShape vs paper: PoW/ML-PoS/C-PoS rows are invariant to the miner "
       "count (B acts as one\naggregate competitor); SL-PoS flips with the "
       "competitor split — avg lambda ~ 0 for 2-4\nminers, 0.2 for five "
       "equal miners, rising toward 1 when A is the biggest (10 miners).\n"

@@ -65,62 +65,57 @@ MonteCarloEngine::MonteCarloEngine(SimulationConfig config, FairnessSpec spec)
   }
 }
 
-SimulationResult MonteCarloEngine::Run(
-    const protocol::IncentiveModel& model,
-    const std::vector<double>& initial_stakes) const {
-  if (config_.miner >= initial_stakes.size()) {
-    throw std::invalid_argument("MonteCarloEngine: miner index out of range");
+void RunReplicationRange(const protocol::IncentiveModel& model,
+                         const std::vector<double>& initial_stakes,
+                         const SimulationConfig& config, std::size_t begin,
+                         std::size_t end, double* lambda_matrix) {
+  const std::uint64_t reps = config.replications;
+  const std::size_t cp_count = config.checkpoints.size();
+  const RngStream master(config.seed);
+  protocol::StakeState state(initial_stakes, config.withhold_period);
+  for (std::size_t rep = begin; rep < end; ++rep) {
+    state.Reset();
+    RngStream rng = master.Split(rep);
+    std::size_t next_cp = 0;
+    for (std::uint64_t step = 1; step <= config.steps; ++step) {
+      model.Step(state, rng);
+      state.AdvanceStep();
+      if (next_cp < cp_count && config.checkpoints[next_cp] == step) {
+        lambda_matrix[next_cp * reps + rep] =
+            state.RewardFraction(config.miner);
+        ++next_cp;
+      }
+    }
   }
-  const std::uint64_t reps = config_.replications;
-  const std::size_t cp_count = config_.checkpoints.size();
-  const std::size_t miner = config_.miner;
+}
 
-  // lambda_matrix[c * reps + r] = λ of replication r at checkpoint c.
-  std::vector<double> lambda_matrix(cp_count * reps);
-
-  const unsigned threads =
-      config_.threads != 0 ? config_.threads : EnvThreads();
-  const RngStream master(config_.seed);
-
-  ParallelForChunked(
-      threads, static_cast<std::size_t>(reps),
-      [&](std::size_t begin, std::size_t end) {
-        protocol::StakeState state(initial_stakes, config_.withhold_period);
-        for (std::size_t rep = begin; rep < end; ++rep) {
-          state.Reset();
-          RngStream rng = master.Split(rep);
-          std::size_t next_cp = 0;
-          for (std::uint64_t step = 1; step <= config_.steps; ++step) {
-            model.Step(state, rng);
-            state.AdvanceStep();
-            if (next_cp < cp_count && config_.checkpoints[next_cp] == step) {
-              lambda_matrix[next_cp * reps + rep] =
-                  state.RewardFraction(miner);
-              ++next_cp;
-            }
-          }
-        }
-      });
+SimulationResult ReduceToResult(const std::string& protocol_name,
+                                const std::vector<double>& initial_stakes,
+                                const SimulationConfig& config,
+                                const FairnessSpec& spec,
+                                const std::vector<double>& lambda_matrix) {
+  const std::uint64_t reps = config.replications;
+  const std::size_t cp_count = config.checkpoints.size();
 
   SimulationResult result;
-  result.protocol = model.name();
+  result.protocol = protocol_name;
   {
     double total = 0.0;
     for (const double s : initial_stakes) total += s;
-    result.initial_share = initial_stakes[miner] / total;
+    result.initial_share = initial_stakes[config.miner] / total;
   }
-  result.spec = spec_;
-  result.config = config_;
+  result.spec = spec;
+  result.config = config;
   result.checkpoints.reserve(cp_count);
 
-  const double fair_low = spec_.FairLow(result.initial_share);
-  const double fair_high = spec_.FairHigh(result.initial_share);
+  const double fair_low = spec.FairLow(result.initial_share);
+  const double fair_high = spec.FairHigh(result.initial_share);
   std::vector<double> column(reps);
   for (std::size_t c = 0; c < cp_count; ++c) {
     std::copy_n(lambda_matrix.begin() + static_cast<std::ptrdiff_t>(c * reps),
                 reps, column.begin());
     CheckpointStats stats;
-    stats.step = config_.checkpoints[c];
+    stats.step = config.checkpoints[c];
     RunningStats running;
     std::size_t outside = 0;
     for (const double lambda : column) {
@@ -144,6 +139,30 @@ SimulationResult MonteCarloEngine::Run(
     if (c + 1 == cp_count) result.final_lambdas = column;
   }
   return result;
+}
+
+SimulationResult MonteCarloEngine::Run(
+    const protocol::IncentiveModel& model,
+    const std::vector<double>& initial_stakes) const {
+  if (config_.miner >= initial_stakes.size()) {
+    throw std::invalid_argument("MonteCarloEngine: miner index out of range");
+  }
+  const std::uint64_t reps = config_.replications;
+
+  // lambda_matrix[c * reps + r] = λ of replication r at checkpoint c.
+  std::vector<double> lambda_matrix(config_.checkpoints.size() * reps);
+
+  const unsigned threads =
+      config_.threads != 0 ? config_.threads : EnvThreads();
+
+  ParallelForChunked(threads, static_cast<std::size_t>(reps),
+                     [&](std::size_t begin, std::size_t end) {
+                       RunReplicationRange(model, initial_stakes, config_,
+                                           begin, end, lambda_matrix.data());
+                     });
+
+  return ReduceToResult(model.name(), initial_stakes, config_, spec_,
+                        lambda_matrix);
 }
 
 SimulationResult MonteCarloEngine::RunTwoMiner(

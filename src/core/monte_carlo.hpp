@@ -111,6 +111,27 @@ class MonteCarloEngine {
   FairnessSpec spec_;
 };
 
+/// Runs replications [begin, end) of `model` from `initial_stakes` under
+/// `config`, writing λ of replication r at checkpoint c into
+/// lambda_matrix[c * config.replications + r].  `config.checkpoints` must
+/// be populated (`Validate`d).  Replication r always draws from
+/// RngStream(config.seed).Split(r), so any partition of [0, replications)
+/// across threads — including the campaign runner's shared-pool sharding —
+/// produces identical values.
+void RunReplicationRange(const protocol::IncentiveModel& model,
+                         const std::vector<double>& initial_stakes,
+                         const SimulationConfig& config, std::size_t begin,
+                         std::size_t end, double* lambda_matrix);
+
+/// Reduces a fully populated λ matrix (layout as RunReplicationRange) to
+/// per-checkpoint statistics.  The second half of MonteCarloEngine::Run,
+/// exposed so external schedulers reuse the same reduction.
+SimulationResult ReduceToResult(const std::string& protocol_name,
+                                const std::vector<double>& initial_stakes,
+                                const SimulationConfig& config,
+                                const FairnessSpec& spec,
+                                const std::vector<double>& lambda_matrix);
+
 /// Evenly spaced checkpoints {step/count, 2*step/count, ..., steps}.
 std::vector<std::uint64_t> LinearCheckpoints(std::uint64_t steps,
                                              std::size_t count);

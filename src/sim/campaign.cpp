@@ -1,0 +1,229 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "protocol/model_factory.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace fairchain::sim {
+
+namespace {
+
+// Everything one cell needs while in flight on the pool.
+struct CellExecution {
+  CampaignCell cell;
+  core::SimulationConfig config;
+  std::unique_ptr<protocol::IncentiveModel> model;
+  std::vector<double> stakes;
+  std::vector<double> lambdas;  // [checkpoint * reps + rep]
+  std::once_flag allocate_once;  // matrix allocated by the first chunk
+  std::atomic<std::size_t> remaining_chunks{0};
+  core::SimulationResult result;
+  bool reduced = false;
+};
+
+void EmitCellRows(const ScenarioSpec& spec, const CellExecution& execution,
+                  const std::vector<ResultSink*>& sinks) {
+  const auto convergence = execution.result.ConvergenceStep();
+  for (std::size_t c = 0; c < execution.result.checkpoints.size(); ++c) {
+    const core::CheckpointStats& stats = execution.result.checkpoints[c];
+    CampaignRow row;
+    row.scenario = spec.name;
+    row.cell = execution.cell.index;
+    row.protocol = execution.cell.protocol;
+    row.miners = execution.cell.miners;
+    row.whales = execution.cell.whales;
+    row.a = execution.cell.a;
+    row.w = execution.cell.w;
+    row.v = execution.cell.v;
+    row.shards = execution.cell.shards;
+    row.withhold = execution.cell.withhold;
+    row.steps = spec.steps;
+    row.replications = spec.replications;
+    row.cell_seed = execution.config.seed;
+    row.checkpoint = c;
+    row.step = stats.step;
+    row.mean = stats.mean;
+    row.std_dev = stats.std_dev;
+    row.p05 = stats.p05;
+    row.p25 = stats.p25;
+    row.median = stats.median;
+    row.p75 = stats.p75;
+    row.p95 = stats.p95;
+    row.min = stats.min;
+    row.max = stats.max;
+    row.unfair_probability = stats.unfair_probability;
+    row.convergence_step = convergence;
+    for (ResultSink* sink : sinks) sink->WriteRow(row);
+  }
+}
+
+}  // namespace
+
+std::uint64_t CellSeed(std::uint64_t master_seed, std::size_t cell_index) {
+  // Two SplitMix64 rounds over (seed, index); the golden-ratio multiplier
+  // decorrelates adjacent indices before the first mix.
+  SplitMix64 mixer(master_seed ^
+                   (0x9E3779B97F4A7C15ULL *
+                    (static_cast<std::uint64_t>(cell_index) + 1)));
+  mixer.Next();
+  return mixer.Next();
+}
+
+core::SimulationConfig CellConfig(const ScenarioSpec& spec,
+                                  const CampaignCell& cell) {
+  core::SimulationConfig config;
+  config.steps = spec.steps;
+  config.replications = spec.replications;
+  config.seed = CellSeed(spec.seed, cell.index);
+  config.withhold_period = cell.withhold;
+  if (spec.spacing == CheckpointSpacing::kLog) {
+    config.checkpoints = core::LogCheckpoints(
+        spec.steps, std::max<std::size_t>(2, spec.checkpoint_count),
+        std::min<std::uint64_t>(10, spec.steps));
+  } else {
+    config.checkpoints =
+        core::LinearCheckpoints(spec.steps, spec.checkpoint_count);
+  }
+  return config;
+}
+
+core::SimulationConfig CellConfig(const ScenarioSpec& spec,
+                                  std::size_t cell_index) {
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  if (cell_index >= cells.size()) {
+    throw std::invalid_argument("CellConfig: cell index out of range");
+  }
+  return CellConfig(spec, cells[cell_index]);
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(options) {}
+
+std::uint64_t CampaignRunner::ChunkSize(std::uint64_t replications,
+                                        unsigned threads) const {
+  if (options_.chunk_replications != 0) return options_.chunk_replications;
+  // ~4 chunks per worker per cell: fine-grained enough that a finished
+  // cell's workers immediately pick up the next cell's chunks, coarse
+  // enough that dispatch overhead stays negligible.
+  const std::uint64_t chunks = static_cast<std::uint64_t>(threads) * 4;
+  return std::max<std::uint64_t>(1, (replications + chunks - 1) / chunks);
+}
+
+std::vector<ChunkJob> CampaignRunner::PlanJobs(
+    const ScenarioSpec& spec) const {
+  const unsigned threads =
+      options_.threads != 0 ? options_.threads : EnvThreads();
+  const std::uint64_t chunk = ChunkSize(spec.replications, threads);
+  std::vector<ChunkJob> jobs;
+  const std::size_t cells = spec.ExpandCells().size();
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    for (std::uint64_t begin = 0; begin < spec.replications; begin += chunk) {
+      ChunkJob job;
+      job.cell = cell;
+      job.begin = static_cast<std::size_t>(begin);
+      job.end = static_cast<std::size_t>(
+          std::min(spec.replications, begin + chunk));
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
+}
+
+std::vector<CellOutcome> CampaignRunner::Run(
+    const ScenarioSpec& spec, const std::vector<ResultSink*>& sinks) const {
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  const unsigned threads =
+      options_.threads != 0 ? options_.threads : EnvThreads();
+
+  // Bind every cell fully on this thread: model construction and config
+  // validation throw here, never inside a worker.  The λ matrix itself is
+  // allocated lazily by the cell's first chunk, so peak memory tracks the
+  // cells actually in flight rather than the whole grid.
+  std::vector<std::unique_ptr<CellExecution>> executions;
+  executions.reserve(cells.size());
+  for (const CampaignCell& cell : cells) {
+    auto execution = std::make_unique<CellExecution>();
+    execution->cell = cell;
+    execution->config = CellConfig(spec, cell);
+    execution->config.Validate();
+    execution->model =
+        protocol::MakeModel(cell.protocol, cell.w, cell.v, cell.shards);
+    execution->stakes = cell.Stakes();
+    executions.push_back(std::move(execution));
+  }
+
+  for (ResultSink* sink : sinks) sink->BeginCampaign(spec);
+
+  // Ordered streaming: the worker that reduces a cell drains every
+  // consecutive reduced cell starting at next_emit, so sinks always see
+  // ascending cell order no matter which cell finishes first.
+  std::mutex emit_mutex;
+  std::size_t next_emit = 0;
+
+  auto reduce_and_emit = [&](CellExecution& execution) {
+    execution.result = core::ReduceToResult(
+        execution.model->name(), execution.stakes, execution.config,
+        spec.fairness, execution.lambdas);
+    execution.lambdas.clear();
+    execution.lambdas.shrink_to_fit();
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    execution.reduced = true;
+    while (next_emit < executions.size() && executions[next_emit]->reduced) {
+      EmitCellRows(spec, *executions[next_emit], sinks);
+      ++next_emit;
+    }
+  };
+
+  // Dispatch exactly the job grid PlanJobs describes (the plan the tests
+  // assert on), as one SubmitBatch so cells interleave across workers.
+  const std::vector<ChunkJob> plan = PlanJobs(spec);
+  for (const ChunkJob& job : plan) {
+    executions[job.cell]->remaining_chunks.fetch_add(1);
+  }
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(plan.size());
+  for (const ChunkJob& job : plan) {
+    CellExecution* execution = executions[job.cell].get();
+    jobs.push_back([execution, job, &reduce_and_emit] {
+      std::call_once(execution->allocate_once, [execution] {
+        execution->lambdas.assign(execution->config.checkpoints.size() *
+                                      execution->config.replications,
+                                  0.0);
+      });
+      core::RunReplicationRange(*execution->model, execution->stakes,
+                                execution->config, job.begin, job.end,
+                                execution->lambdas.data());
+      if (execution->remaining_chunks.fetch_sub(1) == 1) {
+        reduce_and_emit(*execution);
+      }
+    });
+  }
+
+  {
+    ThreadPool pool(threads);
+    pool.SubmitBatch(std::move(jobs));
+    pool.Wait();
+  }
+
+  for (ResultSink* sink : sinks) sink->EndCampaign();
+
+  std::vector<CellOutcome> outcomes;
+  outcomes.reserve(executions.size());
+  for (auto& execution : executions) {
+    CellOutcome outcome;
+    outcome.cell = execution->cell;
+    outcome.seed = execution->config.seed;
+    outcome.result = std::move(execution->result);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace fairchain::sim

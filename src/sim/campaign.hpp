@@ -1,0 +1,100 @@
+// Batched campaign scheduling.
+//
+// A campaign is one ScenarioSpec expanded into its grid of CampaignCells.
+// The CampaignRunner executes ALL cells over ONE shared ThreadPool with
+// replication-level sharding: every cell's replications are cut into
+// chunks, and the full job grid (every chunk of every cell) is submitted
+// up front in a single SubmitBatch call.  A 50-cell campaign therefore
+// saturates all cores for its whole duration instead of running cells
+// serially through per-cell pools — on k cores the wall clock approaches
+// (serial sum)/k.
+//
+// Determinism contract: replication r of cell i always draws from
+// RngStream(CellSeed(spec.seed, i)).Split(r), and rows are streamed to the
+// sinks in ascending (cell, checkpoint) order regardless of which worker
+// finishes first — so campaign output is byte-identical for any thread
+// count (pinned by tests/integration/campaign_determinism_test.cpp).
+
+#ifndef FAIRCHAIN_SIM_CAMPAIGN_HPP_
+#define FAIRCHAIN_SIM_CAMPAIGN_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/monte_carlo.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/scenario_spec.hpp"
+
+namespace fairchain::sim {
+
+/// Execution knobs independent of what is simulated.
+struct CampaignOptions {
+  /// Worker threads for the shared pool (0 = EnvThreads()).
+  unsigned threads = 0;
+  /// Replications per scheduled chunk (0 = auto: ~4 chunks per worker per
+  /// cell, so cells interleave across the pool).
+  std::uint64_t chunk_replications = 0;
+};
+
+/// One executed cell: its grid coordinates, derived seed, and full result.
+struct CellOutcome {
+  CampaignCell cell;
+  std::uint64_t seed = 0;  ///< CellSeed(spec.seed, cell.index)
+  core::SimulationResult result;
+};
+
+/// One schedulable unit: replications [begin, end) of one cell.
+struct ChunkJob {
+  std::size_t cell = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Deterministic per-cell seed split: distinct cells draw from
+/// statistically independent streams, and a cell's seed depends only on
+/// (master seed, cell index) — not on the grid's other axes — so adding a
+/// cell never perturbs existing ones.
+std::uint64_t CellSeed(std::uint64_t master_seed, std::size_t cell_index);
+
+/// The runner.  Stateless apart from its options; Run is re-entrant.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+
+  /// Expands `spec`, executes every cell over one shared pool, streams
+  /// rows to `sinks` (BeginCampaign / WriteRow* / EndCampaign; WriteRow
+  /// calls are serialised and ordered), and returns per-cell outcomes in
+  /// grid order.  Throws std::invalid_argument on an invalid spec.
+  std::vector<CellOutcome> Run(const ScenarioSpec& spec,
+                               const std::vector<ResultSink*>& sinks) const;
+
+  /// The job grid Run would schedule: every cell's replication chunks, in
+  /// submission order.  Exposed so tests can verify that a multi-cell
+  /// campaign is dispatched as one interleavable batch (the property that
+  /// makes it parallel across cells), without running the simulations.
+  std::vector<ChunkJob> PlanJobs(const ScenarioSpec& spec) const;
+
+  const CampaignOptions& options() const { return options_; }
+
+ private:
+  std::uint64_t ChunkSize(std::uint64_t replications, unsigned threads) const;
+
+  CampaignOptions options_;
+};
+
+/// The exact SimulationConfig `cell` runs under: checkpoints expanded per
+/// the spec's spacing, seed = CellSeed(spec.seed, cell.index), and the
+/// cell's withholding period.  Shared by the runner and the tests that
+/// cross-check it against MonteCarloEngine.
+core::SimulationConfig CellConfig(const ScenarioSpec& spec,
+                                  const CampaignCell& cell);
+
+/// Convenience overload: expands the grid and configures its
+/// `cell_index`-th cell.
+core::SimulationConfig CellConfig(const ScenarioSpec& spec,
+                                  std::size_t cell_index);
+
+}  // namespace fairchain::sim
+
+#endif  // FAIRCHAIN_SIM_CAMPAIGN_HPP_

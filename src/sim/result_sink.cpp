@@ -1,0 +1,157 @@
+#include "sim/result_sink.hpp"
+
+#include "core/experiments.hpp"
+#include "support/table.hpp"
+
+namespace fairchain::sim {
+
+// ---------------------------------------------------------------------------
+// CsvSink
+// ---------------------------------------------------------------------------
+
+const std::string& CsvSink::Header() {
+  static const std::string header =
+      "scenario,cell,protocol,miners,whales,a,w,v,shards,withhold,steps,"
+      "replications,cell_seed,checkpoint,step,mean,std_dev,p05,p25,median,"
+      "p75,p95,min,max,unfair_probability,convergence_step";
+  return header;
+}
+
+void CsvSink::BeginCampaign(const ScenarioSpec& spec) {
+  (void)spec;
+  out_ << Header() << "\n";
+}
+
+void CsvSink::WriteRow(const CampaignRow& row) {
+  // Scenario names and protocol names come from a restricted alphabet (no
+  // commas/quotes), so no CSV quoting is needed for the schema's fields.
+  out_ << row.scenario << ',' << row.cell << ',' << row.protocol << ','
+       << row.miners << ',' << row.whales << ',' << FormatDouble(row.a) << ','
+       << FormatDouble(row.w) << ',' << FormatDouble(row.v) << ','
+       << row.shards << ',' << row.withhold << ',' << row.steps << ','
+       << row.replications << ',' << row.cell_seed << ',' << row.checkpoint
+       << ',' << row.step << ',' << FormatDouble(row.mean) << ','
+       << FormatDouble(row.std_dev) << ',' << FormatDouble(row.p05) << ','
+       << FormatDouble(row.p25) << ',' << FormatDouble(row.median) << ','
+       << FormatDouble(row.p75) << ',' << FormatDouble(row.p95) << ','
+       << FormatDouble(row.min) << ',' << FormatDouble(row.max) << ','
+       << FormatDouble(row.unfair_probability) << ',';
+  if (row.convergence_step) {
+    out_ << *row.convergence_step;
+  } else {
+    out_ << "never";
+  }
+  out_ << "\n";
+}
+
+void CsvSink::EndCampaign() { out_.flush(); }
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------------
+
+void JsonlSink::WriteRow(const CampaignRow& row) {
+  out_ << "{\"scenario\":\"" << row.scenario << "\",\"cell\":" << row.cell
+       << ",\"protocol\":\"" << row.protocol << "\",\"miners\":" << row.miners
+       << ",\"whales\":" << row.whales << ",\"a\":" << FormatDouble(row.a)
+       << ",\"w\":" << FormatDouble(row.w) << ",\"v\":" << FormatDouble(row.v)
+       << ",\"shards\":" << row.shards << ",\"withhold\":" << row.withhold
+       << ",\"steps\":" << row.steps
+       << ",\"replications\":" << row.replications
+       // As a string: seeds are full-range 64-bit values, beyond the 2^53
+       // exact-integer range of double-based JSON parsers, and the row
+       // exists to make the cell reproducible via --seed.
+       << ",\"cell_seed\":\"" << row.cell_seed << "\""
+       << ",\"checkpoint\":" << row.checkpoint << ",\"step\":" << row.step
+       << ",\"mean\":" << FormatDouble(row.mean)
+       << ",\"std_dev\":" << FormatDouble(row.std_dev)
+       << ",\"p05\":" << FormatDouble(row.p05)
+       << ",\"p25\":" << FormatDouble(row.p25)
+       << ",\"median\":" << FormatDouble(row.median)
+       << ",\"p75\":" << FormatDouble(row.p75)
+       << ",\"p95\":" << FormatDouble(row.p95)
+       << ",\"min\":" << FormatDouble(row.min)
+       << ",\"max\":" << FormatDouble(row.max)
+       << ",\"unfair_probability\":" << FormatDouble(row.unfair_probability)
+       << ",\"convergence_step\":";
+  if (row.convergence_step) {
+    out_ << *row.convergence_step;
+  } else {
+    out_ << "null";
+  }
+  out_ << "}\n";
+}
+
+void JsonlSink::EndCampaign() { out_.flush(); }
+
+// ---------------------------------------------------------------------------
+// SummarySink
+// ---------------------------------------------------------------------------
+
+void SummarySink::BeginCampaign(const ScenarioSpec& spec) {
+  title_ = spec.name + " — " + spec.description;
+  final_rows_.clear();
+}
+
+void SummarySink::WriteRow(const CampaignRow& row) {
+  // The runner emits a cell's checkpoints in ascending order, so the last
+  // row seen for a cell is its final checkpoint.
+  if (!final_rows_.empty() && final_rows_.back().cell == row.cell) {
+    final_rows_.back() = row;
+  } else {
+    final_rows_.push_back(row);
+  }
+}
+
+void SummarySink::EndCampaign() {
+  Table table({"cell", "protocol", "miners", "a", "w", "v", "shards",
+               "withhold", "mean", "p5", "p95", "unfair prob", "cvg"});
+  table.SetTitle(title_);
+  for (const CampaignRow& row : final_rows_) {
+    table.AddRow();
+    table.Cell(static_cast<std::uint64_t>(row.cell));
+    table.Cell(row.protocol);
+    table.Cell(static_cast<std::uint64_t>(row.miners));
+    table.Cell(row.a, 2);
+    table.CellSci(row.w, 0);
+    table.Cell(row.v, 2);
+    table.Cell(static_cast<std::uint64_t>(row.shards));
+    table.Cell(row.withhold);
+    table.Cell(row.mean, 4);
+    table.Cell(row.p05, 4);
+    table.Cell(row.p95, 4);
+    table.Cell(row.unfair_probability, 3);
+    table.Cell(core::experiments::FormatConvergence(row.convergence_step));
+  }
+  table.Emit(emit_basename_);
+}
+
+// ---------------------------------------------------------------------------
+// CampaignFileSinks
+// ---------------------------------------------------------------------------
+
+CampaignFileSinks::CampaignFileSinks(const std::string& scenario_name)
+    : summary_("campaign_" + scenario_name + "_summary") {}
+
+bool CampaignFileSinks::OpenFiles(const std::string& csv_path,
+                                  const std::string& jsonl_path) {
+  csv_file_.open(csv_path);
+  jsonl_file_.open(jsonl_path);
+  if (!csv_file_ || !jsonl_file_) {
+    csv_file_.close();
+    jsonl_file_.close();
+    return false;
+  }
+  csv_ = std::make_unique<CsvSink>(csv_file_);
+  jsonl_ = std::make_unique<JsonlSink>(jsonl_file_);
+  return true;
+}
+
+std::vector<ResultSink*> CampaignFileSinks::sinks() {
+  std::vector<ResultSink*> attached = {&summary_};
+  if (csv_) attached.push_back(csv_.get());
+  if (jsonl_) attached.push_back(jsonl_.get());
+  return attached;
+}
+
+}  // namespace fairchain::sim

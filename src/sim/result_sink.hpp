@@ -1,0 +1,149 @@
+// Streaming result sinks for campaign output.
+//
+// The CampaignRunner reduces every finished cell to CampaignRows (one row
+// per checkpoint, tidy-data style) and streams them to the attached sinks
+// in deterministic (cell, checkpoint) order — so CSV and JSONL output is
+// byte-identical for any thread count.  Column schemas are stable: new
+// columns may only be appended, never reordered or removed, so downstream
+// plotting scripts keyed on the header keep working.
+
+#ifndef FAIRCHAIN_SIM_RESULT_SINK_HPP_
+#define FAIRCHAIN_SIM_RESULT_SINK_HPP_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/scenario_spec.hpp"
+
+namespace fairchain::sim {
+
+/// One checkpoint of one campaign cell, fully denormalised so every row is
+/// self-describing (grid coordinates repeat on purpose — tidy data).
+struct CampaignRow {
+  std::string scenario;
+  std::size_t cell = 0;
+  std::string protocol;
+  std::size_t miners = 2;
+  std::size_t whales = 1;
+  double a = 0.0;
+  double w = 0.0;
+  double v = 0.0;
+  std::uint32_t shards = 0;
+  std::uint64_t withhold = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t replications = 0;
+  std::uint64_t cell_seed = 0;
+  std::size_t checkpoint = 0;  ///< checkpoint index within the cell
+  std::uint64_t step = 0;      ///< simulated step the checkpoint records
+  double mean = 0.0;
+  double std_dev = 0.0;
+  double p05 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double unfair_probability = 0.0;
+  /// Cell-level convergence step, repeated on each of the cell's rows;
+  /// nullopt = "Never" (as in Table 1).
+  std::optional<std::uint64_t> convergence_step;
+};
+
+/// Abstract streaming consumer of campaign rows.  Doubles are rendered
+/// with sim::FormatDouble (scenario_spec.hpp): deterministic, shortest
+/// round-trip.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once before any row; sinks emit headers here.
+  virtual void BeginCampaign(const ScenarioSpec& spec) { (void)spec; }
+
+  /// Called once per row, in ascending (cell, checkpoint) order.
+  virtual void WriteRow(const CampaignRow& row) = 0;
+
+  /// Called once after the last row; sinks flush here.
+  virtual void EndCampaign() {}
+};
+
+/// RFC-4180-ish CSV with the stable column schema (Header()).
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+
+  /// The exact header line (no newline); tests pin the schema against it.
+  static const std::string& Header();
+
+  void BeginCampaign(const ScenarioSpec& spec) override;
+  void WriteRow(const CampaignRow& row) override;
+  void EndCampaign() override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// One JSON object per line with the same field names as the CSV columns;
+/// convergence_step is null when fairness is never sustained.
+class JsonlSink : public ResultSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const CampaignRow& row) override;
+  void EndCampaign() override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Collects each cell's final checkpoint and prints an aligned summary
+/// Table (one row per cell) at EndCampaign — the human-facing view the CLI
+/// and the bench wrappers show.
+class SummarySink : public ResultSink {
+ public:
+  /// `emit_basename` feeds Table::Emit (stdout + FAIRCHAIN_CSV_DIR copy).
+  explicit SummarySink(std::string emit_basename)
+      : emit_basename_(std::move(emit_basename)) {}
+
+  void BeginCampaign(const ScenarioSpec& spec) override;
+  void WriteRow(const CampaignRow& row) override;
+  void EndCampaign() override;
+
+ private:
+  std::string emit_basename_;
+  std::string title_;
+  std::vector<CampaignRow> final_rows_;
+};
+
+/// The standard sink trio every campaign entry point uses: a stdout
+/// SummarySink (Table::Emit basename `campaign_<name>_summary`) plus
+/// optional streaming CSV and JSONL file sinks.  Owning the streams and
+/// the wiring here keeps the CLI and the bench wrappers consistent.
+class CampaignFileSinks {
+ public:
+  /// `scenario_name` determines the summary's Table::Emit basename.
+  explicit CampaignFileSinks(const std::string& scenario_name);
+
+  /// Opens the streaming file sinks.  Returns false — leaving both
+  /// detached — when either path cannot be opened for writing.
+  bool OpenFiles(const std::string& csv_path, const std::string& jsonl_path);
+
+  /// The attached sinks, ready to pass to CampaignRunner::Run.
+  std::vector<ResultSink*> sinks();
+
+ private:
+  SummarySink summary_;
+  std::ofstream csv_file_;
+  std::ofstream jsonl_file_;
+  std::unique_ptr<CsvSink> csv_;
+  std::unique_ptr<JsonlSink> jsonl_;
+};
+
+}  // namespace fairchain::sim
+
+#endif  // FAIRCHAIN_SIM_RESULT_SINK_HPP_

@@ -1,0 +1,211 @@
+#include "sim/scenario_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fairchain::sim {
+
+namespace {
+
+ScenarioRegistry BuildBuiltIns() {
+  ScenarioRegistry registry;
+
+  // --- Paper figures and Table 1 (Sections 5.1 / 5.2 parameters) --------
+  {
+    ScenarioSpec spec;
+    spec.name = "fig1";
+    spec.description =
+        "SL-PoS drift at the Figure 1 highlighted shares (0.3 / 0.5 / 0.7)";
+    spec.protocols = {"slpos"};
+    spec.allocations = {0.3, 0.5, 0.7};
+    spec.steps = 2000;
+    spec.replications = 10000;
+    spec.checkpoint_count = 40;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig2";
+    spec.description =
+        "Evolution of lambda_A for PoW/ML-PoS/SL-PoS/C-PoS at a=0.2";
+    spec.protocols = {"pow", "mlpos", "slpos", "cpos"};
+    spec.checkpoint_count = 60;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig3";
+    spec.description =
+        "Unfair probability vs n under allocations a in {0.1..0.4}";
+    spec.protocols = {"pow", "mlpos", "slpos", "cpos"};
+    spec.allocations = {0.1, 0.2, 0.3, 0.4};
+    spec.checkpoint_count = 40;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig4a";
+    spec.description =
+        "SL-PoS mean lambda_A decay over 1e5 blocks, allocation sweep";
+    spec.protocols = {"slpos"};
+    spec.allocations = {0.1, 0.2, 0.3, 0.4, 0.5};
+    spec.steps = 100000;
+    spec.replications = 2000;
+    spec.checkpoint_count = 18;
+    spec.spacing = CheckpointSpacing::kLog;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig4b";
+    spec.description =
+        "SL-PoS mean lambda_A decay over 1e5 blocks, reward sweep at a=0.2";
+    spec.protocols = {"slpos"};
+    spec.rewards = {1e-4, 1e-3, 1e-2, 1e-1};
+    spec.steps = 100000;
+    spec.replications = 2000;
+    spec.checkpoint_count = 18;
+    spec.spacing = CheckpointSpacing::kLog;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig5";
+    spec.description =
+        "Unfair probability under block-reward sweeps (panels a-c)";
+    spec.protocols = {"mlpos", "slpos", "cpos"};
+    spec.rewards = {1e-4, 1e-3, 1e-2, 1e-1};
+    spec.checkpoint_count = 40;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig5d";
+    spec.description =
+        "C-PoS unfair probability vs inflation v, sharded and unsharded";
+    spec.protocols = {"cpos"};
+    spec.inflations = {0.0, 0.01, 0.1};
+    spec.shard_counts = {1, 32};
+    spec.checkpoint_count = 40;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig6";
+    spec.description =
+        "FSL-PoS remedy, plain and with 1000-block reward withholding";
+    spec.protocols = {"fslpos"};
+    spec.withhold_periods = {0, 1000};
+    spec.checkpoint_count = 60;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "table1";
+    spec.description =
+        "Multi-miner game: A holds 20%, the rest split 80% equally";
+    spec.protocols = {"pow", "mlpos", "slpos", "cpos"};
+    spec.miner_counts = {2, 3, 4, 5, 10};
+    spec.steps = 20000;
+    spec.replications = 4000;
+    spec.checkpoint_count = 200;
+    registry.Register(std::move(spec));
+  }
+
+  // --- New workloads beyond the paper -----------------------------------
+  {
+    ScenarioSpec spec;
+    spec.name = "whale-sweep";
+    spec.description =
+        "Whale vs nine minnows: whale share swept from 5% to 50%";
+    spec.protocols = {"pow", "mlpos", "slpos", "cpos"};
+    spec.miner_counts = {10};
+    spec.allocations = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
+    spec.replications = 4000;
+    spec.checkpoint_count = 25;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "multi-whale";
+    spec.description =
+        "1/2/5 whales jointly holding 40% against minnows sharing 60%";
+    spec.protocols = {"mlpos", "slpos", "cpos"};
+    spec.miner_counts = {10};
+    spec.whale_counts = {1, 2, 5};
+    spec.allocations = {0.4};
+    spec.replications = 4000;
+    spec.checkpoint_count = 25;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "withhold-grid";
+    spec.description =
+        "Reward-withholding period grid for ML-PoS and FSL-PoS (Sec. 6.3)";
+    spec.protocols = {"mlpos", "fslpos"};
+    spec.withhold_periods = {0, 100, 500, 1000, 2500};
+    spec.replications = 6000;
+    spec.checkpoint_count = 25;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "committee";
+    spec.description =
+        "Committee-style protocols (NEO/Algorand/EOS) under growing "
+        "committee sizes";
+    spec.protocols = {"neo", "algorand", "eos"};
+    spec.miner_counts = {4, 7, 21};
+    spec.replications = 6000;
+    spec.checkpoint_count = 25;
+    registry.Register(std::move(spec));
+  }
+
+  return registry;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::BuiltIn() {
+  static const ScenarioRegistry registry = BuildBuiltIns();
+  return registry;
+}
+
+void ScenarioRegistry::Register(ScenarioSpec spec) {
+  spec.Validate();
+  if (Contains(spec.name)) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate scenario '" +
+                                spec.name + "'");
+  }
+  specs_.push_back(std::move(spec));
+}
+
+bool ScenarioRegistry::Contains(const std::string& name) const {
+  for (const ScenarioSpec& spec : specs_) {
+    if (spec.name == name) return true;
+  }
+  return false;
+}
+
+const ScenarioSpec& ScenarioRegistry::Get(const std::string& name) const {
+  for (const ScenarioSpec& spec : specs_) {
+    if (spec.name == name) return spec;
+  }
+  std::string known;
+  for (const ScenarioSpec& spec : specs_) {
+    if (!known.empty()) known += ", ";
+    known += spec.name;
+  }
+  throw std::invalid_argument("ScenarioRegistry: unknown scenario '" + name +
+                              "' (known: " + known + ")");
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const ScenarioSpec& spec : specs_) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace fairchain::sim

@@ -1,0 +1,48 @@
+// The scenario registry: every paper figure/table plus new workloads as
+// pre-registered ScenarioSpecs.
+//
+// Adding a scenario means adding one Register call in BuildBuiltIns() —
+// not a new bench binary.  The `fig*` / `table1` bench executables and the
+// `fairchain campaign` CLI both resolve their workloads here, so the grid
+// the tests assert on is exactly the grid the benches print.
+
+#ifndef FAIRCHAIN_SIM_SCENARIO_REGISTRY_HPP_
+#define FAIRCHAIN_SIM_SCENARIO_REGISTRY_HPP_
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario_spec.hpp"
+
+namespace fairchain::sim {
+
+/// An ordered, name-keyed collection of scenario specs.
+class ScenarioRegistry {
+ public:
+  /// The built-in catalogue: the paper's six figures and Table 1 at their
+  /// published parameters, plus new workloads (whale-vs-minnows sweep,
+  /// multi-whale games, a withholding grid, committee-style stake splits).
+  static const ScenarioRegistry& BuiltIn();
+
+  /// Registers `spec` (validated); throws std::invalid_argument when a
+  /// spec with the same name already exists.
+  void Register(ScenarioSpec spec);
+
+  bool Contains(const std::string& name) const;
+
+  /// Looks up a spec by name; throws std::invalid_argument with the known
+  /// names when absent.
+  const ScenarioSpec& Get(const std::string& name) const;
+
+  /// Scenario names in registration order.
+  std::vector<std::string> Names() const;
+
+  std::size_t size() const { return specs_.size(); }
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+};
+
+}  // namespace fairchain::sim
+
+#endif  // FAIRCHAIN_SIM_SCENARIO_REGISTRY_HPP_

@@ -1,0 +1,379 @@
+#include "sim/scenario_spec.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "protocol/model_factory.hpp"
+
+namespace fairchain::sim {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) return "nan";
+  return std::string(buffer, end);
+}
+
+namespace {
+
+std::string Trim(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const std::size_t last = text.find_last_not_of(" \t\r");
+  return text.substr(first, last - first + 1);
+}
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string current;
+  std::istringstream stream(text);
+  while (std::getline(stream, current, ',')) {
+    current = Trim(current);
+    if (!current.empty()) parts.push_back(current);
+  }
+  return parts;
+}
+
+double ParseDouble(const std::string& key, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument("tail");
+    return parsed;
+  } catch (...) {
+    throw std::invalid_argument("ScenarioSpec: " + key +
+                                " expects a number, got '" + value + "'");
+  }
+}
+
+std::uint64_t ParseU64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long parsed = std::stoull(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument("tail");
+    return static_cast<std::uint64_t>(parsed);
+  } catch (...) {
+    throw std::invalid_argument("ScenarioSpec: " + key +
+                                " expects an integer, got '" + value + "'");
+  }
+}
+
+std::vector<double> ParseDoubleList(const std::string& key,
+                                    const std::string& value) {
+  std::vector<double> parsed;
+  for (const std::string& part : SplitCommas(value)) {
+    parsed.push_back(ParseDouble(key, part));
+  }
+  if (parsed.empty()) {
+    throw std::invalid_argument("ScenarioSpec: " + key + " must not be empty");
+  }
+  return parsed;
+}
+
+std::vector<std::uint64_t> ParseU64List(const std::string& key,
+                                        const std::string& value) {
+  std::vector<std::uint64_t> parsed;
+  for (const std::string& part : SplitCommas(value)) {
+    parsed.push_back(ParseU64(key, part));
+  }
+  if (parsed.empty()) {
+    throw std::invalid_argument("ScenarioSpec: " + key + " must not be empty");
+  }
+  return parsed;
+}
+
+CheckpointSpacing ParseSpacing(const std::string& value) {
+  if (value == "linear") return CheckpointSpacing::kLinear;
+  if (value == "log") return CheckpointSpacing::kLog;
+  throw std::invalid_argument(
+      "ScenarioSpec: spacing expects linear|log, got '" + value + "'");
+}
+
+template <typename T>
+std::string JoinList(const std::vector<T>& values) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out << ",";
+    out << values[i];
+  }
+  return out.str();
+}
+
+// Doubles use the shortest-round-trip rendering so ToText output parses
+// back to bitwise-identical values (plain operator<< truncates at 6
+// significant digits).
+std::string JoinDoubles(const std::vector<double>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += FormatDouble(values[i]);
+  }
+  return out;
+}
+
+// Applies one key=value assignment; shared by FromText and ApplyOverrides.
+void Assign(ScenarioSpec& spec, const std::string& key,
+            const std::string& value) {
+  if (key == "name") {
+    spec.name = value;
+  } else if (key == "description") {
+    spec.description = value;
+  } else if (key == "protocols") {
+    spec.protocols = SplitCommas(value);
+  } else if (key == "miners") {
+    spec.miner_counts.clear();
+    for (const std::uint64_t m : ParseU64List(key, value)) {
+      spec.miner_counts.push_back(static_cast<std::size_t>(m));
+    }
+  } else if (key == "whales") {
+    spec.whale_counts.clear();
+    for (const std::uint64_t m : ParseU64List(key, value)) {
+      spec.whale_counts.push_back(static_cast<std::size_t>(m));
+    }
+  } else if (key == "a") {
+    spec.allocations = ParseDoubleList(key, value);
+  } else if (key == "w") {
+    spec.rewards = ParseDoubleList(key, value);
+  } else if (key == "v") {
+    spec.inflations = ParseDoubleList(key, value);
+  } else if (key == "shards") {
+    spec.shard_counts.clear();
+    for (const std::uint64_t p : ParseU64List(key, value)) {
+      spec.shard_counts.push_back(static_cast<std::uint32_t>(p));
+    }
+  } else if (key == "withhold") {
+    spec.withhold_periods = ParseU64List(key, value);
+  } else if (key == "steps") {
+    spec.steps = ParseU64(key, value);
+  } else if (key == "reps") {
+    spec.replications = ParseU64(key, value);
+  } else if (key == "seed") {
+    spec.seed = ParseU64(key, value);
+  } else if (key == "checkpoints") {
+    spec.checkpoint_count = static_cast<std::size_t>(ParseU64(key, value));
+  } else if (key == "spacing") {
+    spec.spacing = ParseSpacing(value);
+  } else if (key == "eps") {
+    spec.fairness.epsilon = ParseDouble(key, value);
+  } else if (key == "delta") {
+    spec.fairness.delta = ParseDouble(key, value);
+  } else {
+    throw std::invalid_argument("ScenarioSpec: unknown key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<double> CampaignCell::Stakes() const {
+  std::vector<double> stakes(miners);
+  for (std::size_t i = 0; i < miners; ++i) {
+    stakes[i] = i < whales
+                    ? a / static_cast<double>(whales)
+                    : (1.0 - a) / static_cast<double>(miners - whales);
+  }
+  return stakes;
+}
+
+std::string CampaignCell::Label() const {
+  std::ostringstream out;
+  out << "protocol=" << protocol << " miners=" << miners;
+  if (whales != 1) out << " whales=" << whales;
+  out << " a=" << a << " w=" << w << " v=" << v << " shards=" << shards;
+  if (withhold != 0) out << " withhold=" << withhold;
+  return out.str();
+}
+
+void ScenarioSpec::Validate() const {
+  auto require = [](bool condition, const std::string& message) {
+    if (!condition) throw std::invalid_argument("ScenarioSpec: " + message);
+  };
+  require(!name.empty(), "name must not be empty");
+  for (const char c : name) {
+    // The name is written verbatim into CSV fields and JSON strings; a
+    // restricted alphabet keeps both formats valid without escaping.
+    const bool allowed = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                         c == '.';
+    require(allowed,
+            "name may only contain letters, digits, '-', '_', '.' (got '" +
+                name + "')");
+  }
+  require(!protocols.empty(), "protocols must not be empty");
+  for (const std::string& protocol : protocols) {
+    require(protocol::IsKnownModelName(protocol),
+            "unknown protocol '" + protocol + "'");
+  }
+  require(!miner_counts.empty(), "miners must not be empty");
+  for (const std::size_t miners : miner_counts) {
+    require(miners >= 2, "every miner count must be >= 2");
+  }
+  require(!whale_counts.empty(), "whales must not be empty");
+  for (const std::size_t whales : whale_counts) {
+    require(whales >= 1, "every whale count must be >= 1");
+    for (const std::size_t miners : miner_counts) {
+      require(whales < miners,
+              "whale count must be < miner count so minnows exist");
+    }
+  }
+  require(!allocations.empty(), "a must not be empty");
+  for (const double a : allocations) {
+    require(a > 0.0 && a < 1.0, "every a must lie in (0, 1)");
+  }
+  require(!rewards.empty(), "w must not be empty");
+  for (const double w : rewards) require(w > 0.0, "every w must be > 0");
+  require(!inflations.empty(), "v must not be empty");
+  for (const double v : inflations) require(v >= 0.0, "every v must be >= 0");
+  require(!shard_counts.empty(), "shards must not be empty");
+  for (const std::uint32_t shards : shard_counts) {
+    require(shards >= 1, "every shard count must be >= 1");
+  }
+  require(!withhold_periods.empty(), "withhold must not be empty");
+  require(steps > 0, "steps must be > 0");
+  require(replications > 0, "reps must be > 0");
+  require(checkpoint_count > 0, "checkpoints must be > 0");
+  fairness.Validate();
+}
+
+std::size_t ScenarioSpec::CellCount() const {
+  return protocols.size() * miner_counts.size() * whale_counts.size() *
+         allocations.size() * rewards.size() * inflations.size() *
+         shard_counts.size() * withhold_periods.size();
+}
+
+std::vector<CampaignCell> ScenarioSpec::ExpandCells() const {
+  Validate();
+  std::vector<CampaignCell> cells;
+  cells.reserve(CellCount());
+  for (const std::string& protocol : protocols) {
+    for (const std::size_t miners : miner_counts) {
+      for (const std::size_t whales : whale_counts) {
+        for (const double a : allocations) {
+          for (const double w : rewards) {
+            for (const double v : inflations) {
+              for (const std::uint32_t shards : shard_counts) {
+                for (const std::uint64_t withhold : withhold_periods) {
+                  CampaignCell cell;
+                  cell.index = cells.size();
+                  cell.protocol = protocol;
+                  cell.miners = miners;
+                  cell.whales = whales;
+                  cell.a = a;
+                  cell.w = w;
+                  cell.v = v;
+                  cell.shards = shards;
+                  cell.withhold = withhold;
+                  cells.push_back(std::move(cell));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+ScenarioSpec ScenarioSpec::FromText(const std::string& text) {
+  ScenarioSpec spec;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    line = Trim(line);
+    // Comments are whole lines only, so values (e.g. a description) may
+    // contain '#'.
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t equals = line.find('=');
+    if (equals == std::string::npos) {
+      throw std::invalid_argument(
+          "ScenarioSpec: line " + std::to_string(line_number) +
+          " is not a key=value assignment: '" + line + "'");
+    }
+    Assign(spec, Trim(line.substr(0, equals)), Trim(line.substr(equals + 1)));
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::FromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("ScenarioSpec: cannot read '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  // A directory opens "successfully" but reads nothing, as does an empty
+  // or comment-only file; running the all-defaults campaign for any of
+  // these would be the silent-fallback failure mode this layer exists to
+  // prevent, so require at least one assignment line.
+  bool has_assignment = false;
+  {
+    std::istringstream lines(contents.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+      line = Trim(line);
+      if (!line.empty() && line.front() != '#') {
+        has_assignment = true;
+        break;
+      }
+    }
+  }
+  if (!has_assignment) {
+    throw std::runtime_error("ScenarioSpec: '" + path +
+                             "' is empty or not a readable spec file");
+  }
+  ScenarioSpec spec = FromText(contents.str());
+  if (spec.name == "custom") {
+    // Default the name to the file's basename so sinks and logs name it.
+    std::string base = path;
+    const std::size_t slash = base.find_last_of("/\\");
+    if (slash != std::string::npos) base = base.substr(slash + 1);
+    const std::size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+    if (!base.empty()) spec.name = base;
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::ToText() const {
+  std::ostringstream out;
+  out << "name=" << name << "\n";
+  if (!description.empty()) out << "description=" << description << "\n";
+  out << "protocols=" << JoinList(protocols) << "\n"
+      << "miners=" << JoinList(miner_counts) << "\n"
+      << "whales=" << JoinList(whale_counts) << "\n"
+      << "a=" << JoinDoubles(allocations) << "\n"
+      << "w=" << JoinDoubles(rewards) << "\n"
+      << "v=" << JoinDoubles(inflations) << "\n"
+      << "shards=" << JoinList(shard_counts) << "\n"
+      << "withhold=" << JoinList(withhold_periods) << "\n"
+      << "steps=" << steps << "\n"
+      << "reps=" << replications << "\n"
+      << "seed=" << seed << "\n"
+      << "checkpoints=" << checkpoint_count << "\n"
+      << "spacing="
+      << (spacing == CheckpointSpacing::kLog ? "log" : "linear") << "\n"
+      << "eps=" << FormatDouble(fairness.epsilon) << "\n"
+      << "delta=" << FormatDouble(fairness.delta) << "\n";
+  return out.str();
+}
+
+void ScenarioSpec::ApplyOverrides(const FlagSet& flags) {
+  for (const std::string& key : OverrideFlagNames()) {
+    if (flags.Has(key)) Assign(*this, key, flags.GetString(key, ""));
+  }
+}
+
+const std::vector<std::string>& ScenarioSpec::OverrideFlagNames() {
+  static const std::vector<std::string> names = {
+      "protocols", "miners", "whales",      "a",       "w",
+      "v",         "shards", "withhold",    "steps",   "reps",
+      "seed",      "checkpoints", "spacing", "eps",    "delta"};
+  return names;
+}
+
+}  // namespace fairchain::sim

@@ -1,0 +1,127 @@
+// Declarative simulation scenarios.
+//
+// A ScenarioSpec describes a whole campaign — a grid of mining-game cells
+// over protocols × parameters — as data instead of code.  Specs come from
+// three sources that all meet in the same value type:
+//   * the built-in ScenarioRegistry (every paper figure/table + new
+//     workloads),
+//   * `key=value` text (one assignment per line, '#' comments), via
+//     FromText / FromFile,
+//   * CLI flag overrides (`--reps 200`), via ApplyOverrides.
+//
+// The CampaignRunner expands a spec's grid axes into their cartesian
+// product of CampaignCells and executes every cell over one shared thread
+// pool (see campaign.hpp).
+
+#ifndef FAIRCHAIN_SIM_SCENARIO_SPEC_HPP_
+#define FAIRCHAIN_SIM_SCENARIO_SPEC_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fairness.hpp"
+#include "support/flags.hpp"
+
+namespace fairchain::sim {
+
+/// Shortest round-trippable decimal rendering of a double
+/// (std::to_chars) — the deterministic formatting used by ToText and
+/// every result sink, so printed specs and rows parse back to the exact
+/// same values.
+std::string FormatDouble(double value);
+
+/// How a spec's checkpoint steps are spaced over [1, steps].
+enum class CheckpointSpacing {
+  kLinear,  ///< LinearCheckpoints (the default for 5k-block horizons)
+  kLog,     ///< LogCheckpoints (the Figure 4 style, for 1e5-block horizons)
+};
+
+/// One fully bound grid cell: a single (protocol, parameters) mining game.
+struct CampaignCell {
+  std::size_t index = 0;      ///< position in the expanded grid, row-major
+  std::string protocol;       ///< model name (protocol::MakeModel)
+  std::size_t miners = 2;     ///< total number of miners
+  std::size_t whales = 1;     ///< miners sharing the tracked allocation `a`
+  double a = 0.2;             ///< combined initial share of the whales
+  double w = 0.01;            ///< block / proposer reward
+  double v = 0.1;             ///< inflation reward (C-PoS, Algorand, EOS)
+  std::uint32_t shards = 32;  ///< C-PoS committee count P
+  std::uint64_t withhold = 0; ///< reward-withholding period (0 = off)
+
+  /// Stake vector for this cell: the first `whales` miners split `a`
+  /// equally, the remaining miners split 1 - a equally.  whales == 1 is the
+  /// paper's Table 1 whale-vs-minnows allocation.
+  std::vector<double> Stakes() const;
+
+  /// Compact "protocol=pow a=0.2 ..." rendering for logs and errors.
+  std::string Label() const;
+};
+
+/// A declarative campaign: grid axes (expanded to their cartesian product)
+/// plus the scalar simulation parameters shared by every cell.
+struct ScenarioSpec {
+  std::string name = "custom";
+  std::string description;
+
+  // Grid axes.  Cells are enumerated row-major in this field order:
+  // protocol is the slowest-varying axis, withhold the fastest.
+  std::vector<std::string> protocols = {"mlpos"};
+  std::vector<std::size_t> miner_counts = {2};
+  std::vector<std::size_t> whale_counts = {1};
+  std::vector<double> allocations = {0.2};
+  std::vector<double> rewards = {0.01};
+  std::vector<double> inflations = {0.1};
+  std::vector<std::uint32_t> shard_counts = {32};
+  std::vector<std::uint64_t> withhold_periods = {0};
+
+  // Scalars shared by every cell.
+  std::uint64_t steps = 5000;
+  std::uint64_t replications = 10000;
+  std::uint64_t seed = 20210620;
+  std::size_t checkpoint_count = 50;
+  CheckpointSpacing spacing = CheckpointSpacing::kLinear;
+  core::FairnessSpec fairness{0.1, 0.1};
+
+  /// Throws std::invalid_argument on an empty axis, an unknown protocol,
+  /// out-of-range allocations / miner counts, or zero steps/replications.
+  void Validate() const;
+
+  /// Number of cells the grid expands to (product of the axis sizes).
+  std::size_t CellCount() const;
+
+  /// Expands the grid axes to their cartesian product, row-major in the
+  /// field order documented above.  Calls Validate first.
+  std::vector<CampaignCell> ExpandCells() const;
+
+  /// Parses `key=value` lines.  Blank lines and whole-line '#' comments
+  /// are skipped (values may contain '#'); list-valued keys take
+  /// comma-separated values.  Keys:
+  ///   name, description, protocols, miners, whales, a, w, v, shards,
+  ///   withhold, steps, reps, seed, checkpoints, spacing (linear|log),
+  ///   eps, delta
+  /// Unknown keys throw std::invalid_argument (same contract as
+  /// FlagSet::RejectUnknown: a typo must not silently become a default).
+  static ScenarioSpec FromText(const std::string& text);
+
+  /// FromText over a file's contents; throws std::runtime_error when the
+  /// file cannot be read.
+  static ScenarioSpec FromFile(const std::string& path);
+
+  /// Renders the spec as FromText-parseable `key=value` lines; round-trips
+  /// through FromText.
+  std::string ToText() const;
+
+  /// Applies CLI overrides (all optional): --reps, --steps, --seed,
+  /// --checkpoints, --spacing, --eps, --delta, --protocols, --miners,
+  /// --whales, --a, --w, --v, --shards, --withhold.  List-valued flags take
+  /// comma-separated values and replace the whole axis.
+  void ApplyOverrides(const FlagSet& flags);
+
+  /// Flag names ApplyOverrides understands (for FlagSet::RejectUnknown).
+  static const std::vector<std::string>& OverrideFlagNames();
+};
+
+}  // namespace fairchain::sim
+
+#endif  // FAIRCHAIN_SIM_SCENARIO_SPEC_HPP_

@@ -1,10 +1,33 @@
 #include "support/flags.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fairchain {
 
-FlagSet FlagSet::Parse(const std::vector<std::string>& args) {
+namespace {
+
+// Edit distance between flag names, for "did you mean" suggestions.
+std::size_t Levenshtein(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+FlagSet FlagSet::Parse(const std::vector<std::string>& args,
+                       const std::vector<std::string>& switches) {
   FlagSet set;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -21,9 +44,12 @@ FlagSet FlagSet::Parse(const std::vector<std::string>& args) {
       set.flags_[body.substr(0, equals)] = body.substr(equals + 1);
       continue;
     }
-    // `--name value` unless the next token is another flag (then treat as
-    // a boolean switch).
-    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+    // `--name value` unless the flag is a declared switch or the next
+    // token is another flag (then treat as boolean).
+    const bool is_switch =
+        std::find(switches.begin(), switches.end(), body) != switches.end();
+    if (!is_switch && i + 1 < args.size() &&
+        args[i + 1].rfind("--", 0) != 0) {
       set.flags_[body] = args[i + 1];
       ++i;
     } else {
@@ -33,10 +59,11 @@ FlagSet FlagSet::Parse(const std::vector<std::string>& args) {
   return set;
 }
 
-FlagSet FlagSet::Parse(int argc, const char* const argv[]) {
+FlagSet FlagSet::Parse(int argc, const char* const argv[],
+                       const std::vector<std::string>& switches) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
-  return Parse(args);
+  return Parse(args, switches);
 }
 
 bool FlagSet::Has(const std::string& name) const {
@@ -78,6 +105,29 @@ std::uint64_t FlagSet::GetU64(const std::string& name,
                                 " expects an integer, got '" + it->second +
                                 "'");
   }
+}
+
+void FlagSet::RejectUnknown(const std::vector<std::string>& allowed) const {
+  std::string errors;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), name) != allowed.end()) {
+      continue;
+    }
+    if (!errors.empty()) errors += "; ";
+    errors += "unknown flag --" + name;
+    std::size_t best_distance = 3;  // suggest only close misspellings
+    const std::string* best = nullptr;
+    for (const std::string& candidate : allowed) {
+      const std::size_t distance = Levenshtein(name, candidate);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = &candidate;
+      }
+    }
+    if (best != nullptr) errors += " (did you mean --" + *best + "?)";
+  }
+  if (!errors.empty()) throw std::invalid_argument("FlagSet: " + errors);
 }
 
 bool FlagSet::GetBool(const std::string& name, bool fallback) const {

@@ -19,10 +19,15 @@ class FlagSet {
  public:
   /// Parses argv-style input (excluding argv[0]).  Throws
   /// std::invalid_argument on a malformed flag (e.g. missing value).
-  static FlagSet Parse(const std::vector<std::string>& args);
+  /// Flags named in `switches` are boolean and never consume the next
+  /// token, so a positional may directly follow them
+  /// (`--no-files table1` keeps "table1" positional).
+  static FlagSet Parse(const std::vector<std::string>& args,
+                       const std::vector<std::string>& switches = {});
 
   /// Convenience overload for main()'s argc/argv (skips argv[0]).
-  static FlagSet Parse(int argc, const char* const argv[]);
+  static FlagSet Parse(int argc, const char* const argv[],
+                       const std::vector<std::string>& switches = {});
 
   /// True when --name was supplied.
   bool Has(const std::string& name) const;
@@ -46,6 +51,13 @@ class FlagSet {
   const std::vector<std::string>& positionals() const {
     return positionals_;
   }
+
+  /// Throws std::invalid_argument when any parsed flag is not in `allowed`,
+  /// naming every offender and suggesting the closest allowed spelling
+  /// ("unknown flag --rep (did you mean --reps?)").  Commands call this
+  /// after parsing so a misspelled flag fails loudly instead of silently
+  /// falling back to the default value.
+  void RejectUnknown(const std::vector<std::string>& allowed) const;
 
  private:
   std::map<std::string, std::string> flags_;

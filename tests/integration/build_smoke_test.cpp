@@ -1,8 +1,8 @@
 // Link-coverage smoke test: instantiates at least one public type from every
-// layer library (support, math, crypto, protocol, core, chain) so that a
-// refactor which orphans a target from the build graph — or breaks the
-// support -> math -> protocol -> core / crypto -> chain link order — fails
-// this binary's link step instead of passing silently.
+// layer library (support, math, crypto, protocol, core, chain, sim) so that
+// a refactor which orphans a target from the build graph — or breaks the
+// support -> math -> protocol -> core -> sim / crypto -> chain link order —
+// fails this binary's link step instead of passing silently.
 
 #include <gtest/gtest.h>
 
@@ -12,6 +12,7 @@
 #include "math/special.hpp"
 #include "protocol/pow.hpp"
 #include "protocol/stake_state.hpp"
+#include "sim/scenario_registry.hpp"
 #include "support/rng.hpp"
 #include "support/u256.hpp"
 #include "support/version.hpp"
@@ -50,6 +51,12 @@ TEST(BuildSmokeTest, CoreLayerLinks) {
   const std::size_t color = urn.Draw(rng);
   EXPECT_LT(color, urn.colors());
   EXPECT_DOUBLE_EQ(urn.total_mass(), 3.0);
+}
+
+TEST(BuildSmokeTest, SimLayerLinks) {
+  const auto& registry = fairchain::sim::ScenarioRegistry::BuiltIn();
+  EXPECT_GE(registry.size(), 10u);
+  EXPECT_TRUE(registry.Contains("table1"));
 }
 
 TEST(BuildSmokeTest, ChainLayerLinks) {

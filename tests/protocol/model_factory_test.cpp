@@ -1,0 +1,47 @@
+// Tests for the name-to-model factory shared by the CLI and the sim layer.
+
+#include "protocol/model_factory.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace fairchain::protocol {
+namespace {
+
+TEST(ModelFactoryTest, ConstructsEveryKnownModel) {
+  for (const std::string& name : KnownModelNames()) {
+    const auto model = MakeModel(name, 0.01, 0.1, 32);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_FALSE(model->name().empty()) << name;
+    EXPECT_GT(model->RewardPerStep(), 0.0) << name;
+  }
+}
+
+TEST(ModelFactoryTest, KnownNamesAndPredicateAgree) {
+  EXPECT_GE(KnownModelNames().size(), 8u);
+  for (const std::string& name : KnownModelNames()) {
+    EXPECT_TRUE(IsKnownModelName(name)) << name;
+  }
+  EXPECT_FALSE(IsKnownModelName("pot"));
+  EXPECT_FALSE(IsKnownModelName(""));
+}
+
+TEST(ModelFactoryTest, UnknownNameThrowsListingKnownOnes) {
+  try {
+    MakeModel("nosuch", 0.01, 0.1, 32);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("mlpos"), std::string::npos);
+  }
+}
+
+TEST(ModelFactoryTest, ParametersReachTheModel) {
+  const auto pow = MakeModel("pow", 0.5, 0.0, 1);
+  EXPECT_DOUBLE_EQ(pow->RewardPerStep(), 0.5);
+  const auto cpos = MakeModel("cpos", 0.01, 0.1, 32);
+  EXPECT_DOUBLE_EQ(cpos->RewardPerStep(), 0.01 + 0.1);
+}
+
+}  // namespace
+}  // namespace fairchain::protocol

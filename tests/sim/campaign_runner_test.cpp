@@ -1,0 +1,148 @@
+// Tests for the campaign runner: thread-count invariance, equivalence with
+// the MonteCarloEngine on a single cell, ordered streaming emission, and
+// the interleaved job plan that makes campaigns parallel across cells.
+
+#include "sim/campaign.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/monte_carlo.hpp"
+#include "protocol/model_factory.hpp"
+#include "sim/result_sink.hpp"
+
+namespace fairchain::sim {
+namespace {
+
+ScenarioSpec SmallSpec() {
+  ScenarioSpec spec;
+  spec.name = "small";
+  spec.description = "small grid for tests";
+  spec.protocols = {"pow", "mlpos"};
+  spec.allocations = {0.2, 0.3};
+  spec.steps = 200;
+  spec.replications = 64;
+  spec.seed = 7;
+  spec.checkpoint_count = 4;
+  return spec;
+}
+
+// Collects rows in arrival order.
+class CollectSink : public ResultSink {
+ public:
+  void WriteRow(const CampaignRow& row) override { rows.push_back(row); }
+  std::vector<CampaignRow> rows;
+};
+
+TEST(CampaignRunnerTest, RowsArriveInCellThenCheckpointOrder) {
+  CampaignOptions options;
+  options.threads = 4;
+  CollectSink sink;
+  const auto outcomes = CampaignRunner(options).Run(SmallSpec(), {&sink});
+  EXPECT_EQ(outcomes.size(), 4u);
+  ASSERT_EQ(sink.rows.size(), 4u * 4u);  // 4 cells x 4 checkpoints
+  for (std::size_t i = 1; i < sink.rows.size(); ++i) {
+    const bool cell_advances = sink.rows[i].cell > sink.rows[i - 1].cell;
+    const bool checkpoint_advances =
+        sink.rows[i].cell == sink.rows[i - 1].cell &&
+        sink.rows[i].checkpoint == sink.rows[i - 1].checkpoint + 1;
+    EXPECT_TRUE(cell_advances || checkpoint_advances) << "row " << i;
+  }
+}
+
+TEST(CampaignRunnerTest, ResultsIdenticalForAnyThreadCount) {
+  auto run = [](unsigned threads) {
+    CampaignOptions options;
+    options.threads = threads;
+    CollectSink sink;
+    CampaignRunner(options).Run(SmallSpec(), {&sink});
+    return sink.rows;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].cell, parallel[i].cell);
+    EXPECT_EQ(serial[i].step, parallel[i].step);
+    // Bitwise equality: the determinism contract, not a tolerance check.
+    EXPECT_EQ(serial[i].mean, parallel[i].mean) << i;
+    EXPECT_EQ(serial[i].p05, parallel[i].p05) << i;
+    EXPECT_EQ(serial[i].unfair_probability, parallel[i].unfair_probability)
+        << i;
+  }
+}
+
+TEST(CampaignRunnerTest, SingleCellMatchesMonteCarloEngine) {
+  ScenarioSpec spec = SmallSpec();
+  spec.protocols = {"mlpos"};
+  spec.allocations = {0.2};
+
+  const auto outcomes = CampaignRunner().Run(spec, {});
+  ASSERT_EQ(outcomes.size(), 1u);
+
+  // The same cell through the engine directly, seeded with the cell seed.
+  core::SimulationConfig config = CellConfig(spec, 0);
+  config.threads = 1;
+  core::MonteCarloEngine engine(config, spec.fairness);
+  const auto model = protocol::MakeModel("mlpos", 0.01, 0.1, 32);
+  const auto direct = engine.RunTwoMiner(*model, 0.2);
+
+  ASSERT_EQ(outcomes[0].result.checkpoints.size(),
+            direct.checkpoints.size());
+  for (std::size_t c = 0; c < direct.checkpoints.size(); ++c) {
+    EXPECT_EQ(outcomes[0].result.checkpoints[c].mean,
+              direct.checkpoints[c].mean);
+    EXPECT_EQ(outcomes[0].result.checkpoints[c].unfair_probability,
+              direct.checkpoints[c].unfair_probability);
+  }
+}
+
+TEST(CampaignRunnerTest, CellSeedsAreDistinctAndIndexStable) {
+  const std::uint64_t master = 20210620;
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 100; ++i) seeds.insert(CellSeed(master, i));
+  EXPECT_EQ(seeds.size(), 100u);
+  // A cell's seed depends only on (master, index): growing the grid never
+  // reseeds existing cells.
+  EXPECT_EQ(CellSeed(master, 3), CellSeed(master, 3));
+  EXPECT_NE(CellSeed(master, 3), CellSeed(master + 1, 3));
+}
+
+TEST(CampaignRunnerTest, PlanInterleavesAllCellsInOneBatch) {
+  CampaignOptions options;
+  options.threads = 4;
+  const auto jobs = CampaignRunner(options).PlanJobs(SmallSpec());
+  // Every cell contributes multiple chunks to the single submitted batch,
+  // so workers drain cells concurrently rather than serially.
+  std::set<std::size_t> cells;
+  std::size_t chunks_of_first = 0;
+  for (const ChunkJob& job : jobs) {
+    cells.insert(job.cell);
+    if (job.cell == 0) ++chunks_of_first;
+  }
+  EXPECT_EQ(cells.size(), 4u);
+  EXPECT_GT(chunks_of_first, 1u);
+  // Chunks tile [0, replications) exactly.
+  std::size_t covered = 0;
+  for (const ChunkJob& job : jobs) {
+    if (job.cell == 0) covered += job.end - job.begin;
+  }
+  EXPECT_EQ(covered, 64u);
+}
+
+TEST(CampaignRunnerTest, WithholdPeriodReachesTheSimulation) {
+  ScenarioSpec spec = SmallSpec();
+  spec.protocols = {"mlpos"};
+  spec.allocations = {0.2};
+  spec.withhold_periods = {0, 100};
+  const auto outcomes = CampaignRunner().Run(spec, {});
+  ASSERT_EQ(outcomes.size(), 2u);
+  // Same seed split index differs per cell, so compare configs not values:
+  // the withholding cell must carry the period into its SimulationConfig.
+  EXPECT_EQ(outcomes[0].result.config.withhold_period, 0u);
+  EXPECT_EQ(outcomes[1].result.config.withhold_period, 100u);
+}
+
+}  // namespace
+}  // namespace fairchain::sim

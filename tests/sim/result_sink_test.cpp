@@ -1,0 +1,109 @@
+// Tests for the streaming result sinks: stable CSV schema, JSONL field
+// correspondence, and deterministic double formatting.
+
+#include "sim/result_sink.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fairchain::sim {
+namespace {
+
+CampaignRow SampleRow() {
+  CampaignRow row;
+  row.scenario = "demo";
+  row.cell = 3;
+  row.protocol = "cpos";
+  row.miners = 5;
+  row.whales = 2;
+  row.a = 0.25;
+  row.w = 0.01;
+  row.v = 0.1;
+  row.shards = 32;
+  row.withhold = 1000;
+  row.steps = 5000;
+  row.replications = 100;
+  row.cell_seed = 42;
+  row.checkpoint = 7;
+  row.step = 800;
+  row.mean = 0.2;
+  row.std_dev = 0.015;
+  row.p05 = 0.17;
+  row.p25 = 0.19;
+  row.median = 0.2;
+  row.p75 = 0.21;
+  row.p95 = 0.23;
+  row.min = 0.1;
+  row.max = 0.3;
+  row.unfair_probability = 0.05;
+  row.convergence_step = 400;
+  return row;
+}
+
+TEST(ResultSinkTest, CsvHeaderSchemaIsStable) {
+  // Pinned on purpose: downstream plotting scripts key on these columns.
+  // New columns may only be appended.
+  EXPECT_EQ(CsvSink::Header(),
+            "scenario,cell,protocol,miners,whales,a,w,v,shards,withhold,"
+            "steps,replications,cell_seed,checkpoint,step,mean,std_dev,p05,"
+            "p25,median,p75,p95,min,max,unfair_probability,convergence_step");
+}
+
+TEST(ResultSinkTest, CsvRowMatchesSchema) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.BeginCampaign(ScenarioSpec{});
+  sink.WriteRow(SampleRow());
+  sink.EndCampaign();
+  std::istringstream lines(out.str());
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_EQ(header, CsvSink::Header());
+  EXPECT_EQ(row,
+            "demo,3,cpos,5,2,0.25,0.01,0.1,32,1000,5000,100,42,7,800,0.2,"
+            "0.015,0.17,0.19,0.2,0.21,0.23,0.1,0.3,0.05,400");
+}
+
+TEST(ResultSinkTest, CsvNeverConvergedRendersAsNever) {
+  CampaignRow row = SampleRow();
+  row.convergence_step.reset();
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.WriteRow(row);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find(",never\n"), std::string::npos);
+}
+
+TEST(ResultSinkTest, JsonlRowHasAllColumnsAndNullConvergence) {
+  CampaignRow row = SampleRow();
+  row.convergence_step.reset();
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.WriteRow(row);
+  const std::string line = out.str();
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.substr(line.size() - 2), "}\n");
+  // Every CSV column name appears as a JSON key.
+  std::istringstream header(CsvSink::Header());
+  std::string column;
+  while (std::getline(header, column, ',')) {
+    EXPECT_NE(line.find("\"" + column + "\":"), std::string::npos) << column;
+  }
+  EXPECT_NE(line.find("\"convergence_step\":null"), std::string::npos);
+  // Seeds are full-range 64-bit: emitted as strings so JSON parsers that
+  // store numbers as doubles cannot round them.
+  EXPECT_NE(line.find("\"cell_seed\":\"42\""), std::string::npos);
+}
+
+TEST(ResultSinkTest, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(FormatDouble(0.2), "0.2");
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.1 + 0.2), "0.30000000000000004");
+  EXPECT_EQ(std::stod(FormatDouble(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace fairchain::sim

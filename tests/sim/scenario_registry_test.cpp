@@ -1,0 +1,70 @@
+// Tests for the built-in scenario registry: coverage of the paper's
+// artifacts, validity of every entry, and lookup semantics.
+
+#include "sim/scenario_registry.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace fairchain::sim {
+namespace {
+
+TEST(ScenarioRegistryTest, BuiltInHasAtLeastTenScenarios) {
+  EXPECT_GE(ScenarioRegistry::BuiltIn().size(), 10u);
+}
+
+TEST(ScenarioRegistryTest, AllPaperArtifactsRegistered) {
+  const ScenarioRegistry& registry = ScenarioRegistry::BuiltIn();
+  for (const char* name : {"fig1", "fig2", "fig3", "fig4a", "fig4b", "fig5",
+                           "fig5d", "fig6", "table1"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+}
+
+TEST(ScenarioRegistryTest, AtLeastThreeNewWorkloadsRegistered) {
+  const ScenarioRegistry& registry = ScenarioRegistry::BuiltIn();
+  for (const char* name :
+       {"whale-sweep", "multi-whale", "withhold-grid", "committee"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+}
+
+TEST(ScenarioRegistryTest, EveryEntryValidatesAndExpands) {
+  const ScenarioRegistry& registry = ScenarioRegistry::BuiltIn();
+  for (const std::string& name : registry.Names()) {
+    const ScenarioSpec& spec = registry.Get(name);
+    EXPECT_NO_THROW(spec.Validate()) << name;
+    EXPECT_GE(spec.CellCount(), 1u) << name;
+    EXPECT_FALSE(spec.description.empty()) << name;
+    EXPECT_EQ(spec.ExpandCells().size(), spec.CellCount()) << name;
+  }
+}
+
+TEST(ScenarioRegistryTest, Table1GridMatchesThePaper) {
+  const ScenarioSpec& spec = ScenarioRegistry::BuiltIn().Get("table1");
+  // 4 protocols x 5 miner counts.
+  EXPECT_EQ(spec.CellCount(), 20u);
+  EXPECT_EQ(spec.miner_counts,
+            (std::vector<std::size_t>{2, 3, 4, 5, 10}));
+}
+
+TEST(ScenarioRegistryTest, UnknownNameThrowsWithKnownNames) {
+  try {
+    ScenarioRegistry::BuiltIn().Get("nosuch");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("table1"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistryTest, DuplicateRegistrationThrows) {
+  ScenarioRegistry registry;
+  ScenarioSpec spec;
+  spec.name = "dup";
+  registry.Register(spec);
+  EXPECT_THROW(registry.Register(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fairchain::sim

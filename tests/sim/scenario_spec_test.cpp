@@ -1,0 +1,193 @@
+// Tests for the declarative scenario spec: parsing, validation, grid
+// expansion, flag overrides, and text round-tripping.
+
+#include "sim/scenario_spec.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace fairchain::sim {
+namespace {
+
+TEST(ScenarioSpecTest, DefaultsAreValidSingleCell) {
+  ScenarioSpec spec;
+  EXPECT_NO_THROW(spec.Validate());
+  EXPECT_EQ(spec.CellCount(), 1u);
+  const auto cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].protocol, "mlpos");
+  EXPECT_DOUBLE_EQ(cells[0].a, 0.2);
+}
+
+TEST(ScenarioSpecTest, FromTextParsesListsAndScalars) {
+  const ScenarioSpec spec = ScenarioSpec::FromText(
+      "# a comment\n"
+      "name=demo\n"
+      "description=two protocols, two allocations\n"
+      "protocols=pow, slpos\n"
+      "a=0.1, 0.3\n"
+      "steps=1234\n"
+      "reps=77\n"
+      "seed=9\n"
+      "spacing=log\n"
+      "eps=0.2\n"
+      "delta=0.05\n");
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.protocols, (std::vector<std::string>{"pow", "slpos"}));
+  EXPECT_EQ(spec.allocations, (std::vector<double>{0.1, 0.3}));
+  EXPECT_EQ(spec.steps, 1234u);
+  EXPECT_EQ(spec.replications, 77u);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.spacing, CheckpointSpacing::kLog);
+  EXPECT_DOUBLE_EQ(spec.fairness.epsilon, 0.2);
+  EXPECT_DOUBLE_EQ(spec.fairness.delta, 0.05);
+  EXPECT_EQ(spec.CellCount(), 4u);
+}
+
+TEST(ScenarioSpecTest, FromTextRejectsUnknownKeys) {
+  EXPECT_THROW(ScenarioSpec::FromText("repz=100\n"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromText("not an assignment\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, FromTextRejectsMalformedValues) {
+  EXPECT_THROW(ScenarioSpec::FromText("a=zebra\n"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromText("steps=12x\n"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromText("spacing=cubic\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, ValidateRejectsBadAxes) {
+  ScenarioSpec spec;
+  spec.protocols = {"nosuch"};
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = ScenarioSpec();
+  spec.allocations = {1.5};
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = ScenarioSpec();
+  spec.miner_counts = {1};
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = ScenarioSpec();
+  spec.whale_counts = {2};  // >= miner count of 2
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = ScenarioSpec();
+  spec.replications = 0;
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, ExpandCellsIsRowMajorWithProtocolSlowest) {
+  ScenarioSpec spec;
+  spec.protocols = {"pow", "mlpos"};
+  spec.allocations = {0.1, 0.2};
+  const auto cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].protocol, "pow");
+  EXPECT_DOUBLE_EQ(cells[0].a, 0.1);
+  EXPECT_EQ(cells[1].protocol, "pow");
+  EXPECT_DOUBLE_EQ(cells[1].a, 0.2);
+  EXPECT_EQ(cells[2].protocol, "mlpos");
+  EXPECT_DOUBLE_EQ(cells[2].a, 0.1);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+}
+
+TEST(ScenarioSpecTest, CellStakesSplitWhalesAndMinnows) {
+  CampaignCell cell;
+  cell.miners = 10;
+  cell.whales = 2;
+  cell.a = 0.4;
+  const auto stakes = cell.Stakes();
+  ASSERT_EQ(stakes.size(), 10u);
+  EXPECT_DOUBLE_EQ(stakes[0], 0.2);
+  EXPECT_DOUBLE_EQ(stakes[1], 0.2);
+  double total = 0.0;
+  for (const double s : stakes) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stakes[2], 0.6 / 8.0);
+}
+
+TEST(ScenarioSpecTest, ValidateRejectsNamesThatWouldCorruptSinks) {
+  ScenarioSpec spec;
+  for (const char* name : {"bad,name", "bad\"name", "bad name", "{}"}) {
+    spec.name = name;
+    EXPECT_THROW(spec.Validate(), std::invalid_argument) << name;
+  }
+  spec.name = "ok-name_2.0";
+  EXPECT_NO_THROW(spec.Validate());
+}
+
+TEST(ScenarioSpecTest, FromFileRejectsMissingAndEmptyFiles) {
+  EXPECT_THROW(ScenarioSpec::FromFile("/nonexistent/path.spec"),
+               std::runtime_error);
+  // A directory opens but reads as empty — must not silently become the
+  // all-defaults campaign.
+  EXPECT_THROW(ScenarioSpec::FromFile("/tmp"), std::runtime_error);
+  const std::string path = "scenario_spec_test_empty.spec";
+  { std::ofstream(path) << "   \n# only a comment\n"; }
+  EXPECT_THROW(ScenarioSpec::FromFile(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioSpecTest, ApplyOverridesReplacesAxesAndScalars) {
+  ScenarioSpec spec;
+  const FlagSet flags = FlagSet::Parse(
+      {"--reps", "200", "--protocols", "pow,cpos", "--a", "0.1,0.2,0.3"});
+  spec.ApplyOverrides(flags);
+  EXPECT_EQ(spec.replications, 200u);
+  EXPECT_EQ(spec.protocols, (std::vector<std::string>{"pow", "cpos"}));
+  EXPECT_EQ(spec.allocations.size(), 3u);
+  EXPECT_NO_THROW(spec.Validate());
+}
+
+TEST(ScenarioSpecTest, ToTextRoundTripsFullDoublePrecision) {
+  ScenarioSpec spec;
+  spec.allocations = {0.123456789012345, 1.0 / 3.0};
+  spec.fairness.epsilon = 0.123456789;
+  const ScenarioSpec parsed = ScenarioSpec::FromText(spec.ToText());
+  EXPECT_EQ(parsed.allocations, spec.allocations);  // bitwise, not near
+  EXPECT_EQ(parsed.fairness.epsilon, spec.fairness.epsilon);
+}
+
+TEST(ScenarioSpecTest, ValuesMayContainHashOnlyWholeLineComments) {
+  const ScenarioSpec spec = ScenarioSpec::FromText(
+      "# leading comment\n"
+      "description=sweep #2 of the grid\n");
+  EXPECT_EQ(spec.description, "sweep #2 of the grid");
+}
+
+TEST(ScenarioSpecTest, ToTextRoundTrips) {
+  ScenarioSpec spec;
+  spec.name = "roundtrip";
+  spec.description = "round trip me";
+  spec.protocols = {"slpos", "fslpos"};
+  spec.allocations = {0.25, 0.4};
+  spec.rewards = {0.001};
+  spec.miner_counts = {2, 5};
+  spec.withhold_periods = {0, 500};
+  spec.steps = 2500;
+  spec.replications = 123;
+  spec.spacing = CheckpointSpacing::kLog;
+  const ScenarioSpec parsed = ScenarioSpec::FromText(spec.ToText());
+  EXPECT_EQ(parsed.name, spec.name);
+  EXPECT_EQ(parsed.description, spec.description);
+  EXPECT_EQ(parsed.protocols, spec.protocols);
+  EXPECT_EQ(parsed.allocations, spec.allocations);
+  EXPECT_EQ(parsed.rewards, spec.rewards);
+  EXPECT_EQ(parsed.miner_counts, spec.miner_counts);
+  EXPECT_EQ(parsed.withhold_periods, spec.withhold_periods);
+  EXPECT_EQ(parsed.steps, spec.steps);
+  EXPECT_EQ(parsed.replications, spec.replications);
+  EXPECT_EQ(parsed.spacing, spec.spacing);
+  EXPECT_EQ(parsed.CellCount(), spec.CellCount());
+}
+
+}  // namespace
+}  // namespace fairchain::sim

@@ -81,6 +81,64 @@ TEST(FlagsTest, LastOccurrenceWins) {
   EXPECT_DOUBLE_EQ(flags.GetDouble("a", 0.0), 0.4);
 }
 
+TEST(FlagsTest, DeclaredSwitchDoesNotConsumeFollowingPositional) {
+  const FlagSet flags =
+      FlagSet::Parse({"campaign", "--no-files", "table1"}, {"no-files"});
+  EXPECT_TRUE(flags.GetBool("no-files"));
+  ASSERT_EQ(flags.positionals().size(), 2u);
+  EXPECT_EQ(flags.positionals()[1], "table1");
+  // Without the declaration the old greedy rule applies.
+  const FlagSet greedy = FlagSet::Parse({"--no-files", "table1"});
+  EXPECT_TRUE(greedy.positionals().empty());
+}
+
+TEST(FlagsTest, RejectUnknownAcceptsAllowedFlags) {
+  const FlagSet flags = FlagSet::Parse({"--reps", "100", "--seed", "7"});
+  EXPECT_NO_THROW(flags.RejectUnknown({"reps", "seed", "steps"}));
+}
+
+TEST(FlagsTest, RejectUnknownThrowsWithSuggestion) {
+  // The motivating bug: `--rep 100` silently ran the 10,000-rep default.
+  const FlagSet flags = FlagSet::Parse({"--rep", "100"});
+  try {
+    flags.RejectUnknown({"reps", "seed", "steps"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown flag --rep"), std::string::npos);
+    EXPECT_NE(message.find("did you mean --reps?"), std::string::npos);
+  }
+}
+
+TEST(FlagsTest, RejectUnknownListsEveryOffender) {
+  const FlagSet flags = FlagSet::Parse({"--bogus", "1", "--wrong", "2"});
+  try {
+    flags.RejectUnknown({"reps"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("--bogus"), std::string::npos);
+    EXPECT_NE(message.find("--wrong"), std::string::npos);
+  }
+}
+
+TEST(FlagsTest, RejectUnknownOmitsFarFetchedSuggestions) {
+  const FlagSet flags = FlagSet::Parse({"--zzzzzz", "1"});
+  try {
+    flags.RejectUnknown({"reps"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()).find("did you mean"),
+              std::string::npos);
+  }
+}
+
+TEST(FlagsTest, RejectUnknownWithEmptyAllowListRejectsAnyFlag) {
+  EXPECT_NO_THROW(FlagSet::Parse({"positional"}).RejectUnknown({}));
+  EXPECT_THROW(FlagSet::Parse({"--any"}).RejectUnknown({}),
+               std::invalid_argument);
+}
+
 TEST(FlagsTest, MixedPositionalsAndFlags) {
   const FlagSet flags =
       FlagSet::Parse({"winprob", "--protocol", "slpos", "0.1", "0.9"});

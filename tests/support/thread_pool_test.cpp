@@ -49,6 +49,39 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(ThreadPoolTest, SubmitBatchExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 256; ++i) {
+    tasks.emplace_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.SubmitBatch(std::move(tasks));
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 256);
+}
+
+TEST(ThreadPoolTest, SubmitBatchEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.SubmitBatch({});
+  pool.Wait();  // must not deadlock on a zero-task batch
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SubmitBatchMixesWithSubmit) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.emplace_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.SubmitBatch(std::move(tasks));
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 12);
+}
+
 TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
   std::vector<int> visits(1000, 0);
   ParallelFor(4, visits.size(), [&visits](std::size_t i) { visits[i] += 1; });

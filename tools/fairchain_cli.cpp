@@ -1,19 +1,30 @@
 // fairchain — command-line driver for the fairness-analysis library.
 //
 // Subcommands:
-//   simulate  Monte Carlo campaign for one protocol
-//             fairchain simulate --protocol mlpos --a 0.2 --w 0.01
-//                 --n 5000 --reps 10000 [--v 0.1 --shards 32]
-//                 [--withhold 1000] [--eps 0.1 --delta 0.1] [--seed 42]
-//   bound     analytic robust-fairness bounds at given parameters
-//             fairchain bound --protocol pow --a 0.2 --n 5000
-//   design    inverse use of the theorems: parameters achieving (eps,delta)
-//             fairchain design --a 0.2 [--w 0.01 --shards 32]
-//   winprob   next-block win probabilities for a stake vector
-//             fairchain winprob --protocol slpos 0.1 0.3 0.6
-//   version   print the build version and exit
+//   simulate   Monte Carlo campaign for one protocol
+//              fairchain simulate --protocol mlpos --a 0.2 --w 0.01
+//                  --n 5000 --reps 10000 [--v 0.1 --shards 32]
+//                  [--withhold 1000] [--eps 0.1 --delta 0.1] [--seed 42]
+//   campaign   run a registered scenario or a key=value spec file as a
+//              batched multi-cell campaign with CSV + JSONL output
+//              fairchain campaign table1 --reps 200
+//              fairchain campaign my_scenario.spec --threads 8
+//   scenarios  list the registered scenarios, or describe one
+//              fairchain scenarios [name]
+//   bound      analytic robust-fairness bounds at given parameters
+//              fairchain bound --protocol pow --a 0.2 --n 5000
+//   design     inverse use of the theorems: parameters achieving (eps,delta)
+//              fairchain design --a 0.2 [--w 0.01 --shards 32]
+//   winprob    next-block win probabilities for a stake vector
+//              fairchain winprob --protocol slpos 0.1 0.3 0.6
+//   version    print the build version and exit
+//
+// Unknown or misspelled flags are rejected with a suggestion (e.g. `--rep`
+// names `--reps`) instead of silently running with defaults.
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -21,13 +32,12 @@
 #include "core/equitability.hpp"
 #include "core/experiments.hpp"
 #include "core/monte_carlo.hpp"
-#include "protocol/c_pos.hpp"
-#include "protocol/extensions.hpp"
-#include "protocol/fsl_pos.hpp"
-#include "protocol/ml_pos.hpp"
-#include "protocol/pow.hpp"
-#include "protocol/sl_pos.hpp"
+#include "protocol/model_factory.hpp"
 #include "protocol/win_probability.hpp"
+#include "sim/campaign.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/scenario_registry.hpp"
+#include "support/env.hpp"
 #include "support/flags.hpp"
 #include "support/table.hpp"
 #include "support/version.hpp"
@@ -39,40 +49,39 @@ using namespace fairchain;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: fairchain <simulate|bound|design|winprob|version> [flags]\n"
-      "  simulate --protocol pow|mlpos|slpos|cpos|fslpos|neo|algorand|eos\n"
-      "           [--a 0.2] [--w 0.01] [--v 0.1] [--shards 32] [--n 5000]\n"
-      "           [--reps 10000] [--withhold 0] [--eps 0.1] [--delta 0.1]\n"
-      "           [--seed 20210620]\n"
-      "  bound    --protocol pow|mlpos|cpos [--a] [--w] [--v] [--shards] [--n]\n"
-      "  design   [--a 0.2] [--w 0.01] [--shards 32] [--eps] [--delta]\n"
-      "  winprob  --protocol slpos|proportional s1 s2 [s3 ...]\n"
-      "  version  print the build version and exit\n");
+      "usage: fairchain "
+      "<simulate|campaign|scenarios|bound|design|winprob|version> [flags]\n"
+      "  simulate  --protocol pow|mlpos|slpos|cpos|fslpos|neo|algorand|eos\n"
+      "            [--a 0.2] [--w 0.01] [--v 0.1] [--shards 32] [--n 5000]\n"
+      "            [--reps 10000] [--withhold 0] [--eps 0.1] [--delta 0.1]\n"
+      "            [--seed 20210620]\n"
+      "  campaign  <name|spec-file> [--reps N] [--steps N] [--seed S]\n"
+      "            [--threads T] [--csv FILE] [--jsonl FILE] [--no-files]\n"
+      "            [--protocols p1,p2] [--a 0.1,0.2] [--w ...] [--v ...]\n"
+      "            [--miners ...] [--whales ...] [--shards ...]\n"
+      "            [--withhold ...] [--checkpoints N] [--spacing linear|log]\n"
+      "            [--eps E] [--delta D]\n"
+      "  scenarios [name]   list registered scenarios / describe one\n"
+      "  bound     --protocol pow|mlpos|cpos [--a] [--w] [--v] [--shards] "
+      "[--n]\n"
+      "  design    [--a 0.2] [--w 0.01] [--shards 32] [--eps] [--delta]\n"
+      "  winprob   --protocol slpos|proportional s1 s2 [s3 ...]\n"
+      "  version   print the build version and exit\n");
   return 2;
 }
 
 std::unique_ptr<protocol::IncentiveModel> MakeModel(const FlagSet& flags) {
-  const std::string name = flags.GetString("protocol", "mlpos");
-  const double w = flags.GetDouble("w", core::experiments::kDefaultW);
-  const double v = flags.GetDouble("v", core::experiments::kDefaultV);
-  const auto shards = static_cast<std::uint32_t>(
-      flags.GetU64("shards", core::experiments::kDefaultShards));
-  if (name == "pow") return std::make_unique<protocol::PowModel>(w);
-  if (name == "mlpos") return std::make_unique<protocol::MlPosModel>(w);
-  if (name == "slpos") return std::make_unique<protocol::SlPosModel>(w);
-  if (name == "cpos") {
-    return std::make_unique<protocol::CPosModel>(w, v, shards);
-  }
-  if (name == "fslpos") return std::make_unique<protocol::FslPosModel>(w);
-  if (name == "neo") return std::make_unique<protocol::NeoModel>(w);
-  if (name == "algorand") {
-    return std::make_unique<protocol::AlgorandModel>(v);
-  }
-  if (name == "eos") return std::make_unique<protocol::EosModel>(w, v);
-  throw std::invalid_argument("unknown --protocol '" + name + "'");
+  return protocol::MakeModel(
+      flags.GetString("protocol", "mlpos"),
+      flags.GetDouble("w", core::experiments::kDefaultW),
+      flags.GetDouble("v", core::experiments::kDefaultV),
+      static_cast<std::uint32_t>(
+          flags.GetU64("shards", core::experiments::kDefaultShards)));
 }
 
 int RunSimulate(const FlagSet& flags) {
+  flags.RejectUnknown({"protocol", "a", "w", "v", "shards", "n", "reps",
+                       "withhold", "eps", "delta", "seed"});
   const double a = flags.GetDouble("a", core::experiments::kDefaultA);
   const auto model = MakeModel(flags);
   core::SimulationConfig config;
@@ -119,7 +128,106 @@ int RunSimulate(const FlagSet& flags) {
   return 0;
 }
 
+// True when the campaign argument names a spec file rather than a registry
+// entry: it has a path separator or names a readable file.
+bool LooksLikeSpecFile(const std::string& argument) {
+  if (argument.find('/') != std::string::npos ||
+      argument.find('\\') != std::string::npos) {
+    return true;
+  }
+  return std::ifstream(argument).good();
+}
+
+int RunCampaign(const FlagSet& flags) {
+  std::vector<std::string> allowed = sim::ScenarioSpec::OverrideFlagNames();
+  allowed.insert(allowed.end(), {"threads", "csv", "jsonl", "no-files"});
+  flags.RejectUnknown(allowed);
+  if (flags.positionals().size() < 2) {
+    std::fprintf(stderr, "campaign: need a scenario name or spec file\n");
+    return Usage();
+  }
+  const std::string& target = flags.positionals()[1];
+  sim::ScenarioSpec spec =
+      LooksLikeSpecFile(target)
+          ? sim::ScenarioSpec::FromFile(target)
+          : sim::ScenarioRegistry::BuiltIn().Get(target);
+  spec.ApplyOverrides(flags);
+  spec.Validate();
+
+  sim::CampaignOptions options;
+  options.threads =
+      static_cast<unsigned>(flags.GetU64("threads", EnvThreads()));
+  const sim::CampaignRunner runner(options);
+
+  // Sinks: summary table on stdout, CSV + JSONL files unless --no-files.
+  sim::CampaignFileSinks sinks(spec.name);
+  std::string csv_path;
+  std::string jsonl_path;
+  if (!flags.GetBool("no-files")) {
+    csv_path = flags.GetString("csv", "campaign_" + spec.name + ".csv");
+    jsonl_path = flags.GetString("jsonl", "campaign_" + spec.name + ".jsonl");
+    if (!sinks.OpenFiles(csv_path, jsonl_path)) {
+      std::fprintf(stderr, "campaign: cannot open '%s' / '%s' for writing\n",
+                   csv_path.c_str(), jsonl_path.c_str());
+      return 1;
+    }
+  }
+
+  std::printf(
+      "campaign %s: %zu cells x %llu replications x %llu steps, "
+      "%u threads\n\n",
+      spec.name.c_str(), spec.CellCount(),
+      static_cast<unsigned long long>(spec.replications),
+      static_cast<unsigned long long>(spec.steps), options.threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  runner.Run(spec, sinks.sinks());
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("\ncampaign %s finished in %.2fs", spec.name.c_str(), seconds);
+  if (!csv_path.empty()) {
+    std::printf("; wrote %s and %s", csv_path.c_str(), jsonl_path.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunScenarios(const FlagSet& flags) {
+  flags.RejectUnknown({});
+  const sim::ScenarioRegistry& registry = sim::ScenarioRegistry::BuiltIn();
+  if (flags.positionals().size() >= 2) {
+    const sim::ScenarioSpec& spec =
+        registry.Get(flags.positionals()[1]);
+    std::printf("# %s — %s\n%s", spec.name.c_str(), spec.description.c_str(),
+                spec.ToText().c_str());
+    return 0;
+  }
+  Table table({"name", "cells", "protocols", "steps", "reps", "description"});
+  table.SetTitle("Registered scenarios (run with: fairchain campaign <name>)");
+  for (const std::string& name : registry.Names()) {
+    const sim::ScenarioSpec& spec = registry.Get(name);
+    std::string protocols;
+    for (const std::string& protocol : spec.protocols) {
+      if (!protocols.empty()) protocols += ",";
+      protocols += protocol;
+    }
+    table.AddRow();
+    table.Cell(spec.name);
+    table.Cell(static_cast<std::uint64_t>(spec.CellCount()));
+    table.Cell(protocols);
+    table.Cell(spec.steps);
+    table.Cell(spec.replications);
+    table.Cell(spec.description);
+  }
+  table.Emit("cli_scenarios");
+  return 0;
+}
+
 int RunBound(const FlagSet& flags) {
+  flags.RejectUnknown(
+      {"protocol", "a", "w", "v", "shards", "n", "eps", "delta"});
   const std::string name = flags.GetString("protocol", "pow");
   const double a = flags.GetDouble("a", core::experiments::kDefaultA);
   const double w = flags.GetDouble("w", core::experiments::kDefaultW);
@@ -178,6 +286,7 @@ int RunBound(const FlagSet& flags) {
 }
 
 int RunDesign(const FlagSet& flags) {
+  flags.RejectUnknown({"a", "w", "shards", "eps", "delta"});
   const double a = flags.GetDouble("a", core::experiments::kDefaultA);
   const double w = flags.GetDouble("w", core::experiments::kDefaultW);
   const auto shards = static_cast<std::uint32_t>(
@@ -205,6 +314,7 @@ int RunDesign(const FlagSet& flags) {
 }
 
 int RunWinProb(const FlagSet& flags) {
+  flags.RejectUnknown({"protocol"});
   const std::string name = flags.GetString("protocol", "slpos");
   std::vector<double> stakes;
   for (std::size_t i = 1; i < flags.positionals().size(); ++i) {
@@ -237,14 +347,19 @@ int RunWinProb(const FlagSet& flags) {
 
 int main(int argc, char** argv) {
   try {
-    const FlagSet flags = FlagSet::Parse(argc, argv);
+    // Boolean switches must be declared so a following positional
+    // (e.g. `campaign --no-files table1`) is not swallowed as a value.
+    const FlagSet flags = FlagSet::Parse(argc, argv, {"no-files"});
     if (flags.positionals().empty()) return Usage();
     const std::string& command = flags.positionals()[0];
     if (command == "simulate") return RunSimulate(flags);
+    if (command == "campaign") return RunCampaign(flags);
+    if (command == "scenarios") return RunScenarios(flags);
     if (command == "bound") return RunBound(flags);
     if (command == "design") return RunDesign(flags);
     if (command == "winprob") return RunWinProb(flags);
     if (command == "version") {
+      flags.RejectUnknown({});
       std::printf("fairchain %s\n", kVersionString);
       return 0;
     }
