@@ -22,16 +22,39 @@ double KolmogorovSurvival(double x) {
   return std::clamp(q, 0.0, 1.0);
 }
 
+namespace {
+
+// std::sort requires a strict weak ordering; a NaN breaks it (operator< is
+// not transitive-of-incomparability with NaN), which is undefined
+// behaviour.  Reject non-finite observations up front with a defined error
+// instead.
+void RequireFinite(const std::vector<double>& sample, const char* what) {
+  for (const double x : sample) {
+    if (!std::isfinite(x)) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": sample contains a non-finite value");
+    }
+  }
+}
+
+}  // namespace
+
 KsResult KsTestOneSample(std::vector<double> sample,
                          const std::function<double(double)>& cdf) {
   if (sample.empty()) {
     throw std::invalid_argument("KsTestOneSample: empty sample");
   }
+  RequireFinite(sample, "KsTestOneSample");
   std::sort(sample.begin(), sample.end());
   const double n = static_cast<double>(sample.size());
   double d = 0.0;
   for (std::size_t i = 0; i < sample.size(); ++i) {
-    const double value = cdf(sample[i]);
+    const double raw = cdf(sample[i]);
+    if (!std::isfinite(raw)) {
+      throw std::invalid_argument(
+          "KsTestOneSample: cdf returned a non-finite value");
+    }
+    const double value = std::clamp(raw, 0.0, 1.0);
     const double upper = static_cast<double>(i + 1) / n - value;
     const double lower = value - static_cast<double>(i) / n;
     d = std::max({d, upper, lower});
@@ -47,6 +70,8 @@ KsResult KsTestTwoSample(std::vector<double> a, std::vector<double> b) {
   if (a.empty() || b.empty()) {
     throw std::invalid_argument("KsTestTwoSample: empty sample");
   }
+  RequireFinite(a, "KsTestTwoSample");
+  RequireFinite(b, "KsTestTwoSample");
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
   const double na = static_cast<double>(a.size());

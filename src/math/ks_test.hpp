@@ -22,11 +22,18 @@ struct KsResult {
 };
 
 /// One-sample KS test of `sample` against the continuous CDF `cdf`.
-/// Throws std::invalid_argument on an empty sample.
+///
+/// Defined for every non-degenerate input: n = 1 works (D is the larger of
+/// F(x) and 1 - F(x)) and ties are handled exactly.  Throws
+/// std::invalid_argument — never UB — on an empty sample, a non-finite
+/// observation (NaN breaks std::sort's strict weak ordering), or a cdf that
+/// returns a non-finite value; cdf values are clamped to [0, 1].
 KsResult KsTestOneSample(std::vector<double> sample,
                          const std::function<double(double)>& cdf);
 
-/// Two-sample KS test.
+/// Two-sample KS test.  Ties within and across the samples are handled
+/// exactly (both ECDFs advance past the tied value before comparing).
+/// Throws std::invalid_argument on an empty or non-finite sample.
 KsResult KsTestTwoSample(std::vector<double> a, std::vector<double> b);
 
 /// The asymptotic Kolmogorov survival function Q(x) = 2 Σ (-1)^{k-1}

@@ -1,9 +1,17 @@
 #include "sim/result_sink.hpp"
 
+#include <cmath>
+
 #include "core/experiments.hpp"
+#include "support/escape.hpp"
 #include "support/table.hpp"
 
 namespace fairchain::sim {
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  return FormatDouble(value);
+}
 
 // ---------------------------------------------------------------------------
 // CsvSink
@@ -23,9 +31,11 @@ void CsvSink::BeginCampaign(const ScenarioSpec& spec) {
 }
 
 void CsvSink::WriteRow(const CampaignRow& row) {
-  // Scenario names and protocol names come from a restricted alphabet (no
-  // commas/quotes), so no CSV quoting is needed for the schema's fields.
-  out_ << row.scenario << ',' << row.cell << ',' << row.protocol << ','
+  // Scenario and protocol names come from a restricted alphabet, so
+  // EscapeCsvField leaves them byte-identical; the escaping is defensive
+  // for rows constructed outside the campaign runner.
+  out_ << EscapeCsvField(row.scenario) << ',' << row.cell << ','
+       << EscapeCsvField(row.protocol) << ','
        << row.miners << ',' << row.whales << ',' << FormatDouble(row.a) << ','
        << FormatDouble(row.w) << ',' << FormatDouble(row.v) << ','
        << row.shards << ',' << row.withhold << ',' << row.steps << ','
@@ -51,10 +61,13 @@ void CsvSink::EndCampaign() { out_.flush(); }
 // ---------------------------------------------------------------------------
 
 void JsonlSink::WriteRow(const CampaignRow& row) {
-  out_ << "{\"scenario\":\"" << row.scenario << "\",\"cell\":" << row.cell
-       << ",\"protocol\":\"" << row.protocol << "\",\"miners\":" << row.miners
-       << ",\"whales\":" << row.whales << ",\"a\":" << FormatDouble(row.a)
-       << ",\"w\":" << FormatDouble(row.w) << ",\"v\":" << FormatDouble(row.v)
+  // Strings are escaped and non-finite metrics rendered as null so every
+  // emitted line is valid JSON even for degenerate rows.
+  out_ << "{\"scenario\":\"" << EscapeJsonString(row.scenario)
+       << "\",\"cell\":" << row.cell << ",\"protocol\":\""
+       << EscapeJsonString(row.protocol) << "\",\"miners\":" << row.miners
+       << ",\"whales\":" << row.whales << ",\"a\":" << JsonNumber(row.a)
+       << ",\"w\":" << JsonNumber(row.w) << ",\"v\":" << JsonNumber(row.v)
        << ",\"shards\":" << row.shards << ",\"withhold\":" << row.withhold
        << ",\"steps\":" << row.steps
        << ",\"replications\":" << row.replications
@@ -63,16 +76,16 @@ void JsonlSink::WriteRow(const CampaignRow& row) {
        // exists to make the cell reproducible via --seed.
        << ",\"cell_seed\":\"" << row.cell_seed << "\""
        << ",\"checkpoint\":" << row.checkpoint << ",\"step\":" << row.step
-       << ",\"mean\":" << FormatDouble(row.mean)
-       << ",\"std_dev\":" << FormatDouble(row.std_dev)
-       << ",\"p05\":" << FormatDouble(row.p05)
-       << ",\"p25\":" << FormatDouble(row.p25)
-       << ",\"median\":" << FormatDouble(row.median)
-       << ",\"p75\":" << FormatDouble(row.p75)
-       << ",\"p95\":" << FormatDouble(row.p95)
-       << ",\"min\":" << FormatDouble(row.min)
-       << ",\"max\":" << FormatDouble(row.max)
-       << ",\"unfair_probability\":" << FormatDouble(row.unfair_probability)
+       << ",\"mean\":" << JsonNumber(row.mean)
+       << ",\"std_dev\":" << JsonNumber(row.std_dev)
+       << ",\"p05\":" << JsonNumber(row.p05)
+       << ",\"p25\":" << JsonNumber(row.p25)
+       << ",\"median\":" << JsonNumber(row.median)
+       << ",\"p75\":" << JsonNumber(row.p75)
+       << ",\"p95\":" << JsonNumber(row.p95)
+       << ",\"min\":" << JsonNumber(row.min)
+       << ",\"max\":" << JsonNumber(row.max)
+       << ",\"unfair_probability\":" << JsonNumber(row.unfair_probability)
        << ",\"convergence_step\":";
   if (row.convergence_step) {
     out_ << *row.convergence_step;

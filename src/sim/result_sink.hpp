@@ -22,6 +22,13 @@
 
 namespace fairchain::sim {
 
+// String escaping (EscapeCsvField / EscapeJsonString) lives in
+// support/escape.hpp, shared with Table::WriteCsv and the verify layer.
+
+/// JSON-safe number rendering: FormatDouble for finite values, `null` for
+/// NaN / ±Inf (bare nan/inf tokens are not valid JSON).
+std::string JsonNumber(double value);
+
 /// One checkpoint of one campaign cell, fully denormalised so every row is
 /// self-describing (grid coordinates repeat on purpose — tidy data).
 struct CampaignRow {

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -282,6 +283,7 @@ ScenarioSpec ScenarioSpec::FromText(const std::string& text) {
   std::istringstream stream(text);
   std::string line;
   std::size_t line_number = 0;
+  std::map<std::string, std::size_t> first_assignment;
   while (std::getline(stream, line)) {
     ++line_number;
     line = Trim(line);
@@ -294,7 +296,17 @@ ScenarioSpec ScenarioSpec::FromText(const std::string& text) {
           "ScenarioSpec: line " + std::to_string(line_number) +
           " is not a key=value assignment: '" + line + "'");
     }
-    Assign(spec, Trim(line.substr(0, equals)), Trim(line.substr(equals + 1)));
+    const std::string key = Trim(line.substr(0, equals));
+    // A repeated key is almost always an editing mistake; silently letting
+    // the last assignment win would discard half the intended grid.
+    const auto [it, inserted] = first_assignment.emplace(key, line_number);
+    if (!inserted) {
+      throw std::invalid_argument(
+          "ScenarioSpec: duplicate key '" + key + "' on line " +
+          std::to_string(line_number) + " (first assigned on line " +
+          std::to_string(it->second) + ")");
+    }
+    Assign(spec, key, Trim(line.substr(equals + 1)));
   }
   return spec;
 }

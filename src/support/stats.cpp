@@ -61,7 +61,11 @@ double InterpolatedQuantile(const std::vector<double>& sorted, double q) {
   const std::size_t lo = static_cast<std::size_t>(pos);
   const double frac = pos - static_cast<double>(lo);
   if (lo + 1 >= sorted.size()) return sorted.back();
-  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+  // x_lo + frac * (x_hi - x_lo), NOT x_lo(1-frac) + x_hi*frac: the latter
+  // wobbles by an ulp when x_lo == x_hi, which made adjacent quantiles of a
+  // constant sample non-monotone (caught by the verify layer's sanity
+  // oracle).  This form is exact at coincident endpoints and monotone in q.
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "support/env.hpp"
+#include "support/escape.hpp"
 
 namespace fairchain {
 
@@ -73,31 +74,16 @@ void Table::Print(std::ostream& out) const {
   for (const auto& row : cells_) print_row(row);
 }
 
-namespace {
-
-std::string CsvEscape(const std::string& value) {
-  if (value.find_first_of(",\"\n") == std::string::npos) return value;
-  std::string escaped = "\"";
-  for (const char c : value) {
-    if (c == '"') escaped += "\"\"";
-    else escaped.push_back(c);
-  }
-  escaped += "\"";
-  return escaped;
-}
-
-}  // namespace
-
 void Table::WriteCsv(std::ostream& out) const {
   for (std::size_t c = 0; c < headers_.size(); ++c) {
     if (c > 0) out << ",";
-    out << CsvEscape(headers_[c]);
+    out << EscapeCsvField(headers_[c]);
   }
   out << "\n";
   for (const auto& row : cells_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c > 0) out << ",";
-      out << CsvEscape(row[c]);
+      out << EscapeCsvField(row[c]);
     }
     out << "\n";
   }

@@ -1,0 +1,252 @@
+#include "verify/oracle.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/bounds.hpp"
+#include "core/polya.hpp"
+#include "math/special.hpp"
+
+namespace fairchain::verify {
+
+namespace {
+
+// Absolute slack (on the λ scale) within which a lattice point k/n is
+// considered to sit ON a fair-area edge.  The engine accumulates incomes in
+// floating point, so a replication's λ differs from the exact k/n by
+// ~1e-13; a lattice point this close to an edge can be counted on either
+// side by the engine, and the oracle must not claim it for one side.
+constexpr double kBoundaryTolerance = 1e-9;
+
+// Exact unfair probability of the discrete law `pmf` over k/n under the
+// engine's own counting rule (λ < fair_low || λ > fair_high, evaluated in
+// double), with FP-ambiguous edge points reported separately.
+void ExactUnfairFromPmf(const std::vector<double>& pmf, std::uint64_t n,
+                        double a, const core::FairnessSpec& fairness,
+                        OraclePrediction& prediction) {
+  const double fair_low = fairness.FairLow(a);
+  const double fair_high = fairness.FairHigh(a);
+  double outside = 0.0;
+  double boundary = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    const double lambda =
+        static_cast<double>(k) / static_cast<double>(n);
+    if (std::fabs(lambda - fair_low) <= kBoundaryTolerance ||
+        std::fabs(lambda - fair_high) <= kBoundaryTolerance) {
+      boundary += pmf[k];
+    } else if (lambda < fair_low || lambda > fair_high) {
+      outside += pmf[k];
+    }
+  }
+  prediction.unfair_probability = outside;
+  prediction.unfair_boundary_mass = boundary;
+}
+
+}  // namespace
+
+std::size_t OraclePrediction::StochasticComparisons() const {
+  // Deterministic claims are checked by exact tolerance, never by a
+  // hypothesis test, so they cannot contribute false alarms.
+  if (deterministic_lambda) return 0;
+  std::size_t count = 0;
+  if (mean) ++count;
+  if (mean_upper || mean_lower) ++count;
+  if (variance) ++count;
+  if (!pmf.empty()) ++count;
+  if (unfair_probability) ++count;
+  // A vacuous bound (>= 1) is demoted to a structural pass by the judge,
+  // so it must not inflate the Bonferroni denominator.
+  if (unfair_upper_bound && *unfair_upper_bound < 1.0) ++count;
+  return count;
+}
+
+double TrackedInitialShare(const sim::CampaignCell& cell) {
+  const std::vector<double> stakes = cell.Stakes();
+  double total = 0.0;
+  for (const double s : stakes) total += s;
+  return stakes[0] / total;
+}
+
+// ---------------------------------------------------------------------------
+// BinomialProportionalityOracle (PoW / NEO, Section 4.2)
+// ---------------------------------------------------------------------------
+
+bool BinomialProportionalityOracle::AppliesTo(
+    const sim::CampaignCell& cell) const {
+  return cell.protocol == "pow" || cell.protocol == "neo";
+}
+
+OraclePrediction BinomialProportionalityOracle::Predict(
+    const sim::CampaignCell& cell, const core::FairnessSpec& fairness,
+    std::uint64_t steps) const {
+  const double a = TrackedInitialShare(cell);
+  OraclePrediction prediction;
+  prediction.mean = a;
+  prediction.variance = a * (1.0 - a) / static_cast<double>(steps);
+  prediction.pmf.resize(static_cast<std::size_t>(steps) + 1);
+  for (std::uint64_t k = 0; k <= steps; ++k) {
+    prediction.pmf[static_cast<std::size_t>(k)] =
+        math::BinomialPmf(steps, k, a);
+  }
+  ExactUnfairFromPmf(prediction.pmf, steps, a, fairness, prediction);
+  prediction.unfair_upper_bound =
+      core::PowUnfairUpperBound(steps, a, fairness.epsilon);
+  return prediction;
+}
+
+// ---------------------------------------------------------------------------
+// PolyaBetaLimitOracle (ML-PoS / FSL-PoS / degenerate C-PoS, Section 4.3)
+// ---------------------------------------------------------------------------
+
+bool PolyaBetaLimitOracle::AppliesTo(const sim::CampaignCell& cell) const {
+  if (cell.withhold != 0) return false;
+  if (cell.protocol == "mlpos" || cell.protocol == "fslpos") return true;
+  return cell.protocol == "cpos" && cell.v == 0.0 && cell.shards == 1;
+}
+
+OraclePrediction PolyaBetaLimitOracle::Predict(
+    const sim::CampaignCell& cell, const core::FairnessSpec& fairness,
+    std::uint64_t steps) const {
+  const std::vector<double> stakes = cell.Stakes();
+  double total = 0.0;
+  for (const double s : stakes) total += s;
+  const double s0 = stakes[0];
+  // Aggregating the minnows into one color is exact: selection is
+  // proportional to mass and every win reinforces by the same w.
+  const core::BetaParams limit =
+      core::PolyaUrn::TwoColorLimit(s0, total - s0, cell.w);
+  const double alpha = limit.alpha;
+  const double beta = limit.beta;
+  const double a = s0 / total;
+  const double n = static_cast<double>(steps);
+
+  OraclePrediction prediction;
+  prediction.mean = a;
+  // Var[K/n] for K ~ BetaBin(n, α, β):  αβ(α+β+n) / (n (α+β)² (α+β+1)).
+  // This IS the equitability claim (Fanti et al.): dividing by a(1-a)
+  // gives (α+β+n)/(n(α+β+1)), which for α+β = 1/w is (1/n + w)/(1 + w)
+  // -> w/(1+w) = the closed-form MlPosLimitNormalisedVariance as
+  // n -> infinity (pinned by oracle_test).
+  const double ab = alpha + beta;
+  prediction.variance = alpha * beta * (ab + n) / (n * ab * ab * (ab + 1.0));
+  prediction.pmf.resize(static_cast<std::size_t>(steps) + 1);
+  for (std::uint64_t k = 0; k <= steps; ++k) {
+    prediction.pmf[static_cast<std::size_t>(k)] =
+        math::BetaBinomialPmf(steps, k, alpha, beta);
+  }
+  ExactUnfairFromPmf(prediction.pmf, steps, a, fairness, prediction);
+  prediction.unfair_upper_bound =
+      core::MlPosUnfairUpperBound(steps, cell.w / total, a, fairness.epsilon);
+  return prediction;
+}
+
+// ---------------------------------------------------------------------------
+// CPosMartingaleOracle (Theorem 4.10)
+// ---------------------------------------------------------------------------
+
+bool CPosMartingaleOracle::AppliesTo(const sim::CampaignCell& cell) const {
+  return cell.protocol == "cpos" && cell.withhold == 0;
+}
+
+OraclePrediction CPosMartingaleOracle::Predict(
+    const sim::CampaignCell& cell, const core::FairnessSpec& fairness,
+    std::uint64_t steps) const {
+  const double a = TrackedInitialShare(cell);
+  OraclePrediction prediction;
+  // Each epoch's expected reward is (w+v) * (stake share), so the share is
+  // a martingale and E[λ_n] = a exactly for every n.
+  prediction.mean = a;
+  prediction.unfair_upper_bound = core::CPosUnfairUpperBound(
+      steps, cell.w, cell.v, cell.shards, a, fairness.epsilon);
+  return prediction;
+}
+
+// ---------------------------------------------------------------------------
+// SlPosDriftOracle (Theorem 4.9)
+// ---------------------------------------------------------------------------
+
+bool SlPosDriftOracle::AppliesTo(const sim::CampaignCell& cell) const {
+  return cell.protocol == "slpos" && cell.miners == 2 && cell.withhold == 0;
+}
+
+OraclePrediction SlPosDriftOracle::Predict(const sim::CampaignCell& cell,
+                                           const core::FairnessSpec& fairness,
+                                           std::uint64_t steps) const {
+  (void)fairness;
+  (void)steps;
+  const double a = TrackedInitialShare(cell);
+  OraclePrediction prediction;
+  if (std::fabs(a - 0.5) < 1e-12) {
+    // Perfect symmetry: the two miners are exchangeable, so E[λ] = 1/2.
+    prediction.mean = 0.5;
+  } else if (a < 0.5) {
+    // The uniform-deadline race favours the richer miner beyond
+    // proportionality (win probability a/(2(1-a)) < a), so the poorer
+    // miner's expected reward fraction sits below a at every horizon.
+    prediction.mean_upper = a;
+  } else {
+    prediction.mean_lower = a;
+  }
+  return prediction;
+}
+
+// ---------------------------------------------------------------------------
+// DeterministicShareOracle (Algorand / EOS, Section 6.4)
+// ---------------------------------------------------------------------------
+
+bool DeterministicShareOracle::AppliesTo(const sim::CampaignCell& cell) const {
+  return (cell.protocol == "algorand" || cell.protocol == "eos") &&
+         cell.withhold == 0;
+}
+
+OraclePrediction DeterministicShareOracle::Predict(
+    const sim::CampaignCell& cell, const core::FairnessSpec& fairness,
+    std::uint64_t steps) const {
+  (void)fairness;
+  OraclePrediction prediction;
+  if (cell.protocol == "algorand") {
+    // Proportional inflation leaves shares invariant: λ_n = a for all n.
+    prediction.deterministic_lambda = TrackedInitialShare(cell);
+    return prediction;
+  }
+  // EOS: integrate the deterministic round recurrence.  Every round each of
+  // the m delegates receives w/m plus v * (round-start stake share); both
+  // credit income and compound into stake.
+  std::vector<double> stakes = cell.Stakes();
+  const std::size_t m = stakes.size();
+  std::vector<double> income(m, 0.0);
+  const double constant_part = cell.w / static_cast<double>(m);
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    double total = 0.0;
+    for (const double s : stakes) total += s;
+    for (std::size_t i = 0; i < m; ++i) {
+      double credit = constant_part;
+      if (cell.v > 0.0 && stakes[i] > 0.0) {
+        credit += cell.v * (stakes[i] / total);
+      }
+      income[i] += credit;
+      stakes[i] += credit;
+    }
+  }
+  double total_income = 0.0;
+  for (const double r : income) total_income += r;
+  prediction.deterministic_lambda = income[0] / total_income;
+  return prediction;
+}
+
+// ---------------------------------------------------------------------------
+// Catalogue
+// ---------------------------------------------------------------------------
+
+const std::vector<const Oracle*>& DefaultOracles() {
+  static const DeterministicShareOracle deterministic;
+  static const BinomialProportionalityOracle binomial;
+  static const PolyaBetaLimitOracle polya;
+  static const CPosMartingaleOracle cpos;
+  static const SlPosDriftOracle slpos;
+  static const std::vector<const Oracle*> oracles = {
+      &deterministic, &binomial, &polya, &cpos, &slpos};
+  return oracles;
+}
+
+}  // namespace fairchain::verify

@@ -1,0 +1,341 @@
+#include "verify/statistical_judge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "math/ks_test.hpp"
+#include "math/special.hpp"
+
+namespace fairchain::verify {
+
+namespace {
+
+std::string Num(double value) { return sim::FormatDouble(value); }
+
+CheckResult StructuralPass(const std::string& check, double statistic) {
+  CheckResult result;
+  result.check = check;
+  result.statistic = statistic;
+  result.passed = true;
+  return result;
+}
+
+CheckResult StructuralFail(const std::string& check, double statistic,
+                           std::string detail) {
+  CheckResult result;
+  result.check = check;
+  result.statistic = statistic;
+  result.passed = false;
+  result.detail = std::move(detail);
+  return result;
+}
+
+}  // namespace
+
+double JudgeConfig::Threshold() const {
+  return family_alpha / static_cast<double>(std::max<std::size_t>(1,
+                                                                  comparisons));
+}
+
+void JudgeConfig::Validate() const {
+  if (!(family_alpha > 0.0) || family_alpha > 1.0) {
+    throw std::invalid_argument(
+        "JudgeConfig: family_alpha must lie in (0, 1]");
+  }
+  if (!(deterministic_tolerance > 0.0) || !(lattice_tolerance > 0.0)) {
+    throw std::invalid_argument("JudgeConfig: tolerances must be > 0");
+  }
+  if (!(min_expected_cell > 0.0)) {
+    throw std::invalid_argument("JudgeConfig: min_expected_cell must be > 0");
+  }
+}
+
+std::size_t CellVerdict::Failures() const {
+  std::size_t failures = 0;
+  for (const CheckResult& check : checks) {
+    if (!check.passed) ++failures;
+  }
+  return failures;
+}
+
+StatisticalJudge::StatisticalJudge(JudgeConfig config) : config_(config) {
+  config_.Validate();
+}
+
+double StatisticalJudge::NormalTwoSidedP(double z) {
+  return std::clamp(2.0 * (1.0 - math::NormalCdf(std::fabs(z))), 0.0, 1.0);
+}
+
+double StatisticalJudge::BinomialTwoSidedP(std::uint64_t n,
+                                           std::uint64_t successes,
+                                           double p0) {
+  if (p0 <= 0.0) return successes == 0 ? 1.0 : 0.0;
+  if (p0 >= 1.0) return successes == n ? 1.0 : 0.0;
+  const double lower = math::BinomialCdf(n, successes, p0);
+  const double upper =
+      successes == 0 ? 1.0 : 1.0 - math::BinomialCdf(n, successes - 1, p0);
+  return std::clamp(2.0 * std::min(lower, upper), 0.0, 1.0);
+}
+
+CellVerdict StatisticalJudge::Judge(
+    const sim::CampaignCell& cell, const OraclePrediction& prediction,
+    const core::SimulationResult& result) const {
+  CellVerdict verdict;
+  verdict.cell = cell;
+  verdict.oracle = prediction.oracle;
+
+  const std::vector<double>& lambdas = result.final_lambdas;
+  const auto replications = static_cast<double>(lambdas.size());
+  const double threshold = config_.Threshold();
+
+  auto statistical = [&](const std::string& check, double statistic,
+                         double p_value, const std::string& context) {
+    CheckResult check_result;
+    check_result.check = check;
+    check_result.statistic = statistic;
+    check_result.p_value = p_value;
+    check_result.passed = p_value >= threshold;
+    if (!check_result.passed) {
+      check_result.detail = context + " (p=" + Num(p_value) +
+                            " < threshold=" + Num(threshold) + ")";
+    }
+    verdict.checks.push_back(std::move(check_result));
+  };
+
+  // --- sanity: structural invariants every cell must satisfy -------------
+  {
+    std::ostringstream problems;
+    if (lambdas.empty()) {
+      problems << "no replication-level samples; ";
+    }
+    if (lambdas.size() != result.config.replications) {
+      problems << "sample count " << lambdas.size() << " != replications "
+               << result.config.replications << "; ";
+    }
+    for (const double lambda : lambdas) {
+      if (!std::isfinite(lambda) || lambda < -1e-12 || lambda > 1.0 + 1e-12) {
+        problems << "lambda " << Num(lambda) << " outside [0, 1]; ";
+        break;
+      }
+    }
+    std::uint64_t previous_step = 0;
+    for (const core::CheckpointStats& stats : result.checkpoints) {
+      if (stats.step <= previous_step) {
+        problems << "checkpoint steps not strictly ascending; ";
+        break;
+      }
+      previous_step = stats.step;
+      if (!(stats.p05 <= stats.p25 && stats.p25 <= stats.median &&
+            stats.median <= stats.p75 && stats.p75 <= stats.p95)) {
+        problems << "quantiles out of order at step " << stats.step << "; ";
+        break;
+      }
+      if (stats.mean < stats.min - 1e-12 || stats.mean > stats.max + 1e-12) {
+        problems << "mean outside [min, max] at step " << stats.step << "; ";
+        break;
+      }
+      if (stats.unfair_probability < 0.0 || stats.unfair_probability > 1.0) {
+        problems << "unfair probability outside [0, 1]; ";
+        break;
+      }
+    }
+    const std::string detail = problems.str();
+    verdict.checks.push_back(detail.empty()
+                                 ? StructuralPass("sanity", 0.0)
+                                 : StructuralFail("sanity", 1.0, detail));
+  }
+
+  const core::CheckpointStats* final_stats =
+      result.checkpoints.empty() ? nullptr : &result.checkpoints.back();
+
+  // --- deterministic trajectory ------------------------------------------
+  if (prediction.deterministic_lambda && !lambdas.empty()) {
+    const double expected = *prediction.deterministic_lambda;
+    double worst = 0.0;
+    for (const double lambda : lambdas) {
+      worst = std::max(worst, std::fabs(lambda - expected));
+    }
+    verdict.checks.push_back(
+        worst <= config_.deterministic_tolerance
+            ? StructuralPass("deterministic", worst)
+            : StructuralFail("deterministic", worst,
+                             "max |lambda - " + Num(expected) + "| = " +
+                                 Num(worst) + " exceeds tolerance " +
+                                 Num(config_.deterministic_tolerance)));
+  }
+
+  // --- mean (expectational fairness) -------------------------------------
+  if (prediction.mean && final_stats != nullptr && !lambdas.empty()) {
+    const double se = final_stats->std_dev / std::sqrt(replications);
+    const double difference = final_stats->mean - *prediction.mean;
+    if (se == 0.0) {
+      verdict.checks.push_back(
+          std::fabs(difference) <= config_.deterministic_tolerance
+              ? StructuralPass("mean", difference)
+              : StructuralFail("mean", difference,
+                               "zero-variance sample mean " +
+                                   Num(final_stats->mean) + " != exact " +
+                                   Num(*prediction.mean)));
+    } else {
+      const double z = difference / se;
+      statistical("mean", z, NormalTwoSidedP(z),
+                  "sample mean " + Num(final_stats->mean) + " vs exact " +
+                      Num(*prediction.mean) + ", z=" + Num(z));
+    }
+  }
+
+  // --- one-sided drift ----------------------------------------------------
+  if ((prediction.mean_upper || prediction.mean_lower) &&
+      final_stats != nullptr && !lambdas.empty()) {
+    const bool upper = prediction.mean_upper.has_value();
+    const double bound =
+        upper ? *prediction.mean_upper : *prediction.mean_lower;
+    const double se = final_stats->std_dev / std::sqrt(replications);
+    // Signed excess beyond the claimed side; positive = violating.
+    const double excess = upper ? final_stats->mean - bound
+                                : bound - final_stats->mean;
+    if (se == 0.0) {
+      verdict.checks.push_back(
+          excess <= config_.deterministic_tolerance
+              ? StructuralPass("mean-drift", excess)
+              : StructuralFail("mean-drift", excess,
+                               "zero-variance mean on wrong side of " +
+                                   Num(bound)));
+    } else {
+      const double z = excess / se;
+      const double p = std::clamp(1.0 - math::NormalCdf(z), 0.0, 1.0);
+      statistical("mean-drift", z, p,
+                  "mean " + Num(final_stats->mean) + " must lie " +
+                      (upper ? "below " : "above ") + Num(bound) +
+                      ", one-sided z=" + Num(z));
+    }
+  }
+
+  // --- variance (equitability) -------------------------------------------
+  if (prediction.variance && final_stats != nullptr && lambdas.size() >= 2) {
+    const double mean = final_stats->mean;
+    const double s2 = final_stats->std_dev * final_stats->std_dev;
+    double m4 = 0.0;
+    for (const double lambda : lambdas) {
+      const double centered = lambda - mean;
+      m4 += centered * centered * centered * centered;
+    }
+    m4 /= replications;
+    // Asymptotic SE of the unbiased sample variance:
+    //   sqrt((m4 - s⁴ (R-3)/(R-1)) / R).
+    const double se = std::sqrt(
+        std::max(0.0, m4 - s2 * s2 * (replications - 3.0) /
+                               (replications - 1.0)) /
+        replications);
+    const double difference = s2 - *prediction.variance;
+    if (se == 0.0) {
+      verdict.checks.push_back(
+          std::fabs(difference) <= config_.deterministic_tolerance
+              ? StructuralPass("variance", difference)
+              : StructuralFail("variance", difference,
+                               "zero-spread sample variance " + Num(s2) +
+                                   " != exact " + Num(*prediction.variance)));
+    } else {
+      const double z = difference / se;
+      statistical("variance", z, NormalTwoSidedP(z),
+                  "sample variance " + Num(s2) + " vs exact " +
+                      Num(*prediction.variance) + ", z=" + Num(z));
+    }
+  }
+
+  // --- distribution (exact law of the block count) ------------------------
+  if (!prediction.pmf.empty() && !lambdas.empty()) {
+    const auto steps = static_cast<double>(result.config.steps);
+    std::vector<std::uint64_t> counts(prediction.pmf.size(), 0);
+    bool on_lattice = true;
+    double worst_offset = 0.0;
+    for (const double lambda : lambdas) {
+      const double scaled = lambda * steps;
+      const auto k = static_cast<std::int64_t>(std::llround(scaled));
+      const double offset = std::fabs(scaled - static_cast<double>(k));
+      worst_offset = std::max(worst_offset, offset);
+      if (k < 0 || static_cast<std::size_t>(k) >= counts.size() ||
+          offset > config_.lattice_tolerance) {
+        on_lattice = false;
+        break;
+      }
+      ++counts[static_cast<std::size_t>(k)];
+    }
+    if (!on_lattice) {
+      verdict.checks.push_back(StructuralFail(
+          "distribution", worst_offset,
+          "samples do not sit on the k/n lattice (worst offset " +
+              Num(worst_offset) + ") — oracle misapplied"));
+    } else {
+      const math::ChiSquareResult gof = math::ChiSquareGofTest(
+          counts, prediction.pmf, config_.min_expected_cell);
+      statistical("distribution", gof.statistic, gof.p_value,
+                  "chi-square GOF against the exact law, chi2=" +
+                      Num(gof.statistic) + " df=" +
+                      std::to_string(gof.degrees));
+    }
+  }
+
+  // --- unfair probability: exact value and analytic upper bound -----------
+  if ((prediction.unfair_probability || prediction.unfair_upper_bound) &&
+      !lambdas.empty()) {
+    const double a = result.initial_share;
+    const double fair_low = result.spec.FairLow(a);
+    const double fair_high = result.spec.FairHigh(a);
+    std::uint64_t outside = 0;
+    for (const double lambda : lambdas) {
+      if (lambda < fair_low || lambda > fair_high) ++outside;
+    }
+    const double proportion =
+        static_cast<double>(outside) / replications;
+    const auto count = static_cast<std::uint64_t>(lambdas.size());
+
+    if (prediction.unfair_probability) {
+      const double p_low = *prediction.unfair_probability;
+      const double p_high =
+          std::min(1.0, p_low + prediction.unfair_boundary_mass);
+      // Composite null: the truth lies in [p_low, p_high] (boundary lattice
+      // points may be counted either way by the engine's FP arithmetic).
+      double p_value = 1.0;
+      if (proportion < p_low) {
+        p_value = BinomialTwoSidedP(count, outside, p_low);
+      } else if (proportion > p_high) {
+        p_value = BinomialTwoSidedP(count, outside, p_high);
+      }
+      statistical("unfair-exact", proportion, p_value,
+                  "observed unfair proportion " + Num(proportion) +
+                      " vs exact " + Num(p_low) +
+                      (p_high > p_low ? ".." + Num(p_high) : ""));
+    }
+
+    if (prediction.unfair_upper_bound) {
+      const double bound = *prediction.unfair_upper_bound;
+      if (bound >= 1.0) {
+        verdict.checks.push_back(StructuralPass("unfair-bound", proportion));
+      } else {
+        // One-sided: H0 is "true unfair probability <= bound".
+        const double p_value =
+            outside == 0
+                ? 1.0
+                : std::clamp(1.0 - math::BinomialCdf(count, outside - 1,
+                                                     std::max(0.0, bound)),
+                             0.0, 1.0);
+        statistical("unfair-bound", proportion, p_value,
+                    "observed unfair proportion " + Num(proportion) +
+                        " exceeds analytic bound " + Num(bound));
+      }
+    }
+  }
+
+  for (const CheckResult& check : verdict.checks) {
+    if (!check.passed) {
+      verdict.passed = false;
+      break;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace fairchain::verify

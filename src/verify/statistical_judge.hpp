@@ -1,0 +1,102 @@
+// StatisticalJudge: turns an OraclePrediction plus replication-level
+// samples into deterministic accept/reject verdicts.
+//
+// Every verdict is a pure function of the (seeded) simulation output, so a
+// fixed campaign seed gives byte-identical verdicts at any thread count.
+// Statistical checks produce honest p-values and are compared against a
+// Bonferroni-corrected threshold (family_alpha split across every
+// stochastic comparison in the campaign grid), so a full `verify --all`
+// run false-alarms with probability ~family_alpha per campaign, not per
+// cell.  Structural checks (lattice membership, quantile ordering,
+// deterministic trajectories) use exact tolerances and cannot false-alarm.
+
+#ifndef FAIRCHAIN_VERIFY_STATISTICAL_JUDGE_HPP_
+#define FAIRCHAIN_VERIFY_STATISTICAL_JUDGE_HPP_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/monte_carlo.hpp"
+#include "sim/scenario_spec.hpp"
+#include "verify/oracle.hpp"
+
+namespace fairchain::verify {
+
+/// Knobs of the acceptance tests.
+struct JudgeConfig {
+  /// Family-wise false-alarm probability budget for one campaign.
+  double family_alpha = 1e-3;
+  /// Bonferroni denominator: total stochastic comparisons in the campaign
+  /// (VerificationPlan::StochasticComparisons()).  1 = no correction.
+  std::size_t comparisons = 1;
+  /// Absolute tolerance for deterministic-trajectory and exact-value
+  /// checks.
+  double deterministic_tolerance = 1e-9;
+  /// Maximum |n·λ - round(n·λ)| before the lattice (block-count) check
+  /// declares the samples off-lattice, i.e. the oracle was misapplied.
+  double lattice_tolerance = 1e-6;
+  /// Chi-square pooling floor (cells with smaller expected counts merge).
+  double min_expected_cell = 5.0;
+
+  /// The per-comparison p-value threshold: family_alpha / comparisons.
+  double Threshold() const;
+
+  /// Throws std::invalid_argument on a non-positive alpha or tolerance.
+  void Validate() const;
+};
+
+/// One acceptance test's outcome.
+struct CheckResult {
+  std::string check;       ///< "mean", "variance", "distribution", ...
+  double statistic = 0.0;  ///< test statistic (z, chi², D, proportion, ...)
+  /// p-value under the oracle's null; NaN for structural (non-statistical)
+  /// checks, whose pass/fail is tolerance-based.
+  double p_value = std::numeric_limits<double>::quiet_NaN();
+  bool passed = true;
+  std::string detail;  ///< human-readable context (filled on failure)
+};
+
+/// All checks for one campaign cell.
+struct CellVerdict {
+  sim::CampaignCell cell;
+  std::string oracle;  ///< producing oracle's name ("" = sanity only)
+  std::vector<CheckResult> checks;
+  bool passed = true;
+
+  /// Number of failed checks.
+  std::size_t Failures() const;
+};
+
+/// The judge.  Immutable after construction; Judge is re-entrant.
+class StatisticalJudge {
+ public:
+  explicit StatisticalJudge(JudgeConfig config = {});
+
+  /// Runs every applicable check of `prediction` against the cell's
+  /// replication-level samples (`result.final_lambdas`) and summary
+  /// statistics.  Always includes the structural sanity checks, so every
+  /// cell — even one no oracle understands — gets a verdict.
+  CellVerdict Judge(const sim::CampaignCell& cell,
+                    const OraclePrediction& prediction,
+                    const core::SimulationResult& result) const;
+
+  const JudgeConfig& config() const { return config_; }
+
+  /// Two-sided p-value of a standard-normal statistic.
+  static double NormalTwoSidedP(double z);
+
+  /// Exact two-sided binomial test: probability under Bin(n, p0) of an
+  /// outcome at least as extreme as `successes` (doubled one-tail, clamped
+  /// to [0, 1]).
+  static double BinomialTwoSidedP(std::uint64_t n, std::uint64_t successes,
+                                  double p0);
+
+ private:
+  JudgeConfig config_;
+};
+
+}  // namespace fairchain::verify
+
+#endif  // FAIRCHAIN_VERIFY_STATISTICAL_JUDGE_HPP_

@@ -1,0 +1,109 @@
+#include "verify/verification_plan.hpp"
+
+#include <utility>
+
+#include "sim/scenario_registry.hpp"
+
+namespace fairchain::verify {
+
+VerificationPlan::VerificationPlan(
+    sim::ScenarioSpec spec, const std::vector<const Oracle*>* oracles)
+    : spec_(std::move(spec)) {
+  spec_.Validate();
+  const std::vector<const Oracle*>& catalogue =
+      oracles != nullptr ? *oracles : DefaultOracles();
+  const std::vector<sim::CampaignCell> cells = spec_.ExpandCells();
+  cells_.reserve(cells.size());
+  for (const sim::CampaignCell& cell : cells) {
+    PlannedCell planned;
+    planned.cell = cell;
+    for (const Oracle* oracle : catalogue) {
+      if (oracle->AppliesTo(cell)) {
+        planned.oracle = oracle;
+        planned.prediction =
+            oracle->Predict(cell, spec_.fairness, spec_.steps);
+        planned.prediction.oracle = oracle->name();
+        break;
+      }
+    }
+    cells_.push_back(std::move(planned));
+  }
+}
+
+VerificationPlan VerificationPlan::ForScenario(const std::string& name) {
+  return VerificationPlan(sim::ScenarioRegistry::BuiltIn().Get(name));
+}
+
+std::size_t VerificationPlan::OracleCoverage() const {
+  std::size_t covered = 0;
+  for (const PlannedCell& planned : cells_) {
+    if (planned.oracle != nullptr) ++covered;
+  }
+  return covered;
+}
+
+std::size_t VerificationPlan::StochasticComparisons() const {
+  std::size_t comparisons = 0;
+  for (const PlannedCell& planned : cells_) {
+    comparisons += planned.prediction.StochasticComparisons();
+  }
+  return comparisons;
+}
+
+VerificationReport VerifyCampaign(
+    const VerificationPlan& plan, const VerificationOptions& options,
+    const std::vector<VerdictSink*>& verdict_sinks,
+    const std::vector<sim::ResultSink*>& row_sinks) {
+  JudgeConfig judge_config = options.judge;
+  judge_config.comparisons = plan.StochasticComparisons();
+  const StatisticalJudge judge(judge_config);
+
+  const sim::CampaignRunner runner(options.campaign);
+  const std::vector<sim::CellOutcome> outcomes =
+      runner.Run(plan.spec(), row_sinks);
+
+  VerificationReport report;
+  report.scenario = plan.spec().name;
+  report.threshold = judge_config.Threshold();
+
+  for (VerdictSink* sink : verdict_sinks) {
+    sink->BeginVerification(plan.spec());
+  }
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const PlannedCell& planned = plan.cells()[i];
+    CellVerdict verdict =
+        judge.Judge(planned.cell, planned.prediction, outcomes[i].result);
+    for (const CheckResult& check : verdict.checks) {
+      VerdictRow row;
+      row.scenario = plan.spec().name;
+      row.cell = planned.cell.index;
+      row.protocol = planned.cell.protocol;
+      row.miners = planned.cell.miners;
+      row.whales = planned.cell.whales;
+      row.a = planned.cell.a;
+      row.w = planned.cell.w;
+      row.v = planned.cell.v;
+      row.shards = planned.cell.shards;
+      row.withhold = planned.cell.withhold;
+      row.oracle = verdict.oracle.empty() ? "none" : verdict.oracle;
+      row.check = check.check;
+      row.statistic = check.statistic;
+      row.p_value = check.p_value;
+      row.threshold = report.threshold;
+      row.passed = check.passed;
+      row.detail = check.detail;
+      for (VerdictSink* sink : verdict_sinks) sink->WriteRow(row);
+    }
+    ++report.cells;
+    report.checks += verdict.checks.size();
+    report.failures += verdict.Failures();
+    if (!verdict.passed) report.passed = false;
+    report.verdicts.push_back(std::move(verdict));
+  }
+
+  for (VerdictSink* sink : verdict_sinks) sink->EndVerification();
+  return report;
+}
+
+}  // namespace fairchain::verify

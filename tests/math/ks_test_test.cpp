@@ -2,6 +2,9 @@
 
 #include "math/ks_test.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "math/distributions.hpp"
@@ -133,6 +136,120 @@ TEST(ChiSquareGofTest, Validation) {
   EXPECT_THROW(ChiSquareGofTest({1}, {0.5, 0.5}), std::invalid_argument);
   EXPECT_THROW(ChiSquareGofTest({1, 2}, {-0.5, 0.5}), std::invalid_argument);
   EXPECT_THROW(ChiSquareGofTest({0, 0}, {0.5, 0.5}), std::invalid_argument);
+}
+
+// --- edge cases: defined behaviour instead of UB ---------------------------
+
+TEST(KsOneSampleTest, SingleObservationHasExactStatistic) {
+  // n = 1 against U(0,1): D = max(F(x), 1 - F(x)).
+  const KsResult result =
+      KsTestOneSample({0.3}, [](double x) { return x; });
+  EXPECT_DOUBLE_EQ(result.statistic, 0.7);
+  EXPECT_GT(result.p_value, 0.0);
+  EXPECT_LE(result.p_value, 1.0);
+}
+
+TEST(KsOneSampleTest, TiedObservationsHaveExactStatistic) {
+  // Two copies of 0.5 against U(0,1): the ECDF jumps by 2/n at the tie, so
+  // D = |0.5 - 0| = 0.5 from the lower side of the first tied point.
+  const KsResult result =
+      KsTestOneSample({0.5, 0.5}, [](double x) { return x; });
+  EXPECT_DOUBLE_EQ(result.statistic, 0.5);
+}
+
+TEST(KsOneSampleTest, NonFiniteSampleThrowsInsteadOfUb) {
+  // NaN breaks std::sort's strict weak ordering — that would be UB, so the
+  // test must reject it with a defined error.
+  const auto uniform = [](double x) { return x; };
+  EXPECT_THROW(
+      KsTestOneSample({0.1, std::nan(""), 0.5}, uniform),
+      std::invalid_argument);
+  EXPECT_THROW(
+      KsTestOneSample({std::numeric_limits<double>::infinity()}, uniform),
+      std::invalid_argument);
+}
+
+TEST(KsOneSampleTest, NonFiniteCdfValueThrows) {
+  EXPECT_THROW(
+      KsTestOneSample({0.5}, [](double) { return std::nan(""); }),
+      std::invalid_argument);
+}
+
+TEST(KsOneSampleTest, OutOfRangeCdfValuesAreClamped) {
+  // A sloppy CDF returning slightly > 1 must not produce D > 1.
+  const KsResult result =
+      KsTestOneSample({0.2, 0.4, 0.9}, [](double x) { return x * 1.2; });
+  EXPECT_LE(result.statistic, 1.0);
+}
+
+TEST(KsTwoSampleTest, NonFiniteSampleThrowsInsteadOfUb) {
+  EXPECT_THROW(KsTestTwoSample({0.1, std::nan("")}, {0.2, 0.3}),
+               std::invalid_argument);
+  EXPECT_THROW(KsTestTwoSample({0.1, 0.2}, {std::nan("")}),
+               std::invalid_argument);
+}
+
+TEST(KsTwoSampleTest, TiesAcrossSamplesHaveExactStatistic) {
+  // a = {1,1,2}, b = {1,2,2}: after x=1, Fa=2/3 vs Fb=1/3 (D = 1/3); after
+  // x=2 both reach 1.  Ties advance both ECDFs before comparing.
+  const KsResult result = KsTestTwoSample({1.0, 1.0, 2.0}, {1.0, 2.0, 2.0});
+  EXPECT_NEAR(result.statistic, 1.0 / 3.0, 1e-12);
+}
+
+TEST(KsTwoSampleTest, SingleObservationEach) {
+  const KsResult equal = KsTestTwoSample({1.0}, {1.0});
+  EXPECT_DOUBLE_EQ(equal.statistic, 0.0);
+  const KsResult disjoint = KsTestTwoSample({1.0}, {2.0});
+  EXPECT_DOUBLE_EQ(disjoint.statistic, 1.0);
+}
+
+// --- p-value approximation pinned against published K-S tables -------------
+
+TEST(KolmogorovSurvivalTest, PublishedAsymptoticCriticalValues) {
+  // Smirnov's asymptotic critical values K_alpha with Q(K_alpha) = alpha
+  // (e.g. Massey 1951, Table 1 footnote): alpha = 0.10, 0.05, 0.01, 0.001.
+  EXPECT_NEAR(KolmogorovSurvival(1.22385), 0.10, 2e-3);
+  EXPECT_NEAR(KolmogorovSurvival(1.35810), 0.05, 2e-3);
+  EXPECT_NEAR(KolmogorovSurvival(1.62762), 0.01, 5e-4);
+  EXPECT_NEAR(KolmogorovSurvival(1.94947), 0.001, 1e-4);
+}
+
+// A sorted sample whose one-sample D is exactly `d` at size n: x_i =
+// max(0, (i+1)/n - d), so every positive point has upper gap exactly d.
+std::vector<double> SampleWithStatistic(std::size_t n, double d) {
+  std::vector<double> sample(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sample[i] = std::max(
+        0.0, static_cast<double>(i + 1) / static_cast<double>(n) - d);
+  }
+  return sample;
+}
+
+TEST(KsOneSampleTest, PValueMatchesMasseyTableAtN5) {
+  // Massey (1951): the n = 5, alpha = 0.05 critical value is D = 0.565.
+  // Stephens' effective-n scaling must reproduce p ~ 0.05 there.
+  const auto sample = SampleWithStatistic(5, 0.565);
+  const KsResult result =
+      KsTestOneSample(sample, [](double x) { return x; });
+  EXPECT_NEAR(result.statistic, 0.565, 1e-12);
+  EXPECT_NEAR(result.p_value, 0.05, 0.006);
+}
+
+TEST(KsOneSampleTest, PValueMatchesMasseyTableAtN10) {
+  // Massey (1951): n = 10, alpha = 0.05 critical value is D = 0.410.
+  const auto sample = SampleWithStatistic(10, 0.410);
+  const KsResult result =
+      KsTestOneSample(sample, [](double x) { return x; });
+  EXPECT_NEAR(result.statistic, 0.410, 1e-12);
+  EXPECT_NEAR(result.p_value, 0.05, 0.006);
+}
+
+TEST(KsOneSampleTest, PValueMatchesMasseyTableAtN20AlphaOne) {
+  // Massey (1951): n = 20, alpha = 0.10 critical value is D = 0.264.
+  const auto sample = SampleWithStatistic(20, 0.264);
+  const KsResult result =
+      KsTestOneSample(sample, [](double x) { return x; });
+  EXPECT_NEAR(result.p_value, 0.10, 0.012);
 }
 
 }  // namespace

@@ -3,9 +3,12 @@
 
 #include "sim/result_sink.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
+
+#include "support/escape.hpp"
 
 namespace fairchain::sim {
 namespace {
@@ -103,6 +106,85 @@ TEST(ResultSinkTest, FormatDoubleIsShortestRoundTrip) {
   EXPECT_EQ(FormatDouble(1.0), "1");
   EXPECT_EQ(FormatDouble(0.1 + 0.2), "0.30000000000000004");
   EXPECT_EQ(std::stod(FormatDouble(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+// --- escaping ---------------------------------------------------------------
+
+TEST(EscapingTest, CsvFieldsWithoutSpecialsAreByteIdentical) {
+  // The no-quoting fast path keeps existing campaign output unchanged.
+  EXPECT_EQ(EscapeCsvField("table1"), "table1");
+  EXPECT_EQ(EscapeCsvField("ML-PoS"), "ML-PoS");
+  EXPECT_EQ(EscapeCsvField(""), "");
+}
+
+TEST(EscapingTest, CsvCommasQuotesAndNewlinesAreQuoted) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(EscapeCsvField("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(EscapeCsvField("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(EscapeCsvField("x, \"y\""), "\"x, \"\"y\"\"\"");
+}
+
+TEST(EscapingTest, JsonStringsEscapeQuotesBackslashesAndControls) {
+  EXPECT_EQ(EscapeJsonString("plain"), "plain");
+  EXPECT_EQ(EscapeJsonString("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeJsonString("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeJsonString("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(EscapeJsonString(std::string("nul\x01 end")), "nul\\u0001 end");
+}
+
+TEST(EscapingTest, JsonNumberRendersNonFiniteAsNull) {
+  EXPECT_EQ(JsonNumber(0.25), "0.25");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(ResultSinkTest, JsonlRowWithNonFiniteMetricsStaysValidJson) {
+  CampaignRow row = SampleRow();
+  row.mean = std::numeric_limits<double>::quiet_NaN();
+  row.max = std::numeric_limits<double>::infinity();
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.WriteRow(row);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"mean\":null"), std::string::npos);
+  EXPECT_NE(line.find("\"max\":null"), std::string::npos);
+  // Bare nan/inf tokens are invalid JSON and must never appear.
+  EXPECT_EQ(line.find("nan"), std::string::npos);
+  EXPECT_EQ(line.find("inf"), std::string::npos);
+}
+
+TEST(ResultSinkTest, CsvRowWithNonFiniteMetricsUsesNanInfTokens) {
+  // CSV has no null literal; the documented rendering is to_chars' tokens.
+  CampaignRow row = SampleRow();
+  row.mean = std::numeric_limits<double>::quiet_NaN();
+  row.min = -std::numeric_limits<double>::infinity();
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.WriteRow(row);
+  EXPECT_NE(out.str().find(",nan,"), std::string::npos);
+  EXPECT_NE(out.str().find(",-inf,"), std::string::npos);
+}
+
+TEST(ResultSinkTest, HostileScenarioNameWouldBeEscapedInBothFormats) {
+  // ScenarioSpec::Validate forbids such names, but rows constructed by
+  // hand must still serialise safely.
+  CampaignRow row = SampleRow();
+  row.scenario = "bad,\"name\"";
+  {
+    std::ostringstream out;
+    CsvSink sink(out);
+    sink.WriteRow(row);
+    EXPECT_EQ(out.str().rfind("\"bad,\"\"name\"\"\",", 0), 0u);
+  }
+  {
+    std::ostringstream out;
+    JsonlSink sink(out);
+    sink.WriteRow(row);
+    EXPECT_NE(out.str().find("\"scenario\":\"bad,\\\"name\\\"\""),
+              std::string::npos);
+  }
 }
 
 }  // namespace

@@ -189,5 +189,79 @@ TEST(ScenarioSpecTest, ToTextRoundTrips) {
   EXPECT_EQ(parsed.CellCount(), spec.CellCount());
 }
 
+// --- error paths: every failure names the problem actionably ----------------
+
+// Captures the exception message of a parse/validate failure.
+template <typename Fn>
+std::string FailureMessage(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(ScenarioSpecTest, DuplicateKeysAreRejectedNamingBothLines) {
+  const std::string message = FailureMessage([] {
+    ScenarioSpec::FromText("steps=100\nreps=50\nreps=200\n");
+  });
+  EXPECT_NE(message.find("duplicate key 'reps'"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+}
+
+TEST(ScenarioSpecTest, MalformedAssignmentNamesLineAndContent) {
+  const std::string message = FailureMessage([] {
+    ScenarioSpec::FromText("steps=100\nthis is not an assignment\n");
+  });
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("not an assignment"), std::string::npos) << message;
+}
+
+TEST(ScenarioSpecTest, MalformedNumberNamesKeyAndValue) {
+  const std::string message =
+      FailureMessage([] { ScenarioSpec::FromText("steps=soon\n"); });
+  EXPECT_NE(message.find("steps"), std::string::npos) << message;
+  EXPECT_NE(message.find("'soon'"), std::string::npos) << message;
+}
+
+TEST(ScenarioSpecTest, OutOfRangeStakesNameTheConstraint) {
+  ScenarioSpec spec;
+  spec.allocations = {1.5};
+  const std::string message = FailureMessage([&] { spec.Validate(); });
+  EXPECT_NE(message.find("every a must lie in (0, 1)"), std::string::npos)
+      << message;
+  spec.allocations = {0.0};
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+  spec.allocations = {-0.2};
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, UnknownProtocolNamesTheOffender) {
+  const std::string message = FailureMessage([] {
+    ScenarioSpec::FromText("protocols=mlpos,btc\n").Validate();
+  });
+  EXPECT_NE(message.find("unknown protocol 'btc'"), std::string::npos)
+      << message;
+}
+
+TEST(ScenarioSpecTest, UnknownKeyNamesTheKey) {
+  const std::string message =
+      FailureMessage([] { ScenarioSpec::FromText("stepz=100\n"); });
+  EXPECT_NE(message.find("unknown key 'stepz'"), std::string::npos)
+      << message;
+}
+
+TEST(ScenarioSpecTest, OverridesMayRepeatKeysParsedFromText) {
+  // Duplicate rejection is a FromText contract only: CLI overrides
+  // legitimately re-assign keys that the spec text already set.
+  ScenarioSpec spec = ScenarioSpec::FromText("reps=100\n");
+  const FlagSet flags = FlagSet::Parse({"--reps", "250"});
+  spec.ApplyOverrides(flags);
+  EXPECT_EQ(spec.replications, 250u);
+}
+
 }  // namespace
 }  // namespace fairchain::sim

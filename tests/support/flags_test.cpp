@@ -147,5 +147,58 @@ TEST(FlagsTest, MixedPositionalsAndFlags) {
   EXPECT_EQ(flags.GetString("protocol", ""), "slpos");
 }
 
+// --- did-you-mean edge cases -------------------------------------------------
+
+TEST(FlagsTest, EmptyArgumentIsAPositionalNotAFlag) {
+  const FlagSet flags = FlagSet::Parse({"", "--reps", "10"});
+  ASSERT_EQ(flags.positionals().size(), 1u);
+  EXPECT_EQ(flags.positionals()[0], "");
+  EXPECT_EQ(flags.GetU64("reps", 0), 10u);
+}
+
+TEST(FlagsTest, EmptyFlagNameViaEqualsIsRejectedByRejectUnknown) {
+  // "--=value" parses to a flag with an empty name; it can never be in an
+  // allow list, so it must fail loudly rather than vanish.
+  const FlagSet flags = FlagSet::Parse({"--=value"});
+  EXPECT_THROW(flags.RejectUnknown({"reps"}), std::invalid_argument);
+}
+
+TEST(FlagsTest, SuggestionTieBreaksToFirstAllowedName) {
+  // "ac" is distance 1 from both "aa" and "ab"; the suggestion must be
+  // deterministic: the first allowed spelling at the best distance wins.
+  const FlagSet flags = FlagSet::Parse({"--ac=1"});
+  try {
+    flags.RejectUnknown({"aa", "ab"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("did you mean --aa?"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(FlagsTest, SuggestionDistanceIsStrictlyBelowThree) {
+  // Distance exactly 3 must NOT produce a suggestion (near-miss cut-off),
+  // distance 2 must.
+  const FlagSet far = FlagSet::Parse({"--abc=1"});
+  try {
+    far.RejectUnknown({"xyz"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()).find("did you mean"),
+              std::string::npos)
+        << error.what();
+  }
+  const FlagSet near = FlagSet::Parse({"--stes=1"});
+  try {
+    near.RejectUnknown({"steps"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("did you mean --steps?"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 }  // namespace
 }  // namespace fairchain

@@ -11,6 +11,10 @@
 //              fairchain campaign my_scenario.spec --threads 8
 //   scenarios  list the registered scenarios, or describe one
 //              fairchain scenarios [name]
+//   verify     run scenario(s) against their analytic oracles and report
+//              per-cell statistical verdicts; exits non-zero on failure
+//              fairchain verify table1 --reps 500
+//              fairchain verify --all --reps 300 --steps 240
 //   bound      analytic robust-fairness bounds at given parameters
 //              fairchain bound --protocol pow --a 0.2 --n 5000
 //   design     inverse use of the theorems: parameters achieving (eps,delta)
@@ -22,6 +26,7 @@
 // Unknown or misspelled flags are rejected with a suggestion (e.g. `--rep`
 // names `--reps`) instead of silently running with defaults.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -38,6 +43,8 @@
 #include "sim/result_sink.hpp"
 #include "sim/scenario_registry.hpp"
 #include "support/env.hpp"
+#include "verify/verdict_sink.hpp"
+#include "verify/verification_plan.hpp"
 #include "support/flags.hpp"
 #include "support/table.hpp"
 #include "support/version.hpp"
@@ -50,7 +57,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: fairchain "
-      "<simulate|campaign|scenarios|bound|design|winprob|version> [flags]\n"
+      "<simulate|campaign|scenarios|verify|bound|design|winprob|version> "
+      "[flags]\n"
       "  simulate  --protocol pow|mlpos|slpos|cpos|fslpos|neo|algorand|eos\n"
       "            [--a 0.2] [--w 0.01] [--v 0.1] [--shards 32] [--n 5000]\n"
       "            [--reps 10000] [--withhold 0] [--eps 0.1] [--delta 0.1]\n"
@@ -62,6 +70,9 @@ int Usage() {
       "            [--withhold ...] [--checkpoints N] [--spacing linear|log]\n"
       "            [--eps E] [--delta D]\n"
       "  scenarios [name]   list registered scenarios / describe one\n"
+      "  verify    <name|spec-file>|--all  [--reps N] [--steps N] [--seed S]\n"
+      "            [--threads T] [--alpha A] [--csv FILE] [--jsonl FILE]\n"
+      "            [--no-files]  check scenario(s) against analytic oracles\n"
       "  bound     --protocol pow|mlpos|cpos [--a] [--w] [--v] [--shards] "
       "[--n]\n"
       "  design    [--a 0.2] [--w 0.01] [--shards 32] [--eps] [--delta]\n"
@@ -128,14 +139,34 @@ int RunSimulate(const FlagSet& flags) {
   return 0;
 }
 
-// True when the campaign argument names a spec file rather than a registry
-// entry: it has a path separator or names a readable file.
-bool LooksLikeSpecFile(const std::string& argument) {
-  if (argument.find('/') != std::string::npos ||
-      argument.find('\\') != std::string::npos) {
-    return true;
+// Resolves a campaign/verify target to a spec: an argument with a path
+// separator is always a file; otherwise the registry wins over a
+// same-named file in the working directory (a stray local file must not
+// silently substitute different parameters for a registered scenario);
+// anything else is tried as a file and finally reported against the
+// registry's known names.
+sim::ScenarioSpec ResolveSpec(const std::string& target) {
+  const sim::ScenarioRegistry& registry = sim::ScenarioRegistry::BuiltIn();
+  const bool is_path = target.find('/') != std::string::npos ||
+                       target.find('\\') != std::string::npos;
+  if (is_path) return sim::ScenarioSpec::FromFile(target);
+  if (registry.Contains(target)) return registry.Get(target);
+  if (std::ifstream(target).good()) return sim::ScenarioSpec::FromFile(target);
+  return registry.Get(target);  // throws, listing the known names
+}
+
+// Loud-failure contract for the output flags: --no-files makes --csv and
+// --jsonl dead, so the combination is a user error, not a silent no-op.
+bool RejectContradictoryFileFlags(const FlagSet& flags, const char* command) {
+  if (flags.GetBool("no-files") &&
+      (flags.Has("csv") || flags.Has("jsonl"))) {
+    std::fprintf(stderr,
+                 "%s: --csv/--jsonl have no effect with --no-files; drop "
+                 "one side\n",
+                 command);
+    return false;
   }
-  return std::ifstream(argument).good();
+  return true;
 }
 
 int RunCampaign(const FlagSet& flags) {
@@ -146,11 +177,8 @@ int RunCampaign(const FlagSet& flags) {
     std::fprintf(stderr, "campaign: need a scenario name or spec file\n");
     return Usage();
   }
-  const std::string& target = flags.positionals()[1];
-  sim::ScenarioSpec spec =
-      LooksLikeSpecFile(target)
-          ? sim::ScenarioSpec::FromFile(target)
-          : sim::ScenarioRegistry::BuiltIn().Get(target);
+  if (!RejectContradictoryFileFlags(flags, "campaign")) return Usage();
+  sim::ScenarioSpec spec = ResolveSpec(flags.positionals()[1]);
   spec.ApplyOverrides(flags);
   spec.Validate();
 
@@ -192,6 +220,101 @@ int RunCampaign(const FlagSet& flags) {
   }
   std::printf("\n");
   return 0;
+}
+
+int RunVerify(const FlagSet& flags) {
+  std::vector<std::string> allowed = sim::ScenarioSpec::OverrideFlagNames();
+  allowed.insert(allowed.end(),
+                 {"threads", "csv", "jsonl", "no-files", "alpha", "all"});
+  flags.RejectUnknown(allowed);
+
+  if (!RejectContradictoryFileFlags(flags, "verify")) return Usage();
+  const sim::ScenarioRegistry& registry = sim::ScenarioRegistry::BuiltIn();
+  std::vector<sim::ScenarioSpec> specs;
+  if (flags.GetBool("all")) {
+    if (flags.positionals().size() >= 2) {
+      std::fprintf(stderr,
+                   "verify: --all verifies every registered scenario; drop "
+                   "'%s' or drop --all\n",
+                   flags.positionals()[1].c_str());
+      return Usage();
+    }
+    for (const std::string& name : registry.Names()) {
+      specs.push_back(registry.Get(name));
+    }
+  } else if (flags.positionals().size() >= 2) {
+    specs.push_back(ResolveSpec(flags.positionals()[1]));
+  } else {
+    std::fprintf(stderr,
+                 "verify: need a scenario name, a spec file, or --all\n");
+    return Usage();
+  }
+
+  verify::VerificationOptions options;
+  options.campaign.threads =
+      static_cast<unsigned>(flags.GetU64("threads", EnvThreads()));
+  options.judge.family_alpha = flags.GetDouble("alpha", 1e-3);
+
+  // A single user-supplied path cannot hold every scenario's verdicts: each
+  // iteration would truncate the previous one's output.
+  if (specs.size() > 1 && !flags.GetBool("no-files") &&
+      (flags.Has("csv") || flags.Has("jsonl"))) {
+    std::fprintf(stderr,
+                 "verify: --csv/--jsonl cannot be combined with --all; "
+                 "per-scenario verify_<name>.csv/.jsonl are written "
+                 "(or pass --no-files)\n");
+    return Usage();
+  }
+
+  std::size_t total_failures = 0;
+  for (sim::ScenarioSpec& spec : specs) {
+    spec.ApplyOverrides(flags);
+    spec.Validate();
+    const verify::VerificationPlan plan(std::move(spec));
+
+    verify::VerdictFileSinks sinks(plan.spec().name);
+    std::string csv_path;
+    std::string jsonl_path;
+    if (!flags.GetBool("no-files")) {
+      csv_path =
+          flags.GetString("csv", "verify_" + plan.spec().name + ".csv");
+      jsonl_path =
+          flags.GetString("jsonl", "verify_" + plan.spec().name + ".jsonl");
+      if (!sinks.OpenFiles(csv_path, jsonl_path)) {
+        std::fprintf(stderr, "verify: cannot open '%s' / '%s' for writing\n",
+                     csv_path.c_str(), jsonl_path.c_str());
+        return 1;
+      }
+    }
+
+    // The exact threshold the judge will apply (VerifyCampaign builds the
+    // same config from the plan's comparison count).
+    verify::JudgeConfig banner_config = options.judge;
+    banner_config.comparisons = plan.StochasticComparisons();
+    std::printf(
+        "verify %s: %zu cells (%zu oracle-covered), %zu stochastic "
+        "comparisons, p threshold %.3g\n\n",
+        plan.spec().name.c_str(), plan.cells().size(), plan.OracleCoverage(),
+        plan.StochasticComparisons(), banner_config.Threshold());
+
+    const verify::VerificationReport report =
+        verify::VerifyCampaign(plan, options, sinks.sinks());
+
+    std::printf("\nverify %s: %zu/%zu checks passed across %zu cells%s",
+                report.scenario.c_str(), report.checks - report.failures,
+                report.checks, report.cells,
+                report.passed ? " — OK\n" : " — FAILURES\n");
+    if (!csv_path.empty()) {
+      std::printf("wrote %s and %s\n", csv_path.c_str(), jsonl_path.c_str());
+    }
+    std::printf("\n");
+    total_failures += report.failures;
+  }
+  if (specs.size() > 1) {
+    std::printf("verify --all: %zu scenario(s), %zu failing check(s)\n",
+                specs.size(), total_failures);
+  }
+  return total_failures == 0 ? 0 : 1;
 }
 
 int RunScenarios(const FlagSet& flags) {
@@ -349,12 +472,13 @@ int main(int argc, char** argv) {
   try {
     // Boolean switches must be declared so a following positional
     // (e.g. `campaign --no-files table1`) is not swallowed as a value.
-    const FlagSet flags = FlagSet::Parse(argc, argv, {"no-files"});
+    const FlagSet flags = FlagSet::Parse(argc, argv, {"no-files", "all"});
     if (flags.positionals().empty()) return Usage();
     const std::string& command = flags.positionals()[0];
     if (command == "simulate") return RunSimulate(flags);
     if (command == "campaign") return RunCampaign(flags);
     if (command == "scenarios") return RunScenarios(flags);
+    if (command == "verify") return RunVerify(flags);
     if (command == "bound") return RunBound(flags);
     if (command == "design") return RunDesign(flags);
     if (command == "winprob") return RunWinProb(flags);
