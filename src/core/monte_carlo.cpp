@@ -65,14 +65,26 @@ MonteCarloEngine::MonteCarloEngine(SimulationConfig config, FairnessSpec spec)
   }
 }
 
+std::size_t PopulationMatrixSize(const SimulationConfig& config) {
+  return kPopulationMetricCount * config.checkpoints.size() *
+         static_cast<std::size_t>(config.replications);
+}
+
 void RunReplicationRange(const protocol::IncentiveModel& model,
                          const std::vector<double>& initial_stakes,
                          const SimulationConfig& config, std::size_t begin,
-                         std::size_t end, double* lambda_matrix) {
+                         std::size_t end, double* lambda_matrix,
+                         double* population_matrix) {
+  if (config.miner >= initial_stakes.size()) {
+    throw std::invalid_argument(
+        "RunReplicationRange: miner index out of range");
+  }
   const std::uint64_t reps = config.replications;
   const std::size_t cp_count = config.checkpoints.size();
   const RngStream master(config.seed);
   protocol::StakeState state(initial_stakes, config.withhold_period);
+  std::vector<double> wealth;
+  std::vector<double> scratch;
   for (std::size_t rep = begin; rep < end; ++rep) {
     state.Reset();
     RngStream rng = master.Split(rep);
@@ -83,17 +95,45 @@ void RunReplicationRange(const protocol::IncentiveModel& model,
       if (next_cp < cp_count && config.checkpoints[next_cp] == step) {
         lambda_matrix[next_cp * reps + rep] =
             state.RewardFraction(config.miner);
+        if (population_matrix != nullptr) {
+          state.WealthVector(&wealth);
+          const PopulationSnapshot snapshot =
+              MeasurePopulation(wealth, &scratch);
+          const std::size_t cell = next_cp * reps + rep;
+          const std::size_t plane = cp_count * reps;
+          population_matrix[0 * plane + cell] = snapshot.gini;
+          population_matrix[1 * plane + cell] = snapshot.hhi;
+          population_matrix[2 * plane + cell] = snapshot.nakamoto;
+          population_matrix[3 * plane + cell] = snapshot.top_decile_share;
+        }
         ++next_cp;
       }
     }
   }
 }
 
+void RunReplicationRange(const protocol::IncentiveModel& model,
+                         const std::vector<double>& initial_stakes,
+                         const SimulationConfig& config, std::size_t begin,
+                         std::size_t end, double* lambda_matrix) {
+  RunReplicationRange(model, initial_stakes, config, begin, end,
+                      lambda_matrix, nullptr);
+}
+
 SimulationResult ReduceToResult(const std::string& protocol_name,
                                 const std::vector<double>& initial_stakes,
                                 const SimulationConfig& config,
                                 const FairnessSpec& spec,
-                                const std::vector<double>& lambda_matrix) {
+                                const std::vector<double>& lambda_matrix,
+                                const std::vector<double>& population_matrix) {
+  if (config.miner >= initial_stakes.size()) {
+    throw std::invalid_argument("ReduceToResult: miner index out of range");
+  }
+  if (!population_matrix.empty() &&
+      population_matrix.size() != PopulationMatrixSize(config)) {
+    throw std::invalid_argument(
+        "ReduceToResult: population matrix size mismatch");
+  }
   const std::uint64_t reps = config.replications;
   const std::size_t cp_count = config.checkpoints.size();
 
@@ -135,10 +175,32 @@ SimulationResult ReduceToResult(const std::string& protocol_name,
     stats.median = qs[2];
     stats.p75 = qs[3];
     stats.p95 = qs[4];
+    if (!population_matrix.empty()) {
+      const std::size_t plane = cp_count * reps;
+      double* means[] = {&stats.gini, &stats.hhi, &stats.nakamoto,
+                         &stats.top_decile_share};
+      for (std::size_t metric = 0; metric < kPopulationMetricCount;
+           ++metric) {
+        KahanSum sum;
+        const double* base =
+            population_matrix.data() + metric * plane + c * reps;
+        for (std::uint64_t r = 0; r < reps; ++r) sum.Add(base[r]);
+        *means[metric] = sum.Total() / static_cast<double>(reps);
+      }
+    }
     result.checkpoints.push_back(stats);
     if (c + 1 == cp_count) result.final_lambdas = column;
   }
   return result;
+}
+
+SimulationResult ReduceToResult(const std::string& protocol_name,
+                                const std::vector<double>& initial_stakes,
+                                const SimulationConfig& config,
+                                const FairnessSpec& spec,
+                                const std::vector<double>& lambda_matrix) {
+  return ReduceToResult(protocol_name, initial_stakes, config, spec,
+                        lambda_matrix, {});
 }
 
 SimulationResult MonteCarloEngine::Run(
@@ -151,6 +213,10 @@ SimulationResult MonteCarloEngine::Run(
 
   // lambda_matrix[c * reps + r] = λ of replication r at checkpoint c.
   std::vector<double> lambda_matrix(config_.checkpoints.size() * reps);
+  std::vector<double> population_matrix(
+      config_.population_metrics ? PopulationMatrixSize(config_) : 0);
+  double* population =
+      population_matrix.empty() ? nullptr : population_matrix.data();
 
   const unsigned threads =
       config_.threads != 0 ? config_.threads : EnvThreads();
@@ -158,11 +224,12 @@ SimulationResult MonteCarloEngine::Run(
   ParallelForChunked(threads, static_cast<std::size_t>(reps),
                      [&](std::size_t begin, std::size_t end) {
                        RunReplicationRange(model, initial_stakes, config_,
-                                           begin, end, lambda_matrix.data());
+                                           begin, end, lambda_matrix.data(),
+                                           population);
                      });
 
   return ReduceToResult(model.name(), initial_stakes, config_, spec_,
-                        lambda_matrix);
+                        lambda_matrix, population_matrix);
 }
 
 SimulationResult MonteCarloEngine::RunTwoMiner(
@@ -182,7 +249,10 @@ std::vector<std::uint64_t> LinearCheckpoints(std::uint64_t steps,
   std::vector<std::uint64_t> checkpoints;
   checkpoints.reserve(count);
   for (std::size_t k = 1; k <= count; ++k) {
-    const std::uint64_t cp = steps * k / count;
+    // 128-bit intermediate: steps * k wraps std::uint64_t for horizons
+    // beyond 2^64 / count, which silently produced non-monotone schedules.
+    const std::uint64_t cp = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(steps) * k / count);
     if (checkpoints.empty() || cp > checkpoints.back()) {
       checkpoints.push_back(cp);
     }
@@ -202,8 +272,18 @@ std::vector<std::uint64_t> LogCheckpoints(std::uint64_t steps,
   const double log_last = std::log(static_cast<double>(steps));
   for (std::size_t k = 0; k < count; ++k) {
     const double t = static_cast<double>(k) / static_cast<double>(count - 1);
-    const std::uint64_t cp = static_cast<std::uint64_t>(
-        std::llround(std::exp(log_first + t * (log_last - log_first))));
+    const double value = std::exp(log_first + t * (log_last - log_first));
+    // Clamp in the double domain BEFORE converting: exp/log rounding can
+    // land above `steps` (breaking the strict-ascent invariant once `steps`
+    // was appended), and for horizons beyond 2^63 llround would overflow
+    // long long with an unspecified result.  value + 0.5 stays below 2^64
+    // here, so the direct conversion is well-defined round-to-nearest.
+    std::uint64_t cp;
+    if (!(value < static_cast<double>(steps))) {
+      cp = steps;
+    } else {
+      cp = std::min(steps, static_cast<std::uint64_t>(value + 0.5));
+    }
     if (checkpoints.empty() || cp > checkpoints.back()) {
       checkpoints.push_back(cp);
     }

@@ -16,11 +16,13 @@
 #define FAIRCHAIN_CORE_MONTE_CARLO_HPP_
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/fairness.hpp"
+#include "core/population.hpp"
 #include "protocol/incentive_model.hpp"
 
 namespace fairchain::core {
@@ -42,6 +44,11 @@ struct SimulationConfig {
   std::uint64_t withhold_period = 0;
   /// Index of the miner whose λ is tracked (the paper's miner A).
   std::size_t miner = 0;
+  /// Record population concentration metrics (Gini / HHI / Nakamoto /
+  /// top-decile share over miner wealth) at every checkpoint.  Costs one
+  /// O(m log m) sort per (replication, checkpoint); disable for pure
+  /// hot-path throughput runs at extreme populations.
+  bool population_metrics = true;
 
   /// Validates ranges; throws std::invalid_argument.
   void Validate() const;
@@ -60,6 +67,15 @@ struct CheckpointStats {
   double min = 0.0;
   double max = 0.0;
   double unfair_probability = 0.0;  ///< Pr[λ outside fair area]
+
+  // Population concentration metrics, averaged across replications (NaN
+  // when SimulationConfig::population_metrics is off).  See
+  // core/population.hpp for definitions; wealth = initial resource +
+  // cumulative credited income.
+  double gini = std::numeric_limits<double>::quiet_NaN();
+  double hhi = std::numeric_limits<double>::quiet_NaN();
+  double nakamoto = std::numeric_limits<double>::quiet_NaN();
+  double top_decile_share = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Full result of a simulation campaign.
@@ -111,21 +127,49 @@ class MonteCarloEngine {
   FairnessSpec spec_;
 };
 
+/// Number of doubles a per-replication population-metric matrix needs:
+/// kPopulationMetricCount planes of (checkpoints × replications).  Layout:
+/// population_matrix[(metric * cp_count + c) * replications + r].
+std::size_t PopulationMatrixSize(const SimulationConfig& config);
+
 /// Runs replications [begin, end) of `model` from `initial_stakes` under
 /// `config`, writing λ of replication r at checkpoint c into
 /// lambda_matrix[c * config.replications + r].  `config.checkpoints` must
-/// be populated (`Validate`d).  Replication r always draws from
+/// be populated (`Validate`d); `config.miner` must index into
+/// `initial_stakes` (throws std::invalid_argument otherwise — this is a
+/// public entry point, callers may bypass MonteCarloEngine::Run).
+/// `population_matrix` (may be null) additionally receives the wealth
+/// concentration metrics of every (checkpoint, replication) in the
+/// PopulationMatrixSize layout.  Replication r always draws from
 /// RngStream(config.seed).Split(r), so any partition of [0, replications)
 /// across threads — including the campaign runner's shared-pool sharding —
 /// produces identical values.
 void RunReplicationRange(const protocol::IncentiveModel& model,
                          const std::vector<double>& initial_stakes,
                          const SimulationConfig& config, std::size_t begin,
+                         std::size_t end, double* lambda_matrix,
+                         double* population_matrix);
+
+/// Backwards-compatible overload: λ only, no population metrics.
+void RunReplicationRange(const protocol::IncentiveModel& model,
+                         const std::vector<double>& initial_stakes,
+                         const SimulationConfig& config, std::size_t begin,
                          std::size_t end, double* lambda_matrix);
 
-/// Reduces a fully populated λ matrix (layout as RunReplicationRange) to
-/// per-checkpoint statistics.  The second half of MonteCarloEngine::Run,
-/// exposed so external schedulers reuse the same reduction.
+/// Reduces a fully populated λ matrix (layout as RunReplicationRange) plus
+/// an optional population matrix (empty = no metrics; otherwise exactly
+/// PopulationMatrixSize doubles) to per-checkpoint statistics.  The second
+/// half of MonteCarloEngine::Run, exposed so external schedulers reuse the
+/// same reduction.  Throws std::invalid_argument when `config.miner` is
+/// out of range for `initial_stakes`.
+SimulationResult ReduceToResult(const std::string& protocol_name,
+                                const std::vector<double>& initial_stakes,
+                                const SimulationConfig& config,
+                                const FairnessSpec& spec,
+                                const std::vector<double>& lambda_matrix,
+                                const std::vector<double>& population_matrix);
+
+/// Backwards-compatible overload: λ only, population metrics stay NaN.
 SimulationResult ReduceToResult(const std::string& protocol_name,
                                 const std::vector<double>& initial_stakes,
                                 const SimulationConfig& config,
@@ -133,10 +177,13 @@ SimulationResult ReduceToResult(const std::string& protocol_name,
                                 const std::vector<double>& lambda_matrix);
 
 /// Evenly spaced checkpoints {step/count, 2*step/count, ..., steps}.
+/// Exact at every magnitude: the k·steps/count intermediate is evaluated in
+/// 128-bit arithmetic, so horizons near 2^64 cannot wrap.
 std::vector<std::uint64_t> LinearCheckpoints(std::uint64_t steps,
                                              std::size_t count);
 
-/// Log-spaced checkpoints from `first` to `steps` (inclusive, deduplicated);
+/// Log-spaced checkpoints from `first` to `steps` (inclusive, deduplicated,
+/// clamped so rounding can never emit a checkpoint beyond `steps`);
 /// used for the 10^5-block SL-PoS horizon of Figure 4.
 std::vector<std::uint64_t> LogCheckpoints(std::uint64_t steps,
                                           std::size_t count,

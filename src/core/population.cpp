@@ -1,0 +1,68 @@
+#include "core/population.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fairchain::core {
+
+std::size_t TopDecileCount(std::size_t miners) {
+  return std::max<std::size_t>(1, (miners + 9) / 10);
+}
+
+PopulationSnapshot MeasurePopulation(const std::vector<double>& wealth,
+                                     std::vector<double>* scratch) {
+  if (wealth.empty()) {
+    throw std::invalid_argument("MeasurePopulation: empty wealth vector");
+  }
+  const std::size_t m = wealth.size();
+  *scratch = wealth;
+  std::sort(scratch->begin(), scratch->end());
+  if ((*scratch)[0] < 0.0) {
+    throw std::invalid_argument("MeasurePopulation: negative wealth");
+  }
+
+  double total = 0.0;
+  double weighted = 0.0;  // Σ rank_i * x_(i), ranks 1..m over ascending order
+  double hhi = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double x = (*scratch)[i];
+    total += x;
+    weighted += static_cast<double>(i + 1) * x;
+    hhi += x * x;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("MeasurePopulation: zero total wealth");
+  }
+
+  PopulationSnapshot snapshot;
+  const double dm = static_cast<double>(m);
+  // Gini over the sorted sample:  (2 Σ i x_(i)) / (m Σ x) - (m + 1)/m,
+  // clamped against FP noise at perfect equality.
+  snapshot.gini =
+      std::max(0.0, 2.0 * weighted / (dm * total) - (dm + 1.0) / dm);
+  snapshot.hhi = hhi / (total * total);
+
+  const std::size_t decile = TopDecileCount(m);
+  const double half = total / 2.0;
+  double from_top = 0.0;
+  double top_decile = 0.0;
+  std::size_t nakamoto = 0;
+  bool majority_reached = false;
+  for (std::size_t taken = 1; taken <= m; ++taken) {
+    from_top += (*scratch)[m - taken];
+    if (taken == decile) top_decile = from_top;
+    if (!majority_reached && from_top > half) {
+      nakamoto = taken;
+      majority_reached = true;
+    }
+    if (taken >= decile && majority_reached) break;
+  }
+  // A degenerate exact 50/50 split never strictly exceeds half; every miner
+  // together always does up to FP noise, so fall back to m.
+  if (!majority_reached) nakamoto = m;
+  snapshot.nakamoto = static_cast<double>(nakamoto);
+  snapshot.top_decile_share = top_decile / total;
+  return snapshot;
+}
+
+}  // namespace fairchain::core

@@ -1,0 +1,56 @@
+// Population-level wealth-concentration metrics.
+//
+// The paper's two-miner figures ask whether miner A's reward share drifts;
+// at realistic population scale the interesting question is distributional:
+// does the whole wealth distribution concentrate?  These are the standard
+// summary statistics of that question (cf. arXiv:2207.11714 and
+// arXiv:1910.09786):
+//
+//   * Gini coefficient      — 0 = perfect equality, -> 1 = one miner owns all;
+//   * HHI                   — Herfindahl–Hirschman index, Σ share²; 1/m for a
+//                             uniform population, 1 for a monopoly;
+//   * Nakamoto coefficient  — smallest number of miners jointly controlling
+//                             a strict majority (> 1/2) of wealth;
+//   * top-decile share      — wealth fraction held by the richest ⌈m/10⌉
+//                             miners.
+//
+// The Monte Carlo engine records these per replication at every checkpoint
+// (over miner wealth = initial resource + cumulative credited income) and
+// reduces them to per-checkpoint means alongside the λ statistics.
+
+#ifndef FAIRCHAIN_CORE_POPULATION_HPP_
+#define FAIRCHAIN_CORE_POPULATION_HPP_
+
+#include <cstddef>
+#include <vector>
+
+namespace fairchain::core {
+
+/// One replication's concentration metrics at one checkpoint.
+struct PopulationSnapshot {
+  double gini = 0.0;
+  double hhi = 0.0;
+  /// Nakamoto coefficient; kept as double so metric matrices and CSV
+  /// columns stay homogeneous (it is always an integer value).
+  double nakamoto = 0.0;
+  double top_decile_share = 0.0;
+};
+
+/// Number of scalar metrics a PopulationSnapshot carries — the stride of
+/// the engine's per-replication population matrices.
+inline constexpr std::size_t kPopulationMetricCount = 4;
+
+/// Number of miners in the "top decile" of a population of `miners`:
+/// ⌈miners / 10⌉, never 0.
+std::size_t TopDecileCount(std::size_t miners);
+
+/// Measures `wealth` (all entries >= 0, positive total; one sort pass,
+/// O(m log m)).  `scratch` is overwritten and may be reused across calls to
+/// avoid per-call allocation.  Throws std::invalid_argument on an empty
+/// vector, a negative entry, or a zero total.
+PopulationSnapshot MeasurePopulation(const std::vector<double>& wealth,
+                                     std::vector<double>* scratch);
+
+}  // namespace fairchain::core
+
+#endif  // FAIRCHAIN_CORE_POPULATION_HPP_

@@ -1,8 +1,8 @@
 #include "protocol/c_pos.hpp"
 
+#include <cstddef>
 #include <stdexcept>
-
-#include "math/distributions.hpp"
+#include <vector>
 
 namespace fairchain::protocol {
 
@@ -22,36 +22,39 @@ void CPosModel::Step(StakeState& state, RngStream& rng) const {
 
   // All rewards in an epoch are computed against the epoch-start stake
   // distribution (the paper's X ~ Bin(P, S_A / (S_A + S_B)) snapshot).
-  // Credits are applied as we sweep miner by miner; this is safe because
-  // crediting miner i mutates only stake_[i], which is read exactly once —
-  // before its own credit — and `total` / `remaining_stake` are derived
-  // from epoch-start values.
   //
-  // Proposer slots follow a multinomial over shares, sampled as a chain of
-  // conditional binomials:  slots_i ~ Bin(remaining, s_i / remaining_stake).
-  std::uint64_t remaining_slots = shards_;
-  double remaining_stake = total;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double stake = state.stake(i);  // epoch-start value for miner i
-    double credit = 0.0;
-    if (stake > 0.0) {
-      // Inflation (attester) reward: exactly proportional to share.
-      if (v_ > 0.0) credit += v_ * (stake / total);
-      // Proposer reward for this miner's slots.
-      if (remaining_slots > 0) {
-        std::uint64_t slots;
-        if (stake >= remaining_stake) {
-          slots = remaining_slots;
-        } else {
-          slots = math::SampleBinomial(rng, remaining_slots,
-                                       stake / remaining_stake);
-        }
-        remaining_slots -= slots;
-        credit += per_slot_reward * static_cast<double>(slots);
+  // Proposer slots follow a multinomial over shares, sampled as P
+  // independent categorical draws through the stake sampler — O(P log m)
+  // instead of the earlier conditional-binomial chain's O(m).  All slots
+  // are drawn BEFORE any reward is credited so every draw sees the
+  // epoch-start distribution.
+  constexpr std::size_t kStackSlots = 256;
+  std::size_t stack_winners[kStackSlots];
+  std::vector<std::size_t> heap_winners;
+  std::size_t* winners = stack_winners;
+  if (shards_ > kStackSlots) {
+    heap_winners.resize(shards_);
+    winners = heap_winners.data();
+  }
+  for (std::uint32_t slot = 0; slot < shards_; ++slot) {
+    winners[slot] = state.SampleProportionalToStake(rng);
+  }
+
+  // Inflation (attester) reward: exactly proportional to the epoch-start
+  // share.  Crediting miner i mutates only stake_[i], which is read exactly
+  // once — before its own credit — and `total` is the epoch-start value.
+  if (v_ > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double stake = state.stake(i);  // epoch-start value for miner i
+      if (stake > 0.0) {
+        state.Credit(i, v_ * (stake / total), /*compounds=*/true);
       }
     }
-    if (credit > 0.0) state.Credit(i, credit, /*compounds=*/true);
-    remaining_stake -= stake;
+  }
+
+  // Proposer rewards for the sampled slots.
+  for (std::uint32_t slot = 0; slot < shards_; ++slot) {
+    state.Credit(winners[slot], per_slot_reward, /*compounds=*/true);
   }
 }
 

@@ -8,18 +8,9 @@ NeoModel::NeoModel(double w) : w_(w) { ValidateReward(w, "NeoModel: w"); }
 
 void NeoModel::Step(StakeState& state, RngStream& rng) const {
   // Proposer ∝ base-asset share; the base asset never changes because gas
-  // rewards are a separate token (compounds = false keeps stakes fixed).
-  const double target = rng.NextDouble() * state.total_stake();
-  double cumulative = 0.0;
-  const std::size_t n = state.miner_count();
-  std::size_t winner = n - 1;
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    cumulative += state.stake(i);
-    if (target < cumulative) {
-      winner = i;
-      break;
-    }
-  }
+  // rewards are a separate token (compounds = false keeps stakes fixed),
+  // so the O(log m) sampler never needs an update between steps.
+  const std::size_t winner = state.SampleProportionalToStake(rng);
   state.Credit(winner, w_, /*compounds=*/false);
 }
 

@@ -1,8 +1,5 @@
 #include "protocol/fsl_pos.hpp"
 
-#include <cmath>
-#include <limits>
-
 namespace fairchain::protocol {
 
 FslPosModel::FslPosModel(double w) : w_(w) {
@@ -12,20 +9,11 @@ FslPosModel::FslPosModel(double w) : w_(w) {
 void FslPosModel::Step(StakeState& state, RngStream& rng) const {
   // Exponential-deadline race:  T_i = -ln(U_i) / stake_i.  The minimum of
   // independent exponentials falls on miner i with probability
-  // stake_i / total — the lottery is kept in its sampled form (rather than
-  // a single categorical draw) to mirror the protocol's actual mechanism.
-  const std::size_t n = state.miner_count();
-  std::size_t winner = 0;
-  double best = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double stake = state.stake(i);
-    if (stake <= 0.0) continue;
-    const double deadline = -std::log(rng.NextOpenDouble()) / stake;
-    if (deadline < best) {
-      best = deadline;
-      winner = i;
-    }
-  }
+  // stake_i / total exactly, so the race is sampled as a single categorical
+  // draw through the stake sampler — one uniform and O(log m) instead of
+  // one exponential per miner.  (The earlier per-miner sampling mirrored
+  // the protocol's wire mechanism but had the identical winner law.)
+  const std::size_t winner = state.SampleProportionalToStake(rng);
   state.Credit(winner, w_, /*compounds=*/true);
 }
 

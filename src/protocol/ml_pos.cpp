@@ -5,18 +5,10 @@ namespace fairchain::protocol {
 MlPosModel::MlPosModel(double w) : w_(w) { ValidateReward(w, "MlPosModel: w"); }
 
 void MlPosModel::Step(StakeState& state, RngStream& rng) const {
-  // Proposer selection proportional to current effective stake.
-  const double target = rng.NextDouble() * state.total_stake();
-  double cumulative = 0.0;
-  const std::size_t n = state.miner_count();
-  std::size_t winner = n - 1;
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    cumulative += state.stake(i);
-    if (target < cumulative) {
-      winner = i;
-      break;
-    }
-  }
+  // Proposer selection proportional to current effective stake: one O(log m)
+  // sampler descent, then an O(log m) reinforcement of the winner — the
+  // Pólya-urn step that used to cost a full O(m) cumulative scan.
+  const std::size_t winner = state.SampleProportionalToStake(rng);
   state.Credit(winner, w_, /*compounds=*/true);
 }
 

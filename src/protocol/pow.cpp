@@ -2,27 +2,13 @@
 
 namespace fairchain::protocol {
 
-namespace {
-
-// Proportional proposer selection over the state's effective stakes.
-// Shared by PoW / ML-PoS; allocation-free.
-std::size_t SampleProposerByStake(const StakeState& state, RngStream& rng) {
-  const double target = rng.NextDouble() * state.total_stake();
-  double cumulative = 0.0;
-  const std::size_t n = state.miner_count();
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    cumulative += state.stake(i);
-    if (target < cumulative) return i;
-  }
-  return n - 1;
-}
-
-}  // namespace
-
 PowModel::PowModel(double w) : w_(w) { ValidateReward(w, "PowModel: w"); }
 
 void PowModel::Step(StakeState& state, RngStream& rng) const {
-  const std::size_t winner = SampleProposerByStake(state, rng);
+  // Proportional proposer selection over the state's stake sampler:
+  // one uniform draw, O(log m).  PoW stakes never change, so the sampler is
+  // never even updated between steps.
+  const std::size_t winner = state.SampleProportionalToStake(rng);
   state.Credit(winner, w_, /*compounds=*/false);
 }
 

@@ -35,9 +35,19 @@ double SlPosModel::WinProbability(const StakeState& state,
     const std::size_t other = i == 0 ? 1 : 0;
     return SlPosTwoMinerWinProbability(state.stake(i), state.stake(other));
   }
-  std::vector<double> stakes(n);
-  for (std::size_t j = 0; j < n; ++j) stakes[j] = state.stake(j);
-  return SlPosMultiMinerWinProbability(stakes, i);
+  // SL-PoS keeps its integral form (Lemma 6.1) — the lottery is genuinely
+  // non-proportional — but the full probability vector is cached in the
+  // state and recomputed only when stakes actually change, so sweeping all
+  // miners costs one quadrature pass instead of one per query.
+  StakeState::WinProbabilityCache& cache = state.win_probability_cache();
+  if (cache.version != state.stake_version() ||
+      cache.probabilities.size() != n) {
+    std::vector<double> stakes(n);
+    for (std::size_t j = 0; j < n; ++j) stakes[j] = state.stake(j);
+    cache.probabilities = SlPosWinProbabilities(stakes);
+    cache.version = state.stake_version();
+  }
+  return cache.probabilities[i];
 }
 
 }  // namespace fairchain::protocol

@@ -23,6 +23,7 @@ StakeState::StakeState(std::vector<double> initial,
   income_.assign(initial_.size(), 0.0);
   pending_.assign(initial_.size(), 0.0);
   total_stake_ = initial_total_;
+  sampler_.Build(stake_);
 }
 
 void StakeState::Credit(std::size_t i, double amount, bool compounds) {
@@ -35,6 +36,8 @@ void StakeState::Credit(std::size_t i, double amount, bool compounds) {
   if (withhold_period_ == 0) {
     stake_[i] += amount;
     total_stake_ += amount;
+    sampler_.Add(i, amount);
+    ++stake_version_;
   } else {
     pending_[i] += amount;
   }
@@ -43,12 +46,20 @@ void StakeState::Credit(std::size_t i, double amount, bool compounds) {
 void StakeState::AdvanceStep() {
   ++step_;
   if (withhold_period_ != 0 && step_ % withhold_period_ == 0) {
+    bool released = false;
     for (std::size_t i = 0; i < stake_.size(); ++i) {
       if (pending_[i] != 0.0) {
         stake_[i] += pending_[i];
         total_stake_ += pending_[i];
         pending_[i] = 0.0;
+        released = true;
       }
+    }
+    if (released) {
+      // A boundary can release up to m pending rewards at once; one O(m)
+      // rebuild beats m separate O(log m) update paths.
+      sampler_.Build(stake_);
+      ++stake_version_;
     }
   }
 }
@@ -66,6 +77,15 @@ void StakeState::Reset() {
   total_stake_ = initial_total_;
   total_income_ = 0.0;
   step_ = 0;
+  sampler_.Build(stake_);
+  ++stake_version_;
+}
+
+void StakeState::WealthVector(std::vector<double>* out) const {
+  out->resize(initial_.size());
+  for (std::size_t i = 0; i < initial_.size(); ++i) {
+    (*out)[i] = initial_[i] + income_[i];
+  }
 }
 
 }  // namespace fairchain::protocol

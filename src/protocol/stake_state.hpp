@@ -11,6 +11,12 @@
 //   * income is credited per step; λ_i = income_i / Σ income_j;
 //   * for protocols where rewards compound (all PoS variants), credited
 //     income also increases mining power; for PoW / NEO it does not.
+//
+// Scale: a Fenwick tree over the effective stakes is maintained alongside
+// the flat vectors, so proportional proposer selection
+// (SampleProportionalToStake) and reinforcement (Credit) are both O(log m)
+// — the property that lets one replication step stay cheap at 100k-miner
+// populations.  Reset and withholding releases rebuild the tree in O(m).
 
 #ifndef FAIRCHAIN_PROTOCOL_STAKE_STATE_HPP_
 #define FAIRCHAIN_PROTOCOL_STAKE_STATE_HPP_
@@ -18,6 +24,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "support/fenwick.hpp"
+#include "support/rng.hpp"
 
 namespace fairchain::protocol {
 
@@ -80,7 +89,8 @@ class StakeState {
   ///
   /// Income is always recorded immediately.  When `compounds` is true the
   /// amount also becomes mining power — immediately, or at the next
-  /// withholding boundary when withholding is enabled.
+  /// withholding boundary when withholding is enabled.  O(log m) when the
+  /// stake changes (the sampler tree is kept in sync), O(1) otherwise.
   void Credit(std::size_t i, double amount, bool compounds);
 
   /// Marks the end of a step: advances the block/epoch counter and releases
@@ -94,16 +104,52 @@ class StakeState {
   /// Resets to the initial configuration (reuses allocations).
   void Reset();
 
+  /// Draws the next proposer proportionally to effective stake: one uniform
+  /// from `rng`, one O(log m) Fenwick descent.  Zero-stake miners are never
+  /// selected.  Equivalent in distribution to the classic O(m) cumulative
+  /// scan; the shared hot path of PoW / NEO / ML-PoS / FSL-PoS and of
+  /// C-PoS slot assignment.
+  std::size_t SampleProportionalToStake(RngStream& rng) const {
+    return sampler_.Sample(rng.NextDouble());
+  }
+
+  /// Monotone counter bumped whenever any effective stake changes
+  /// (compounding credit, withholding release, reset).  Lets derived-value
+  /// caches (e.g. the SL-PoS win-probability vector) detect staleness in
+  /// O(1) instead of re-deriving per query.
+  std::uint64_t stake_version() const { return stake_version_; }
+
+  /// Per-state scratch cache for a full win-probability vector, keyed by
+  /// stake_version.  Owned here (not by the immutable, thread-shared
+  /// models) so each replication's state carries its own cache; `mutable`
+  /// because filling it does not change the observable game state.
+  struct WinProbabilityCache {
+    std::uint64_t version = ~std::uint64_t{0};  ///< never a live version
+    std::vector<double> probabilities;
+  };
+  WinProbabilityCache& win_probability_cache() const {
+    return win_probability_cache_;
+  }
+
+  /// Appends each miner's wealth — initial resource plus all credited
+  /// income, whether or not it compounds or is still withheld — to `out`
+  /// (resized to miner_count).  The basis of the population concentration
+  /// metrics (Gini / HHI / Nakamoto coefficient).
+  void WealthVector(std::vector<double>* out) const;
+
  private:
   std::vector<double> initial_;
   std::vector<double> stake_;
   std::vector<double> income_;
   std::vector<double> pending_;
+  FenwickSampler sampler_;
+  mutable WinProbabilityCache win_probability_cache_;
   double initial_total_ = 0.0;
   double total_stake_ = 0.0;
   double total_income_ = 0.0;
   std::uint64_t step_ = 0;
   std::uint64_t withhold_period_ = 0;
+  std::uint64_t stake_version_ = 0;
 };
 
 }  // namespace fairchain::protocol

@@ -21,8 +21,9 @@ struct CellExecution {
   core::SimulationConfig config;
   std::unique_ptr<protocol::IncentiveModel> model;
   std::vector<double> stakes;
-  std::vector<double> lambdas;  // [checkpoint * reps + rep]
-  std::once_flag allocate_once;  // matrix allocated by the first chunk
+  std::vector<double> lambdas;     // [checkpoint * reps + rep]
+  std::vector<double> population;  // PopulationMatrixSize layout (or empty)
+  std::once_flag allocate_once;  // matrices allocated by the first chunk
   std::atomic<std::size_t> remaining_chunks{0};
   core::SimulationResult result;
   bool reduced = false;
@@ -60,6 +61,11 @@ void EmitCellRows(const ScenarioSpec& spec, const CellExecution& execution,
     row.max = stats.max;
     row.unfair_probability = stats.unfair_probability;
     row.convergence_step = convergence;
+    row.stake_dist = execution.cell.stake_dist;
+    row.gini = stats.gini;
+    row.hhi = stats.hhi;
+    row.nakamoto = stats.nakamoto;
+    row.top_decile_share = stats.top_decile_share;
     for (ResultSink* sink : sinks) sink->WriteRow(row);
   }
 }
@@ -83,6 +89,7 @@ core::SimulationConfig CellConfig(const ScenarioSpec& spec,
   config.replications = spec.replications;
   config.seed = CellSeed(spec.seed, cell.index);
   config.withhold_period = cell.withhold;
+  config.population_metrics = spec.population_metrics;
   if (spec.spacing == CheckpointSpacing::kLog) {
     config.checkpoints = core::LogCheckpoints(
         spec.steps, std::max<std::size_t>(2, spec.checkpoint_count),
@@ -170,9 +177,11 @@ std::vector<CellOutcome> CampaignRunner::Run(
   auto reduce_and_emit = [&](CellExecution& execution) {
     execution.result = core::ReduceToResult(
         execution.model->name(), execution.stakes, execution.config,
-        spec.fairness, execution.lambdas);
+        spec.fairness, execution.lambdas, execution.population);
     execution.lambdas.clear();
     execution.lambdas.shrink_to_fit();
+    execution.population.clear();
+    execution.population.shrink_to_fit();
     std::lock_guard<std::mutex> lock(emit_mutex);
     execution.reduced = true;
     while (next_emit < executions.size() && executions[next_emit]->reduced) {
@@ -196,10 +205,17 @@ std::vector<CellOutcome> CampaignRunner::Run(
         execution->lambdas.assign(execution->config.checkpoints.size() *
                                       execution->config.replications,
                                   0.0);
+        if (execution->config.population_metrics) {
+          execution->population.assign(
+              core::PopulationMatrixSize(execution->config), 0.0);
+        }
       });
       core::RunReplicationRange(*execution->model, execution->stakes,
                                 execution->config, job.begin, job.end,
-                                execution->lambdas.data());
+                                execution->lambdas.data(),
+                                execution->population.empty()
+                                    ? nullptr
+                                    : execution->population.data());
       if (execution->remaining_chunks.fetch_sub(1) == 1) {
         reduce_and_emit(*execution);
       }

@@ -21,7 +21,8 @@ const std::string& CsvSink::Header() {
   static const std::string header =
       "scenario,cell,protocol,miners,whales,a,w,v,shards,withhold,steps,"
       "replications,cell_seed,checkpoint,step,mean,std_dev,p05,p25,median,"
-      "p75,p95,min,max,unfair_probability,convergence_step";
+      "p75,p95,min,max,unfair_probability,convergence_step,stake_dist,gini,"
+      "hhi,nakamoto,top_decile_share";
   return header;
 }
 
@@ -51,7 +52,10 @@ void CsvSink::WriteRow(const CampaignRow& row) {
   } else {
     out_ << "never";
   }
-  out_ << "\n";
+  out_ << ',' << EscapeCsvField(row.stake_dist) << ','
+       << FormatDouble(row.gini) << ',' << FormatDouble(row.hhi) << ','
+       << FormatDouble(row.nakamoto) << ','
+       << FormatDouble(row.top_decile_share) << "\n";
 }
 
 void CsvSink::EndCampaign() { out_.flush(); }
@@ -92,7 +96,12 @@ void JsonlSink::WriteRow(const CampaignRow& row) {
   } else {
     out_ << "null";
   }
-  out_ << "}\n";
+  out_ << ",\"stake_dist\":\"" << EscapeJsonString(row.stake_dist) << "\""
+       << ",\"gini\":" << JsonNumber(row.gini)
+       << ",\"hhi\":" << JsonNumber(row.hhi)
+       << ",\"nakamoto\":" << JsonNumber(row.nakamoto)
+       << ",\"top_decile_share\":" << JsonNumber(row.top_decile_share)
+       << "}\n";
 }
 
 void JsonlSink::EndCampaign() { out_.flush(); }
@@ -118,7 +127,8 @@ void SummarySink::WriteRow(const CampaignRow& row) {
 
 void SummarySink::EndCampaign() {
   Table table({"cell", "protocol", "miners", "a", "w", "v", "shards",
-               "withhold", "mean", "p5", "p95", "unfair prob", "cvg"});
+               "withhold", "mean", "p5", "p95", "unfair prob", "gini",
+               "cvg"});
   table.SetTitle(title_);
   for (const CampaignRow& row : final_rows_) {
     table.AddRow();
@@ -134,6 +144,7 @@ void SummarySink::EndCampaign() {
     table.Cell(row.p05, 4);
     table.Cell(row.p95, 4);
     table.Cell(row.unfair_probability, 3);
+    table.Cell(row.gini, 3);
     table.Cell(core::experiments::FormatConvergence(row.convergence_step));
   }
   table.Emit(emit_basename_);

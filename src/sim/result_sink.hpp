@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -60,6 +61,15 @@ struct CampaignRow {
   /// Cell-level convergence step, repeated on each of the cell's rows;
   /// nullopt = "Never" (as in Table 1).
   std::optional<std::uint64_t> convergence_step;
+  // Appended columns (schema is append-only; see the class comment).
+  std::string stake_dist = "split";  ///< the cell's stake distribution
+  /// Population concentration metrics at this checkpoint, averaged over
+  /// replications; NaN (CSV `nan`, JSONL null) when the campaign runs with
+  /// population metrics off.
+  double gini = std::numeric_limits<double>::quiet_NaN();
+  double hhi = std::numeric_limits<double>::quiet_NaN();
+  double nakamoto = std::numeric_limits<double>::quiet_NaN();
+  double top_decile_share = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Abstract streaming consumer of campaign rows.  Doubles are rendered

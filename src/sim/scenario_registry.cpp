@@ -151,6 +151,38 @@ ScenarioRegistry BuildBuiltIns() {
   }
   {
     ScenarioSpec spec;
+    spec.name = "pareto-population";
+    spec.description =
+        "Heavy-tailed stake populations (Pareto 1.16 / Zipf 1.0): "
+        "wealth-concentration trajectory at m=100 and m=1000";
+    spec.protocols = {"pow", "mlpos", "fslpos"};
+    spec.miner_counts = {100, 1000};
+    spec.stake_dists = {"pareto:1.16", "zipf:1.0"};
+    spec.steps = 3000;
+    spec.replications = 400;
+    spec.checkpoint_count = 12;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "large-population-sweep";
+    spec.description =
+        "Hot-path scale: Pareto populations from 100 to 100k miners "
+        "(throughput scenario; population metrics off)";
+    spec.protocols = {"pow", "mlpos"};
+    spec.miner_counts = {100, 1000, 10000, 100000};
+    spec.stake_dists = {"pareto:1.16"};
+    spec.steps = 2000;
+    spec.replications = 100;
+    spec.checkpoint_count = 8;
+    // One O(m log m) sort per (replication, checkpoint) would dominate the
+    // O(log m) stepping this scenario exists to exercise; the
+    // pareto-population scenario carries the concentration metrics.
+    spec.population_metrics = false;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
     spec.name = "committee";
     spec.description =
         "Committee-style protocols (NEO/Algorand/EOS) under growing "

@@ -1,6 +1,7 @@
 #include "sim/scenario_spec.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -93,6 +94,13 @@ CheckpointSpacing ParseSpacing(const std::string& value) {
       "ScenarioSpec: spacing expects linear|log, got '" + value + "'");
 }
 
+bool ParseOnOff(const std::string& key, const std::string& value) {
+  if (value == "on") return true;
+  if (value == "off") return false;
+  throw std::invalid_argument("ScenarioSpec: " + key +
+                              " expects on|off, got '" + value + "'");
+}
+
 template <typename T>
 std::string JoinList(const std::vector<T>& values) {
   std::ostringstream out;
@@ -147,6 +155,17 @@ void Assign(ScenarioSpec& spec, const std::string& key,
     }
   } else if (key == "withhold") {
     spec.withhold_periods = ParseU64List(key, value);
+  } else if (key == "stakes") {
+    spec.stake_dists = SplitCommas(value);
+    // Fail at assignment time, matching the numeric keys' behaviour.
+    for (const std::string& dist : spec.stake_dists) {
+      ParseStakeDistribution(dist);
+    }
+    if (spec.stake_dists.empty()) {
+      throw std::invalid_argument("ScenarioSpec: stakes must not be empty");
+    }
+  } else if (key == "population") {
+    spec.population_metrics = ParseOnOff(key, value);
   } else if (key == "steps") {
     spec.steps = ParseU64(key, value);
   } else if (key == "reps") {
@@ -168,13 +187,69 @@ void Assign(ScenarioSpec& spec, const std::string& key,
 
 }  // namespace
 
-std::vector<double> CampaignCell::Stakes() const {
-  std::vector<double> stakes(miners);
-  for (std::size_t i = 0; i < miners; ++i) {
-    stakes[i] = i < whales
-                    ? a / static_cast<double>(whales)
-                    : (1.0 - a) / static_cast<double>(miners - whales);
+StakeDistribution ParseStakeDistribution(const std::string& text) {
+  StakeDistribution dist;
+  if (text == "split") return dist;
+  const std::size_t colon = text.find(':');
+  const std::string form = text.substr(0, colon);
+  if (form != "pareto" && form != "zipf") {
+    throw std::invalid_argument(
+        "ScenarioSpec: stakes expects split|pareto:<alpha>|zipf:<s>, got '" +
+        text + "'");
   }
+  if (colon == std::string::npos || colon + 1 == text.size()) {
+    throw std::invalid_argument("ScenarioSpec: '" + form +
+                                "' stake distribution needs a parameter "
+                                "(e.g. '" +
+                                form + ":1.16')");
+  }
+  dist.parameter = ParseDouble("stakes", text.substr(colon + 1));
+  if (form == "pareto") {
+    dist.kind = StakeDistribution::Kind::kPareto;
+    if (!(dist.parameter > 0.0)) {
+      throw std::invalid_argument(
+          "ScenarioSpec: pareto alpha must be > 0, got '" + text + "'");
+    }
+  } else {
+    dist.kind = StakeDistribution::Kind::kZipf;
+    if (!(dist.parameter >= 0.0)) {
+      throw std::invalid_argument("ScenarioSpec: zipf s must be >= 0, got '" +
+                                  text + "'");
+    }
+  }
+  return dist;
+}
+
+std::vector<double> CampaignCell::Stakes() const {
+  const StakeDistribution dist = ParseStakeDistribution(stake_dist);
+  std::vector<double> stakes(miners);
+  if (dist.kind == StakeDistribution::Kind::kSplit) {
+    for (std::size_t i = 0; i < miners; ++i) {
+      stakes[i] = i < whales
+                      ? a / static_cast<double>(whales)
+                      : (1.0 - a) / static_cast<double>(miners - whales);
+    }
+    return stakes;
+  }
+  const double m = static_cast<double>(miners);
+  double total = 0.0;
+  for (std::size_t i = 0; i < miners; ++i) {
+    double value;
+    if (dist.kind == StakeDistribution::Kind::kPareto) {
+      // Deterministic mid-point quantiles of Pareto(alpha, x_m = 1),
+      // richest first: the i-th stake is the (1 - (i+0.5)/m)-quantile
+      // x = ((i + 0.5) / m)^(-1/alpha).
+      value = std::pow((static_cast<double>(i) + 0.5) / m,
+                       -1.0 / dist.parameter);
+    } else {
+      value = std::pow(static_cast<double>(i + 1), -dist.parameter);
+    }
+    stakes[i] = value;
+    total += value;
+  }
+  // Normalise to a unit total so the reward parameters (w, v) keep their
+  // paper interpretation relative to the initial resource pool.
+  for (double& value : stakes) value /= total;
   return stakes;
 }
 
@@ -184,6 +259,7 @@ std::string CampaignCell::Label() const {
   if (whales != 1) out << " whales=" << whales;
   out << " a=" << a << " w=" << w << " v=" << v << " shards=" << shards;
   if (withhold != 0) out << " withhold=" << withhold;
+  if (stake_dist != "split") out << " stakes=" << stake_dist;
   return out.str();
 }
 
@@ -232,6 +308,10 @@ void ScenarioSpec::Validate() const {
     require(shards >= 1, "every shard count must be >= 1");
   }
   require(!withhold_periods.empty(), "withhold must not be empty");
+  require(!stake_dists.empty(), "stakes must not be empty");
+  for (const std::string& dist : stake_dists) {
+    ParseStakeDistribution(dist);  // throws with a precise message
+  }
   require(steps > 0, "steps must be > 0");
   require(replications > 0, "reps must be > 0");
   require(checkpoint_count > 0, "checkpoints must be > 0");
@@ -241,7 +321,7 @@ void ScenarioSpec::Validate() const {
 std::size_t ScenarioSpec::CellCount() const {
   return protocols.size() * miner_counts.size() * whale_counts.size() *
          allocations.size() * rewards.size() * inflations.size() *
-         shard_counts.size() * withhold_periods.size();
+         shard_counts.size() * withhold_periods.size() * stake_dists.size();
 }
 
 std::vector<CampaignCell> ScenarioSpec::ExpandCells() const {
@@ -256,17 +336,20 @@ std::vector<CampaignCell> ScenarioSpec::ExpandCells() const {
             for (const double v : inflations) {
               for (const std::uint32_t shards : shard_counts) {
                 for (const std::uint64_t withhold : withhold_periods) {
-                  CampaignCell cell;
-                  cell.index = cells.size();
-                  cell.protocol = protocol;
-                  cell.miners = miners;
-                  cell.whales = whales;
-                  cell.a = a;
-                  cell.w = w;
-                  cell.v = v;
-                  cell.shards = shards;
-                  cell.withhold = withhold;
-                  cells.push_back(std::move(cell));
+                  for (const std::string& stake_dist : stake_dists) {
+                    CampaignCell cell;
+                    cell.index = cells.size();
+                    cell.protocol = protocol;
+                    cell.miners = miners;
+                    cell.whales = whales;
+                    cell.a = a;
+                    cell.w = w;
+                    cell.v = v;
+                    cell.shards = shards;
+                    cell.withhold = withhold;
+                    cell.stake_dist = stake_dist;
+                    cells.push_back(std::move(cell));
+                  }
                 }
               }
             }
@@ -363,6 +446,7 @@ std::string ScenarioSpec::ToText() const {
       << "v=" << JoinDoubles(inflations) << "\n"
       << "shards=" << JoinList(shard_counts) << "\n"
       << "withhold=" << JoinList(withhold_periods) << "\n"
+      << "stakes=" << JoinList(stake_dists) << "\n"
       << "steps=" << steps << "\n"
       << "reps=" << replications << "\n"
       << "seed=" << seed << "\n"
@@ -370,7 +454,8 @@ std::string ScenarioSpec::ToText() const {
       << "spacing="
       << (spacing == CheckpointSpacing::kLog ? "log" : "linear") << "\n"
       << "eps=" << FormatDouble(fairness.epsilon) << "\n"
-      << "delta=" << FormatDouble(fairness.delta) << "\n";
+      << "delta=" << FormatDouble(fairness.delta) << "\n"
+      << "population=" << (population_metrics ? "on" : "off") << "\n";
   return out.str();
 }
 
@@ -382,9 +467,10 @@ void ScenarioSpec::ApplyOverrides(const FlagSet& flags) {
 
 const std::vector<std::string>& ScenarioSpec::OverrideFlagNames() {
   static const std::vector<std::string> names = {
-      "protocols", "miners", "whales",      "a",       "w",
-      "v",         "shards", "withhold",    "steps",   "reps",
-      "seed",      "checkpoints", "spacing", "eps",    "delta"};
+      "protocols", "miners",      "whales",  "a",     "w",
+      "v",         "shards",      "withhold", "stakes", "steps",
+      "reps",      "seed",        "checkpoints", "spacing", "eps",
+      "delta",     "population"};
   return names;
 }
 

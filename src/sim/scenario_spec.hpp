@@ -37,6 +37,28 @@ enum class CheckpointSpacing {
   kLog,     ///< LogCheckpoints (the Figure 4 style, for 1e5-block horizons)
 };
 
+/// Parsed form of a stake-distribution token (grid axis `stakes`):
+///   * "split"          — the classic whale/minnow split driven by the
+///                        cell's `whales` and `a` fields (the default);
+///   * "pareto:<alpha>" — heavy-tailed Pareto population: deterministic
+///                        mid-point quantiles of Pareto(alpha), descending,
+///                        normalised to sum 1 (alpha > 0; 1.16 is the
+///                        classic 80/20 tail);
+///   * "zipf:<s>"       — Zipf ranks: stake_i ∝ (i+1)^-s, normalised
+///                        (s >= 0; s = 0 is a uniform population).
+/// For pareto/zipf the tracked miner (index 0) is the richest; `whales`
+/// and `a` are ignored.  Deterministic by construction — no RNG — so cell
+/// stakes are reproducible from the spec alone.
+struct StakeDistribution {
+  enum class Kind { kSplit, kPareto, kZipf };
+  Kind kind = Kind::kSplit;
+  double parameter = 0.0;
+};
+
+/// Parses a stake-distribution token; throws std::invalid_argument on an
+/// unknown form or an out-of-range parameter.
+StakeDistribution ParseStakeDistribution(const std::string& text);
+
 /// One fully bound grid cell: a single (protocol, parameters) mining game.
 struct CampaignCell {
   std::size_t index = 0;      ///< position in the expanded grid, row-major
@@ -48,10 +70,13 @@ struct CampaignCell {
   double v = 0.1;             ///< inflation reward (C-PoS, Algorand, EOS)
   std::uint32_t shards = 32;  ///< C-PoS committee count P
   std::uint64_t withhold = 0; ///< reward-withholding period (0 = off)
+  std::string stake_dist = "split";  ///< stake-distribution token
 
-  /// Stake vector for this cell: the first `whales` miners split `a`
-  /// equally, the remaining miners split 1 - a equally.  whales == 1 is the
-  /// paper's Table 1 whale-vs-minnows allocation.
+  /// Stake vector for this cell.  For "split": the first `whales` miners
+  /// split `a` equally, the remaining miners split 1 - a equally
+  /// (whales == 1 is the paper's Table 1 whale-vs-minnows allocation).
+  /// For "pareto:<alpha>" / "zipf:<s>": the deterministic heavy-tailed
+  /// population described at StakeDistribution, richest first.
   std::vector<double> Stakes() const;
 
   /// Compact "protocol=pow a=0.2 ..." rendering for logs and errors.
@@ -65,7 +90,7 @@ struct ScenarioSpec {
   std::string description;
 
   // Grid axes.  Cells are enumerated row-major in this field order:
-  // protocol is the slowest-varying axis, withhold the fastest.
+  // protocol is the slowest-varying axis, stake distribution the fastest.
   std::vector<std::string> protocols = {"mlpos"};
   std::vector<std::size_t> miner_counts = {2};
   std::vector<std::size_t> whale_counts = {1};
@@ -74,6 +99,7 @@ struct ScenarioSpec {
   std::vector<double> inflations = {0.1};
   std::vector<std::uint32_t> shard_counts = {32};
   std::vector<std::uint64_t> withhold_periods = {0};
+  std::vector<std::string> stake_dists = {"split"};
 
   // Scalars shared by every cell.
   std::uint64_t steps = 5000;
@@ -82,6 +108,10 @@ struct ScenarioSpec {
   std::size_t checkpoint_count = 50;
   CheckpointSpacing spacing = CheckpointSpacing::kLinear;
   core::FairnessSpec fairness{0.1, 0.1};
+  /// Record Gini / HHI / Nakamoto / top-decile checkpoint metrics (one
+  /// O(m log m) sort per replication-checkpoint; turn off for pure
+  /// throughput scenarios at extreme populations).
+  bool population_metrics = true;
 
   /// Throws std::invalid_argument on an empty axis, an unknown protocol,
   /// out-of-range allocations / miner counts, or zero steps/replications.
@@ -98,8 +128,8 @@ struct ScenarioSpec {
   /// are skipped (values may contain '#'); list-valued keys take
   /// comma-separated values.  Keys:
   ///   name, description, protocols, miners, whales, a, w, v, shards,
-  ///   withhold, steps, reps, seed, checkpoints, spacing (linear|log),
-  ///   eps, delta
+  ///   withhold, stakes (split|pareto:A|zipf:S), steps, reps, seed,
+  ///   checkpoints, spacing (linear|log), eps, delta, population (on|off)
   /// Unknown keys throw std::invalid_argument (same contract as
   /// FlagSet::RejectUnknown: a typo must not silently become a default).
   static ScenarioSpec FromText(const std::string& text);
@@ -114,8 +144,9 @@ struct ScenarioSpec {
 
   /// Applies CLI overrides (all optional): --reps, --steps, --seed,
   /// --checkpoints, --spacing, --eps, --delta, --protocols, --miners,
-  /// --whales, --a, --w, --v, --shards, --withhold.  List-valued flags take
-  /// comma-separated values and replace the whole axis.
+  /// --whales, --a, --w, --v, --shards, --withhold, --stakes,
+  /// --population.  List-valued flags take comma-separated values and
+  /// replace the whole axis.
   void ApplyOverrides(const FlagSet& flags);
 
   /// Flag names ApplyOverrides understands (for FlagSet::RejectUnknown).

@@ -1,0 +1,58 @@
+#include "support/fenwick.hpp"
+
+namespace fairchain {
+
+void FenwickSampler::Build(const std::vector<double>& weights) {
+  size_ = weights.size();
+  tree_.assign(size_ + 1, 0.0);
+  total_ = 0.0;
+  // O(m) construction: place each element, then push its running sum to the
+  // immediate parent; every node receives exactly the sums it needs.
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t k = i + 1;
+    tree_[k] += weights[i];
+    total_ += weights[i];
+    const std::size_t parent = k + (k & (~k + 1));
+    if (parent <= size_) tree_[parent] += tree_[k];
+  }
+  mask_ = 1;
+  while (mask_ * 2 <= size_) mask_ *= 2;
+  if (size_ == 0) mask_ = 0;
+}
+
+void FenwickSampler::Add(std::size_t i, double delta) {
+  total_ += delta;
+  for (std::size_t k = i + 1; k <= size_; k += k & (~k + 1)) {
+    tree_[k] += delta;
+  }
+}
+
+double FenwickSampler::PrefixSum(std::size_t i) const {
+  double sum = 0.0;
+  for (std::size_t k = i; k > 0; k -= k & (~k + 1)) {
+    sum += tree_[k];
+  }
+  return sum;
+}
+
+std::size_t FenwickSampler::Sample(double u01) const {
+  double remaining = u01 * total_;
+  std::size_t index = 0;
+  for (std::size_t bit = mask_; bit != 0; bit >>= 1) {
+    const std::size_t next = index + bit;
+    if (next <= size_ && tree_[next] <= remaining) {
+      index = next;
+      remaining -= tree_[next];
+    }
+  }
+  // `index` counts the elements whose cumulative sum is <= the target, so it
+  // is the 0-based winner — unless rounding overran every prefix, in which
+  // case walk back to the last element with positive weight.
+  if (index >= size_) {
+    index = size_ - 1;
+    while (index > 0 && Weight(index) <= 0.0) --index;
+  }
+  return index;
+}
+
+}  // namespace fairchain

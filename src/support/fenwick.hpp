@@ -1,0 +1,67 @@
+// Fenwick (binary indexed) tree over non-negative weights, specialised for
+// proportional sampling.
+//
+// This is the data structure behind the O(log m) Monte Carlo hot path: the
+// protocol models draw the next proposer proportionally to stake with
+// Sample() (one prefix-sum descent) and reinforce the winner with Add()
+// (one update path), replacing the O(m) cumulative scan that capped
+// simulations at small miner populations.  Build() is O(m) and is used by
+// StakeState::Reset and after batched stake releases (reward withholding),
+// where rebuilding once beats m individual update paths.
+//
+// Weights live in the tree as partial sums only; Weight() recovers a single
+// element in O(log m) for tests and debugging.
+
+#ifndef FAIRCHAIN_SUPPORT_FENWICK_HPP_
+#define FAIRCHAIN_SUPPORT_FENWICK_HPP_
+
+#include <cstddef>
+#include <vector>
+
+namespace fairchain {
+
+/// Fenwick tree over `size()` non-negative double weights.
+class FenwickSampler {
+ public:
+  FenwickSampler() = default;
+
+  /// Rebuilds the tree over `weights` in O(m); negative entries are a
+  /// precondition violation (the callers validate stakes on construction).
+  void Build(const std::vector<double>& weights);
+
+  /// Adds `delta` to element `i` in O(log m).
+  void Add(std::size_t i, double delta);
+
+  /// Sum of elements [0, i) in O(log m).
+  double PrefixSum(std::size_t i) const;
+
+  /// Element `i` alone, in O(log m).
+  double Weight(std::size_t i) const { return PrefixSum(i + 1) - PrefixSum(i); }
+
+  /// Sum of all elements, as the tree accumulates it.  May differ from an
+  /// externally tracked total in the last few ulps; Sample() therefore
+  /// scales against this value, never an external one.
+  double Total() const { return total_; }
+
+  /// Number of elements.
+  std::size_t size() const { return size_; }
+
+  /// Proportional selection: maps `u01` in [0, 1) to the smallest index i
+  /// with PrefixSum(i + 1) > u01 * Total().  Zero-weight elements are never
+  /// selected (their prefix sums tie with their predecessor's).  When
+  /// floating-point rounding pushes the target past every prefix sum, the
+  /// last positive-weight element wins — mirroring the linear scan's
+  /// return-last fallback.  Requires a non-empty tree with positive total.
+  std::size_t Sample(double u01) const;
+
+ private:
+  // tree_[k] (1-based) holds the sum of the k & -k elements ending at k.
+  std::vector<double> tree_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;  // highest power of two <= size_
+  double total_ = 0.0;
+};
+
+}  // namespace fairchain
+
+#endif  // FAIRCHAIN_SUPPORT_FENWICK_HPP_

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/population.hpp"
 #include "math/ks_test.hpp"
 #include "math/special.hpp"
 
@@ -139,6 +140,37 @@ CellVerdict StatisticalJudge::Judge(
       if (stats.unfair_probability < 0.0 || stats.unfair_probability > 1.0) {
         problems << "unfair probability outside [0, 1]; ";
         break;
+      }
+      // Population concentration metrics: NaN (disabled) is fine; recorded
+      // values must satisfy the definitional ranges — Gini in [0, 1), HHI
+      // in [1/m, 1], Nakamoto in [1, m], and the top decile's share at
+      // least its population fraction (it holds the largest wealths).
+      if (!std::isnan(stats.gini)) {
+        const double m = static_cast<double>(cell.miners);
+        const std::size_t decile = core::TopDecileCount(cell.miners);
+        const double decile_fraction = static_cast<double>(decile) / m;
+        if (stats.gini < 0.0 || stats.gini >= 1.0) {
+          problems << "gini " << Num(stats.gini) << " outside [0, 1) at step "
+                   << stats.step << "; ";
+          break;
+        }
+        if (stats.hhi < 1.0 / m - 1e-12 || stats.hhi > 1.0 + 1e-12) {
+          problems << "hhi " << Num(stats.hhi) << " outside [1/m, 1] at step "
+                   << stats.step << "; ";
+          break;
+        }
+        if (stats.nakamoto < 1.0 || stats.nakamoto > m) {
+          problems << "nakamoto " << Num(stats.nakamoto)
+                   << " outside [1, m] at step " << stats.step << "; ";
+          break;
+        }
+        if (stats.top_decile_share < decile_fraction - 1e-9 ||
+            stats.top_decile_share > 1.0 + 1e-12) {
+          problems << "top-decile share " << Num(stats.top_decile_share)
+                   << " outside [" << Num(decile_fraction)
+                   << ", 1] at step " << stats.step << "; ";
+          break;
+        }
       }
     }
     const std::string detail = problems.str();

@@ -3,6 +3,8 @@
 
 #include "core/monte_carlo.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "math/special.hpp"
@@ -52,12 +54,140 @@ TEST(LinearCheckpointsTest, CountCappedBySteps) {
   EXPECT_EQ(cps.front(), 1u);
 }
 
+TEST(LinearCheckpointsTest, ExtremeHorizonDoesNotOverflow) {
+  // Regression: steps * k used to wrap std::uint64_t for steps beyond
+  // 2^64 / count, collapsing the schedule into garbage (non-monotone,
+  // nowhere near steps).  The 128-bit intermediate keeps it exact.
+  const std::uint64_t huge = (std::uint64_t{1} << 63) + 12345u;
+  const auto cps = LinearCheckpoints(huge, 120);
+  ASSERT_FALSE(cps.empty());
+  EXPECT_EQ(cps.back(), huge);
+  for (std::size_t i = 0; i < cps.size(); ++i) {
+    EXPECT_LE(cps[i], huge);
+    if (i > 0) {
+      EXPECT_GT(cps[i], cps[i - 1]);
+    }
+  }
+  // The all-ones horizon with a count that does not divide it.
+  const std::uint64_t max = ~std::uint64_t{0};
+  const auto extreme = LinearCheckpoints(max, 7);
+  EXPECT_EQ(extreme.back(), max);
+  for (std::size_t i = 1; i < extreme.size(); ++i) {
+    EXPECT_GT(extreme[i], extreme[i - 1]);
+  }
+}
+
 TEST(LogCheckpointsTest, LogSpacedAndComplete) {
   const auto cps = LogCheckpoints(100000, 20, 10);
   EXPECT_EQ(cps.front(), 10u);
   EXPECT_EQ(cps.back(), 100000u);
   for (std::size_t i = 1; i < cps.size(); ++i) EXPECT_GT(cps[i], cps[i - 1]);
   EXPECT_THROW(LogCheckpoints(10, 5, 100), std::invalid_argument);
+}
+
+TEST(LogCheckpointsTest, RoundingNeverEmitsCheckpointBeyondSteps) {
+  // Regression: llround(exp(log(steps))) lands above `steps` for horizons
+  // where exp/log rounding exceeds half a unit (e.g. 10^15 + 3 rounds to
+  // 10^15 + 6).  The unclamped endpoint then broke strict ascent once
+  // `steps` was appended, so SimulationConfig::Validate rejected every
+  // schedule at those horizons.
+  // The > 2^63 horizons additionally pin the conversion path: llround
+  // would overflow long long there (unspecified result), so the clamp must
+  // happen in the double domain.
+  for (const std::uint64_t steps :
+       {std::uint64_t{1000000000000003}, std::uint64_t{18014398509481985u},
+        std::uint64_t{100000000000000000u},
+        (std::uint64_t{1} << 63) + 12345u, ~std::uint64_t{0}}) {
+    for (const std::size_t count : {std::size_t{2}, std::size_t{18}}) {
+      const auto cps = LogCheckpoints(steps, count, 10);
+      ASSERT_FALSE(cps.empty());
+      EXPECT_EQ(cps.back(), steps);
+      for (std::size_t i = 0; i < cps.size(); ++i) {
+        EXPECT_LE(cps[i], steps);
+        if (i > 0) {
+          EXPECT_GT(cps[i], cps[i - 1]);
+        }
+      }
+      // The schedule must satisfy the config contract it feeds.
+      SimulationConfig config;
+      config.steps = steps;
+      config.checkpoints = cps;
+      EXPECT_NO_THROW(config.Validate());
+    }
+  }
+}
+
+TEST(RunReplicationRangeTest, MinerOutOfRangeThrows) {
+  // Regression: the public range entry point used to skip the bounds check
+  // MonteCarloEngine::Run performs, handing direct callers UB via
+  // initial_stakes[config.miner].
+  const protocol::PowModel model(0.01);
+  SimulationConfig config = SmallConfig();
+  config.miner = 2;  // only two miners below
+  std::vector<double> lambdas(config.checkpoints.size() *
+                              config.replications);
+  EXPECT_THROW(RunReplicationRange(model, {0.2, 0.8}, config, 0, 1,
+                                   lambdas.data()),
+               std::invalid_argument);
+  EXPECT_THROW(RunReplicationRange(model, {0.2, 0.8}, config, 0, 1,
+                                   lambdas.data(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(ReduceToResultTest, MinerOutOfRangeThrows) {
+  SimulationConfig config = SmallConfig();
+  config.miner = 5;
+  const std::vector<double> lambdas(config.checkpoints.size() *
+                                    config.replications);
+  EXPECT_THROW(
+      ReduceToResult("PoW", {0.2, 0.8}, config, FairnessSpec{}, lambdas),
+      std::invalid_argument);
+  EXPECT_THROW(ReduceToResult("PoW", {0.2, 0.8}, config, FairnessSpec{},
+                              lambdas, {}),
+               std::invalid_argument);
+}
+
+TEST(ReduceToResultTest, PopulationMatrixSizeMismatchThrows) {
+  SimulationConfig config = SmallConfig();
+  const std::vector<double> lambdas(config.checkpoints.size() *
+                                    config.replications);
+  const std::vector<double> wrong_size(3);
+  EXPECT_THROW(ReduceToResult("PoW", {0.2, 0.8}, config, FairnessSpec{},
+                              lambdas, wrong_size),
+               std::invalid_argument);
+}
+
+TEST(MonteCarloEngineTest, PopulationMetricsRecordedWhenEnabled) {
+  SimulationConfig config = SmallConfig();
+  ASSERT_TRUE(config.population_metrics);  // on by default
+  const MonteCarloEngine engine(config, FairnessSpec{});
+  const protocol::MlPosModel model(0.01);
+  const SimulationResult result = engine.Run(model, {0.2, 0.3, 0.5});
+  for (const CheckpointStats& stats : result.checkpoints) {
+    EXPECT_TRUE(std::isfinite(stats.gini));
+    EXPECT_GE(stats.gini, 0.0);
+    EXPECT_LT(stats.gini, 1.0);
+    EXPECT_GE(stats.hhi, 1.0 / 3.0 - 1e-12);  // HHI >= 1/m
+    EXPECT_LE(stats.hhi, 1.0);
+    EXPECT_GE(stats.nakamoto, 1.0);
+    EXPECT_LE(stats.nakamoto, 3.0);
+    EXPECT_GE(stats.top_decile_share, 1.0 / 3.0 - 1e-9);
+    EXPECT_LE(stats.top_decile_share, 1.0);
+  }
+}
+
+TEST(MonteCarloEngineTest, PopulationMetricsNaNWhenDisabled) {
+  SimulationConfig config = SmallConfig();
+  config.population_metrics = false;
+  const MonteCarloEngine engine(config, FairnessSpec{});
+  const protocol::MlPosModel model(0.01);
+  const SimulationResult result = engine.Run(model, {0.2, 0.8});
+  for (const CheckpointStats& stats : result.checkpoints) {
+    EXPECT_TRUE(std::isnan(stats.gini));
+    EXPECT_TRUE(std::isnan(stats.hhi));
+    EXPECT_TRUE(std::isnan(stats.nakamoto));
+    EXPECT_TRUE(std::isnan(stats.top_decile_share));
+  }
 }
 
 TEST(MonteCarloEngineTest, AutoCheckpointsWhenEmpty) {

@@ -1,0 +1,111 @@
+// Tests for the population concentration metrics: closed-form cases,
+// definitional ranges, and degenerate inputs.
+
+#include "core/population.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairchain::core {
+namespace {
+
+PopulationSnapshot Measure(const std::vector<double>& wealth) {
+  std::vector<double> scratch;
+  return MeasurePopulation(wealth, &scratch);
+}
+
+TEST(PopulationTest, UniformPopulationIsPerfectlyEqual) {
+  const PopulationSnapshot snapshot = Measure({1.0, 1.0, 1.0, 1.0});
+  EXPECT_NEAR(snapshot.gini, 0.0, 1e-12);
+  EXPECT_NEAR(snapshot.hhi, 0.25, 1e-12);  // 1/m
+  // Two of four equal miners are needed for a strict majority.
+  EXPECT_DOUBLE_EQ(snapshot.nakamoto, 3.0);
+  // Top decile of 4 miners = 1 miner = 1/4 of the wealth.
+  EXPECT_NEAR(snapshot.top_decile_share, 0.25, 1e-12);
+}
+
+TEST(PopulationTest, NearMonopolyApproachesExtremes) {
+  const PopulationSnapshot snapshot = Measure({0.001, 0.001, 0.001, 0.997});
+  EXPECT_GT(snapshot.gini, 0.7);
+  EXPECT_GT(snapshot.hhi, 0.99);
+  EXPECT_DOUBLE_EQ(snapshot.nakamoto, 1.0);
+  EXPECT_NEAR(snapshot.top_decile_share, 0.997, 1e-12);
+}
+
+TEST(PopulationTest, TwoMinerGiniClosedForm) {
+  // For wealths {a, 1-a} with a < 1/2 the Gini coefficient is 1/2 - a.
+  const PopulationSnapshot snapshot = Measure({0.2, 0.8});
+  EXPECT_NEAR(snapshot.gini, 0.3, 1e-12);
+  EXPECT_NEAR(snapshot.hhi, 0.04 + 0.64, 1e-12);
+  EXPECT_DOUBLE_EQ(snapshot.nakamoto, 1.0);
+}
+
+TEST(PopulationTest, UnsortedInputIsHandled) {
+  // The input need not be ordered; the metrics sort internally.
+  const PopulationSnapshot ascending = Measure({1.0, 2.0, 3.0, 4.0});
+  const PopulationSnapshot shuffled = Measure({3.0, 1.0, 4.0, 2.0});
+  EXPECT_DOUBLE_EQ(ascending.gini, shuffled.gini);
+  EXPECT_DOUBLE_EQ(ascending.nakamoto, shuffled.nakamoto);
+  EXPECT_DOUBLE_EQ(ascending.top_decile_share, shuffled.top_decile_share);
+}
+
+TEST(PopulationTest, NakamotoCountsSmallestMajorityCoalition) {
+  // 40 + 15 > 50: two miners suffice; one (40) does not.
+  const PopulationSnapshot snapshot = Measure({40.0, 15.0, 15.0, 15.0, 15.0});
+  EXPECT_DOUBLE_EQ(snapshot.nakamoto, 2.0);
+}
+
+TEST(PopulationTest, TopDecileCountCeils) {
+  EXPECT_EQ(TopDecileCount(1), 1u);
+  EXPECT_EQ(TopDecileCount(9), 1u);
+  EXPECT_EQ(TopDecileCount(10), 1u);
+  EXPECT_EQ(TopDecileCount(11), 2u);
+  EXPECT_EQ(TopDecileCount(100), 10u);
+  EXPECT_EQ(TopDecileCount(101), 11u);
+}
+
+TEST(PopulationTest, SingleMinerIsDegenerateMonopoly) {
+  const PopulationSnapshot snapshot = Measure({7.0});
+  EXPECT_NEAR(snapshot.gini, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(snapshot.hhi, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.nakamoto, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.top_decile_share, 1.0);
+}
+
+TEST(PopulationTest, RejectsInvalidInput) {
+  std::vector<double> scratch;
+  EXPECT_THROW(MeasurePopulation({}, &scratch), std::invalid_argument);
+  EXPECT_THROW(MeasurePopulation({1.0, -0.5}, &scratch),
+               std::invalid_argument);
+  EXPECT_THROW(MeasurePopulation({0.0, 0.0}, &scratch),
+               std::invalid_argument);
+}
+
+TEST(PopulationTest, ScratchReuseDoesNotPerturbResults) {
+  std::vector<double> scratch;
+  const PopulationSnapshot first = MeasurePopulation({5.0, 1.0}, &scratch);
+  (void)MeasurePopulation({1.0, 1.0, 1.0, 1.0, 1.0, 1.0}, &scratch);
+  const PopulationSnapshot again = MeasurePopulation({5.0, 1.0}, &scratch);
+  EXPECT_DOUBLE_EQ(first.gini, again.gini);
+  EXPECT_DOUBLE_EQ(first.hhi, again.hhi);
+}
+
+TEST(PopulationTest, ZipfPopulationConcentratesWithTail) {
+  // A Zipf(1) population of 1000 miners: the top decile holds a strict
+  // majority of the wealth and the Gini sits well inside (0, 1).
+  std::vector<double> wealth(1000);
+  for (std::size_t i = 0; i < wealth.size(); ++i) {
+    wealth[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const PopulationSnapshot snapshot = Measure(wealth);
+  EXPECT_GT(snapshot.gini, 0.5);
+  EXPECT_LT(snapshot.gini, 1.0);
+  EXPECT_GT(snapshot.top_decile_share, 0.5);
+  EXPECT_GE(snapshot.nakamoto, 1.0);
+  EXPECT_LE(snapshot.nakamoto, 1000.0);
+}
+
+}  // namespace
+}  // namespace fairchain::core

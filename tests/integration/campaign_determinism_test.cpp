@@ -63,7 +63,8 @@ TEST(CampaignDeterminismTest, CsvHeaderMatchesGoldenSchema) {
   EXPECT_EQ(header,
             "scenario,cell,protocol,miners,whales,a,w,v,shards,withhold,"
             "steps,replications,cell_seed,checkpoint,step,mean,std_dev,p05,"
-            "p25,median,p75,p95,min,max,unfair_probability,convergence_step");
+            "p25,median,p75,p95,min,max,unfair_probability,convergence_step,"
+            "stake_dist,gini,hhi,nakamoto,top_decile_share");
   // 16 cells x 3 checkpoints data rows follow the header.
   std::size_t rows = 0;
   std::string line;
@@ -78,6 +79,44 @@ TEST(CampaignDeterminismTest, RepeatedRunsAreIdentical) {
   const Captured second = RunWithThreads(3);
   EXPECT_EQ(first.csv, second.csv);
   EXPECT_EQ(first.jsonl, second.jsonl);
+}
+
+// Large-population golden: the Fenwick hot path plus the population-metric
+// recording must stay byte-deterministic at m = 10,000 — the scale the
+// O(log m) sampler exists for — across thread counts.  Chunked scheduling
+// splits the replications across workers mid-cell, so this exercises the
+// sampler's rebuild-on-Reset path under every partition.
+sim::ScenarioSpec LargePopulationSpec() {
+  return sim::ScenarioSpec::FromText(
+      "name=golden-large\n"
+      "description=m=10k determinism golden\n"
+      "protocols=pow,mlpos\n"
+      "miners=10000\n"
+      "stakes=pareto:1.16\n"
+      "steps=120\n"
+      "reps=24\n"
+      "seed=20210620\n"
+      "checkpoints=2\n");
+}
+
+TEST(CampaignDeterminismTest, TenThousandMinersByteIdenticalAcrossThreads) {
+  auto run = [](unsigned threads) {
+    std::ostringstream csv_out;
+    std::ostringstream jsonl_out;
+    sim::CsvSink csv(csv_out);
+    sim::JsonlSink jsonl(jsonl_out);
+    sim::CampaignOptions options;
+    options.threads = threads;
+    sim::CampaignRunner(options).Run(LargePopulationSpec(), {&csv, &jsonl});
+    return Captured{csv_out.str(), jsonl_out.str()};
+  };
+  const Captured serial = run(1);
+  const Captured parallel = run(4);
+  EXPECT_EQ(serial.csv, parallel.csv);
+  EXPECT_EQ(serial.jsonl, parallel.jsonl);
+  // The golden rows carry real population metrics (not NaN placeholders).
+  EXPECT_EQ(serial.csv.find("nan"), std::string::npos);
+  EXPECT_NE(serial.csv.find("pareto:1.16"), std::string::npos);
 }
 
 }  // namespace

@@ -41,16 +41,22 @@ CampaignRow SampleRow() {
   row.max = 0.3;
   row.unfair_probability = 0.05;
   row.convergence_step = 400;
+  row.stake_dist = "pareto:1.16";
+  row.gini = 0.42;
+  row.hhi = 0.3;
+  row.nakamoto = 2;
+  row.top_decile_share = 0.6;
   return row;
 }
 
 TEST(ResultSinkTest, CsvHeaderSchemaIsStable) {
   // Pinned on purpose: downstream plotting scripts key on these columns.
-  // New columns may only be appended.
+  // New columns may only be appended (stake_dist..top_decile_share were).
   EXPECT_EQ(CsvSink::Header(),
             "scenario,cell,protocol,miners,whales,a,w,v,shards,withhold,"
             "steps,replications,cell_seed,checkpoint,step,mean,std_dev,p05,"
-            "p25,median,p75,p95,min,max,unfair_probability,convergence_step");
+            "p25,median,p75,p95,min,max,unfair_probability,convergence_step,"
+            "stake_dist,gini,hhi,nakamoto,top_decile_share");
 }
 
 TEST(ResultSinkTest, CsvRowMatchesSchema) {
@@ -67,7 +73,8 @@ TEST(ResultSinkTest, CsvRowMatchesSchema) {
   EXPECT_EQ(header, CsvSink::Header());
   EXPECT_EQ(row,
             "demo,3,cpos,5,2,0.25,0.01,0.1,32,1000,5000,100,42,7,800,0.2,"
-            "0.015,0.17,0.19,0.2,0.21,0.23,0.1,0.3,0.05,400");
+            "0.015,0.17,0.19,0.2,0.21,0.23,0.1,0.3,0.05,400,pareto:1.16,"
+            "0.42,0.3,2,0.6");
 }
 
 TEST(ResultSinkTest, CsvNeverConvergedRendersAsNever) {
@@ -77,7 +84,31 @@ TEST(ResultSinkTest, CsvNeverConvergedRendersAsNever) {
   CsvSink sink(out);
   sink.WriteRow(row);
   const std::string rendered = out.str();
-  EXPECT_NE(rendered.find(",never\n"), std::string::npos);
+  EXPECT_NE(rendered.find(",never,"), std::string::npos);
+}
+
+TEST(ResultSinkTest, DisabledPopulationMetricsRenderAsNanAndNull) {
+  // A campaign with population metrics off leaves the appended metric
+  // columns NaN: `nan` tokens in CSV, null in JSONL — never silent zeros.
+  CampaignRow row = SampleRow();
+  row.gini = std::numeric_limits<double>::quiet_NaN();
+  row.hhi = std::numeric_limits<double>::quiet_NaN();
+  row.nakamoto = std::numeric_limits<double>::quiet_NaN();
+  row.top_decile_share = std::numeric_limits<double>::quiet_NaN();
+  {
+    std::ostringstream out;
+    CsvSink sink(out);
+    sink.WriteRow(row);
+    EXPECT_NE(out.str().find(",pareto:1.16,nan,nan,nan,nan"),
+              std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    JsonlSink sink(out);
+    sink.WriteRow(row);
+    EXPECT_NE(out.str().find("\"gini\":null"), std::string::npos);
+    EXPECT_NE(out.str().find("\"top_decile_share\":null"), std::string::npos);
+  }
 }
 
 TEST(ResultSinkTest, JsonlRowHasAllColumnsAndNullConvergence) {

@@ -189,6 +189,114 @@ TEST(ScenarioSpecTest, ToTextRoundTrips) {
   EXPECT_EQ(parsed.CellCount(), spec.CellCount());
 }
 
+// --- stake distributions -----------------------------------------------------
+
+TEST(StakeDistributionTest, ParsesAllForms) {
+  EXPECT_EQ(ParseStakeDistribution("split").kind,
+            StakeDistribution::Kind::kSplit);
+  const StakeDistribution pareto = ParseStakeDistribution("pareto:1.16");
+  EXPECT_EQ(pareto.kind, StakeDistribution::Kind::kPareto);
+  EXPECT_DOUBLE_EQ(pareto.parameter, 1.16);
+  const StakeDistribution zipf = ParseStakeDistribution("zipf:0.8");
+  EXPECT_EQ(zipf.kind, StakeDistribution::Kind::kZipf);
+  EXPECT_DOUBLE_EQ(zipf.parameter, 0.8);
+}
+
+TEST(StakeDistributionTest, RejectsMalformedTokens) {
+  EXPECT_THROW(ParseStakeDistribution("pareto"), std::invalid_argument);
+  EXPECT_THROW(ParseStakeDistribution("pareto:"), std::invalid_argument);
+  EXPECT_THROW(ParseStakeDistribution("pareto:0"), std::invalid_argument);
+  EXPECT_THROW(ParseStakeDistribution("pareto:-1"), std::invalid_argument);
+  EXPECT_THROW(ParseStakeDistribution("zipf:-0.1"), std::invalid_argument);
+  EXPECT_THROW(ParseStakeDistribution("zipf:abc"), std::invalid_argument);
+  EXPECT_THROW(ParseStakeDistribution("uniform"), std::invalid_argument);
+  EXPECT_THROW(ParseStakeDistribution(""), std::invalid_argument);
+}
+
+TEST(StakeDistributionTest, ParetoStakesAreDescendingNormalisedHeavyTailed) {
+  CampaignCell cell;
+  cell.miners = 1000;
+  cell.stake_dist = "pareto:1.16";
+  const std::vector<double> stakes = cell.Stakes();
+  ASSERT_EQ(stakes.size(), 1000u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < stakes.size(); ++i) {
+    EXPECT_GT(stakes[i], 0.0);
+    if (i > 0) {
+      EXPECT_LT(stakes[i], stakes[i - 1]);  // richest first
+    }
+    total += stakes[i];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Heavy tail: the tracked (richest) miner holds far more than 1/m.
+  EXPECT_GT(stakes[0], 50.0 / 1000.0);
+}
+
+TEST(StakeDistributionTest, ZipfStakesFollowPowerLawRanks) {
+  CampaignCell cell;
+  cell.miners = 4;
+  cell.stake_dist = "zipf:1";
+  const std::vector<double> stakes = cell.Stakes();
+  const double h4 = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+  ASSERT_EQ(stakes.size(), 4u);
+  EXPECT_NEAR(stakes[0], 1.0 / h4, 1e-12);
+  EXPECT_NEAR(stakes[1], 0.5 / h4, 1e-12);
+  EXPECT_NEAR(stakes[3], 0.25 / h4, 1e-12);
+}
+
+TEST(StakeDistributionTest, StakesAreDeterministic) {
+  CampaignCell cell;
+  cell.miners = 100;
+  cell.stake_dist = "pareto:2";
+  EXPECT_EQ(cell.Stakes(), cell.Stakes());
+}
+
+TEST(ScenarioSpecTest, StakesAxisExpandsAsFastestVaryingAxis) {
+  ScenarioSpec spec;
+  spec.protocols = {"pow", "mlpos"};
+  spec.stake_dists = {"split", "pareto:1.16"};
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].protocol, "pow");
+  EXPECT_EQ(cells[0].stake_dist, "split");
+  EXPECT_EQ(cells[1].protocol, "pow");
+  EXPECT_EQ(cells[1].stake_dist, "pareto:1.16");
+  EXPECT_EQ(cells[2].protocol, "mlpos");
+  EXPECT_EQ(cells[2].stake_dist, "split");
+}
+
+TEST(ScenarioSpecTest, StakesAndPopulationRoundTripThroughText) {
+  ScenarioSpec spec;
+  spec.name = "dist-roundtrip";
+  spec.stake_dists = {"pareto:1.16", "zipf:1", "split"};
+  spec.population_metrics = false;
+  const ScenarioSpec parsed = ScenarioSpec::FromText(spec.ToText());
+  EXPECT_EQ(parsed.stake_dists, spec.stake_dists);
+  EXPECT_EQ(parsed.population_metrics, spec.population_metrics);
+  EXPECT_EQ(parsed.CellCount(), spec.CellCount());
+}
+
+TEST(ScenarioSpecTest, StakesAndPopulationApplyAsOverrides) {
+  ScenarioSpec spec;
+  const FlagSet flags = FlagSet::Parse(
+      {"--stakes", "zipf:0.5,split", "--population", "off"});
+  spec.ApplyOverrides(flags);
+  EXPECT_EQ(spec.stake_dists,
+            (std::vector<std::string>{"zipf:0.5", "split"}));
+  EXPECT_FALSE(spec.population_metrics);
+  EXPECT_NO_THROW(spec.Validate());
+}
+
+TEST(ScenarioSpecTest, InvalidStakesOrPopulationValuesThrow) {
+  EXPECT_THROW(ScenarioSpec::FromText("stakes=pareto:-3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromText("population=maybe\n"),
+               std::invalid_argument);
+  ScenarioSpec spec;
+  spec.stake_dists = {"gauss:1"};
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+}
+
 // --- error paths: every failure names the problem actionably ----------------
 
 // Captures the exception message of a parse/validate failure.

@@ -1,0 +1,106 @@
+// Tests for the Fenwick proportional sampler: prefix sums, point updates,
+// selection semantics, and degenerate weights.
+
+#include "support/fenwick.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairchain {
+namespace {
+
+TEST(FenwickSamplerTest, BuildComputesPrefixSums) {
+  FenwickSampler sampler;
+  sampler.Build({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(sampler.size(), 5u);
+  EXPECT_DOUBLE_EQ(sampler.Total(), 15.0);
+  EXPECT_DOUBLE_EQ(sampler.PrefixSum(0), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.PrefixSum(1), 1.0);
+  EXPECT_DOUBLE_EQ(sampler.PrefixSum(3), 6.0);
+  EXPECT_DOUBLE_EQ(sampler.PrefixSum(5), 15.0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(sampler.Weight(i), static_cast<double>(i + 1));
+  }
+}
+
+TEST(FenwickSamplerTest, AddUpdatesEveryAffectedPrefix) {
+  FenwickSampler sampler;
+  sampler.Build({1.0, 1.0, 1.0, 1.0});
+  sampler.Add(1, 2.5);
+  EXPECT_DOUBLE_EQ(sampler.Total(), 6.5);
+  EXPECT_DOUBLE_EQ(sampler.Weight(1), 3.5);
+  EXPECT_DOUBLE_EQ(sampler.PrefixSum(2), 4.5);
+  EXPECT_DOUBLE_EQ(sampler.PrefixSum(4), 6.5);
+  sampler.Add(3, 1.0);
+  EXPECT_DOUBLE_EQ(sampler.Weight(3), 2.0);
+  EXPECT_DOUBLE_EQ(sampler.Total(), 7.5);
+}
+
+TEST(FenwickSamplerTest, SampleMapsUniformToProportionalBins) {
+  FenwickSampler sampler;
+  sampler.Build({0.2, 0.3, 0.5});
+  // u * total lands in [0, 0.2) -> 0, [0.2, 0.5) -> 1, [0.5, 1) -> 2.
+  EXPECT_EQ(sampler.Sample(0.0), 0u);
+  EXPECT_EQ(sampler.Sample(0.19), 0u);
+  EXPECT_EQ(sampler.Sample(0.2), 1u);
+  EXPECT_EQ(sampler.Sample(0.49), 1u);
+  EXPECT_EQ(sampler.Sample(0.5), 2u);
+  EXPECT_EQ(sampler.Sample(0.999999), 2u);
+}
+
+TEST(FenwickSamplerTest, ZeroWeightElementsAreNeverSelected) {
+  FenwickSampler sampler;
+  sampler.Build({0.0, 1.0, 0.0, 1.0, 0.0});
+  for (double u = 0.0; u < 1.0; u += 0.01) {
+    const std::size_t index = sampler.Sample(u);
+    EXPECT_TRUE(index == 1 || index == 3) << "u=" << u;
+  }
+  // Exactly at the boundary between the two positive weights.
+  EXPECT_EQ(sampler.Sample(0.5), 3u);
+}
+
+TEST(FenwickSamplerTest, TrailingZeroWeightsClampToLastPositive) {
+  FenwickSampler sampler;
+  sampler.Build({1.0, 1.0, 0.0, 0.0});
+  // The largest representable u < 1: even if rounding overruns every
+  // prefix, the fallback walks back to the last positive weight.
+  const double u = 1.0 - 1e-16;
+  const std::size_t index = sampler.Sample(u);
+  EXPECT_EQ(index, 1u);
+}
+
+TEST(FenwickSamplerTest, SingleElement) {
+  FenwickSampler sampler;
+  sampler.Build({0.7});
+  EXPECT_EQ(sampler.Sample(0.0), 0u);
+  EXPECT_EQ(sampler.Sample(0.999), 0u);
+}
+
+TEST(FenwickSamplerTest, NonPowerOfTwoSizesSelectConsistently) {
+  // Sizes around powers of two exercise the descent mask's edge cases.
+  for (const std::size_t size : {1u, 2u, 3u, 7u, 8u, 9u, 31u, 33u, 100u}) {
+    std::vector<double> weights(size, 1.0);
+    FenwickSampler sampler;
+    sampler.Build(weights);
+    for (std::size_t i = 0; i < size; ++i) {
+      // The midpoint of element i's bin must select i.
+      const double u = (static_cast<double>(i) + 0.5) /
+                       static_cast<double>(size);
+      EXPECT_EQ(sampler.Sample(u), i) << "size=" << size;
+    }
+  }
+}
+
+TEST(FenwickSamplerTest, RebuildReplacesPreviousState) {
+  FenwickSampler sampler;
+  sampler.Build({5.0, 5.0});
+  sampler.Add(0, 3.0);
+  sampler.Build({1.0, 2.0, 3.0});
+  EXPECT_EQ(sampler.size(), 3u);
+  EXPECT_DOUBLE_EQ(sampler.Total(), 6.0);
+  EXPECT_DOUBLE_EQ(sampler.Weight(0), 1.0);
+}
+
+}  // namespace
+}  // namespace fairchain

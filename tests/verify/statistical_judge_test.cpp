@@ -257,6 +257,47 @@ TEST(StatisticalJudgeTest, SanityCatchesOutOfRangeLambda) {
   EXPECT_NE(sanity->detail.find("outside [0, 1]"), std::string::npos);
 }
 
+TEST(StatisticalJudgeTest, SanityCatchesImpossiblePopulationMetrics) {
+  // NaN metrics (population tracking off) must pass; definitional-range
+  // violations must fail structurally.
+  const std::vector<double> lambdas(50, 0.2);
+  const StatisticalJudge judge;
+  {
+    const core::SimulationResult result = ResultFromSamples(lambdas, 100);
+    const CellVerdict verdict =
+        judge.Judge(TestCell(), OraclePrediction{}, result);
+    const CheckResult* sanity = FindCheck(verdict, "sanity");
+    ASSERT_NE(sanity, nullptr);
+    EXPECT_TRUE(sanity->passed);  // NaN = disabled, not a violation
+  }
+  {
+    core::SimulationResult result = ResultFromSamples(lambdas, 100);
+    result.checkpoints.back().gini = 1.2;  // impossible
+    result.checkpoints.back().hhi = 0.6;
+    result.checkpoints.back().nakamoto = 1.0;
+    result.checkpoints.back().top_decile_share = 0.9;
+    const CellVerdict verdict =
+        judge.Judge(TestCell(), OraclePrediction{}, result);
+    const CheckResult* sanity = FindCheck(verdict, "sanity");
+    ASSERT_NE(sanity, nullptr);
+    EXPECT_FALSE(sanity->passed);
+    EXPECT_NE(sanity->detail.find("gini"), std::string::npos);
+  }
+  {
+    core::SimulationResult result = ResultFromSamples(lambdas, 100);
+    result.checkpoints.back().gini = 0.3;
+    result.checkpoints.back().hhi = 0.6;
+    result.checkpoints.back().nakamoto = 99.0;  // > miner count (2)
+    result.checkpoints.back().top_decile_share = 0.9;
+    const CellVerdict verdict =
+        judge.Judge(TestCell(), OraclePrediction{}, result);
+    const CheckResult* sanity = FindCheck(verdict, "sanity");
+    ASSERT_NE(sanity, nullptr);
+    EXPECT_FALSE(sanity->passed);
+    EXPECT_NE(sanity->detail.find("nakamoto"), std::string::npos);
+  }
+}
+
 TEST(StatisticalJudgeTest, EveryCellGetsASanityVerdict) {
   // No oracle claims at all: the verdict still contains the sanity check.
   const std::vector<double> lambdas(50, 0.2);

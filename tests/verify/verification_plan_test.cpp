@@ -52,7 +52,8 @@ TEST(VerificationPlanTest, EveryBuiltInScenarioHasPinnedOracleCoverage) {
        {"fig5d", {6, 6}},        {"fig6", {1, 2}},
        {"table1", {16, 20}},     {"whale-sweep", {18, 24}},
        {"multi-whale", {6, 9}},  {"withhold-grid", {2, 10}},
-       {"committee", {9, 9}}};
+       {"committee", {9, 9}},    {"pareto-population", {12, 12}},
+       {"large-population-sweep", {8, 8}}};
   const sim::ScenarioRegistry& registry = sim::ScenarioRegistry::BuiltIn();
   ASSERT_EQ(registry.size(), expected.size());
   for (const std::string& name : registry.Names()) {
