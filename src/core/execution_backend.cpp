@@ -1,0 +1,42 @@
+#include "core/execution_backend.hpp"
+
+#include <stdexcept>
+
+#include "support/env.hpp"
+#include "support/thread_pool.hpp"
+
+namespace fairchain::core {
+
+void SerialBackend::Execute(std::vector<std::function<void()>> jobs) const {
+  for (auto& job : jobs) job();
+}
+
+ThreadPoolBackend::ThreadPoolBackend(unsigned threads)
+    : threads_(threads != 0 ? threads : EnvThreads()) {}
+
+unsigned ThreadPoolBackend::Concurrency() const { return threads_; }
+
+void ThreadPoolBackend::Execute(
+    std::vector<std::function<void()>> jobs) const {
+  ThreadPool pool(threads_);
+  pool.SubmitBatch(std::move(jobs));
+  pool.Wait();
+}
+
+std::unique_ptr<ExecutionBackend> MakeDefaultBackend(unsigned threads) {
+  if (threads == 0) threads = EnvThreads();
+  if (threads <= 1) return std::make_unique<SerialBackend>();
+  return std::make_unique<ThreadPoolBackend>(threads);
+}
+
+std::unique_ptr<ExecutionBackend> MakeBackend(const std::string& name,
+                                              unsigned threads) {
+  if (name == "serial") return std::make_unique<SerialBackend>();
+  if (name == "pool" || name == "threadpool") {
+    return std::make_unique<ThreadPoolBackend>(threads);
+  }
+  throw std::invalid_argument("MakeBackend: unknown backend '" + name +
+                              "' (known: serial, pool)");
+}
+
+}  // namespace fairchain::core

@@ -1,0 +1,95 @@
+// ExecutionBackend: where simulation jobs run.
+//
+// The Monte Carlo engine and the campaign runner both reduce their work to
+// a flat batch of independent jobs (replication chunks).  A backend decides
+// only WHERE those jobs execute — inline on the calling thread, across a
+// thread pool, or (future) across processes/machines.  It never decides
+// WHAT a replication computes.
+//
+// Seeding / chunking contract (what makes every backend byte-identical):
+//   * A job is a closed-over (cell, replication-range) pair.  Replication r
+//     of a cell always derives its stream as RngStream(cell seed).Split(r)
+//     — from the replication INDEX, never from the worker, the thread, or
+//     the execution order.
+//   * Jobs write to disjoint, pre-addressed output ranges
+//     (lambda_matrix[c * reps + r]); no job reads another job's output.
+//   * Post-processing that must observe ALL of a cell's jobs (reduction,
+//     row emission) is ordered by the caller (atomic remaining-chunk
+//     counters + an ordered-emit cursor), not by the backend.
+// A future process-sharded backend therefore only needs to ship the same
+// (cell seed, begin, end) triples and concatenate the same pre-addressed
+// ranges to stay golden-compatible.
+//
+// Workers may cache per-thread arenas (ThreadLocalReplicationWorkspace);
+// correctness never depends on which worker runs which job.
+
+#ifndef FAIRCHAIN_CORE_EXECUTION_BACKEND_HPP_
+#define FAIRCHAIN_CORE_EXECUTION_BACKEND_HPP_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fairchain::core {
+
+/// Abstract job executor.  Implementations are stateless between Execute
+/// calls and re-entrant: one backend instance may serve many concurrent
+/// campaigns.
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  /// Human-readable backend name ("serial", "threadpool").
+  virtual std::string name() const = 0;
+
+  /// Upper bound on jobs that may run at the same time (1 for serial);
+  /// callers use this to pick chunk sizes.
+  virtual unsigned Concurrency() const = 0;
+
+  /// Runs every job to completion before returning.  Jobs may execute in
+  /// any order and on any worker; they must not throw (simulation errors
+  /// are raised when jobs are built, before anything is scheduled).
+  virtual void Execute(std::vector<std::function<void()>> jobs) const = 0;
+};
+
+/// Runs jobs inline on the calling thread, in submission order.  The
+/// determinism reference: any other backend must reproduce its output
+/// byte for byte.
+class SerialBackend final : public ExecutionBackend {
+ public:
+  std::string name() const override { return "serial"; }
+  unsigned Concurrency() const override { return 1; }
+  void Execute(std::vector<std::function<void()>> jobs) const override;
+};
+
+/// Runs jobs across a fixed-size ThreadPool, dispatched as one batch
+/// (ThreadPool::SubmitBatch).  A fresh pool per Execute keeps the backend
+/// re-entrant and the workers' thread-local arenas scoped to one campaign.
+class ThreadPoolBackend final : public ExecutionBackend {
+ public:
+  /// `threads` = 0 means EnvThreads().
+  explicit ThreadPoolBackend(unsigned threads = 0);
+
+  std::string name() const override { return "threadpool"; }
+  unsigned Concurrency() const override;
+  void Execute(std::vector<std::function<void()>> jobs) const override;
+
+ private:
+  unsigned threads_;
+};
+
+/// The backend used when none is injected: Serial for a single worker
+/// (no pool setup, no worker handoff), ThreadPool otherwise.  `threads` = 0
+/// means EnvThreads().
+std::unique_ptr<ExecutionBackend> MakeDefaultBackend(unsigned threads);
+
+/// Backend by CLI name: "serial" or "pool"/"threadpool" (at `threads`
+/// workers, 0 = EnvThreads()).  Throws std::invalid_argument on an unknown
+/// name, listing the known ones.
+std::unique_ptr<ExecutionBackend> MakeBackend(const std::string& name,
+                                              unsigned threads);
+
+}  // namespace fairchain::core
+
+#endif  // FAIRCHAIN_CORE_EXECUTION_BACKEND_HPP_

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
-#include "support/env.hpp"
 #include "support/stats.hpp"
-#include "support/thread_pool.hpp"
 
 namespace fairchain::core {
 
@@ -51,6 +50,11 @@ std::optional<std::uint64_t> SimulationResult::ConvergenceStep() const {
 }
 
 ExpectationalFairnessReport SimulationResult::Expectational() const {
+  if (final_lambdas.empty()) {
+    throw std::logic_error(
+        "SimulationResult: final_lambdas were not retained — run with "
+        "keep_final_lambdas on to evaluate expectational fairness");
+  }
   return CheckExpectationalFairness(final_lambdas, initial_share);
 }
 
@@ -74,42 +78,65 @@ void RunReplicationRange(const protocol::IncentiveModel& model,
                          const std::vector<double>& initial_stakes,
                          const SimulationConfig& config, std::size_t begin,
                          std::size_t end, double* lambda_matrix,
-                         double* population_matrix) {
+                         double* population_matrix,
+                         ReplicationWorkspace& workspace) {
   if (config.miner >= initial_stakes.size()) {
     throw std::invalid_argument(
         "RunReplicationRange: miner index out of range");
   }
+  // Same rationale as the miner check: this is a public entry point, and a
+  // non-ascending checkpoint schedule would underflow the segment length
+  // below into a ~2^64-step spin instead of degrading benignly.
+  config.Validate();
   const std::uint64_t reps = config.replications;
   const std::size_t cp_count = config.checkpoints.size();
   const RngStream master(config.seed);
-  protocol::StakeState state(initial_stakes, config.withhold_period);
-  std::vector<double> wealth;
-  std::vector<double> scratch;
+  workspace.Bind(initial_stakes, config.withhold_period);
+  protocol::StakeState& state = workspace.state();
+  std::vector<double>* wealth = workspace.wealth_buffer();
+  std::vector<double>* scratch = workspace.population_scratch();
   for (std::size_t rep = begin; rep < end; ++rep) {
     state.Reset();
     RngStream rng = master.Split(rep);
-    std::size_t next_cp = 0;
-    for (std::uint64_t step = 1; step <= config.steps; ++step) {
-      model.Step(state, rng);
-      state.AdvanceStep();
-      if (next_cp < cp_count && config.checkpoints[next_cp] == step) {
-        lambda_matrix[next_cp * reps + rep] =
-            state.RewardFraction(config.miner);
-        if (population_matrix != nullptr) {
-          state.WealthVector(&wealth);
-          const PopulationSnapshot snapshot =
-              MeasurePopulation(wealth, &scratch);
-          const std::size_t cell = next_cp * reps + rep;
-          const std::size_t plane = cp_count * reps;
-          population_matrix[0 * plane + cell] = snapshot.gini;
-          population_matrix[1 * plane + cell] = snapshot.hhi;
-          population_matrix[2 * plane + cell] = snapshot.nakamoto;
-          population_matrix[3 * plane + cell] = snapshot.top_decile_share;
-        }
-        ++next_cp;
+    // Checkpoint-segment stepping: one batched RunSteps per segment, so
+    // the per-step work is the protocol's tight inner loop and the
+    // checkpoint comparison runs once per segment, not once per block.
+    // Draw-for-draw identical to the historical Step-at-a-time loop.
+    std::uint64_t done = 0;
+    for (std::size_t cp = 0; cp < cp_count; ++cp) {
+      const std::uint64_t target = config.checkpoints[cp];
+      model.RunSteps(state, done, target - done, rng);
+      done = target;
+      lambda_matrix[cp * reps + rep] = state.RewardFraction(config.miner);
+      if (population_matrix != nullptr) {
+        state.WealthVector(wealth);
+        const PopulationSnapshot snapshot =
+            MeasurePopulation(*wealth, scratch);
+        const std::size_t cell = cp * reps + rep;
+        const std::size_t plane = cp_count * reps;
+        population_matrix[0 * plane + cell] = snapshot.gini;
+        population_matrix[1 * plane + cell] = snapshot.hhi;
+        population_matrix[2 * plane + cell] = snapshot.nakamoto;
+        population_matrix[3 * plane + cell] = snapshot.top_decile_share;
       }
     }
+    // Games historically ran to the horizon even when the last checkpoint
+    // fell short of it; the tail segment keeps that contract (and the
+    // documented "runs a full game" semantics) intact.
+    if (done < config.steps) {
+      model.RunSteps(state, done, config.steps - done, rng);
+    }
   }
+}
+
+void RunReplicationRange(const protocol::IncentiveModel& model,
+                         const std::vector<double>& initial_stakes,
+                         const SimulationConfig& config, std::size_t begin,
+                         std::size_t end, double* lambda_matrix,
+                         double* population_matrix) {
+  RunReplicationRange(model, initial_stakes, config, begin, end,
+                      lambda_matrix, population_matrix,
+                      ThreadLocalReplicationWorkspace());
 }
 
 void RunReplicationRange(const protocol::IncentiveModel& model,
@@ -150,7 +177,15 @@ SimulationResult ReduceToResult(const std::string& protocol_name,
 
   const double fair_low = spec.FairLow(result.initial_share);
   const double fair_high = spec.FairHigh(result.initial_share);
+  // Reduction scratch, hoisted out of the checkpoint loop: one column
+  // buffer (sorted in place per checkpoint) and one quantile output vector
+  // serve every checkpoint — the per-checkpoint copy Quantiles used to
+  // make was the reduction's dominant allocation churn (see
+  // bench/micro_perf.cpp, BM_ReduceToResult).
   std::vector<double> column(reps);
+  std::vector<double> quantile_out;
+  static const std::vector<double> kQuantiles = {0.05, 0.25, 0.5, 0.75,
+                                                 0.95};
   for (std::size_t c = 0; c < cp_count; ++c) {
     std::copy_n(lambda_matrix.begin() + static_cast<std::ptrdiff_t>(c * reps),
                 reps, column.begin());
@@ -168,13 +203,17 @@ SimulationResult ReduceToResult(const std::string& protocol_name,
     stats.max = running.Max();
     stats.unfair_probability =
         static_cast<double>(outside) / static_cast<double>(reps);
-    const std::vector<double> qs =
-        Quantiles(column, {0.05, 0.25, 0.5, 0.75, 0.95});
-    stats.p05 = qs[0];
-    stats.p25 = qs[1];
-    stats.median = qs[2];
-    stats.p75 = qs[3];
-    stats.p95 = qs[4];
+    // final_lambdas keeps replication order, so capture the last column
+    // BEFORE the in-place quantile sort reorders it.
+    if (c + 1 == cp_count && config.keep_final_lambdas) {
+      result.final_lambdas = column;
+    }
+    QuantilesInPlace(column, kQuantiles, &quantile_out);
+    stats.p05 = quantile_out[0];
+    stats.p25 = quantile_out[1];
+    stats.median = quantile_out[2];
+    stats.p75 = quantile_out[3];
+    stats.p95 = quantile_out[4];
     if (!population_matrix.empty()) {
       const std::size_t plane = cp_count * reps;
       double* means[] = {&stats.gini, &stats.hhi, &stats.nakamoto,
@@ -189,7 +228,6 @@ SimulationResult ReduceToResult(const std::string& protocol_name,
       }
     }
     result.checkpoints.push_back(stats);
-    if (c + 1 == cp_count) result.final_lambdas = column;
   }
   return result;
 }
@@ -206,8 +244,23 @@ SimulationResult ReduceToResult(const std::string& protocol_name,
 SimulationResult MonteCarloEngine::Run(
     const protocol::IncentiveModel& model,
     const std::vector<double>& initial_stakes) const {
+  return Run(model, initial_stakes, *MakeDefaultBackend(config_.threads));
+}
+
+SimulationResult MonteCarloEngine::Run(
+    const protocol::IncentiveModel& model,
+    const std::vector<double>& initial_stakes,
+    const ExecutionBackend& backend) const {
   if (config_.miner >= initial_stakes.size()) {
     throw std::invalid_argument("MonteCarloEngine: miner index out of range");
+  }
+  // Fail fast on the calling thread: construct the game state once here so
+  // invalid stake vectors (empty, negative, zero/NaN sum) throw before any
+  // job is scheduled — backend jobs must not throw (execution_backend.hpp).
+  {
+    const protocol::StakeState probe(initial_stakes,
+                                     config_.withhold_period);
+    (void)probe;
   }
   const std::uint64_t reps = config_.replications;
 
@@ -218,15 +271,25 @@ SimulationResult MonteCarloEngine::Run(
   double* population =
       population_matrix.empty() ? nullptr : population_matrix.data();
 
-  const unsigned threads =
-      config_.threads != 0 ? config_.threads : EnvThreads();
-
-  ParallelForChunked(threads, static_cast<std::size_t>(reps),
-                     [&](std::size_t begin, std::size_t end) {
-                       RunReplicationRange(model, initial_stakes, config_,
-                                           begin, end, lambda_matrix.data(),
-                                           population);
-                     });
+  // One contiguous replication chunk per concurrency slot; each job steps
+  // in its worker's thread-local arena.  Replication r derives its stream
+  // from r alone, so the partition never shows in the output.
+  const std::size_t count = static_cast<std::size_t>(reps);
+  const std::size_t slots =
+      std::max<std::size_t>(1, std::min<std::size_t>(backend.Concurrency(),
+                                                     count));
+  const std::size_t chunk = (count + slots - 1) / slots;
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(slots);
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(count, begin + chunk);
+    jobs.push_back([&, begin, end] {
+      RunReplicationRange(model, initial_stakes, config_, begin, end,
+                          lambda_matrix.data(), population,
+                          ThreadLocalReplicationWorkspace());
+    });
+  }
+  backend.Execute(std::move(jobs));
 
   return ReduceToResult(model.name(), initial_stakes, config_, spec_,
                         lambda_matrix, population_matrix);

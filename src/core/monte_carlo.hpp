@@ -21,8 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "core/execution_backend.hpp"
 #include "core/fairness.hpp"
 #include "core/population.hpp"
+#include "core/replication_workspace.hpp"
 #include "protocol/incentive_model.hpp"
 
 namespace fairchain::core {
@@ -49,6 +51,12 @@ struct SimulationConfig {
   /// O(m log m) sort per (replication, checkpoint); disable for pure
   /// hot-path throughput runs at extreme populations.
   bool population_metrics = true;
+  /// Retain every replication's final-checkpoint λ in
+  /// SimulationResult::final_lambdas (an O(replications) vector).  Keep on
+  /// for distribution inspection / Expectational(); turn off (spec key
+  /// `final_lambdas=off`) for 100k-replication cells that only read the
+  /// reduced checkpoint statistics.
+  bool keep_final_lambdas = true;
 
   /// Validates ranges; throws std::invalid_argument.
   void Validate() const;
@@ -85,8 +93,9 @@ struct SimulationResult {
   FairnessSpec spec;
   SimulationConfig config;
   std::vector<CheckpointStats> checkpoints;
-  /// λ of every replication at the final checkpoint (for distribution
-  /// inspection / histograms).
+  /// λ of every replication at the final checkpoint, in replication order
+  /// (for distribution inspection / histograms).  Empty when
+  /// SimulationConfig::keep_final_lambdas is off.
   std::vector<double> final_lambdas;
 
   /// The last checkpoint's statistics.
@@ -110,9 +119,17 @@ class MonteCarloEngine {
 
   /// Runs a campaign of `config.replications` games of `model`, all starting
   /// from `initial_stakes` (absolute values; the tracked miner's *share* is
-  /// derived).  Throws when `config.miner` is out of range.
+  /// derived), over the default backend for `config.threads`.  Throws when
+  /// `config.miner` is out of range.
   SimulationResult Run(const protocol::IncentiveModel& model,
                        const std::vector<double>& initial_stakes) const;
+
+  /// Same campaign over an injected execution backend.  Results are
+  /// byte-identical for ANY backend (see execution_backend.hpp for the
+  /// seeding/chunking contract).
+  SimulationResult Run(const protocol::IncentiveModel& model,
+                       const std::vector<double>& initial_stakes,
+                       const ExecutionBackend& backend) const;
 
   /// Convenience for the paper's two-miner setting: miner A starts with
   /// share `a`, miner B with 1 - a.
@@ -144,6 +161,21 @@ std::size_t PopulationMatrixSize(const SimulationConfig& config);
 /// RngStream(config.seed).Split(r), so any partition of [0, replications)
 /// across threads — including the campaign runner's shared-pool sharding —
 /// produces identical values.
+///
+/// `workspace` is the arena the replications step in; it is Bind()-ed to
+/// this call's configuration (free when already bound — the steady state)
+/// and left bound on return.  Steps between checkpoints are driven through
+/// the model's batched RunSteps in whole segments, so the per-step cost is
+/// the protocol's inner loop — no virtual dispatch, no allocation.
+void RunReplicationRange(const protocol::IncentiveModel& model,
+                         const std::vector<double>& initial_stakes,
+                         const SimulationConfig& config, std::size_t begin,
+                         std::size_t end, double* lambda_matrix,
+                         double* population_matrix,
+                         ReplicationWorkspace& workspace);
+
+/// Convenience overload running in this thread's workspace
+/// (ThreadLocalReplicationWorkspace).
 void RunReplicationRange(const protocol::IncentiveModel& model,
                          const std::vector<double>& initial_stakes,
                          const SimulationConfig& config, std::size_t begin,

@@ -1,0 +1,59 @@
+// Shared batched inner loops for the RunSteps overrides.
+//
+// Two step dynamics cover four protocols: the static-stake income loop
+// (PoW and NEO — rewards never become mining power, the sampler tree is
+// frozen, the branchless descent applies) and the compounding urn loop
+// (ML-PoS and FSL-PoS — identical batched dynamics once FSL-PoS's
+// exponential race is sampled as its equivalent categorical draw).  One
+// definition each, inline so the per-protocol RunSteps overrides still
+// compile to a single tight loop; a withholding-boundary fix or a sampler
+// change lands in every protocol that shares the dynamic.
+//
+// Both loops preserve the RunSteps contract exactly: same state
+// transitions and RNG draw order as the iterated Step reference (pinned by
+// tests/protocol/run_steps_conformance_test.cpp).
+
+#ifndef FAIRCHAIN_PROTOCOL_BATCHED_STEPS_HPP_
+#define FAIRCHAIN_PROTOCOL_BATCHED_STEPS_HPP_
+
+#include <cstdint>
+
+#include "protocol/stake_state.hpp"
+#include "support/rng.hpp"
+
+namespace fairchain::protocol::batched {
+
+/// PoW / NEO: proportional proposer over frozen stakes, non-compounding
+/// reward `w` per block.  AdvanceStep stays in the loop for
+/// withholding-boundary parity with Step (all pending amounts are zero, so
+/// a boundary is a no-op, exactly as in the reference loop).
+inline void RunStaticIncomeSteps(StakeState& state, double w,
+                                 std::uint64_t step_count, RngStream& rng) {
+  for (std::uint64_t s = 0; s < step_count; ++s) {
+    state.CreditIncome(state.SampleProportionalToStaticStake(rng), w);
+    state.AdvanceStep();
+  }
+}
+
+/// ML-PoS / FSL-PoS: one categorical draw per block, reward `w` compounds
+/// — the Pólya-urn fast path with the withholding branch hoisted out of
+/// the loop entirely.
+inline void RunCompoundingSteps(StakeState& state, double w,
+                                std::uint64_t step_count, RngStream& rng) {
+  if (state.withhold_period() == 0) {
+    for (std::uint64_t s = 0; s < step_count; ++s) {
+      state.CreditCompounding(state.SampleProportionalToStake(rng), w);
+      state.AdvanceStep();
+    }
+  } else {
+    // Withholding: rewards pend until the boundary AdvanceStep crosses.
+    for (std::uint64_t s = 0; s < step_count; ++s) {
+      state.CreditWithheld(state.SampleProportionalToStake(rng), w);
+      state.AdvanceStep();
+    }
+  }
+}
+
+}  // namespace fairchain::protocol::batched
+
+#endif  // FAIRCHAIN_PROTOCOL_BATCHED_STEPS_HPP_

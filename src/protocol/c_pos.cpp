@@ -16,6 +16,11 @@ CPosModel::CPosModel(double w, double v, std::uint32_t shards)
 }
 
 void CPosModel::Step(StakeState& state, RngStream& rng) const {
+  RunEpoch(state, rng, /*withholding=*/state.withhold_period() != 0);
+}
+
+void CPosModel::RunEpoch(StakeState& state, RngStream& rng,
+                         bool withholding) const {
   const std::size_t n = state.miner_count();
   const double total = state.total_stake();
   const double per_slot_reward = w_ / static_cast<double>(shards_);
@@ -27,15 +32,10 @@ void CPosModel::Step(StakeState& state, RngStream& rng) const {
   // independent categorical draws through the stake sampler — O(P log m)
   // instead of the earlier conditional-binomial chain's O(m).  All slots
   // are drawn BEFORE any reward is credited so every draw sees the
-  // epoch-start distribution.
-  constexpr std::size_t kStackSlots = 256;
-  std::size_t stack_winners[kStackSlots];
-  std::vector<std::size_t> heap_winners;
-  std::size_t* winners = stack_winners;
-  if (shards_ > kStackSlots) {
-    heap_winners.resize(shards_);
-    winners = heap_winners.data();
-  }
+  // epoch-start distribution.  The winner buffer is the state's index
+  // scratch: sized on the first epoch, reused by every later one.
+  std::vector<std::size_t>& winners = state.index_scratch();
+  if (winners.size() < shards_) winners.resize(shards_);
   for (std::uint32_t slot = 0; slot < shards_; ++slot) {
     winners[slot] = state.SampleProportionalToStake(rng);
   }
@@ -47,14 +47,33 @@ void CPosModel::Step(StakeState& state, RngStream& rng) const {
     for (std::size_t i = 0; i < n; ++i) {
       const double stake = state.stake(i);  // epoch-start value for miner i
       if (stake > 0.0) {
-        state.Credit(i, v_ * (stake / total), /*compounds=*/true);
+        const double reward = v_ * (stake / total);
+        if (withholding) {
+          state.CreditWithheld(i, reward);
+        } else {
+          state.CreditCompounding(i, reward);
+        }
       }
     }
   }
 
   // Proposer rewards for the sampled slots.
   for (std::uint32_t slot = 0; slot < shards_; ++slot) {
-    state.Credit(winners[slot], per_slot_reward, /*compounds=*/true);
+    if (withholding) {
+      state.CreditWithheld(winners[slot], per_slot_reward);
+    } else {
+      state.CreditCompounding(winners[slot], per_slot_reward);
+    }
+  }
+}
+
+void CPosModel::RunSteps(StakeState& state, std::uint64_t step_begin,
+                         std::uint64_t step_count, RngStream& rng) const {
+  CheckRunStepsBegin(state, step_begin);
+  const bool withholding = state.withhold_period() != 0;
+  for (std::uint64_t s = 0; s < step_count; ++s) {
+    RunEpoch(state, rng, withholding);
+    state.AdvanceStep();
   }
 }
 

@@ -35,6 +35,8 @@ class CPosModel : public IncentiveModel {
 
   std::string name() const override { return "C-PoS"; }
   void Step(StakeState& state, RngStream& rng) const override;
+  void RunSteps(StakeState& state, std::uint64_t step_begin,
+                std::uint64_t step_count, RngStream& rng) const override;
   double RewardPerStep() const override { return w_ + v_; }
 
   /// Per-slot proposer selection probability (= stake share).
@@ -47,6 +49,11 @@ class CPosModel : public IncentiveModel {
   std::uint32_t shards() const { return shards_; }
 
  private:
+  /// One epoch's slot draws and credits (the body Step and RunSteps share);
+  /// `withholding` is hoisted so the batched loop branches once, not per
+  /// credit.
+  void RunEpoch(StakeState& state, RngStream& rng, bool withholding) const;
+
   double w_;
   double v_;
   std::uint32_t shards_;

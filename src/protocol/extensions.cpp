@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "protocol/batched_steps.hpp"
+
 namespace fairchain::protocol {
 
 NeoModel::NeoModel(double w) : w_(w) { ValidateReward(w, "NeoModel: w"); }
@@ -9,9 +11,18 @@ NeoModel::NeoModel(double w) : w_(w) { ValidateReward(w, "NeoModel: w"); }
 void NeoModel::Step(StakeState& state, RngStream& rng) const {
   // Proposer ∝ base-asset share; the base asset never changes because gas
   // rewards are a separate token (compounds = false keeps stakes fixed),
-  // so the O(log m) sampler never needs an update between steps.
-  const std::size_t winner = state.SampleProportionalToStake(rng);
+  // so the O(log m) sampler never needs an update between steps and the
+  // branchless static-stake descent applies.
+  const std::size_t winner = state.SampleProportionalToStaticStake(rng);
   state.Credit(winner, w_, /*compounds=*/false);
+}
+
+void NeoModel::RunSteps(StakeState& state, std::uint64_t step_begin,
+                        std::uint64_t step_count, RngStream& rng) const {
+  CheckRunStepsBegin(state, step_begin);
+  // Gas rewards never become stake, so like PoW the whole batch runs
+  // against a frozen sampler tree.
+  batched::RunStaticIncomeSteps(state, w_, step_count, rng);
 }
 
 double NeoModel::WinProbability(const StakeState& state,

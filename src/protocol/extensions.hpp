@@ -31,6 +31,8 @@ class NeoModel : public IncentiveModel {
 
   std::string name() const override { return "NEO"; }
   void Step(StakeState& state, RngStream& rng) const override;
+  void RunSteps(StakeState& state, std::uint64_t step_begin,
+                std::uint64_t step_count, RngStream& rng) const override;
   double RewardPerStep() const override { return w_; }
   double WinProbability(const StakeState& state, std::size_t i) const override;
   bool RewardCompounds() const override { return false; }

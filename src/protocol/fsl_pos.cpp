@@ -1,5 +1,7 @@
 #include "protocol/fsl_pos.hpp"
 
+#include "protocol/batched_steps.hpp"
+
 namespace fairchain::protocol {
 
 FslPosModel::FslPosModel(double w) : w_(w) {
@@ -15,6 +17,14 @@ void FslPosModel::Step(StakeState& state, RngStream& rng) const {
   // the protocol's wire mechanism but had the identical winner law.)
   const std::size_t winner = state.SampleProportionalToStake(rng);
   state.Credit(winner, w_, /*compounds=*/true);
+}
+
+void FslPosModel::RunSteps(StakeState& state, std::uint64_t step_begin,
+                           std::uint64_t step_count, RngStream& rng) const {
+  CheckRunStepsBegin(state, step_begin);
+  // Identical batched dynamics to ML-PoS: the exponential race reduces to
+  // one categorical draw per block (see Step), and the reward compounds.
+  batched::RunCompoundingSteps(state, w_, step_count, rng);
 }
 
 double FslPosModel::WinProbability(const StakeState& state,

@@ -26,6 +26,8 @@ class FslPosModel : public IncentiveModel {
 
   std::string name() const override { return "FSL-PoS"; }
   void Step(StakeState& state, RngStream& rng) const override;
+  void RunSteps(StakeState& state, std::uint64_t step_begin,
+                std::uint64_t step_count, RngStream& rng) const override;
   double RewardPerStep() const override { return w_; }
 
   /// Exactly proportional: stake share (the point of the treatment).

@@ -35,6 +35,29 @@ class IncentiveModel {
   /// boundaries.
   virtual void Step(StakeState& state, RngStream& rng) const = 0;
 
+  /// Advances `state` by `step_count` whole steps — the batched hot path.
+  ///
+  /// Semantics are defined BY Step: RunSteps must perform exactly the state
+  /// transitions and RNG draws (same count, same order) of
+  ///
+  ///     for (uint64 s = 0; s < step_count; ++s) { Step(state, rng);
+  ///                                               state.AdvanceStep(); }
+  ///
+  /// which is also the base-class implementation — the reference the
+  /// per-protocol conformance tests pin every override against
+  /// (tests/protocol/run_steps_conformance_test.cpp).  `step_begin` is the
+  /// number of steps completed before the call and must equal
+  /// `state.step()` (throws std::invalid_argument otherwise): passing it
+  /// explicitly lets checkpoint-segment drivers mis-count loudly instead of
+  /// recording λ at silently shifted steps.
+  ///
+  /// Overrides exist for the paper's six protocols so one virtual call
+  /// amortises over a whole checkpoint segment and the inner loop inlines
+  /// the sampler descent and credit arms (no per-step virtual dispatch, no
+  /// allocation).
+  virtual void RunSteps(StakeState& state, std::uint64_t step_begin,
+                        std::uint64_t step_count, RngStream& rng) const;
+
   /// Total reward issued per step (w, or w + v for compound protocols);
   /// used to normalise λ and for analytic bounds.
   virtual double RewardPerStep() const = 0;
@@ -55,6 +78,10 @@ class IncentiveModel {
 
 /// Validates a per-block/epoch reward parameter; throws on w <= 0.
 void ValidateReward(double w, const char* what);
+
+/// Shared RunSteps precondition: throws std::invalid_argument unless
+/// `state.step() == step_begin`.  Every override calls this first.
+void CheckRunStepsBegin(const StakeState& state, std::uint64_t step_begin);
 
 }  // namespace fairchain::protocol
 

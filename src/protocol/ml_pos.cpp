@@ -1,5 +1,7 @@
 #include "protocol/ml_pos.hpp"
 
+#include "protocol/batched_steps.hpp"
+
 namespace fairchain::protocol {
 
 MlPosModel::MlPosModel(double w) : w_(w) { ValidateReward(w, "MlPosModel: w"); }
@@ -10,6 +12,12 @@ void MlPosModel::Step(StakeState& state, RngStream& rng) const {
   // Pólya-urn step that used to cost a full O(m) cumulative scan.
   const std::size_t winner = state.SampleProportionalToStake(rng);
   state.Credit(winner, w_, /*compounds=*/true);
+}
+
+void MlPosModel::RunSteps(StakeState& state, std::uint64_t step_begin,
+                          std::uint64_t step_count, RngStream& rng) const {
+  CheckRunStepsBegin(state, step_begin);
+  batched::RunCompoundingSteps(state, w_, step_count, rng);
 }
 
 double MlPosModel::WinProbability(const StakeState& state,

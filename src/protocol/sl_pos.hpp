@@ -26,6 +26,8 @@ class SlPosModel : public IncentiveModel {
 
   std::string name() const override { return "SL-PoS"; }
   void Step(StakeState& state, RngStream& rng) const override;
+  void RunSteps(StakeState& state, std::uint64_t step_begin,
+                std::uint64_t step_count, RngStream& rng) const override;
   double RewardPerStep() const override { return w_; }
 
   /// Exact win probability for the next block (two-miner closed form of
@@ -38,6 +40,10 @@ class SlPosModel : public IncentiveModel {
   double block_reward() const { return w_; }
 
  private:
+  /// One deadline race: exactly one uniform per positive-stake miner, in
+  /// miner order — the draw sequence Step and RunSteps share.
+  static std::size_t RunLottery(const StakeState& state, RngStream& rng);
+
   double w_;
 };
 

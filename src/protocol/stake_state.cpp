@@ -30,37 +30,30 @@ void StakeState::Credit(std::size_t i, double amount, bool compounds) {
   if (amount < 0.0) {
     throw std::invalid_argument("StakeState::Credit: negative amount");
   }
-  income_[i] += amount;
-  total_income_ += amount;
-  if (!compounds) return;
-  if (withhold_period_ == 0) {
-    stake_[i] += amount;
-    total_stake_ += amount;
-    sampler_.Add(i, amount);
-    ++stake_version_;
+  if (!compounds) {
+    CreditIncome(i, amount);
+  } else if (withhold_period_ == 0) {
+    CreditCompounding(i, amount);
   } else {
-    pending_[i] += amount;
+    CreditWithheld(i, amount);
   }
 }
 
-void StakeState::AdvanceStep() {
-  ++step_;
-  if (withhold_period_ != 0 && step_ % withhold_period_ == 0) {
-    bool released = false;
-    for (std::size_t i = 0; i < stake_.size(); ++i) {
-      if (pending_[i] != 0.0) {
-        stake_[i] += pending_[i];
-        total_stake_ += pending_[i];
-        pending_[i] = 0.0;
-        released = true;
-      }
+void StakeState::ReleaseWithheld() {
+  bool released = false;
+  for (std::size_t i = 0; i < stake_.size(); ++i) {
+    if (pending_[i] != 0.0) {
+      stake_[i] += pending_[i];
+      total_stake_ += pending_[i];
+      pending_[i] = 0.0;
+      released = true;
     }
-    if (released) {
-      // A boundary can release up to m pending rewards at once; one O(m)
-      // rebuild beats m separate O(log m) update paths.
-      sampler_.Build(stake_);
-      ++stake_version_;
-    }
+  }
+  if (released) {
+    // A boundary can release up to m pending rewards at once; one O(m)
+    // rebuild beats m separate O(log m) update paths.
+    sampler_.Build(stake_);
+    ++stake_version_;
   }
 }
 

@@ -93,10 +93,49 @@ class StakeState {
   /// stake changes (the sampler tree is kept in sync), O(1) otherwise.
   void Credit(std::size_t i, double amount, bool compounds);
 
+  // Inline credit fast paths for the batched RunSteps loops.  Each is one
+  // arm of Credit with the mode branches hoisted out of the per-step loop;
+  // `amount` must be >= 0 (the models validate rewards at construction).
+  // They keep exactly Credit's state transitions, so interleaving them with
+  // Credit is safe.
+
+  /// Credit(i, amount, compounds=false): income only, O(1).
+  void CreditIncome(std::size_t i, double amount) {
+    income_[i] += amount;
+    total_income_ += amount;
+  }
+
+  /// Credit(i, amount, compounds=true) with withholding disabled: income
+  /// plus immediate mining power, O(log m).  Precondition:
+  /// withhold_period() == 0.
+  void CreditCompounding(std::size_t i, double amount) {
+    income_[i] += amount;
+    total_income_ += amount;
+    stake_[i] += amount;
+    total_stake_ += amount;
+    sampler_.Add(i, amount);
+    ++stake_version_;
+  }
+
+  /// Credit(i, amount, compounds=true) with withholding enabled: income
+  /// now, mining power at the next boundary, O(1).  Precondition:
+  /// withhold_period() != 0.
+  void CreditWithheld(std::size_t i, double amount) {
+    income_[i] += amount;
+    total_income_ += amount;
+    pending_[i] += amount;
+  }
+
   /// Marks the end of a step: advances the block/epoch counter and releases
   /// withheld rewards when a boundary is crossed.  Called by the model
-  /// driver after each IncentiveModel::Step.
-  void AdvanceStep();
+  /// driver after each IncentiveModel::Step.  Inline: without withholding
+  /// this is a single increment on the hot path.
+  void AdvanceStep() {
+    ++step_;
+    if (withhold_period_ != 0 && step_ % withhold_period_ == 0) {
+      ReleaseWithheld();
+    }
+  }
 
   /// Sum of rewards issued but not yet effective (0 without withholding).
   double PendingTotal() const;
@@ -111,6 +150,17 @@ class StakeState {
   /// C-PoS slot assignment.
   std::size_t SampleProportionalToStake(RngStream& rng) const {
     return sampler_.Sample(rng.NextDouble());
+  }
+
+  /// Identical selection to SampleProportionalToStake — same draw, same
+  /// winner for every input — through the sampler's branchless descent,
+  /// which is ~2x faster when the stake distribution never changes during
+  /// the game (PoW / NEO: per-level descent decisions are fresh coin flips
+  /// the branch predictor cannot learn).  Compounding protocols should
+  /// keep the branchy variant: their concentrated evolving trees make the
+  /// predicted-skip descent cheaper (see FenwickSampler::SampleFlat).
+  std::size_t SampleProportionalToStaticStake(RngStream& rng) const {
+    return sampler_.SampleFlat(rng.NextDouble());
   }
 
   /// Monotone counter bumped whenever any effective stake changes
@@ -131,6 +181,12 @@ class StakeState {
     return win_probability_cache_;
   }
 
+  /// Per-state index scratch buffer (e.g. the C-PoS epoch slot winners).
+  /// Owned by the state — not the immutable, thread-shared models — so
+  /// steady-state stepping allocates it once per workspace, not per epoch;
+  /// `mutable` because scratch contents are not observable game state.
+  std::vector<std::size_t>& index_scratch() const { return index_scratch_; }
+
   /// Appends each miner's wealth — initial resource plus all credited
   /// income, whether or not it compounds or is still withheld — to `out`
   /// (resized to miner_count).  The basis of the population concentration
@@ -138,12 +194,17 @@ class StakeState {
   void WealthVector(std::vector<double>* out) const;
 
  private:
+  /// Releases all pending stakes into mining power (boundary crossing);
+  /// out of line because a release rebuilds the sampler tree in O(m).
+  void ReleaseWithheld();
+
   std::vector<double> initial_;
   std::vector<double> stake_;
   std::vector<double> income_;
   std::vector<double> pending_;
   FenwickSampler sampler_;
   mutable WinProbabilityCache win_probability_cache_;
+  mutable std::vector<std::size_t> index_scratch_;
   double initial_total_ = 0.0;
   double total_stake_ = 0.0;
   double total_income_ = 0.0;

@@ -6,10 +6,10 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "core/execution_backend.hpp"
 #include "protocol/model_factory.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
-#include "support/thread_pool.hpp"
 
 namespace fairchain::sim {
 
@@ -90,6 +90,7 @@ core::SimulationConfig CellConfig(const ScenarioSpec& spec,
   config.seed = CellSeed(spec.seed, cell.index);
   config.withhold_period = cell.withhold;
   config.population_metrics = spec.population_metrics;
+  config.keep_final_lambdas = spec.keep_final_lambdas;
   if (spec.spacing == CheckpointSpacing::kLog) {
     config.checkpoints = core::LogCheckpoints(
         spec.steps, std::max<std::size_t>(2, spec.checkpoint_count),
@@ -123,11 +124,17 @@ std::uint64_t CampaignRunner::ChunkSize(std::uint64_t replications,
   return std::max<std::uint64_t>(1, (replications + chunks - 1) / chunks);
 }
 
+unsigned CampaignRunner::PlannedConcurrency() const {
+  if (options_.backend != nullptr) {
+    return std::max(1u, options_.backend->Concurrency());
+  }
+  return options_.threads != 0 ? options_.threads : EnvThreads();
+}
+
 std::vector<ChunkJob> CampaignRunner::PlanJobs(
     const ScenarioSpec& spec) const {
-  const unsigned threads =
-      options_.threads != 0 ? options_.threads : EnvThreads();
-  const std::uint64_t chunk = ChunkSize(spec.replications, threads);
+  const std::uint64_t chunk =
+      ChunkSize(spec.replications, PlannedConcurrency());
   std::vector<ChunkJob> jobs;
   const std::size_t cells = spec.ExpandCells().size();
   for (std::size_t cell = 0; cell < cells; ++cell) {
@@ -146,8 +153,12 @@ std::vector<ChunkJob> CampaignRunner::PlanJobs(
 std::vector<CellOutcome> CampaignRunner::Run(
     const ScenarioSpec& spec, const std::vector<ResultSink*>& sinks) const {
   const std::vector<CampaignCell> cells = spec.ExpandCells();
-  const unsigned threads =
-      options_.threads != 0 ? options_.threads : EnvThreads();
+  const core::ExecutionBackend* backend = options_.backend;
+  std::unique_ptr<core::ExecutionBackend> owned_backend;
+  if (backend == nullptr) {
+    owned_backend = core::MakeDefaultBackend(options_.threads);
+    backend = owned_backend.get();
+  }
 
   // Bind every cell fully on this thread: model construction and config
   // validation throw here, never inside a worker.  The λ matrix itself is
@@ -191,7 +202,9 @@ std::vector<CellOutcome> CampaignRunner::Run(
   };
 
   // Dispatch exactly the job grid PlanJobs describes (the plan the tests
-  // assert on), as one SubmitBatch so cells interleave across workers.
+  // assert on), as one Execute batch so cells interleave across workers.
+  // Each chunk steps in its worker's thread-local arena, reused across
+  // chunks and cells (zero steady-state allocation within a cell).
   const std::vector<ChunkJob> plan = PlanJobs(spec);
   for (const ChunkJob& job : plan) {
     executions[job.cell]->remaining_chunks.fetch_add(1);
@@ -222,11 +235,7 @@ std::vector<CellOutcome> CampaignRunner::Run(
     });
   }
 
-  {
-    ThreadPool pool(threads);
-    pool.SubmitBatch(std::move(jobs));
-    pool.Wait();
-  }
+  backend->Execute(std::move(jobs));
 
   for (ResultSink* sink : sinks) sink->EndCampaign();
 

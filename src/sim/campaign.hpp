@@ -1,13 +1,14 @@
 // Batched campaign scheduling.
 //
 // A campaign is one ScenarioSpec expanded into its grid of CampaignCells.
-// The CampaignRunner executes ALL cells over ONE shared ThreadPool with
+// The CampaignRunner executes ALL cells over ONE ExecutionBackend with
 // replication-level sharding: every cell's replications are cut into
-// chunks, and the full job grid (every chunk of every cell) is submitted
-// up front in a single SubmitBatch call.  A 50-cell campaign therefore
-// saturates all cores for its whole duration instead of running cells
-// serially through per-cell pools — on k cores the wall clock approaches
-// (serial sum)/k.
+// chunks, and the full job grid (every chunk of every cell) is handed to
+// the backend in a single Execute call.  On the thread-pool backend a
+// 50-cell campaign therefore saturates all cores for its whole duration
+// instead of running cells serially through per-cell pools — on k cores
+// the wall clock approaches (serial sum)/k; the serial backend runs the
+// same grid inline and is the byte-identical determinism reference.
 //
 // Determinism contract: replication r of cell i always draws from
 // RngStream(CellSeed(spec.seed, i)).Split(r), and rows are streamed to the
@@ -22,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/execution_backend.hpp"
 #include "core/monte_carlo.hpp"
 #include "sim/result_sink.hpp"
 #include "sim/scenario_spec.hpp"
@@ -30,11 +32,17 @@ namespace fairchain::sim {
 
 /// Execution knobs independent of what is simulated.
 struct CampaignOptions {
-  /// Worker threads for the shared pool (0 = EnvThreads()).
+  /// Worker threads for the default backend (0 = EnvThreads()).  Ignored
+  /// when `backend` is injected.
   unsigned threads = 0;
   /// Replications per scheduled chunk (0 = auto: ~4 chunks per worker per
   /// cell, so cells interleave across the pool).
   std::uint64_t chunk_replications = 0;
+  /// Execution backend the job grid runs on (non-owning; must outlive the
+  /// runner's Run).  Null = MakeDefaultBackend(threads).  Output is
+  /// byte-identical for ANY backend — see core/execution_backend.hpp for
+  /// the seeding/chunking contract that guarantees it.
+  const core::ExecutionBackend* backend = nullptr;
 };
 
 /// One executed cell: its grid coordinates, derived seed, and full result.
@@ -79,6 +87,9 @@ class CampaignRunner {
 
  private:
   std::uint64_t ChunkSize(std::uint64_t replications, unsigned threads) const;
+  /// Concurrency the job grid is sized for: the injected backend's, or the
+  /// default backend's worker count.
+  unsigned PlannedConcurrency() const;
 
   CampaignOptions options_;
 };

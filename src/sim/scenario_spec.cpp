@@ -166,6 +166,8 @@ void Assign(ScenarioSpec& spec, const std::string& key,
     }
   } else if (key == "population") {
     spec.population_metrics = ParseOnOff(key, value);
+  } else if (key == "final_lambdas") {
+    spec.keep_final_lambdas = ParseOnOff(key, value);
   } else if (key == "steps") {
     spec.steps = ParseU64(key, value);
   } else if (key == "reps") {
@@ -250,6 +252,18 @@ std::vector<double> CampaignCell::Stakes() const {
   // Normalise to a unit total so the reward parameters (w, v) keep their
   // paper interpretation relative to the initial resource pool.
   for (double& value : stakes) value /= total;
+  // Extreme parameters (e.g. pareto alpha near 0) overflow pow() to inf and
+  // normalise to NaN; fail here, on the thread that expanded the cell — a
+  // NaN vector would otherwise first throw inside a worker job, where the
+  // execution backends document that jobs must not throw.
+  for (const double value : stakes) {
+    if (!std::isfinite(value)) {
+      throw std::invalid_argument(
+          "ScenarioSpec: stake distribution '" + stake_dist +
+          "' is numerically degenerate at " + std::to_string(miners) +
+          " miners (non-finite stake); use a less extreme parameter");
+    }
+  }
   return stakes;
 }
 
@@ -455,7 +469,8 @@ std::string ScenarioSpec::ToText() const {
       << (spacing == CheckpointSpacing::kLog ? "log" : "linear") << "\n"
       << "eps=" << FormatDouble(fairness.epsilon) << "\n"
       << "delta=" << FormatDouble(fairness.delta) << "\n"
-      << "population=" << (population_metrics ? "on" : "off") << "\n";
+      << "population=" << (population_metrics ? "on" : "off") << "\n"
+      << "final_lambdas=" << (keep_final_lambdas ? "on" : "off") << "\n";
   return out.str();
 }
 
@@ -470,7 +485,7 @@ const std::vector<std::string>& ScenarioSpec::OverrideFlagNames() {
       "protocols", "miners",      "whales",  "a",     "w",
       "v",         "shards",      "withhold", "stakes", "steps",
       "reps",      "seed",        "checkpoints", "spacing", "eps",
-      "delta",     "population"};
+      "delta",     "population",  "final_lambdas"};
   return names;
 }
 

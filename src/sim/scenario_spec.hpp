@@ -10,8 +10,8 @@
 //   * CLI flag overrides (`--reps 200`), via ApplyOverrides.
 //
 // The CampaignRunner expands a spec's grid axes into their cartesian
-// product of CampaignCells and executes every cell over one shared thread
-// pool (see campaign.hpp).
+// product of CampaignCells and executes every cell over one execution
+// backend (see campaign.hpp and core/execution_backend.hpp).
 
 #ifndef FAIRCHAIN_SIM_SCENARIO_SPEC_HPP_
 #define FAIRCHAIN_SIM_SCENARIO_SPEC_HPP_
@@ -112,6 +112,11 @@ struct ScenarioSpec {
   /// O(m log m) sort per replication-checkpoint; turn off for pure
   /// throughput scenarios at extreme populations).
   bool population_metrics = true;
+  /// Retain per-replication final-checkpoint λ vectors in cell results
+  /// (SimulationResult::final_lambdas, an O(replications) vector per
+  /// cell).  The streamed CSV/JSONL rows never read them, so turn off
+  /// (`final_lambdas=off`) for 100k-replication cells.
+  bool keep_final_lambdas = true;
 
   /// Throws std::invalid_argument on an empty axis, an unknown protocol,
   /// out-of-range allocations / miner counts, or zero steps/replications.
@@ -129,7 +134,8 @@ struct ScenarioSpec {
   /// comma-separated values.  Keys:
   ///   name, description, protocols, miners, whales, a, w, v, shards,
   ///   withhold, stakes (split|pareto:A|zipf:S), steps, reps, seed,
-  ///   checkpoints, spacing (linear|log), eps, delta, population (on|off)
+  ///   checkpoints, spacing (linear|log), eps, delta, population (on|off),
+  ///   final_lambdas (on|off)
   /// Unknown keys throw std::invalid_argument (same contract as
   /// FlagSet::RejectUnknown: a typo must not silently become a default).
   static ScenarioSpec FromText(const std::string& text);
@@ -145,8 +151,8 @@ struct ScenarioSpec {
   /// Applies CLI overrides (all optional): --reps, --steps, --seed,
   /// --checkpoints, --spacing, --eps, --delta, --protocols, --miners,
   /// --whales, --a, --w, --v, --shards, --withhold, --stakes,
-  /// --population.  List-valued flags take comma-separated values and
-  /// replace the whole axis.
+  /// --population, --final_lambdas.  List-valued flags take
+  /// comma-separated values and replace the whole axis.
   void ApplyOverrides(const FlagSet& flags);
 
   /// Flag names ApplyOverrides understands (for FlagSet::RejectUnknown).

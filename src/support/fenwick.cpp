@@ -20,39 +20,4 @@ void FenwickSampler::Build(const std::vector<double>& weights) {
   if (size_ == 0) mask_ = 0;
 }
 
-void FenwickSampler::Add(std::size_t i, double delta) {
-  total_ += delta;
-  for (std::size_t k = i + 1; k <= size_; k += k & (~k + 1)) {
-    tree_[k] += delta;
-  }
-}
-
-double FenwickSampler::PrefixSum(std::size_t i) const {
-  double sum = 0.0;
-  for (std::size_t k = i; k > 0; k -= k & (~k + 1)) {
-    sum += tree_[k];
-  }
-  return sum;
-}
-
-std::size_t FenwickSampler::Sample(double u01) const {
-  double remaining = u01 * total_;
-  std::size_t index = 0;
-  for (std::size_t bit = mask_; bit != 0; bit >>= 1) {
-    const std::size_t next = index + bit;
-    if (next <= size_ && tree_[next] <= remaining) {
-      index = next;
-      remaining -= tree_[next];
-    }
-  }
-  // `index` counts the elements whose cumulative sum is <= the target, so it
-  // is the 0-based winner — unless rounding overran every prefix, in which
-  // case walk back to the last element with positive weight.
-  if (index >= size_) {
-    index = size_ - 1;
-    while (index > 0 && Weight(index) <= 0.0) --index;
-  }
-  return index;
-}
-
 }  // namespace fairchain

@@ -16,6 +16,8 @@
 #define FAIRCHAIN_SUPPORT_FENWICK_HPP_
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace fairchain {
@@ -29,11 +31,31 @@ class FenwickSampler {
   /// precondition violation (the callers validate stakes on construction).
   void Build(const std::vector<double>& weights);
 
-  /// Adds `delta` to element `i` in O(log m).
-  void Add(std::size_t i, double delta);
+  /// Adds `delta` to element `i` in O(log m).  Defined inline: this is the
+  /// per-step reinforcement of every compounding protocol, and the batched
+  /// RunSteps loops rely on it folding into their inner loop.  The
+  /// two-element game updates straight-line (adding a masked +0.0 is exact
+  /// on these non-negative sums, so the update set matches the loop's).
+  void Add(std::size_t i, double delta) {
+    total_ += delta;
+    if (size_ == 2) {
+      tree_[1] += MaskDouble(delta, i == 0);
+      tree_[2] += delta;
+      return;
+    }
+    for (std::size_t k = i + 1; k <= size_; k += k & (~k + 1)) {
+      tree_[k] += delta;
+    }
+  }
 
   /// Sum of elements [0, i) in O(log m).
-  double PrefixSum(std::size_t i) const;
+  double PrefixSum(std::size_t i) const {
+    double sum = 0.0;
+    for (std::size_t k = i; k > 0; k -= k & (~k + 1)) {
+      sum += tree_[k];
+    }
+    return sum;
+  }
 
   /// Element `i` alone, in O(log m).
   double Weight(std::size_t i) const { return PrefixSum(i + 1) - PrefixSum(i); }
@@ -52,9 +74,84 @@ class FenwickSampler {
   /// floating-point rounding pushes the target past every prefix sum, the
   /// last positive-weight element wins — mirroring the linear scan's
   /// return-last fallback.  Requires a non-empty tree with positive total.
-  std::size_t Sample(double u01) const;
+  /// Inline for the same reason as Add: one Sample per simulated block.
+  ///
+  /// This is the branch-based descent: a level whose node is skipped costs
+  /// only a predicted compare.  Fastest when the weight distribution is
+  /// CONCENTRATED (a compounding game that has crowned early winners): the
+  /// descent path repeats, the predictor learns it, skips are free.  The
+  /// two-element game (the paper's default) resolves with the same two
+  /// comparisons the descent would make, minus the loop.
+  std::size_t Sample(double u01) const {
+    double remaining = u01 * total_;
+    if (size_ == 2) return SampleTwo(remaining);
+    std::size_t index = 0;
+    for (std::size_t bit = mask_; bit != 0; bit >>= 1) {
+      const std::size_t next = index + bit;
+      if (next <= size_ && tree_[next] <= remaining) {
+        index = next;
+        remaining -= tree_[next];
+      }
+    }
+    // `index` counts the elements whose cumulative sum is <= the target, so
+    // it is the 0-based winner — unless rounding overran every prefix, in
+    // which case walk back to the last element with positive weight.
+    return index < size_ ? index : LastPositive();
+  }
+
+  /// Same selection as Sample — bit-for-bit, for every input — via a
+  /// BRANCHLESS descent: `take ? bit : 0` compiles to a conditional move
+  /// and the subtrahend is masked to exactly t or exactly +0.0 in the bit
+  /// domain, so a mispredictable take/skip decision never flushes the
+  /// pipeline.  Fastest when the distribution is FLAT or heavy-tailed but
+  /// static (PoW / NEO, whose stakes never change: each level's decision
+  /// is a fresh coin flip the predictor cannot learn) — measured (gcc
+  /// Release, pareto:1.16): 37 → 17 ns at m = 100, 104 → 70 ns at m =
+  /// 100k.  On a concentrated evolving tree the always-executed
+  /// compare-mask-subtract chain loses to Sample's predicted skips, which
+  /// is why the compounding protocols keep the branchy descent.
+  std::size_t SampleFlat(double u01) const {
+    double remaining = u01 * total_;
+    if (size_ == 2) return SampleTwo(remaining);
+    std::size_t index = 0;
+    for (std::size_t bit = mask_; bit != 0; bit >>= 1) {
+      const std::size_t next = index + bit;
+      if (next <= size_) {
+        const double t = tree_[next];
+        const bool take = t <= remaining;
+        index += take ? bit : 0;
+        remaining -= MaskDouble(t, take);
+      }
+    }
+    return index < size_ ? index : LastPositive();
+  }
 
  private:
+  /// `condition ? value : +0.0` computed in the bit domain (no int→fp
+  /// conversion, no branch); exact because masking all bits off IS +0.0.
+  static double MaskDouble(double value, bool condition) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    bits &= 0ULL - static_cast<std::uint64_t>(condition);
+    double masked;
+    std::memcpy(&masked, &bits, sizeof(masked));
+    return masked;
+  }
+
+  /// Two-element fast path shared by both descents: exactly the decisions
+  /// the loop would make (compare tree_[2] at bit 2, tree_[1] at bit 1).
+  std::size_t SampleTwo(double remaining) const {
+    if (tree_[2] <= remaining) return LastPositive();  // rounding overran
+    return tree_[1] <= remaining ? 1 : 0;
+  }
+
+  /// Rounding-overran fallback: the last element with positive weight.
+  std::size_t LastPositive() const {
+    std::size_t index = size_ - 1;
+    while (index > 0 && Weight(index) <= 0.0) --index;
+    return index;
+  }
+
   // tree_[k] (1-based) holds the sum of the k & -k elements ending at k.
   std::vector<double> tree_;
   std::size_t size_ = 0;

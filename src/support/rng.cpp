@@ -20,28 +20,6 @@ RngStream::RngStream(const std::array<std::uint64_t, 4>& state) : state_(state) 
   }
 }
 
-std::uint64_t RngStream::NextU64() {
-  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
-
-double RngStream::NextDouble() {
-  // 53 high bits -> uniform on [0, 1) with full double precision.
-  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
-}
-
-double RngStream::NextOpenDouble() {
-  // (u + 0.5) / 2^53 lies in (0, 1) strictly.
-  return (static_cast<double>(NextU64() >> 11) + 0.5) * 0x1.0p-53;
-}
-
 std::uint64_t RngStream::NextBounded(std::uint64_t bound) {
   if (bound == 0) throw std::invalid_argument("NextBounded: bound must be > 0");
   // Rejection sampling over the largest multiple of `bound`.

@@ -54,15 +54,34 @@ class RngStream {
   /// Constructs from raw state (used internally by Split / Jump).
   explicit RngStream(const std::array<std::uint64_t, 4>& state);
 
-  /// Returns the next raw 64-bit output.
-  std::uint64_t NextU64();
+  /// Returns the next raw 64-bit output.  Inline (with the two doubles
+  /// below): one draw per simulated block is THE innermost operation of
+  /// every Monte Carlo campaign, and the batched protocol loops rely on it
+  /// scheduling into their inner loop instead of costing a call per draw.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// Returns a uniform double in [0, 1) with 53 random bits.
-  double NextDouble();
+  double NextDouble() {
+    // 53 high bits -> uniform on [0, 1) with full double precision.
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
 
   /// Returns a uniform double in the open interval (0, 1); never 0, so it is
   /// safe as input to log() in inverse-transform sampling.
-  double NextOpenDouble();
+  double NextOpenDouble() {
+    // (u + 0.5) / 2^53 lies in (0, 1) strictly.
+    return (static_cast<double>(NextU64() >> 11) + 0.5) * 0x1.0p-53;
+  }
 
   /// Returns a uniform integer in [0, bound) without modulo bias.
   /// `bound` must be positive.

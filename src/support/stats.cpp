@@ -81,6 +81,14 @@ double Quantile(std::vector<double> values, double q) {
 
 std::vector<double> Quantiles(std::vector<double> values,
                               const std::vector<double>& qs) {
+  std::vector<double> out;
+  QuantilesInPlace(values, qs, &out);
+  return out;
+}
+
+void QuantilesInPlace(std::vector<double>& values,
+                      const std::vector<double>& qs,
+                      std::vector<double>* out) {
   if (values.empty()) throw std::invalid_argument("Quantiles: empty input");
   for (const double q : qs) {
     if (q < 0.0 || q > 1.0) {
@@ -88,10 +96,10 @@ std::vector<double> Quantiles(std::vector<double> values,
     }
   }
   std::sort(values.begin(), values.end());
-  std::vector<double> out;
-  out.reserve(qs.size());
-  for (const double q : qs) out.push_back(InterpolatedQuantile(values, q));
-  return out;
+  out->resize(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    (*out)[i] = InterpolatedQuantile(values, qs[i]);
+  }
 }
 
 double FractionOutside(const std::vector<double>& values, double lo,

@@ -72,6 +72,15 @@ double Quantile(std::vector<double> values, double q);
 std::vector<double> Quantiles(std::vector<double> values,
                               const std::vector<double>& qs);
 
+/// Allocation-free core of Quantiles: sorts `values` IN PLACE (the buffer
+/// is left sorted) and writes the quantiles into `out`, resized to
+/// qs.size().  Callers that reduce many same-sized samples reuse one
+/// buffer pair across calls — the Monte Carlo per-checkpoint reduction
+/// path.  Same validation as Quantiles.
+void QuantilesInPlace(std::vector<double>& values,
+                      const std::vector<double>& qs,
+                      std::vector<double>* out);
+
 /// Fraction of `values` strictly outside [lo, hi].
 double FractionOutside(const std::vector<double>& values, double lo, double hi);
 

@@ -10,6 +10,12 @@ VerificationPlan::VerificationPlan(
     sim::ScenarioSpec spec, const std::vector<const Oracle*>* oracles)
     : spec_(std::move(spec)) {
   spec_.Validate();
+  // The statistical judge consumes replication-level final-λ samples;
+  // honouring `final_lambdas=off` here would turn every cell into a
+  // misleading "no replication-level samples" sanity failure, so the plan
+  // always retains them (the key exists for campaign memory savings, which
+  // do not apply to verification runs).
+  spec_.keep_final_lambdas = true;
   const std::vector<const Oracle*>& catalogue =
       oracles != nullptr ? *oracles : DefaultOracles();
   const std::vector<sim::CampaignCell> cells = spec_.ExpandCells();

@@ -64,7 +64,10 @@ class VerificationPlan {
 
 /// Execution knobs for VerifyCampaign.
 struct VerificationOptions {
-  sim::CampaignOptions campaign;  ///< threads / chunking for the runner
+  /// Threads / chunking / execution backend for the runner.  Verdicts are
+  /// pure functions of the seeded campaign output, so they are
+  /// byte-identical across backends and thread counts.
+  sim::CampaignOptions campaign;
   /// Judge knobs; `comparisons` is overwritten from the plan.
   JudgeConfig judge;
 };

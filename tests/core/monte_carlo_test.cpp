@@ -375,5 +375,81 @@ TEST(MonteCarloEngineTest, ExpectationalReportConsistentForPow) {
   EXPECT_DOUBLE_EQ(report.target, 0.2);
 }
 
+TEST(MonteCarloEngineTest, FinalLambdasDroppedWhenRetentionOff) {
+  protocol::MlPosModel model(0.01);
+  SimulationConfig config = SmallConfig();
+  const auto with = MonteCarloEngine(config, FairnessSpec{})
+                        .RunTwoMiner(model, 0.2);
+  config.keep_final_lambdas = false;
+  const auto without = MonteCarloEngine(config, FairnessSpec{})
+                           .RunTwoMiner(model, 0.2);
+  ASSERT_EQ(with.final_lambdas.size(), 400u);
+  EXPECT_TRUE(without.final_lambdas.empty());
+  // Retention only affects the retained vector, never the statistics.
+  ASSERT_EQ(with.checkpoints.size(), without.checkpoints.size());
+  for (std::size_t i = 0; i < with.checkpoints.size(); ++i) {
+    EXPECT_EQ(with.checkpoints[i].mean, without.checkpoints[i].mean);
+    EXPECT_EQ(with.checkpoints[i].p95, without.checkpoints[i].p95);
+    EXPECT_EQ(with.checkpoints[i].unfair_probability,
+              without.checkpoints[i].unfair_probability);
+  }
+  EXPECT_THROW(without.Expectational(), std::logic_error);
+}
+
+TEST(MonteCarloEngineTest, FinalLambdasKeepReplicationOrder) {
+  // final_lambdas[r] must be replication r's λ (NOT a sorted copy — the
+  // reduction sorts its scratch in place for quantiles).  Cross-check
+  // against a direct single-replication RunReplicationRange.
+  protocol::MlPosModel model(0.01);
+  SimulationConfig config = SmallConfig();
+  const auto result =
+      MonteCarloEngine(config, FairnessSpec{}).RunTwoMiner(model, 0.2);
+  config.Validate();
+  std::vector<double> lambda(config.checkpoints.size() *
+                             config.replications);
+  ReplicationWorkspace workspace;
+  RunReplicationRange(model, {0.2, 0.8}, config, 7, 8, lambda.data(),
+                      nullptr, workspace);
+  const std::size_t last = config.checkpoints.size() - 1;
+  EXPECT_EQ(result.final_lambdas[7],
+            lambda[last * config.replications + 7]);
+}
+
+TEST(ReplicationWorkspaceTest, ReusedAcrossRangesWithIdenticalResults) {
+  protocol::MlPosModel model(0.01);
+  SimulationConfig config = SmallConfig();
+  config.Validate();
+  const std::vector<double> stakes = {0.2, 0.8};
+  const std::size_t size = config.checkpoints.size() * config.replications;
+  std::vector<double> fresh(size, 0.0);
+  std::vector<double> reused(size, 0.0);
+  // Reference: a fresh workspace per chunk.
+  for (std::size_t begin = 0; begin < 400; begin += 100) {
+    ReplicationWorkspace workspace;
+    RunReplicationRange(model, stakes, config, begin, begin + 100,
+                        fresh.data(), nullptr, workspace);
+  }
+  // One arena across all chunks (the per-worker steady state), plus a
+  // rebind to a DIFFERENT cell in between to exercise reconfiguration.
+  ReplicationWorkspace workspace;
+  std::vector<double> other_cell(size, 0.0);
+  for (std::size_t begin = 0; begin < 400; begin += 100) {
+    RunReplicationRange(model, stakes, config, begin, begin + 100,
+                        reused.data(), nullptr, workspace);
+    RunReplicationRange(model, {0.5, 0.3, 0.2}, config, 0, 1,
+                        other_cell.data(), nullptr, workspace);
+  }
+  EXPECT_EQ(fresh, reused);
+}
+
+TEST(ReplicationWorkspaceTest, BindValidatesStakes) {
+  ReplicationWorkspace workspace;
+  EXPECT_THROW(workspace.Bind({}, 0), std::invalid_argument);
+  EXPECT_THROW(workspace.Bind({-1.0, 2.0}, 0), std::invalid_argument);
+  workspace.Bind({0.2, 0.8}, 0);
+  EXPECT_TRUE(workspace.bound());
+  EXPECT_EQ(workspace.state().miner_count(), 2u);
+}
+
 }  // namespace
 }  // namespace fairchain::core

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/execution_backend.hpp"
 #include "sim/campaign.hpp"
 #include "sim/result_sink.hpp"
 #include "sim/scenario_spec.hpp"
@@ -72,6 +73,30 @@ TEST(CampaignDeterminismTest, CsvHeaderMatchesGoldenSchema) {
     if (!line.empty()) ++rows;
   }
   EXPECT_EQ(rows, 16u * 3u);
+}
+
+// The execution-backend contract: the same campaign must emit byte-
+// identical streams on the serial backend (the determinism reference) and
+// on thread pools of any size.  This is the acceptance gate every future
+// backend (process-sharded, remote) has to pass unchanged.
+TEST(CampaignDeterminismTest, BackendsEmitByteIdenticalStreams) {
+  auto run = [](const core::ExecutionBackend& backend) {
+    std::ostringstream csv_out;
+    std::ostringstream jsonl_out;
+    sim::CsvSink csv(csv_out);
+    sim::JsonlSink jsonl(jsonl_out);
+    sim::CampaignOptions options;
+    options.backend = &backend;
+    sim::CampaignRunner(options).Run(GoldenSpec(), {&csv, &jsonl});
+    return Captured{csv_out.str(), jsonl_out.str()};
+  };
+  const Captured serial = run(core::SerialBackend{});
+  const Captured pool1 = run(core::ThreadPoolBackend{1});
+  const Captured pool4 = run(core::ThreadPoolBackend{4});
+  EXPECT_EQ(serial.csv, pool1.csv);
+  EXPECT_EQ(serial.jsonl, pool1.jsonl);
+  EXPECT_EQ(serial.csv, pool4.csv);
+  EXPECT_EQ(serial.jsonl, pool4.jsonl);
 }
 
 TEST(CampaignDeterminismTest, RepeatedRunsAreIdentical) {

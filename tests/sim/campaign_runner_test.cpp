@@ -98,6 +98,17 @@ TEST(CampaignRunnerTest, SingleCellMatchesMonteCarloEngine) {
   }
 }
 
+TEST(CampaignRunnerTest, CellConfigPlumbsFinalLambdaRetention) {
+  ScenarioSpec spec = SmallSpec();
+  EXPECT_TRUE(CellConfig(spec, 0).keep_final_lambdas);
+  spec.keep_final_lambdas = false;
+  EXPECT_FALSE(CellConfig(spec, 0).keep_final_lambdas);
+  const auto outcomes = CampaignRunner().Run(spec, {});
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.result.final_lambdas.empty());
+  }
+}
+
 TEST(CampaignRunnerTest, CellSeedsAreDistinctAndIndexStable) {
   const std::uint64_t master = 20210620;
   std::set<std::uint64_t> seeds;

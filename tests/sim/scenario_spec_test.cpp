@@ -297,6 +297,36 @@ TEST(ScenarioSpecTest, InvalidStakesOrPopulationValuesThrow) {
   EXPECT_THROW(spec.Validate(), std::invalid_argument);
 }
 
+TEST(StakeDistributionTest, DegenerateParametersFailOnTheExpandingThread) {
+  // pow((i+0.5)/m, -1/alpha) overflows to inf for tiny alpha; after
+  // normalisation the stakes are NaN.  Stakes() must throw here — on the
+  // thread that expands the cell — because execution-backend jobs are not
+  // allowed to throw (the old behaviour was std::terminate inside a
+  // ThreadPool worker).
+  CampaignCell cell;
+  cell.miners = 100;
+  cell.stake_dist = "pareto:0.001";
+  EXPECT_THROW(cell.Stakes(), std::invalid_argument);
+  cell.stake_dist = "zipf:5000";  // (i+1)^-5000 underflows all but rank 0
+  EXPECT_NO_THROW(cell.Stakes());  // underflow to 0 is fine: rank 0 wins
+}
+
+TEST(ScenarioSpecTest, FinalLambdasKeyParsesRoundTripsAndOverrides) {
+  EXPECT_TRUE(ScenarioSpec().keep_final_lambdas);  // default stays on
+  ScenarioSpec spec = ScenarioSpec::FromText("final_lambdas=off\n");
+  EXPECT_FALSE(spec.keep_final_lambdas);
+  const ScenarioSpec parsed = ScenarioSpec::FromText(spec.ToText());
+  EXPECT_FALSE(parsed.keep_final_lambdas);
+
+  ScenarioSpec overridden;
+  overridden.ApplyOverrides(
+      FlagSet::Parse({"--final_lambdas", "off"}));
+  EXPECT_FALSE(overridden.keep_final_lambdas);
+
+  EXPECT_THROW(ScenarioSpec::FromText("final_lambdas=sometimes\n"),
+               std::invalid_argument);
+}
+
 // --- error paths: every failure names the problem actionably ----------------
 
 // Captures the exception message of a parse/validate failure.

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/rng.hpp"
+
 namespace fairchain {
 namespace {
 
@@ -100,6 +102,38 @@ TEST(FenwickSamplerTest, RebuildReplacesPreviousState) {
   EXPECT_EQ(sampler.size(), 3u);
   EXPECT_DOUBLE_EQ(sampler.Total(), 6.0);
   EXPECT_DOUBLE_EQ(sampler.Weight(0), 1.0);
+}
+
+// Sample (branchy descent, compounding hot path) and SampleFlat
+// (branchless descent, static-stake hot path) are two micro-optimisations
+// of ONE selection function: for every input they must pick the same
+// winner, or PoW/NEO campaigns would diverge from the shared law.  Swept
+// across sizes (incl. the two-element fast path and non-powers of two),
+// evolving weights, zero-weight holes, and the u -> 1 boundary.
+TEST(FenwickSamplerTest, FlatDescentMatchesBranchyDescentEverywhere) {
+  RngStream rng(20210620);
+  for (const std::size_t size :
+       {1ul, 2ul, 3ul, 5ul, 8ul, 37ul, 100ul, 1000ul}) {
+    FenwickSampler sampler;
+    std::vector<double> weights(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      weights[i] = (i % 7 == 3) ? 0.0 : 1.0 / static_cast<double>(i + 1);
+    }
+    if (size > 1 && weights[0] == 0.0) weights[0] = 1.0;
+    sampler.Build(weights);
+    for (int draw = 0; draw < 2000; ++draw) {
+      const double u = rng.NextDouble();
+      ASSERT_EQ(sampler.Sample(u), sampler.SampleFlat(u))
+          << "size " << size << " u " << u;
+      if (draw % 100 == 0) {
+        sampler.Add(sampler.Sample(u), 0.25);  // evolve like a PoS game
+      }
+    }
+    ASSERT_EQ(sampler.Sample(0.0), sampler.SampleFlat(0.0));
+    // u arbitrarily close to 1 from below exercises the overran fallback.
+    ASSERT_EQ(sampler.Sample(0x1.fffffffffffffp-1),
+              sampler.SampleFlat(0x1.fffffffffffffp-1));
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include "support/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -114,6 +115,37 @@ TEST(QuantilesTest, MatchesIndividualCalls) {
   EXPECT_DOUBLE_EQ(qs[0], Quantile(values, 0.05));
   EXPECT_DOUBLE_EQ(qs[1], Quantile(values, 0.5));
   EXPECT_DOUBLE_EQ(qs[2], Quantile(values, 0.95));
+}
+
+TEST(QuantilesInPlaceTest, MatchesQuantilesAndLeavesBufferSorted) {
+  std::vector<double> values = {5.0, 2.0, 9.0, 1.0, 7.0, 3.0};
+  const std::vector<double> qs = {0.05, 0.25, 0.5, 0.75, 0.95};
+  const std::vector<double> expected = Quantiles(values, qs);
+  std::vector<double> out(1, -1.0);  // wrong size on purpose: must resize
+  QuantilesInPlace(values, qs, &out);
+  EXPECT_EQ(out, expected);
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+}
+
+TEST(QuantilesInPlaceTest, ReusableAcrossCalls) {
+  // The Monte Carlo reduction reuses one (buffer, out) pair across every
+  // checkpoint; a second call must fully overwrite the first's results.
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  std::vector<double> out;
+  QuantilesInPlace(values, {0.0, 1.0}, &out);
+  EXPECT_EQ(out, (std::vector<double>{1.0, 3.0}));
+  values = {10.0, 30.0, 20.0};
+  QuantilesInPlace(values, {0.5}, &out);
+  EXPECT_EQ(out, (std::vector<double>{20.0}));
+}
+
+TEST(QuantilesInPlaceTest, RejectsBadInput) {
+  std::vector<double> empty;
+  std::vector<double> out;
+  EXPECT_THROW(QuantilesInPlace(empty, {0.5}, &out), std::invalid_argument);
+  std::vector<double> values = {1.0};
+  EXPECT_THROW(QuantilesInPlace(values, {1.5}, &out),
+               std::invalid_argument);
 }
 
 TEST(FractionOutsideTest, CountsStrictOutside) {

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/execution_backend.hpp"
 #include "sim/scenario_registry.hpp"
 
 namespace fairchain::verify {
@@ -116,6 +117,44 @@ TEST(VerifyCampaignTest, ByteIdenticalVerdictsAcrossThreadCounts) {
     VerdictCsvSink sink(csv);
     std::vector<VerdictSink*> sinks = {&sink};
     VerifyCampaign(plan, options, sinks);
+    outputs[i] = csv.str();
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+// The judge consumes replication-level final-λ samples, so the plan must
+// override `final_lambdas=off` (otherwise every cell would "fail" with a
+// misleading no-samples sanity verdict instead of being verified).
+TEST(VerificationPlanTest, AlwaysRetainsFinalLambdasForTheJudge) {
+  sim::ScenarioSpec spec = TinySpec();
+  spec.keep_final_lambdas = false;
+  const VerificationPlan plan(spec);
+  EXPECT_TRUE(plan.spec().keep_final_lambdas);
+  VerificationOptions options;
+  options.campaign.threads = 1;
+  const VerificationReport report = VerifyCampaign(plan, options, {});
+  EXPECT_TRUE(report.passed);
+  EXPECT_GT(report.checks, 0u);
+}
+
+// Same contract across execution backends: VerifyCampaign runs the
+// campaign through whatever backend CampaignOptions injects, and verdict
+// streams must be byte-identical between the serial reference and any
+// thread-pool size.
+TEST(VerifyCampaignTest, ByteIdenticalVerdictsAcrossBackends) {
+  const VerificationPlan plan(TinySpec());
+  const core::SerialBackend serial;
+  const core::ThreadPoolBackend pool(4);
+  const core::ExecutionBackend* backends[2] = {&serial, &pool};
+  std::string outputs[2];
+  for (int i = 0; i < 2; ++i) {
+    VerificationOptions options;
+    options.campaign.backend = backends[i];
+    std::ostringstream csv;
+    VerdictCsvSink sink(csv);
+    std::vector<VerdictSink*> sinks = {&sink};
+    const VerificationReport report = VerifyCampaign(plan, options, sinks);
+    EXPECT_TRUE(report.passed);
     outputs[i] = csv.str();
   }
   EXPECT_EQ(outputs[0], outputs[1]);

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""CI perf guardrail: compare a fresh hotpath-bench run against the
+checked-in BENCH_hotpath.json baseline and fail on real regressions.
+
+Usage:
+    tools/compare_hotpath_bench.py BASELINE.json CURRENT.json [--limit 1.25]
+
+CI runners and dev machines differ in raw speed, so absolute ns/step is
+not comparable across machines.  Instead, for every benchmark present in
+both files we compute the slowdown ratio
+
+    ratio = current_ns_per_item / baseline_ns_per_item
+
+and normalise it by the MEDIAN ratio across all shared benchmarks — the
+median captures the machine-speed factor (if the runner is uniformly 1.7x
+slower, every ratio is ~1.7 and nothing is flagged), while a genuine
+hot-path regression moves its own benchmark's ratio away from the pack.
+A benchmark fails when its normalised ratio exceeds --limit (default
+1.25, the ">25% ns/step regression" budget).
+
+Benchmarks that exist in only one file are reported but never fail the
+job (adding or retiring a series must not break CI), and aggregate rows
+(_mean/_median/_stddev) plus error-state rows are skipped.  The
+allocation counters travel through the same JSON: any
+allocs_per_replication > 0 fails immediately, machine speed is
+irrelevant to it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    rows = {}
+    counters = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if bench.get("run_type") == "aggregate":
+            continue
+        if "error_occurred" in bench:
+            # A failed benchmark (e.g. the zero-alloc probe tripping) is a
+            # hard failure on its own.
+            rows[name] = None
+            continue
+        items = bench.get("items_per_second")
+        if items:
+            rows[name] = 1.0e9 / items  # ns per item (per simulated step)
+        if "allocs_per_replication" in bench:
+            counters[name] = bench["allocs_per_replication"]
+    return rows, counters
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--limit", type=float, default=1.25,
+                        help="max allowed normalised slowdown (default 1.25)")
+    args = parser.parse_args()
+
+    baseline, _ = load_benchmarks(args.baseline)
+    current, counters = load_benchmarks(args.current)
+
+    failures = []
+    for name, allocs in sorted(counters.items()):
+        if allocs and allocs > 0:
+            failures.append(f"{name}: {allocs} steady-state allocations per "
+                            "replication (must be 0)")
+    for name, value in sorted(current.items()):
+        if value is None:
+            failures.append(f"{name}: benchmark reported an error")
+
+    shared = sorted(name for name in baseline
+                    if baseline[name] and current.get(name))
+    only_base = sorted(set(baseline) - set(current))
+    only_curr = sorted(set(current) - set(baseline))
+    if only_base:
+        print(f"note: {len(only_base)} baseline-only benchmark(s) skipped: "
+              + ", ".join(only_base[:5]) + ("..." if len(only_base) > 5 else ""))
+    if only_curr:
+        print(f"note: {len(only_curr)} new benchmark(s) without baseline: "
+              + ", ".join(only_curr[:5]) + ("..." if len(only_curr) > 5 else ""))
+    if not shared:
+        print("error: no shared benchmarks between baseline and current run")
+        return 1
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    ordered = sorted(ratios.values())
+    mid = len(ordered) // 2
+    median = (ordered[mid] if len(ordered) % 2
+              else 0.5 * (ordered[mid - 1] + ordered[mid]))
+    print(f"{len(shared)} shared benchmarks; machine-speed factor "
+          f"(median slowdown) {median:.3f}")
+
+    print(f"{'benchmark':48} {'base ns':>9} {'curr ns':>9} {'norm':>6}")
+    for name in shared:
+        normalised = ratios[name] / median
+        flag = ""
+        if normalised > args.limit:
+            failures.append(f"{name}: normalised slowdown {normalised:.2f}x "
+                            f"exceeds {args.limit:.2f}x")
+            flag = "  << REGRESSION"
+        print(f"{name:48} {baseline[name]:9.2f} {current[name]:9.2f} "
+              f"{normalised:6.2f}{flag}")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no hot-path regression beyond the "
+          f"{(args.limit - 1) * 100:.0f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

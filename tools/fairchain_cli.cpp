@@ -35,6 +35,7 @@
 
 #include "core/bounds.hpp"
 #include "core/equitability.hpp"
+#include "core/execution_backend.hpp"
 #include "core/experiments.hpp"
 #include "core/monte_carlo.hpp"
 #include "protocol/model_factory.hpp"
@@ -64,14 +65,16 @@ int Usage() {
       "            [--reps 10000] [--withhold 0] [--eps 0.1] [--delta 0.1]\n"
       "            [--seed 20210620]\n"
       "  campaign  <name|spec-file> [--reps N] [--steps N] [--seed S]\n"
-      "            [--threads T] [--csv FILE] [--jsonl FILE] [--no-files]\n"
+      "            [--threads T] [--backend serial|pool] [--csv FILE]\n"
+      "            [--jsonl FILE] [--no-files]\n"
       "            [--protocols p1,p2] [--a 0.1,0.2] [--w ...] [--v ...]\n"
       "            [--miners ...] [--whales ...] [--shards ...]\n"
       "            [--withhold ...] [--checkpoints N] [--spacing linear|log]\n"
-      "            [--eps E] [--delta D]\n"
+      "            [--eps E] [--delta D] [--final_lambdas on|off]\n"
       "  scenarios [name]   list registered scenarios / describe one\n"
       "  verify    <name|spec-file>|--all  [--reps N] [--steps N] [--seed S]\n"
-      "            [--threads T] [--alpha A] [--csv FILE] [--jsonl FILE]\n"
+      "            [--threads T] [--backend serial|pool] [--alpha A]\n"
+      "            [--csv FILE] [--jsonl FILE]\n"
       "            [--no-files]  check scenario(s) against analytic oracles\n"
       "  bound     --protocol pow|mlpos|cpos [--a] [--w] [--v] [--shards] "
       "[--n]\n"
@@ -171,7 +174,8 @@ bool RejectContradictoryFileFlags(const FlagSet& flags, const char* command) {
 
 int RunCampaign(const FlagSet& flags) {
   std::vector<std::string> allowed = sim::ScenarioSpec::OverrideFlagNames();
-  allowed.insert(allowed.end(), {"threads", "csv", "jsonl", "no-files"});
+  allowed.insert(allowed.end(),
+                 {"threads", "backend", "csv", "jsonl", "no-files"});
   flags.RejectUnknown(allowed);
   if (flags.positionals().size() < 2) {
     std::fprintf(stderr, "campaign: need a scenario name or spec file\n");
@@ -185,6 +189,12 @@ int RunCampaign(const FlagSet& flags) {
   sim::CampaignOptions options;
   options.threads =
       static_cast<unsigned>(flags.GetU64("threads", EnvThreads()));
+  std::unique_ptr<core::ExecutionBackend> backend;
+  if (flags.Has("backend")) {
+    backend = core::MakeBackend(flags.GetString("backend", "pool"),
+                                options.threads);
+    options.backend = backend.get();
+  }
   const sim::CampaignRunner runner(options);
 
   // Sinks: summary table on stdout, CSV + JSONL files unless --no-files.
@@ -203,10 +213,11 @@ int RunCampaign(const FlagSet& flags) {
 
   std::printf(
       "campaign %s: %zu cells x %llu replications x %llu steps, "
-      "%u threads\n\n",
+      "%u threads, %s backend\n\n",
       spec.name.c_str(), spec.CellCount(),
       static_cast<unsigned long long>(spec.replications),
-      static_cast<unsigned long long>(spec.steps), options.threads);
+      static_cast<unsigned long long>(spec.steps), options.threads,
+      backend != nullptr ? backend->name().c_str() : "default");
 
   const auto start = std::chrono::steady_clock::now();
   runner.Run(spec, sinks.sinks());
@@ -224,8 +235,8 @@ int RunCampaign(const FlagSet& flags) {
 
 int RunVerify(const FlagSet& flags) {
   std::vector<std::string> allowed = sim::ScenarioSpec::OverrideFlagNames();
-  allowed.insert(allowed.end(),
-                 {"threads", "csv", "jsonl", "no-files", "alpha", "all"});
+  allowed.insert(allowed.end(), {"threads", "backend", "csv", "jsonl",
+                                 "no-files", "alpha", "all"});
   flags.RejectUnknown(allowed);
 
   if (!RejectContradictoryFileFlags(flags, "verify")) return Usage();
@@ -253,6 +264,12 @@ int RunVerify(const FlagSet& flags) {
   verify::VerificationOptions options;
   options.campaign.threads =
       static_cast<unsigned>(flags.GetU64("threads", EnvThreads()));
+  std::unique_ptr<core::ExecutionBackend> backend;
+  if (flags.Has("backend")) {
+    backend = core::MakeBackend(flags.GetString("backend", "pool"),
+                                options.campaign.threads);
+    options.campaign.backend = backend.get();
+  }
   options.judge.family_alpha = flags.GetDouble("alpha", 1e-3);
 
   // A single user-supplied path cannot hold every scenario's verdicts: each
