@@ -48,8 +48,10 @@
 #include <new>
 #include <vector>
 
+#include "core/execution_backend.hpp"
 #include "core/monte_carlo.hpp"
 #include "core/replication_workspace.hpp"
+#include "sim/campaign.hpp"
 #include "protocol/c_pos.hpp"
 #include "protocol/fsl_pos.hpp"
 #include "protocol/ml_pos.hpp"
@@ -240,6 +242,58 @@ void BM_LinearScan_MlPos(benchmark::State& state) {
                  static_cast<std::size_t>(state.range(0)));
 }
 BENCHMARK(BM_LinearScan_MlPos)->RangeMultiplier(10)->Range(100, 100000);
+
+// --- process-shard scaling --------------------------------------------------
+
+// Wall-clock of one whole campaign (4 cells × 256 replications × 2000
+// steps) through the campaign runner on the process-sharded backend,
+// shard ∈ {1, 2, 4, 8}, plus the in-process serial reference at arg 0.
+// This is a WALL-CLOCK family (UseRealTime): each iteration forks its
+// workers, streams chunk payloads back over pipes, and reduces — it
+// measures fork + marshalling overhead against parallel speedup, not the
+// per-step kernel (the families above own that).  On a loaded CI runner
+// the scaling curve is noisy, so tools/compare_hotpath_bench.py holds
+// BM_ShardCampaign to a separate, looser wall-clock budget and keeps it
+// out of the machine-speed median.
+void BM_ShardCampaign(benchmark::State& bench_state) {
+  const auto shards = static_cast<unsigned>(bench_state.range(0));
+  const sim::ScenarioSpec spec = sim::ScenarioSpec::FromText(
+      "name=shard-bench\n"
+      "protocols=pow,mlpos\n"
+      "a=0.2,0.4\n"
+      "steps=2000\n"
+      "reps=256\n"
+      "checkpoints=4\n"
+      "population=off\n"
+      "final_lambdas=off\n");
+  const core::SerialBackend serial;
+  const core::ShardBackend sharded(shards == 0 ? 1 : shards);
+  sim::CampaignOptions options;
+  options.backend =
+      shards == 0 ? static_cast<const core::ExecutionBackend*>(&serial)
+                  : &sharded;
+  options.chunk_replications = 32;  // 8 chunks per cell: fan-out for 8 shards
+  const sim::CampaignRunner runner(options);
+  for (auto _ : bench_state) {
+    const auto outcomes = runner.Run(spec, {});
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  const auto steps_per_iteration = static_cast<int64_t>(
+      static_cast<std::uint64_t>(spec.CellCount()) * spec.replications *
+      spec.steps);
+  bench_state.SetItemsProcessed(bench_state.iterations() *
+                                steps_per_iteration);
+}
+#ifndef _WIN32
+BENCHMARK(BM_ShardCampaign)
+    ->Arg(0)  // in-process serial reference
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+#endif
 
 // --- zero-allocation property -----------------------------------------------
 

@@ -51,6 +51,14 @@ class ExecutionBackend {
   /// any order and on any worker; they must not throw (simulation errors
   /// are raised when jobs are built, before anything is scheduled).
   virtual void Execute(std::vector<std::function<void()>> jobs) const = 0;
+
+  /// Non-zero when this backend runs jobs in forked worker PROCESSES and
+  /// the caller should marshal results explicitly (core/shard_executor.hpp)
+  /// instead of relying on shared memory.  In-process backends return 0.
+  /// Closure batches handed to Execute cannot cross a process boundary
+  /// (they communicate through caller memory), so process-sharded callers
+  /// must check this and take the marshalling path.
+  virtual unsigned ProcessShards() const { return 0; }
 };
 
 /// Runs jobs inline on the calling thread, in submission order.  The
@@ -79,14 +87,39 @@ class ThreadPoolBackend final : public ExecutionBackend {
   unsigned threads_;
 };
 
+/// Runs jobs across N forked worker PROCESSES ("shard:N" on the CLI).
+/// Callers that can marshal results (the campaign runner) detect it via
+/// ProcessShards() and ship replication chunks through
+/// core/shard_executor.hpp — outputs stay byte-identical to Serial at any
+/// shard count because the same pre-addressed ranges are concatenated in
+/// the same order.  The generic Execute falls back to inline serial
+/// execution: closure jobs write to caller memory, which a forked child
+/// cannot share back, so running them in-process is the only CORRECT
+/// fallback (slower, never wrong).
+class ShardBackend final : public ExecutionBackend {
+ public:
+  /// `shards` >= 1 (the CLI parser enforces it before construction).
+  explicit ShardBackend(unsigned shards);
+
+  std::string name() const override;
+  unsigned Concurrency() const override { return shards_; }
+  unsigned ProcessShards() const override { return shards_; }
+  void Execute(std::vector<std::function<void()>> jobs) const override;
+
+ private:
+  unsigned shards_;
+};
+
 /// The backend used when none is injected: Serial for a single worker
 /// (no pool setup, no worker handoff), ThreadPool otherwise.  `threads` = 0
 /// means EnvThreads().
 std::unique_ptr<ExecutionBackend> MakeDefaultBackend(unsigned threads);
 
-/// Backend by CLI name: "serial" or "pool"/"threadpool" (at `threads`
-/// workers, 0 = EnvThreads()).  Throws std::invalid_argument on an unknown
-/// name, listing the known ones.
+/// Backend by CLI name: "serial", "pool"/"threadpool" (at `threads`
+/// workers, 0 = EnvThreads()), or "shard:<N>" (N >= 1 forked worker
+/// processes).  Throws std::invalid_argument on an unknown or malformed
+/// name — listing the known backends and suggesting the closest spelling
+/// ("did you mean") — and on a missing/zero/negative/garbage shard count.
 std::unique_ptr<ExecutionBackend> MakeBackend(const std::string& name,
                                               unsigned threads);
 

@@ -1,0 +1,328 @@
+#include "core/shard_executor.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <thread>
+
+#include "support/fault_injection.hpp"
+
+namespace fairchain::core {
+
+#ifdef _WIN32
+
+void RunSharded(unsigned, std::size_t, const ShardComputeFn&,
+                const ShardConsumeFn&) {
+  throw std::runtime_error(
+      "RunSharded: the process-sharded backend requires fork/pipe (POSIX)");
+}
+
+#else
+
+namespace {
+
+constexpr std::uint64_t kChunkMagic = 0xFA17C8A1'C0DE0001ULL;
+constexpr std::uint64_t kErrorMagic = 0xFA17C8A1'C0DE0002ULL;
+constexpr std::uint64_t kDoneMagic = 0xFA17C8A1'C0DE0003ULL;
+
+// Full write with EINTR retry; returns false on any unrecoverable error
+// (e.g. EPIPE after the parent died).
+bool WriteAll(int fd, const void* data, std::size_t len) {
+  const char* cursor = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t written = write(fd, cursor, len);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    cursor += written;
+    len -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+// Full read with EINTR retry.  Returns len on success, 0 on clean EOF at
+// the first byte, and the (short) byte count on EOF mid-buffer.
+std::size_t ReadAll(int fd, void* data, std::size_t len) {
+  char* cursor = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = read(fd, cursor + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return got;
+    }
+    if (n == 0) return got;
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+bool WriteU64(int fd, std::uint64_t value) {
+  return WriteAll(fd, &value, sizeof(value));
+}
+
+// The worker-side loop: compute and stream every owned chunk, then the
+// done marker.  Never returns normally — the worker always _exit()s so no
+// inherited stdio buffer, atexit hook, or gtest state replays in the
+// child.
+[[noreturn]] void RunWorker(unsigned shard, unsigned shard_count,
+                            std::size_t chunk_count,
+                            const ShardComputeFn& compute, int fd) {
+  std::uint64_t sent = 0;
+  try {
+    for (std::size_t j = shard; j < chunk_count;
+         j += static_cast<std::size_t>(shard_count)) {
+      const std::vector<double> payload = compute(j);
+      if (!WriteU64(fd, kChunkMagic) ||
+          !WriteU64(fd, static_cast<std::uint64_t>(j))) {
+        _exit(3);
+      }
+      // Torn-message fault point: the header is on the wire, the payload
+      // is not.
+      MaybeInjectFault("shard-message", shard, sent + 1);
+      if (!WriteU64(fd, static_cast<std::uint64_t>(payload.size())) ||
+          !WriteAll(fd, payload.data(), payload.size() * sizeof(double))) {
+        _exit(3);
+      }
+      ++sent;
+      // Clean-death fault point: between two complete chunk messages.
+      MaybeInjectFault("shard-chunk", shard, sent);
+    }
+    if (!WriteU64(fd, kDoneMagic) || !WriteU64(fd, sent)) _exit(3);
+    _exit(0);
+  } catch (const std::exception& error) {
+    const std::string what = error.what();
+    if (WriteU64(fd, kErrorMagic) &&
+        WriteU64(fd, static_cast<std::uint64_t>(what.size()))) {
+      WriteAll(fd, what.data(), what.size());
+    }
+    _exit(1);
+  }
+}
+
+// One shard's parent-side state.
+struct ShardStream {
+  pid_t pid = -1;
+  int read_fd = -1;
+  std::uint64_t expected_chunks = 0;
+  std::uint64_t received = 0;
+  bool done_seen = false;
+  std::string error;  // empty = clean so far
+};
+
+bool ReadU64(int fd, std::uint64_t* value) {
+  return ReadAll(fd, value, sizeof(*value)) == sizeof(*value);
+}
+
+// Drains one worker's stream, validating the framing; fills
+// stream.error on the first deviation and stops.
+void ReadShardStream(ShardStream& stream, unsigned shard,
+                     unsigned shard_count, std::size_t chunk_count,
+                     const ShardConsumeFn& consume) {
+  std::uint64_t expected_index = shard;
+  while (true) {
+    std::uint64_t magic = 0;
+    const std::size_t got = ReadAll(stream.read_fd, &magic, sizeof(magic));
+    if (got == 0) {
+      stream.error = stream.done_seen
+                         ? ""  // clean EOF after the done marker
+                         : "stream ended before the done marker (worker "
+                           "died after " +
+                               std::to_string(stream.received) + " of " +
+                               std::to_string(stream.expected_chunks) +
+                               " chunks)";
+      return;
+    }
+    if (got != sizeof(magic)) {
+      stream.error = "torn message header";
+      return;
+    }
+    if (stream.done_seen) {
+      stream.error = "message after the done marker";
+      return;
+    }
+    if (magic == kErrorMagic) {
+      std::uint64_t length = 0;
+      if (!ReadU64(stream.read_fd, &length) || length > (1u << 20)) {
+        stream.error = "torn error message";
+        return;
+      }
+      std::string what(length, '\0');
+      if (ReadAll(stream.read_fd, what.data(), length) != length) {
+        stream.error = "torn error message";
+        return;
+      }
+      stream.error = "worker raised: " + what;
+      return;
+    }
+    if (magic == kDoneMagic) {
+      std::uint64_t sent = 0;
+      if (!ReadU64(stream.read_fd, &sent)) {
+        stream.error = "torn done marker";
+        return;
+      }
+      if (sent != stream.expected_chunks ||
+          stream.received != stream.expected_chunks) {
+        stream.error = "done marker after " + std::to_string(sent) + " of " +
+                       std::to_string(stream.expected_chunks) + " chunks";
+        return;
+      }
+      stream.done_seen = true;
+      continue;  // expect clean EOF next
+    }
+    if (magic != kChunkMagic) {
+      stream.error = "bad message magic";
+      return;
+    }
+    std::uint64_t index = 0;
+    std::uint64_t count = 0;
+    if (!ReadU64(stream.read_fd, &index) || !ReadU64(stream.read_fd, &count)) {
+      stream.error = "worker died mid-message (torn chunk header)";
+      return;
+    }
+    if (index != expected_index || index >= chunk_count) {
+      stream.error = "chunk " + std::to_string(index) +
+                     " out of order (expected " +
+                     std::to_string(expected_index) + ")";
+      return;
+    }
+    std::vector<double> payload(static_cast<std::size_t>(count));
+    const std::size_t want = payload.size() * sizeof(double);
+    if (ReadAll(stream.read_fd, payload.data(), want) != want) {
+      stream.error = "worker died mid-message (torn chunk payload, chunk " +
+                     std::to_string(index) + ")";
+      return;
+    }
+    try {
+      consume(static_cast<std::size_t>(index), std::move(payload));
+    } catch (const std::exception& error) {
+      stream.error = std::string("consume failed: ") + error.what();
+      return;
+    }
+    ++stream.received;
+    expected_index += shard_count;
+  }
+}
+
+}  // namespace
+
+void RunSharded(unsigned shard_count, std::size_t chunk_count,
+                const ShardComputeFn& compute,
+                const ShardConsumeFn& consume) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("RunSharded: shard_count must be >= 1");
+  }
+  if (chunk_count == 0) return;
+
+  // All pipes exist before the first fork so every worker can close every
+  // descriptor that is not its own write end.
+  std::vector<int> read_fds(shard_count, -1);
+  std::vector<int> write_fds(shard_count, -1);
+  for (unsigned s = 0; s < shard_count; ++s) {
+    int fds[2];
+    if (pipe(fds) != 0) {
+      for (unsigned t = 0; t < s; ++t) {
+        close(read_fds[t]);
+        close(write_fds[t]);
+      }
+      throw std::runtime_error("RunSharded: pipe() failed");
+    }
+    read_fds[s] = fds[0];
+    write_fds[s] = fds[1];
+  }
+
+  // Inherited stdio buffers would be replayed by a worker that crashes
+  // through a buffered FILE*; flush everything before snapshotting.
+  std::fflush(nullptr);
+
+  std::vector<ShardStream> streams(shard_count);
+  for (unsigned s = 0; s < shard_count; ++s) {
+    for (std::size_t j = s; j < chunk_count;
+         j += static_cast<std::size_t>(shard_count)) {
+      ++streams[s].expected_chunks;
+    }
+  }
+  for (unsigned s = 0; s < shard_count; ++s) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      for (unsigned t = 0; t < shard_count; ++t) {
+        close(read_fds[t]);
+        close(write_fds[t]);
+      }
+      for (unsigned t = 0; t < s; ++t) {
+        kill(streams[t].pid, SIGKILL);
+        waitpid(streams[t].pid, nullptr, 0);
+      }
+      throw std::runtime_error("RunSharded: fork() failed");
+    }
+    if (pid == 0) {
+      for (unsigned t = 0; t < shard_count; ++t) {
+        close(read_fds[t]);
+        if (t != s) close(write_fds[t]);
+      }
+      RunWorker(s, shard_count, chunk_count, compute, write_fds[s]);
+    }
+    streams[s].pid = pid;
+    streams[s].read_fd = read_fds[s];
+  }
+  for (unsigned s = 0; s < shard_count; ++s) close(write_fds[s]);
+
+  // One reader per worker: payloads are consumed as they arrive, in any
+  // cross-shard order (they commute — disjoint target ranges).
+  std::vector<std::thread> readers;
+  readers.reserve(shard_count);
+  for (unsigned s = 0; s < shard_count; ++s) {
+    readers.emplace_back([&streams, s, shard_count, chunk_count, &consume] {
+      ReadShardStream(streams[s], s, shard_count, chunk_count, consume);
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  for (unsigned s = 0; s < shard_count; ++s) close(read_fds[s]);
+
+  // Reap every worker, then report the first failure: a reader-detected
+  // framing error wins over the exit status (it names the chunk), but a
+  // clean stream from a crashed worker is still an error.
+  std::string failure;
+  for (unsigned s = 0; s < shard_count; ++s) {
+    int status = 0;
+    while (waitpid(streams[s].pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    std::string exit_note;
+    if (WIFSIGNALED(status)) {
+      exit_note = "killed by signal " + std::to_string(WTERMSIG(status));
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+      exit_note = "exited with status " + std::to_string(WEXITSTATUS(status));
+    }
+    std::string shard_failure;
+    if (!streams[s].error.empty()) {
+      shard_failure = streams[s].error;
+      if (!exit_note.empty()) shard_failure += "; " + exit_note;
+    } else if (!exit_note.empty() || !streams[s].done_seen) {
+      shard_failure = exit_note.empty() ? "incomplete stream" : exit_note;
+    }
+    if (!shard_failure.empty() && failure.empty()) {
+      failure = "shard " + std::to_string(s) + ": " + shard_failure;
+    }
+  }
+  if (!failure.empty()) {
+    throw std::runtime_error(
+        "RunSharded: " + failure +
+        " — results are incomplete, nothing was emitted for the affected "
+        "cells (re-run, or resume from the campaign store)");
+  }
+}
+
+#endif  // _WIN32
+
+}  // namespace fairchain::core

@@ -1,0 +1,69 @@
+// Process-sharded chunk execution: fork N worker processes, stream results
+// back over pipes.
+//
+// RunSharded is the transport under the ShardBackend.  The caller brings a
+// flat list of `chunk_count` independent chunks (in the campaign runner:
+// one (cell, replication-range) pair each).  Chunks are distributed
+// round-robin by index — worker s computes chunks {s, s+N, s+2N, ...} in
+// ascending order — which is a pure function of (chunk index, shard
+// count), never of timing, so the partition is reproducible.
+//
+// Per the execution-backend contract (core/execution_backend.hpp), every
+// chunk's payload is pre-addressed: `compute(j)` returns the chunk's
+// doubles and `consume(j, payload)` scatters them into the caller's
+// result matrices.  Because payloads commute (disjoint target ranges),
+// the parent may consume them in ANY arrival order; deterministic output
+// is the caller's reduction/emission cursor, exactly as with the
+// in-process backends.
+//
+// Wire protocol (one pipe per worker, host byte order — the workers are
+// forks of this very process, never remote):
+//   chunk message:  [kChunkMagic u64][chunk index u64][count u64]
+//                   [count doubles]
+//   error message:  [kErrorMagic u64][length u64][length bytes of what()]
+//   done message:   [kDoneMagic u64][chunks streamed u64]
+// Workers send their chunks strictly in their assigned ascending order,
+// then exactly one done message, then _exit(0).  The parent runs one
+// reader thread per worker and validates the full framing: magic, chunk
+// ownership and order, payload length, the done count, and the worker's
+// exit status.  ANY deviation — a worker SIGKILLed mid-message, a torn
+// payload, an early EOF, a nonzero exit — makes RunSharded throw after
+// draining every worker; it never returns partial results silently.
+//
+// Fault-injection sites (support/fault_injection.hpp): a worker passes
+// shard-message after each header and shard-chunk after each complete
+// chunk message, so crash tests can sever the stream at either boundary.
+
+#ifndef FAIRCHAIN_CORE_SHARD_EXECUTOR_HPP_
+#define FAIRCHAIN_CORE_SHARD_EXECUTOR_HPP_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace fairchain::core {
+
+/// Computes one chunk's payload.  Runs inside a forked worker process (on
+/// a copy-on-write snapshot of the parent taken at the RunSharded call),
+/// single-threaded.  Exceptions are marshalled back and rethrown by the
+/// parent.
+using ShardComputeFn = std::function<std::vector<double>(std::size_t)>;
+
+/// Consumes one chunk's payload in the parent.  Called from per-worker
+/// reader threads — concurrently across shards — so it must be
+/// thread-safe; chunks of one shard arrive in their assigned order.
+/// Exceptions abort the run and are rethrown by the parent.
+using ShardConsumeFn =
+    std::function<void(std::size_t, std::vector<double>&&)>;
+
+/// Executes chunks [0, chunk_count) across `shard_count` forked worker
+/// processes and feeds every payload to `consume`.  Returns only when all
+/// payloads are consumed, all workers are reaped, and the framing was
+/// valid end to end; throws std::runtime_error otherwise (dead worker,
+/// torn message, bad framing, worker-side exception).  POSIX only.
+void RunSharded(unsigned shard_count, std::size_t chunk_count,
+                const ShardComputeFn& compute, const ShardConsumeFn& consume);
+
+}  // namespace fairchain::core
+
+#endif  // FAIRCHAIN_CORE_SHARD_EXECUTOR_HPP_

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cstdio>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 
 #include "core/execution_backend.hpp"
+#include "core/population.hpp"
+#include "core/shard_executor.hpp"
 #include "protocol/model_factory.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -70,7 +75,61 @@ void EmitCellRows(const ScenarioSpec& spec, const CellExecution& execution,
   }
 }
 
+// IEEE-754 bit pattern as 16 hex digits: the preimage must distinguish
+// bit-different doubles (e.g. 0.1 vs its neighbour), which no decimal
+// rendering shorter than 17 significant digits guarantees.
+std::string DoubleBits(double value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(
+                    std::bit_cast<std::uint64_t>(value)));
+  return buffer;
+}
+
+// Full per-cell matrices a forked shard worker computes into; reused
+// across the worker's consecutive chunks of one cell (pending jobs are in
+// ascending cell order, so each cell's chunks arrive contiguously).
+struct ShardChildState {
+  std::size_t cell = std::numeric_limits<std::size_t>::max();
+  std::vector<double> lambdas;
+  std::vector<double> population;
+};
+
 }  // namespace
+
+std::string CellStorePreimage(const ScenarioSpec& spec,
+                              const CampaignCell& cell) {
+  const core::SimulationConfig config = CellConfig(spec, cell);
+  std::string out = "fairchain-cell-v1\n";
+  out += "protocol=" + cell.protocol + "\n";
+  out += "w=" + DoubleBits(cell.w) + "\n";
+  out += "v=" + DoubleBits(cell.v) + "\n";
+  out += "shards=" + std::to_string(cell.shards) + "\n";
+  out += "withhold=" + std::to_string(config.withhold_period) + "\n";
+  out += "miner=" + std::to_string(config.miner) + "\n";
+  out += "stakes=";
+  const std::vector<double> stakes = cell.Stakes();
+  for (std::size_t i = 0; i < stakes.size(); ++i) {
+    if (i != 0) out += ',';
+    out += DoubleBits(stakes[i]);
+  }
+  out += "\nsteps=" + std::to_string(config.steps);
+  out += "\nreplications=" + std::to_string(config.replications);
+  out += "\nseed=" + std::to_string(config.seed);
+  out += "\ncheckpoints=";
+  for (std::size_t i = 0; i < config.checkpoints.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(config.checkpoints[i]);
+  }
+  out += "\npopulation_metrics=";
+  out += config.population_metrics ? '1' : '0';
+  out += "\nkeep_final_lambdas=";
+  out += config.keep_final_lambdas ? '1' : '0';
+  out += "\nepsilon=" + DoubleBits(spec.fairness.epsilon);
+  out += "\ndelta=" + DoubleBits(spec.fairness.delta);
+  out += "\n";
+  return out;
+}
 
 std::uint64_t CellSeed(std::uint64_t master_seed, std::size_t cell_index) {
   // Two SplitMix64 rounds over (seed, index); the golden-ratio multiplier
@@ -177,6 +236,32 @@ std::vector<CellOutcome> CampaignRunner::Run(
     executions.push_back(std::move(execution));
   }
 
+  // Content addresses and cache probe.  A verified hit hands the cell its
+  // decoded result up front; its chunks are never scheduled.  Corrupt or
+  // version-mismatched entries count as misses — the cell recomputes and
+  // the Put below overwrites the bad entry.
+  store::CampaignStore* cache = options_.store;
+  std::vector<store::CellKey> keys;
+  std::vector<bool> cached(executions.size(), false);
+  if (cache != nullptr) {
+    keys.reserve(executions.size());
+    for (const auto& execution : executions) {
+      keys.push_back(store::MakeCellKey(cache->code_version() + "\n" +
+                                        CellStorePreimage(spec,
+                                                          execution->cell)));
+    }
+    if (options_.read_cache) {
+      for (std::size_t i = 0; i < executions.size(); ++i) {
+        store::LoadResult loaded = cache->Load(keys[i]);
+        if (loaded.status == store::LoadStatus::kHit) {
+          executions[i]->result = std::move(loaded.result);
+          executions[i]->reduced = true;
+          cached[i] = true;
+        }
+      }
+    }
+  }
+
   for (ResultSink* sink : sinks) sink->BeginCampaign(spec);
 
   // Ordered streaming: the worker that reduces a cell drains every
@@ -185,7 +270,15 @@ std::vector<CellOutcome> CampaignRunner::Run(
   std::mutex emit_mutex;
   std::size_t next_emit = 0;
 
-  auto reduce_and_emit = [&](CellExecution& execution) {
+  // Caller holds emit_mutex.
+  auto drain_reduced = [&] {
+    while (next_emit < executions.size() && executions[next_emit]->reduced) {
+      EmitCellRows(spec, *executions[next_emit], sinks);
+      ++next_emit;
+    }
+  };
+
+  auto reduce_and_emit = [&](CellExecution& execution, std::size_t index) {
     execution.result = core::ReduceToResult(
         execution.model->name(), execution.stakes, execution.config,
         spec.fairness, execution.lambdas, execution.population);
@@ -193,59 +286,163 @@ std::vector<CellOutcome> CampaignRunner::Run(
     execution.lambdas.shrink_to_fit();
     execution.population.clear();
     execution.population.shrink_to_fit();
+    // Persist before emitting: once a cell's rows are visible its entry is
+    // committed, so a crash after partial output never loses stored work.
+    if (cache != nullptr) cache->Put(keys[index], execution.result);
     std::lock_guard<std::mutex> lock(emit_mutex);
     execution.reduced = true;
-    while (next_emit < executions.size() && executions[next_emit]->reduced) {
-      EmitCellRows(spec, *executions[next_emit], sinks);
-      ++next_emit;
-    }
+    drain_reduced();
   };
 
-  // Dispatch exactly the job grid PlanJobs describes (the plan the tests
-  // assert on), as one Execute batch so cells interleave across workers.
-  // Each chunk steps in its worker's thread-local arena, reused across
-  // chunks and cells (zero steady-state allocation within a cell).
-  const std::vector<ChunkJob> plan = PlanJobs(spec);
-  for (const ChunkJob& job : plan) {
-    executions[job.cell]->remaining_chunks.fetch_add(1);
-  }
-  std::vector<std::function<void()>> jobs;
-  jobs.reserve(plan.size());
-  for (const ChunkJob& job : plan) {
-    CellExecution* execution = executions[job.cell].get();
-    jobs.push_back([execution, job, &reduce_and_emit] {
-      std::call_once(execution->allocate_once, [execution] {
-        execution->lambdas.assign(execution->config.checkpoints.size() *
-                                      execution->config.replications,
-                                  0.0);
-        if (execution->config.population_metrics) {
-          execution->population.assign(
-              core::PopulationMatrixSize(execution->config), 0.0);
-        }
-      });
-      core::RunReplicationRange(*execution->model, execution->stakes,
-                                execution->config, job.begin, job.end,
-                                execution->lambdas.data(),
-                                execution->population.empty()
-                                    ? nullptr
-                                    : execution->population.data());
-      if (execution->remaining_chunks.fetch_sub(1) == 1) {
-        reduce_and_emit(*execution);
-      }
-    });
+  // Emit the cache-served prefix now: when a leading run of cells (or the
+  // whole campaign) came from the store, no chunk completion will ever
+  // trigger the drain for them.
+  {
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    drain_reduced();
   }
 
-  backend->Execute(std::move(jobs));
+  // Dispatch exactly the job grid PlanJobs describes (the plan the tests
+  // assert on) minus cache-served cells, as one batch so cells interleave
+  // across workers.
+  const std::vector<ChunkJob> plan = PlanJobs(spec);
+  std::vector<ChunkJob> pending;
+  pending.reserve(plan.size());
+  for (const ChunkJob& job : plan) {
+    if (!cached[job.cell]) pending.push_back(job);
+  }
+  for (const ChunkJob& job : pending) {
+    executions[job.cell]->remaining_chunks.fetch_add(1);
+  }
+
+  auto allocate_matrices = [](CellExecution& execution) {
+    std::call_once(execution.allocate_once, [&execution] {
+      execution.lambdas.assign(execution.config.checkpoints.size() *
+                                   execution.config.replications,
+                               0.0);
+      if (execution.config.population_metrics) {
+        execution.population.assign(
+            core::PopulationMatrixSize(execution.config), 0.0);
+      }
+    });
+  };
+
+  const unsigned process_shards = backend->ProcessShards();
+  if (!pending.empty() && process_shards > 0) {
+    // Process-sharded path: forked workers compute chunks round-robin and
+    // stream raw payloads back; the parent commits each payload into the
+    // exact matrix slots the in-process path would have written, then runs
+    // the identical reduction — which is why output is byte-identical.
+    // Payload layout for chunk (cell, begin, end): the [begin, end)
+    // columns of every λ checkpoint row, then of every population plane.
+    core::RunSharded(
+        process_shards, pending.size(),
+        // Runs in the forked child.
+        [&, state = std::make_shared<ShardChildState>()](std::size_t index) {
+          const ChunkJob& job = pending[index];
+          CellExecution& execution = *executions[job.cell];
+          const core::SimulationConfig& config = execution.config;
+          const std::size_t cp = config.checkpoints.size();
+          if (state->cell != job.cell || state->lambdas.empty()) {
+            state->cell = job.cell;
+            state->lambdas.assign(cp * config.replications, 0.0);
+            state->population.assign(
+                config.population_metrics
+                    ? core::PopulationMatrixSize(config)
+                    : 0,
+                0.0);
+          }
+          core::RunReplicationRange(*execution.model, execution.stakes,
+                                    config, job.begin, job.end,
+                                    state->lambdas.data(),
+                                    state->population.empty()
+                                        ? nullptr
+                                        : state->population.data());
+          const std::size_t span = job.end - job.begin;
+          const std::size_t planes =
+              state->population.empty() ? 0
+                                        : core::kPopulationMetricCount * cp;
+          std::vector<double> payload;
+          payload.reserve((cp + planes) * span);
+          for (std::size_t c = 0; c < cp; ++c) {
+            const double* row =
+                state->lambdas.data() + c * config.replications;
+            payload.insert(payload.end(), row + job.begin, row + job.end);
+          }
+          for (std::size_t p = 0; p < planes; ++p) {
+            const double* row =
+                state->population.data() + p * config.replications;
+            payload.insert(payload.end(), row + job.begin, row + job.end);
+          }
+          return payload;
+        },
+        // Runs in the parent's reader threads.
+        [&](std::size_t index, std::vector<double>&& payload) {
+          const ChunkJob& job = pending[index];
+          CellExecution& execution = *executions[job.cell];
+          allocate_matrices(execution);
+          const core::SimulationConfig& config = execution.config;
+          const std::size_t span = job.end - job.begin;
+          const std::size_t cp = config.checkpoints.size();
+          const std::size_t planes =
+              execution.population.empty() ? 0
+                                           : core::kPopulationMetricCount * cp;
+          if (payload.size() != (cp + planes) * span) {
+            throw std::runtime_error(
+                "campaign shard payload size mismatch for cell " +
+                std::to_string(job.cell));
+          }
+          const double* source = payload.data();
+          for (std::size_t c = 0; c < cp; ++c) {
+            std::copy(source, source + span,
+                      execution.lambdas.data() + c * config.replications +
+                          job.begin);
+            source += span;
+          }
+          for (std::size_t p = 0; p < planes; ++p) {
+            std::copy(source, source + span,
+                      execution.population.data() +
+                          p * config.replications + job.begin);
+            source += span;
+          }
+          if (execution.remaining_chunks.fetch_sub(1) == 1) {
+            reduce_and_emit(execution, job.cell);
+          }
+        });
+  } else if (!pending.empty()) {
+    // In-process path.  Each chunk steps in its worker's thread-local
+    // arena, reused across chunks and cells (zero steady-state allocation
+    // within a cell).
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(pending.size());
+    for (const ChunkJob& job : pending) {
+      CellExecution* execution = executions[job.cell].get();
+      jobs.push_back([execution, job, &reduce_and_emit, &allocate_matrices] {
+        allocate_matrices(*execution);
+        core::RunReplicationRange(*execution->model, execution->stakes,
+                                  execution->config, job.begin, job.end,
+                                  execution->lambdas.data(),
+                                  execution->population.empty()
+                                      ? nullptr
+                                      : execution->population.data());
+        if (execution->remaining_chunks.fetch_sub(1) == 1) {
+          reduce_and_emit(*execution, job.cell);
+        }
+      });
+    }
+    backend->Execute(std::move(jobs));
+  }
 
   for (ResultSink* sink : sinks) sink->EndCampaign();
 
   std::vector<CellOutcome> outcomes;
   outcomes.reserve(executions.size());
-  for (auto& execution : executions) {
+  for (std::size_t i = 0; i < executions.size(); ++i) {
     CellOutcome outcome;
-    outcome.cell = execution->cell;
-    outcome.seed = execution->config.seed;
-    outcome.result = std::move(execution->result);
+    outcome.cell = executions[i]->cell;
+    outcome.seed = executions[i]->config.seed;
+    outcome.result = std::move(executions[i]->result);
+    outcome.from_cache = cached[i];
     outcomes.push_back(std::move(outcome));
   }
   return outcomes;

@@ -15,6 +15,18 @@
 // sinks in ascending (cell, checkpoint) order regardless of which worker
 // finishes first — so campaign output is byte-identical for any thread
 // count (pinned by tests/integration/campaign_determinism_test.cpp).
+//
+// Two orthogonal extensions ride on that contract:
+//   * Process sharding: a backend advertising ProcessShards() = N runs the
+//     job grid through core::RunSharded — N forked workers compute chunks
+//     round-robin and stream the raw λ payloads back over pipes; the
+//     parent commits them into the same pre-addressed matrix slots the
+//     in-process path writes.  Same doubles, same slots, same reduction —
+//     byte-identical output at any shard count.
+//   * Resumable caching: with CampaignOptions::store set, every finished
+//     cell is persisted content-addressed (see CellStorePreimage), and
+//     verified hits are served without recomputation — a killed campaign
+//     re-run with the same store skips every cell that completed.
 
 #ifndef FAIRCHAIN_SIM_CAMPAIGN_HPP_
 #define FAIRCHAIN_SIM_CAMPAIGN_HPP_
@@ -27,6 +39,7 @@
 #include "core/monte_carlo.hpp"
 #include "sim/result_sink.hpp"
 #include "sim/scenario_spec.hpp"
+#include "store/campaign_store.hpp"
 
 namespace fairchain::sim {
 
@@ -43,6 +56,14 @@ struct CampaignOptions {
   /// byte-identical for ANY backend — see core/execution_backend.hpp for
   /// the seeding/chunking contract that guarantees it.
   const core::ExecutionBackend* backend = nullptr;
+  /// Content-addressed cell cache (non-owning; null = no caching).  When
+  /// set, every finished cell is persisted, and — unless `read_cache` is
+  /// off — verified store hits are served without recomputation, which is
+  /// what makes a killed campaign resumable.
+  store::CampaignStore* store = nullptr;
+  /// When false (`--no-cache`), the store is write-only: every cell is
+  /// recomputed and its entry overwritten.
+  bool read_cache = true;
 };
 
 /// One executed cell: its grid coordinates, derived seed, and full result.
@@ -50,6 +71,9 @@ struct CellOutcome {
   CampaignCell cell;
   std::uint64_t seed = 0;  ///< CellSeed(spec.seed, cell.index)
   core::SimulationResult result;
+  /// True when the result was served from the campaign store instead of
+  /// being recomputed (the cache-accounting hook the resume tests pin).
+  bool from_cache = false;
 };
 
 /// One schedulable unit: replications [begin, end) of one cell.
@@ -105,6 +129,18 @@ core::SimulationConfig CellConfig(const ScenarioSpec& spec,
 /// `cell_index`-th cell.
 core::SimulationConfig CellConfig(const ScenarioSpec& spec,
                                   std::size_t cell_index);
+
+/// Canonical text describing everything that determines `cell`'s simulated
+/// result: protocol and its parameters, the exact stake vector, the
+/// derived cell seed, horizon / replications / expanded checkpoints, and
+/// the fairness spec.  Doubles are rendered as IEEE-754 bit patterns, so
+/// equal preimages mean bit-equal inputs.  Deliberately EXCLUDES the
+/// scenario name, cell index, backend, shard count, and chunking — cells
+/// that simulate the same game share one store entry no matter how they
+/// were scheduled.  The runner prefixes the store's code-version stamp and
+/// hashes the result into the cell's content address (store::MakeCellKey).
+std::string CellStorePreimage(const ScenarioSpec& spec,
+                              const CampaignCell& cell);
 
 }  // namespace fairchain::sim
 

@@ -1,0 +1,238 @@
+#include "store/campaign_store.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "store/result_codec.hpp"
+#include "support/fault_injection.hpp"
+#include "support/version.hpp"
+
+namespace fairchain::store {
+
+namespace {
+
+constexpr char kEntryMagic[8] = {'F', 'C', 'S', 'T', 'O', 'R', 'E', '1'};
+constexpr std::uint64_t kMaxFieldLength = 1ULL << 32;
+
+void PutU64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+bool GetU64(const std::string& bytes, std::size_t& offset,
+            std::uint64_t* value) {
+  if (bytes.size() - offset < 8) return false;
+  *value = 0;
+  for (int i = 0; i < 8; ++i) {
+    *value |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(bytes[offset + i]))
+              << (8 * i);
+  }
+  offset += 8;
+  return true;
+}
+
+std::uint64_t ProcessId() {
+#ifdef _WIN32
+  return 0;
+#else
+  return static_cast<std::uint64_t>(getpid());
+#endif
+}
+
+}  // namespace
+
+const std::string& DefaultCodeVersion() {
+  static const std::string version =
+      std::string(kVersionString) + "+schema" +
+      std::to_string(kStoreSchemaRevision);
+  return version;
+}
+
+std::string CellKey::Hex() const { return crypto::DigestToHex(digest); }
+
+CellKey MakeCellKey(std::string preimage) {
+  CellKey key;
+  key.digest = crypto::Sha256Digest(preimage);
+  key.preimage = std::move(preimage);
+  return key;
+}
+
+CampaignStore::CampaignStore(std::string directory, std::string code_version)
+    : directory_(std::move(directory)),
+      code_version_(std::move(code_version)) {
+  std::error_code error;
+  std::filesystem::create_directories(directory_, error);
+  if (error || !std::filesystem::is_directory(directory_)) {
+    throw std::runtime_error("CampaignStore: cannot create store directory '" +
+                             directory_ + "': " + error.message());
+  }
+}
+
+std::string CampaignStore::EntryPath(const CellKey& key) const {
+  return directory_ + "/" + key.Hex() + ".cell";
+}
+
+LoadResult CampaignStore::Load(const CellKey& key) {
+  LoadResult loaded;
+  auto finish = [this, &loaded](LoadStatus status, std::string detail) {
+    loaded.status = status;
+    loaded.detail = std::move(detail);
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (status) {
+      case LoadStatus::kHit: ++stats_.hits; break;
+      case LoadStatus::kMiss: ++stats_.misses; break;
+      case LoadStatus::kCorrupt: ++stats_.corrupt; break;
+      case LoadStatus::kVersionMismatch: ++stats_.version_mismatches; break;
+    }
+    return loaded;
+  };
+
+  const std::string path = EntryPath(key);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return finish(LoadStatus::kMiss, "no entry");
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  if (!file.good() && !file.eof()) {
+    return finish(LoadStatus::kCorrupt, "unreadable entry " + path);
+  }
+
+  std::size_t offset = 0;
+  if (bytes.size() < sizeof(kEntryMagic) ||
+      std::memcmp(bytes.data(), kEntryMagic, sizeof(kEntryMagic)) != 0) {
+    return finish(LoadStatus::kCorrupt, "bad magic in " + path);
+  }
+  offset += sizeof(kEntryMagic);
+  if (bytes.size() - offset < key.digest.size() ||
+      std::memcmp(bytes.data() + offset, key.digest.data(),
+                  key.digest.size()) != 0) {
+    return finish(LoadStatus::kCorrupt, "key mismatch in " + path);
+  }
+  offset += key.digest.size();
+
+  auto read_string = [&bytes, &offset](std::string* value) {
+    std::uint64_t length = 0;
+    if (!GetU64(bytes, offset, &length) || length > kMaxFieldLength ||
+        bytes.size() - offset < length) {
+      return false;
+    }
+    value->assign(bytes, offset, static_cast<std::size_t>(length));
+    offset += static_cast<std::size_t>(length);
+    return true;
+  };
+
+  std::string entry_version;
+  if (!read_string(&entry_version)) {
+    return finish(LoadStatus::kCorrupt, "truncated version stamp in " + path);
+  }
+  if (entry_version != code_version_) {
+    return finish(LoadStatus::kVersionMismatch,
+                  "entry written by code version '" + entry_version +
+                      "', this build is '" + code_version_ + "'");
+  }
+  std::string preimage;
+  if (!read_string(&preimage)) {
+    return finish(LoadStatus::kCorrupt, "truncated preimage in " + path);
+  }
+  if (crypto::Sha256Digest(preimage) != key.digest) {
+    return finish(LoadStatus::kCorrupt,
+                  "preimage does not hash to the key in " + path);
+  }
+  std::string payload;
+  if (!read_string(&payload)) {
+    return finish(LoadStatus::kCorrupt, "truncated payload in " + path);
+  }
+  if (bytes.size() - offset != key.digest.size()) {
+    return finish(LoadStatus::kCorrupt, "truncated payload hash in " + path);
+  }
+  const crypto::Digest expected = crypto::Sha256Digest(payload);
+  if (std::memcmp(bytes.data() + offset, expected.data(), expected.size()) !=
+      0) {
+    return finish(LoadStatus::kCorrupt,
+                  "payload hash mismatch in " + path +
+                      " (flipped or truncated bytes)");
+  }
+  try {
+    loaded.result = DecodeSimulationResult(payload);
+  } catch (const std::exception& error) {
+    return finish(LoadStatus::kCorrupt,
+                  std::string("undecodable payload: ") + error.what());
+  }
+  return finish(LoadStatus::kHit, "");
+}
+
+bool CampaignStore::Put(const CellKey& key,
+                        const core::SimulationResult& result) {
+  std::string entry;
+  entry.append(kEntryMagic, sizeof(kEntryMagic));
+  entry.append(reinterpret_cast<const char*>(key.digest.data()),
+               key.digest.size());
+  PutU64(entry, code_version_.size());
+  entry.append(code_version_);
+  PutU64(entry, key.preimage.size());
+  entry.append(key.preimage);
+  const std::string payload = EncodeSimulationResult(result);
+  PutU64(entry, payload.size());
+  entry.append(payload);
+  const crypto::Digest payload_hash = crypto::Sha256Digest(payload);
+  entry.append(reinterpret_cast<const char*>(payload_hash.data()),
+               payload_hash.size());
+
+  std::uint64_t sequence = 0;
+  std::uint64_t write_number = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sequence = ++temp_sequence_;
+    write_number = stats_.writes + stats_.write_failures + 1;
+  }
+  const std::string temp_path = EntryPath(key) + ".tmp." +
+                                std::to_string(ProcessId()) + "." +
+                                std::to_string(sequence);
+  auto fail = [this, &temp_path] {
+    std::error_code ignored;
+    std::filesystem::remove(temp_path, ignored);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.write_failures;
+    return false;
+  };
+
+  {
+    std::ofstream file(temp_path, std::ios::binary | std::ios::trunc);
+    if (!file) return fail();
+    // Truncated-temp-file fault point: die with roughly half the entry on
+    // disk.  The flush makes the truncation REAL before the kill.
+    const std::size_t half = entry.size() / 2;
+    file.write(entry.data(), static_cast<std::streamsize>(half));
+    file.flush();
+    MaybeInjectFault("store-payload", 0, write_number);
+    file.write(entry.data() + half,
+               static_cast<std::streamsize>(entry.size() - half));
+    file.flush();
+    if (!file.good()) return fail();
+  }
+  // Complete-temp-but-uncommitted fault point: the entry bytes exist, the
+  // rename has not happened — a resume must treat the cell as missing.
+  MaybeInjectFault("store-commit", 0, write_number);
+  std::error_code error;
+  std::filesystem::rename(temp_path, EntryPath(key), error);
+  if (error) return fail();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  return true;
+}
+
+StoreStats CampaignStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace fairchain::store

@@ -1,0 +1,37 @@
+// Exact binary serialisation of core::SimulationResult for the campaign
+// store.
+//
+// The codec must be BIT-exact: a cache-served cell has to emit the same
+// CSV/JSONL bytes as a freshly computed one, so every double travels as
+// its raw IEEE-754 bit pattern (no decimal round trip) and every field of
+// the result — including the config it ran under and the per-replication
+// final λ vector the verify judge consumes — is carried.  Integers and
+// double bit patterns are encoded little-endian, strings and vectors
+// length-prefixed.
+//
+// The layout is versioned by the store's code-version stamp
+// (store/campaign_store.hpp): changing this codec REQUIRES bumping
+// kStoreSchemaRevision so stale entries are rejected instead of
+// misdecoded.
+
+#ifndef FAIRCHAIN_STORE_RESULT_CODEC_HPP_
+#define FAIRCHAIN_STORE_RESULT_CODEC_HPP_
+
+#include <string>
+#include <string_view>
+
+#include "core/monte_carlo.hpp"
+
+namespace fairchain::store {
+
+/// Serialises `result` to the store's binary payload format.
+std::string EncodeSimulationResult(const core::SimulationResult& result);
+
+/// Inverse of EncodeSimulationResult.  Throws std::runtime_error on any
+/// malformed input (truncation, trailing bytes, absurd lengths) — a
+/// corrupt payload must never decode to a plausible-looking result.
+core::SimulationResult DecodeSimulationResult(std::string_view bytes);
+
+}  // namespace fairchain::store
+
+#endif  // FAIRCHAIN_STORE_RESULT_CODEC_HPP_

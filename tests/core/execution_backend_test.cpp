@@ -65,6 +65,96 @@ TEST(ExecutionBackendTest, MakeBackendResolvesNamesAndRejectsUnknown) {
   EXPECT_THROW(MakeBackend("cluster", 4), std::invalid_argument);
 }
 
+TEST(ExecutionBackendTest, MakeBackendParsesShardCounts) {
+  EXPECT_EQ(MakeBackend("shard:1", 0)->name(), "shard:1");
+  EXPECT_EQ(MakeBackend("shard:4", 0)->Concurrency(), 4u);
+  EXPECT_EQ(MakeBackend("shard:4096", 0)->Concurrency(), 4096u);
+  EXPECT_EQ(MakeBackend("shard:2", 0)->ProcessShards(), 2u);
+  // The in-process backends do not shard across processes.
+  EXPECT_EQ(MakeBackend("serial", 0)->ProcessShards(), 0u);
+  EXPECT_EQ(MakeBackend("pool", 4)->ProcessShards(), 0u);
+}
+
+// Error-path contract: every malformed shard spelling produces a pointed
+// message, not a generic failure — the exact strings the CLI surfaces.
+TEST(ExecutionBackendTest, MakeBackendRejectsMalformedShardCounts) {
+  auto message_of = [](const std::string& name) {
+    try {
+      MakeBackend(name, 0);
+    } catch (const std::invalid_argument& error) {
+      return std::string(error.what());
+    }
+    return std::string("<no throw>");
+  };
+  EXPECT_NE(message_of("shard").find("needs a worker count"),
+            std::string::npos);
+  EXPECT_NE(message_of("shard:").find("needs a positive worker count"),
+            std::string::npos);
+  EXPECT_NE(message_of("shard:0").find("must be in [1, 4096]"),
+            std::string::npos);
+  EXPECT_NE(message_of("shard:-3").find("needs a positive worker count"),
+            std::string::npos);
+  EXPECT_NE(message_of("shard:4097").find("must be in [1, 4096]"),
+            std::string::npos);
+  EXPECT_NE(message_of("shard:two").find("needs a positive worker count"),
+            std::string::npos);
+  EXPECT_NE(
+      message_of("shard:99999999999999999999").find("must be in [1, 4096]"),
+      std::string::npos);
+}
+
+TEST(ExecutionBackendTest, MakeBackendSuggestsClosestName) {
+  auto message_of = [](const std::string& name) {
+    try {
+      MakeBackend(name, 0);
+    } catch (const std::invalid_argument& error) {
+      return std::string(error.what());
+    }
+    return std::string("<no throw>");
+  };
+  EXPECT_NE(message_of("shrad").find("did you mean 'shard'"),
+            std::string::npos);
+  EXPECT_NE(message_of("serail").find("did you mean 'serial'"),
+            std::string::npos);
+  EXPECT_NE(message_of("pol").find("did you mean 'pool'"),
+            std::string::npos);
+  // Garbage far from every known name gets the list, no wild guess.
+  const std::string garbage = message_of("xyzzy");
+  EXPECT_NE(garbage.find("serial, pool, shard:<N>"), std::string::npos);
+  EXPECT_EQ(garbage.find("did you mean"), std::string::npos);
+}
+
+TEST(ExecutionBackendTest, ShardBackendFallbackExecutesInline) {
+  const ShardBackend backend(3);
+  EXPECT_EQ(backend.name(), "shard:3");
+  EXPECT_EQ(backend.Concurrency(), 3u);
+  EXPECT_EQ(backend.ProcessShards(), 3u);
+  EXPECT_THROW(ShardBackend{0}, std::invalid_argument);
+  // The generic Execute is the inline-serial fallback (callers that cannot
+  // marshal across processes, e.g. MonteCarloEngine::Run).
+  std::vector<int> order;
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back([&order, i] { order.push_back(i); });
+  }
+  backend.Execute(std::move(jobs));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ExecutionBackendTest, EngineResultsAreIdenticalOnShardFallback) {
+  const protocol::MlPosModel model(0.01);
+  SimulationConfig config;
+  config.steps = 200;
+  config.replications = 24;
+  config.checkpoints = {100, 200};
+  const MonteCarloEngine engine(config, FairnessSpec{});
+  const SerialBackend serial;
+  const ShardBackend sharded(2);
+  const SimulationResult a = engine.Run(model, {0.2, 0.8}, serial);
+  const SimulationResult b = engine.Run(model, {0.2, 0.8}, sharded);
+  EXPECT_EQ(a.final_lambdas, b.final_lambdas);
+}
+
 // The determinism contract across backends at the engine level: identical
 // λ trajectories, statistics, and retained final λ vectors whether the
 // replications ran inline, on one worker, or on four.

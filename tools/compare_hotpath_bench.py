@@ -24,11 +24,27 @@ job (adding or retiring a series must not break CI), and aggregate rows
 allocation counters travel through the same JSON: any
 allocs_per_replication > 0 fails immediately, machine speed is
 irrelevant to it.
+
+Wall-clock families (currently BM_ShardCampaign, which forks worker
+processes and marshals results over pipes every iteration) are handled
+separately: fork/pipe cost does not track CPU speed the way the compute
+kernels do, and a loaded runner adds scheduling noise the kernels never
+see.  Those series are EXCLUDED from the machine-speed median and held
+to their own looser budget (--wall-limit, default 1.60), still
+normalised by the kernel median so a uniformly slow runner passes.
 """
 
 import argparse
 import json
 import sys
+
+# Benchmark-name prefixes measured on wall clock (UseRealTime) whose cost
+# is dominated by process management rather than the compute kernel.
+WALL_CLOCK_PREFIXES = ("BM_ShardCampaign",)
+
+
+def is_wall_clock(name):
+    return name.startswith(WALL_CLOCK_PREFIXES)
 
 
 def load_benchmarks(path):
@@ -59,6 +75,9 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--limit", type=float, default=1.25,
                         help="max allowed normalised slowdown (default 1.25)")
+    parser.add_argument("--wall-limit", type=float, default=1.60,
+                        help="max allowed normalised slowdown for wall-clock "
+                             "families like BM_ShardCampaign (default 1.60)")
     args = parser.parse_args()
 
     baseline, _ = load_benchmarks(args.baseline)
@@ -88,20 +107,29 @@ def main():
         return 1
 
     ratios = {name: current[name] / baseline[name] for name in shared}
-    ordered = sorted(ratios.values())
+    # The machine-speed factor comes from the compute kernels only; the
+    # wall-clock families (fork + pipe marshalling) would skew it on a
+    # loaded runner.  If somehow ONLY wall-clock series are shared, fall
+    # back to using them so the median is never empty.
+    kernel_ratios = [ratios[name] for name in shared
+                     if not is_wall_clock(name)]
+    ordered = sorted(kernel_ratios or ratios.values())
     mid = len(ordered) // 2
     median = (ordered[mid] if len(ordered) % 2
               else 0.5 * (ordered[mid - 1] + ordered[mid]))
     print(f"{len(shared)} shared benchmarks; machine-speed factor "
-          f"(median slowdown) {median:.3f}")
+          f"(median kernel slowdown) {median:.3f}")
 
     print(f"{'benchmark':48} {'base ns':>9} {'curr ns':>9} {'norm':>6}")
     for name in shared:
         normalised = ratios[name] / median
+        limit = args.wall_limit if is_wall_clock(name) else args.limit
         flag = ""
-        if normalised > args.limit:
+        if normalised > limit:
             failures.append(f"{name}: normalised slowdown {normalised:.2f}x "
-                            f"exceeds {args.limit:.2f}x")
+                            f"exceeds {limit:.2f}x"
+                            + (" (wall-clock budget)"
+                               if is_wall_clock(name) else ""))
             flag = "  << REGRESSION"
         print(f"{name:48} {baseline[name]:9.2f} {current[name]:9.2f} "
               f"{normalised:6.2f}{flag}")

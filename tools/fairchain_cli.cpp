@@ -43,6 +43,7 @@
 #include "sim/campaign.hpp"
 #include "sim/result_sink.hpp"
 #include "sim/scenario_registry.hpp"
+#include "store/campaign_store.hpp"
 #include "support/env.hpp"
 #include "verify/verdict_sink.hpp"
 #include "verify/verification_plan.hpp"
@@ -65,17 +66,19 @@ int Usage() {
       "            [--reps 10000] [--withhold 0] [--eps 0.1] [--delta 0.1]\n"
       "            [--seed 20210620]\n"
       "  campaign  <name|spec-file> [--reps N] [--steps N] [--seed S]\n"
-      "            [--threads T] [--backend serial|pool] [--csv FILE]\n"
-      "            [--jsonl FILE] [--no-files]\n"
+      "            [--threads T] [--backend serial|pool|shard:N]\n"
+      "            [--csv FILE] [--jsonl FILE] [--no-files]\n"
+      "            [--store DIR] [--resume] [--no-cache]\n"
       "            [--protocols p1,p2] [--a 0.1,0.2] [--w ...] [--v ...]\n"
       "            [--miners ...] [--whales ...] [--shards ...]\n"
       "            [--withhold ...] [--checkpoints N] [--spacing linear|log]\n"
       "            [--eps E] [--delta D] [--final_lambdas on|off]\n"
       "  scenarios [name]   list registered scenarios / describe one\n"
       "  verify    <name|spec-file>|--all  [--reps N] [--steps N] [--seed S]\n"
-      "            [--threads T] [--backend serial|pool] [--alpha A]\n"
-      "            [--csv FILE] [--jsonl FILE]\n"
-      "            [--no-files]  check scenario(s) against analytic oracles\n"
+      "            [--threads T] [--backend serial|pool|shard:N] [--alpha A]\n"
+      "            [--csv FILE] [--jsonl FILE] [--no-files]\n"
+      "            [--store DIR] [--resume] [--no-cache]\n"
+      "            check scenario(s) against analytic oracles\n"
       "  bound     --protocol pow|mlpos|cpos [--a] [--w] [--v] [--shards] "
       "[--n]\n"
       "  design    [--a 0.2] [--w 0.01] [--shards 32] [--eps] [--delta]\n"
@@ -172,10 +175,57 @@ bool RejectContradictoryFileFlags(const FlagSet& flags, const char* command) {
   return true;
 }
 
+// Shared --store/--resume/--no-cache handling for campaign and verify.
+// --resume and --no-cache are intent markers over --store DIR: --resume
+// asks for cached cells to be served (the default with a store), --no-cache
+// forces recomputation but still writes.  Both are user errors without
+// --store, and they contradict each other.  Returns false after printing
+// the error; on success `store` owns the opened store (null when no
+// --store) and `options` is wired to it.
+bool ConfigureStore(const FlagSet& flags, const char* command,
+                    sim::CampaignOptions& options,
+                    std::unique_ptr<store::CampaignStore>& store) {
+  const bool resume = flags.GetBool("resume");
+  const bool no_cache = flags.GetBool("no-cache");
+  if (!flags.Has("store")) {
+    if (resume || no_cache) {
+      std::fprintf(stderr, "%s: --%s needs --store DIR to act on\n", command,
+                   resume ? "resume" : "no-cache");
+      return false;
+    }
+    return true;
+  }
+  if (resume && no_cache) {
+    std::fprintf(stderr,
+                 "%s: --resume serves cached cells, --no-cache refuses "
+                 "them; drop one side\n",
+                 command);
+    return false;
+  }
+  store = std::make_unique<store::CampaignStore>(flags.GetString("store", ""));
+  options.store = store.get();
+  options.read_cache = !no_cache;
+  return true;
+}
+
+void PrintStoreStats(const store::CampaignStore* store) {
+  if (store == nullptr) return;
+  const store::StoreStats stats = store->stats();
+  std::printf(
+      "store %s: %llu hit(s), %llu miss(es), %llu corrupt, "
+      "%llu version-mismatch(es), %llu write(s)\n",
+      store->directory().c_str(),
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.corrupt),
+      static_cast<unsigned long long>(stats.version_mismatches),
+      static_cast<unsigned long long>(stats.writes));
+}
+
 int RunCampaign(const FlagSet& flags) {
   std::vector<std::string> allowed = sim::ScenarioSpec::OverrideFlagNames();
-  allowed.insert(allowed.end(),
-                 {"threads", "backend", "csv", "jsonl", "no-files"});
+  allowed.insert(allowed.end(), {"threads", "backend", "csv", "jsonl",
+                                 "no-files", "store", "resume", "no-cache"});
   flags.RejectUnknown(allowed);
   if (flags.positionals().size() < 2) {
     std::fprintf(stderr, "campaign: need a scenario name or spec file\n");
@@ -195,6 +245,8 @@ int RunCampaign(const FlagSet& flags) {
                                 options.threads);
     options.backend = backend.get();
   }
+  std::unique_ptr<store::CampaignStore> store;
+  if (!ConfigureStore(flags, "campaign", options, store)) return Usage();
   const sim::CampaignRunner runner(options);
 
   // Sinks: summary table on stdout, CSV + JSONL files unless --no-files.
@@ -220,23 +272,33 @@ int RunCampaign(const FlagSet& flags) {
       backend != nullptr ? backend->name().c_str() : "default");
 
   const auto start = std::chrono::steady_clock::now();
-  runner.Run(spec, sinks.sinks());
+  const std::vector<sim::CellOutcome> outcomes = runner.Run(spec, sinks.sinks());
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
+  std::size_t from_cache = 0;
+  for (const sim::CellOutcome& outcome : outcomes) {
+    if (outcome.from_cache) ++from_cache;
+  }
+
   std::printf("\ncampaign %s finished in %.2fs", spec.name.c_str(), seconds);
+  if (store != nullptr) {
+    std::printf("; %zu/%zu cell(s) from cache", from_cache, outcomes.size());
+  }
   if (!csv_path.empty()) {
     std::printf("; wrote %s and %s", csv_path.c_str(), jsonl_path.c_str());
   }
   std::printf("\n");
+  PrintStoreStats(store.get());
   return 0;
 }
 
 int RunVerify(const FlagSet& flags) {
   std::vector<std::string> allowed = sim::ScenarioSpec::OverrideFlagNames();
-  allowed.insert(allowed.end(), {"threads", "backend", "csv", "jsonl",
-                                 "no-files", "alpha", "all"});
+  allowed.insert(allowed.end(),
+                 {"threads", "backend", "csv", "jsonl", "no-files", "alpha",
+                  "all", "store", "resume", "no-cache"});
   flags.RejectUnknown(allowed);
 
   if (!RejectContradictoryFileFlags(flags, "verify")) return Usage();
@@ -269,6 +331,10 @@ int RunVerify(const FlagSet& flags) {
     backend = core::MakeBackend(flags.GetString("backend", "pool"),
                                 options.campaign.threads);
     options.campaign.backend = backend.get();
+  }
+  std::unique_ptr<store::CampaignStore> store;
+  if (!ConfigureStore(flags, "verify", options.campaign, store)) {
+    return Usage();
   }
   options.judge.family_alpha = flags.GetDouble("alpha", 1e-3);
 
@@ -331,6 +397,7 @@ int RunVerify(const FlagSet& flags) {
     std::printf("verify --all: %zu scenario(s), %zu failing check(s)\n",
                 specs.size(), total_failures);
   }
+  PrintStoreStats(store.get());
   return total_failures == 0 ? 0 : 1;
 }
 
@@ -489,7 +556,8 @@ int main(int argc, char** argv) {
   try {
     // Boolean switches must be declared so a following positional
     // (e.g. `campaign --no-files table1`) is not swallowed as a value.
-    const FlagSet flags = FlagSet::Parse(argc, argv, {"no-files", "all"});
+    const FlagSet flags =
+        FlagSet::Parse(argc, argv, {"no-files", "all", "resume", "no-cache"});
     if (flags.positionals().empty()) return Usage();
     const std::string& command = flags.positionals()[0];
     if (command == "simulate") return RunSimulate(flags);
