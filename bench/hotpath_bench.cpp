@@ -51,6 +51,8 @@
 #include "core/execution_backend.hpp"
 #include "core/monte_carlo.hpp"
 #include "core/replication_workspace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/campaign.hpp"
 #include "protocol/c_pos.hpp"
 #include "protocol/fsl_pos.hpp"
@@ -294,6 +296,59 @@ BENCHMARK(BM_ShardCampaign)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 #endif
+
+// --- observability overhead -------------------------------------------------
+
+// The overhead budget of src/obs compiled in but DISABLED: each pair runs
+// the same batched segment loop, once bare and once through the exact
+// production call-site shape — a Span whose enabled check fails (tracing
+// off, the steady state of every run without --trace) plus a live
+// ScopedLatency into the registry histogram (histograms are always on).
+// tools/compare_hotpath_bench.py holds Instrumented/Base within the SAME
+// run to <2% (--obs-limit 1.02), so machine speed cancels exactly.
+void InstrumentedBatchedLoop(benchmark::State& bench_state,
+                             const protocol::IncentiveModel& model,
+                             std::size_t miners) {
+  obs::SetTraceEnabled(false);
+  static auto& segment_ns =
+      obs::MetricsRegistry::Global().GetHistogram("bench.obs_segment_ns");
+  protocol::StakeState state(ParetoStakes(miners));
+  RngStream rng(20210620);
+  const bool reset_per_game = model.RewardCompounds();
+  const std::uint64_t segment = reset_per_game ? kGameSteps : kBatchSteps;
+  for (auto _ : bench_state) {
+    obs::Span span("bench.obs_segment", segment);
+    obs::ScopedLatency latency(segment_ns);
+    if (reset_per_game) state.Reset();
+    model.RunSteps(state, state.step(), segment, rng);
+  }
+  bench_state.SetItemsProcessed(static_cast<int64_t>(
+      bench_state.iterations() * static_cast<int64_t>(segment)));
+}
+
+void BM_ObsBase_PoW(benchmark::State& state) {
+  BatchedLoop(state, protocol::PowModel(0.01),
+              static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_ObsBase_PoW)->Arg(1000);
+
+void BM_ObsInstrumented_PoW(benchmark::State& state) {
+  InstrumentedBatchedLoop(state, protocol::PowModel(0.01),
+                          static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_ObsInstrumented_PoW)->Arg(1000);
+
+void BM_ObsBase_MlPos(benchmark::State& state) {
+  BatchedLoop(state, protocol::MlPosModel(0.01),
+              static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_ObsBase_MlPos)->Arg(1000);
+
+void BM_ObsInstrumented_MlPos(benchmark::State& state) {
+  InstrumentedBatchedLoop(state, protocol::MlPosModel(0.01),
+                          static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_ObsInstrumented_MlPos)->Arg(1000);
 
 // --- zero-allocation property -----------------------------------------------
 

@@ -2,12 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/stats.hpp"
 
 namespace fairchain::core {
+
+namespace {
+
+// Per-checkpoint-segment spans multiply the span count by the checkpoint
+// schedule length, so they hide behind an env gate on top of the trace
+// flag.  Read once: this sits inside the replication loop.
+bool TraceDetailEnabled() {
+  static const bool enabled = std::getenv("FAIRCHAIN_TRACE_DETAIL") != nullptr;
+  return enabled;
+}
+
+}  // namespace
 
 void SimulationConfig::Validate() const {
   if (steps == 0) {
@@ -88,6 +103,12 @@ void RunReplicationRange(const protocol::IncentiveModel& model,
   // non-ascending checkpoint schedule would underflow the segment length
   // below into a ~2^64-step spin instead of degrading benignly.
   config.Validate();
+  static auto& range_ns =
+      obs::MetricsRegistry::Global().GetHistogram("mc.replication_range_ns");
+  obs::ScopedLatency latency(range_ns);
+  obs::Span range_span("mc.replication_range",
+                       static_cast<std::uint64_t>(end - begin));
+  const bool trace_segments = obs::TraceEnabled() && TraceDetailEnabled();
   const std::uint64_t reps = config.replications;
   const std::size_t cp_count = config.checkpoints.size();
   const RngStream master(config.seed);
@@ -105,7 +126,12 @@ void RunReplicationRange(const protocol::IncentiveModel& model,
     std::uint64_t done = 0;
     for (std::size_t cp = 0; cp < cp_count; ++cp) {
       const std::uint64_t target = config.checkpoints[cp];
-      model.RunSteps(state, done, target - done, rng);
+      if (trace_segments) {
+        obs::Span segment_span("mc.segment", target);
+        model.RunSteps(state, done, target - done, rng);
+      } else {
+        model.RunSteps(state, done, target - done, rng);
+      }
       done = target;
       lambda_matrix[cp * reps + rep] = state.RewardFraction(config.miner);
       if (population_matrix != nullptr) {

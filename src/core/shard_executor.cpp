@@ -15,6 +15,7 @@
 
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "support/fault_injection.hpp"
 
 namespace fairchain::core {
@@ -34,6 +35,12 @@ namespace {
 constexpr std::uint64_t kChunkMagic = 0xFA17C8A1'C0DE0001ULL;
 constexpr std::uint64_t kErrorMagic = 0xFA17C8A1'C0DE0002ULL;
 constexpr std::uint64_t kDoneMagic = 0xFA17C8A1'C0DE0003ULL;
+constexpr std::uint64_t kSpanMagic = 0xFA17C8A1'C0DE0004ULL;
+
+// Span payloads are a few dozen bytes per span over at most one ring; a
+// worker can never legitimately exceed this, so larger lengths are torn
+// framing.
+constexpr std::uint64_t kMaxSpanPayload = 1ULL << 26;
 
 // Full write with EINTR retry; returns false on any unrecoverable error
 // (e.g. EPIPE after the parent died).
@@ -79,6 +86,22 @@ bool WriteU64(int fd, std::uint64_t value) {
 [[noreturn]] void RunWorker(unsigned shard, unsigned shard_count,
                             std::size_t chunk_count,
                             const ShardComputeFn& compute, int fd) {
+  // The fork snapshotted the parent's recorded spans; discard them so this
+  // worker streams only what it records itself.
+  obs::TraceCollector::Global().OnShardWorkerStart();
+  // Streams everything recorded since the last flush.  Called after each
+  // complete chunk message and before the done marker, so a worker killed
+  // between chunks has already shipped every committed span — only spans
+  // of the chunk in flight can be lost.
+  auto flush_spans = [fd] {
+    if (!obs::TraceEnabled()) return true;
+    const std::string spans =
+        obs::TraceCollector::Global().DrainSerializedSpans();
+    if (spans.empty()) return true;
+    return WriteU64(fd, kSpanMagic) &&
+           WriteU64(fd, static_cast<std::uint64_t>(spans.size())) &&
+           WriteAll(fd, spans.data(), spans.size());
+  };
   std::uint64_t sent = 0;
   try {
     for (std::size_t j = shard; j < chunk_count;
@@ -96,9 +119,11 @@ bool WriteU64(int fd, std::uint64_t value) {
         _exit(3);
       }
       ++sent;
+      if (!flush_spans()) _exit(3);
       // Clean-death fault point: between two complete chunk messages.
       MaybeInjectFault("shard-chunk", shard, sent);
     }
+    if (!flush_spans()) _exit(3);
     if (!WriteU64(fd, kDoneMagic) || !WriteU64(fd, sent)) _exit(3);
     _exit(0);
   } catch (const std::exception& error) {
@@ -166,6 +191,24 @@ void ReadShardStream(ShardStream& stream, unsigned shard,
       stream.error = "worker raised: " + what;
       return;
     }
+    if (magic == kSpanMagic) {
+      std::uint64_t length = 0;
+      if (!ReadU64(stream.read_fd, &length) || length > kMaxSpanPayload) {
+        stream.error = "torn span message";
+        return;
+      }
+      std::string spans(static_cast<std::size_t>(length), '\0');
+      if (ReadAll(stream.read_fd, spans.data(), spans.size()) !=
+          spans.size()) {
+        stream.error = "torn span message";
+        return;
+      }
+      if (!obs::TraceCollector::Global().ImportShardSpans(shard, spans)) {
+        stream.error = "malformed span payload";
+        return;
+      }
+      continue;
+    }
     if (magic == kDoneMagic) {
       std::uint64_t sent = 0;
       if (!ReadU64(stream.read_fd, &sent)) {
@@ -205,6 +248,7 @@ void ReadShardStream(ShardStream& stream, unsigned shard,
       return;
     }
     try {
+      obs::Span consume_span("shard.consume", index);
       consume(static_cast<std::size_t>(index), std::move(payload));
     } catch (const std::exception& error) {
       stream.error = std::string("consume failed: ") + error.what();

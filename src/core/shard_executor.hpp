@@ -22,10 +22,17 @@
 //                   [count doubles]
 //   error message:  [kErrorMagic u64][length u64][length bytes of what()]
 //   done message:   [kDoneMagic u64][chunks streamed u64]
+//   span message:   [kSpanMagic u64][length u64][length bytes of
+//                   obs::TraceCollector::DrainSerializedSpans payload]
 // Workers send their chunks strictly in their assigned ascending order,
-// then exactly one done message, then _exit(0).  The parent runs one
-// reader thread per worker and validates the full framing: magic, chunk
-// ownership and order, payload length, the done count, and the worker's
+// then exactly one done message, then _exit(0).  When tracing is enabled
+// a worker also flushes its recorded spans as span messages — after each
+// complete chunk message and once more before the done marker — which the
+// parent imports into the process-wide obs::TraceCollector tagged with
+// the worker's shard index; one exported trace therefore shows the whole
+// process tree.  The parent runs one reader thread per worker and
+// validates the full framing: magic, chunk ownership and order, payload
+// length, span payload well-formedness, the done count, and the worker's
 // exit status.  ANY deviation — a worker SIGKILLed mid-message, a torn
 // payload, an early EOF, a nonzero exit — makes RunSharded throw after
 // draining every worker; it never returns partial results silently.

@@ -1,0 +1,147 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "support/escape.hpp"
+
+namespace fairchain::obs {
+
+namespace {
+
+// Microseconds with sub-bucket precision: trace-event ts/dur are doubles
+// in µs; three decimals keeps full nanosecond resolution.
+std::string Micros(std::uint64_t nanoseconds) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64 ".%03u",
+                nanoseconds / 1000,
+                static_cast<unsigned>(nanoseconds % 1000));
+  return buffer;
+}
+
+void WriteCompleteEvent(std::ostream& out, bool& first,
+                        const std::string& name, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint64_t arg,
+                        unsigned pid, std::uint32_t tid) {
+  if (!first) out << ",\n";
+  first = false;
+  const std::uint64_t duration = end_ns >= start_ns ? end_ns - start_ns : 0;
+  out << "{\"name\":\"" << EscapeJsonString(name) << "\",\"ph\":\"X\""
+      << ",\"ts\":" << Micros(start_ns) << ",\"dur\":" << Micros(duration)
+      << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"args\":{\"v\":"
+      << arg << "}}";
+}
+
+void WriteProcessName(std::ostream& out, bool& first, unsigned pid,
+                      const std::string& name) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"name\":\"" << EscapeJsonString(name)
+      << "\"}}";
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& out, const TraceCollector& collector) {
+  std::vector<SpanRecord> local = collector.LocalSpans();
+  std::vector<ImportedSpan> shard = collector.ShardSpans();
+  // Deterministic event order: by start time, then end, then name — the
+  // rings return per-thread batches whose interleaving is timing-defined,
+  // and a stable file order makes traces diffable.
+  std::sort(local.begin(), local.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.end_ns != b.end_ns) return a.end_ns < b.end_ns;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  std::sort(shard.begin(), shard.end(),
+            [](const ImportedSpan& a, const ImportedSpan& b) {
+              if (a.shard != b.shard) return a.shard < b.shard;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.end_ns != b.end_ns) return a.end_ns < b.end_ns;
+              return a.name < b.name;
+            });
+
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  // The parent is pid 0; shard worker s is pid s + 1 (its own named
+  // track in the viewer).
+  WriteProcessName(out, first, 0, "fairchain");
+  std::set<unsigned> shards;
+  for (const ImportedSpan& span : shard) shards.insert(span.shard);
+  for (const unsigned s : shards) {
+    WriteProcessName(out, first, s + 1, "shard " + std::to_string(s));
+  }
+  for (const SpanRecord& span : local) {
+    WriteCompleteEvent(out, first, span.name, span.start_ns, span.end_ns,
+                       span.arg, 0, span.thread);
+  }
+  for (const ImportedSpan& span : shard) {
+    WriteCompleteEvent(out, first, span.name, span.start_ns, span.end_ns,
+                       span.arg, span.shard + 1, span.thread);
+  }
+  const std::uint64_t dropped = collector.DroppedSpans();
+  if (dropped != 0) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"trace.dropped_spans\",\"ph\":\"i\",\"s\":\"g\""
+        << ",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"count\":" << dropped
+        << "}}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void WriteMetricsJsonl(std::ostream& out, const MetricsRegistry& registry) {
+  for (const CounterSnapshot& counter : registry.Counters()) {
+    out << "{\"type\":\"counter\",\"name\":\""
+        << EscapeJsonString(counter.name) << "\",\"value\":" << counter.value
+        << "}\n";
+  }
+  for (const HistogramSnapshot& histogram : registry.Histograms()) {
+    char quantiles[160];
+    std::snprintf(quantiles, sizeof(quantiles),
+                  "\"p50_ns\":%.1f,\"p95_ns\":%.1f,\"p99_ns\":%.1f",
+                  histogram.p50_ns, histogram.p95_ns, histogram.p99_ns);
+    out << "{\"type\":\"histogram\",\"name\":\""
+        << EscapeJsonString(histogram.name)
+        << "\",\"count\":" << histogram.count
+        << ",\"total_ns\":" << histogram.total_ns << "," << quantiles
+        << "}\n";
+  }
+}
+
+Table MetricsSummaryTable(const MetricsRegistry& registry) {
+  Table table({"metric", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms"});
+  table.SetTitle("Observability summary (counters, then latency histograms)");
+  for (const CounterSnapshot& counter : registry.Counters()) {
+    table.AddRow();
+    table.Cell(counter.name);
+    table.Cell(counter.value);
+    table.Cell(std::string("-"));
+    table.Cell(std::string("-"));
+    table.Cell(std::string("-"));
+    table.Cell(std::string("-"));
+  }
+  constexpr double kMs = 1.0e6;
+  for (const HistogramSnapshot& histogram : registry.Histograms()) {
+    table.AddRow();
+    table.Cell(histogram.name);
+    table.Cell(histogram.count);
+    const double mean =
+        histogram.count == 0
+            ? 0.0
+            : static_cast<double>(histogram.total_ns) /
+                  static_cast<double>(histogram.count);
+    table.Cell(mean / kMs, 3);
+    table.Cell(histogram.p50_ns / kMs, 3);
+    table.Cell(histogram.p95_ns / kMs, 3);
+    table.Cell(histogram.p99_ns / kMs, 3);
+  }
+  return table;
+}
+
+}  // namespace fairchain::obs

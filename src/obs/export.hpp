@@ -1,0 +1,49 @@
+// Exporters for the observability layer: Chrome/Perfetto trace-event
+// JSON, a machine-readable metrics snapshot (JSONL), and the end-of-run
+// human summary table.
+//
+// Output contracts (pinned by tests/obs/export_test.cpp and validated in
+// CI by tools/check_trace.py):
+//   * WriteChromeTrace emits one JSON object {"traceEvents": [...]} in
+//     the trace-event format both chrome://tracing and ui.perfetto.dev
+//     load.  Spans become complete ("ph":"X") events with microsecond
+//     ts/dur; every process in the tree gets a process_name metadata
+//     event — "fairchain" for the parent, "shard <s>" for each forked
+//     worker — so shard spans land on their own named tracks.
+//   * WriteMetricsJsonl emits one JSON object per line:
+//     {"type":"counter","name":...,"value":...} and
+//     {"type":"histogram","name":...,"count":...,"total_ns":...,
+//      "p50_ns":...,"p95_ns":...,"p99_ns":...}.  Schema is append-only.
+
+#ifndef FAIRCHAIN_OBS_EXPORT_HPP_
+#define FAIRCHAIN_OBS_EXPORT_HPP_
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/table.hpp"
+
+namespace fairchain::obs {
+
+/// Writes everything the collector holds (local + imported shard spans)
+/// as trace-event JSON.  When spans were dropped (full rings), a
+/// "trace.dropped_spans" instant event records the count so a truncated
+/// trace is self-describing.
+void WriteChromeTrace(std::ostream& out,
+                      const TraceCollector& collector = TraceCollector::Global());
+
+/// Writes every registered metric as one JSON object per line, in name
+/// order (deterministic).
+void WriteMetricsJsonl(std::ostream& out,
+                       const MetricsRegistry& registry = MetricsRegistry::Global());
+
+/// The human end-of-run view: one row per counter (name, value) and one
+/// per histogram (name, count, mean/p50/p95/p99 in ms).  Caller Emit()s
+/// or Print()s it.
+Table MetricsSummaryTable(const MetricsRegistry& registry = MetricsRegistry::Global());
+
+}  // namespace fairchain::obs
+
+#endif  // FAIRCHAIN_OBS_EXPORT_HPP_

@@ -1,0 +1,129 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+namespace fairchain::obs {
+
+namespace {
+
+// Bucket index of a nanosecond sample: floor(log2(ns)), 0 for 0/1 ns.
+std::size_t BucketIndex(std::uint64_t nanoseconds) {
+  if (nanoseconds < 2) return 0;
+  return static_cast<std::size_t>(std::bit_width(nanoseconds) - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(std::uint64_t nanoseconds) {
+  buckets_[BucketIndex(nanoseconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(nanoseconds, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::QuantileNanos(double q) const {
+  const std::array<std::uint64_t, kBuckets> counts = BucketCounts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, ceil — the classic nearest-rank
+  // definition, so p100 is the last sample's bucket).
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     q * static_cast<double>(total) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (seen + counts[b] >= rank) {
+      // Linear interpolation inside [2^b, 2^(b+1)): the rank's position
+      // within the bucket picks the point.
+      const double low = b == 0 ? 0.0 : static_cast<double>(1ULL << b);
+      const double width = b == 0 ? 2.0 : low;  // bucket 0 spans [0, 2)
+      const double within = (static_cast<double>(rank - seen) - 0.5) /
+                            static_cast<double>(counts[b]);
+      return low + width * within;
+    }
+    seen += counts[b];
+  }
+  return 0.0;  // unreachable with total > 0
+}
+
+std::array<std::uint64_t, LatencyHistogram::kBuckets>
+LatencyHistogram::BucketCounts() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = counters_.find(name);
+  if (found == counters_.end()) {
+    found = counters_
+                .emplace(std::string(name), std::make_unique<Counter>())
+                .first;
+  }
+  return *found->second;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = histograms_.find(name);
+  if (found == histograms_.end()) {
+    found = histograms_
+                .emplace(std::string(name),
+                         std::make_unique<LatencyHistogram>())
+                .first;
+  }
+  return *found->second;
+}
+
+std::vector<CounterSnapshot> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, counter->Value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snapshot;
+    snapshot.name = name;
+    snapshot.count = histogram->Count();
+    snapshot.total_ns = histogram->TotalNanos();
+    snapshot.p50_ns = histogram->QuantileNanos(0.50);
+    snapshot.p95_ns = histogram->QuantileNanos(0.95);
+    snapshot.p99_ns = histogram->QuantileNanos(0.99);
+    snapshot.buckets = histogram->BucketCounts();
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace fairchain::obs

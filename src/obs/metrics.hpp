@@ -1,0 +1,165 @@
+// Process-wide metrics: named counters and log-bucketed latency
+// histograms.
+//
+// Design constraints (this layer sits under every hot path):
+//   * Recording is lock-free and allocation-free: a Counter is one relaxed
+//     atomic add, a LatencyHistogram::Record is two relaxed atomic adds
+//     into a fixed array of power-of-two buckets.  Only REGISTRATION (the
+//     first GetCounter/GetHistogram for a name) takes the registry mutex
+//     and allocates; call sites cache the returned reference, typically in
+//     a function-local static, so steady-state recording never touches the
+//     registry again — preserving the zero-steady-state-allocation
+//     guarantee hotpath_bench enforces.
+//   * Metric objects are never destroyed or moved once registered; the
+//     references GetCounter/GetHistogram hand out stay valid for the
+//     process lifetime.  Reset() zeroes values but keeps registrations.
+//   * Names are a flat dotted namespace ("store.hits", "campaign.chunk_ns")
+//     — the full registry of pinned names lives in docs/OBSERVABILITY.md;
+//     tests pin the ones the exporters and the CLI depend on.
+//
+// Instrumentation at chunk / store-entry / cell granularity is always on:
+// two clock reads per multi-millisecond chunk are unmeasurable, and it is
+// what lets `--metrics` and `--progress` report on a run that never asked
+// for tracing.  Span recording (trace.hpp) is the part behind an enable
+// flag.
+
+#ifndef FAIRCHAIN_OBS_METRICS_HPP_
+#define FAIRCHAIN_OBS_METRICS_HPP_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairchain::obs {
+
+/// A monotonically increasing event count.  Relaxed atomics: totals are
+/// exact once the producing threads are joined, which is when snapshots
+/// are taken; mid-run readers (--progress) tolerate slightly stale values.
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Latency histogram over log2 buckets of nanoseconds: bucket b counts
+/// samples in [2^b, 2^(b+1)) ns (bucket 0 also absorbs 0 ns).  64 buckets
+/// cover every representable duration; relative quantile error is bounded
+/// by the 2x bucket width, which is ample for the p50/p95/p99 latency
+/// shapes this repo tracks (is the p99 microseconds or milliseconds?).
+/// Fixed size, no allocation ever.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void Record(std::uint64_t nanoseconds);
+
+  std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t TotalNanos() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate in nanoseconds (q in [0, 1]): finds the bucket
+  /// holding the q-th sample and interpolates linearly within it.  0 when
+  /// empty.
+  double QuantileNanos(double q) const;
+
+  /// Raw bucket counts, for exporters.
+  std::array<std::uint64_t, kBuckets> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+/// RAII latency sample: records the enclosing scope's wall time into a
+/// histogram on destruction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatency() {
+    histogram_.Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  LatencyHistogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-in-time value of one counter.
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Point-in-time reduction of one histogram.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  std::array<std::uint64_t, LatencyHistogram::kBuckets> buckets{};
+};
+
+/// The process-wide named-metric table.  Registration is idempotent: the
+/// same name always returns the same object, so independent call sites
+/// (the store layer, the campaign runner, the CLI reader) share one truth.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use.  The reference is valid for the process lifetime.
+  Counter& GetCounter(std::string_view name);
+
+  /// Histogram analogue of GetCounter.
+  LatencyHistogram& GetHistogram(std::string_view name);
+
+  /// Snapshots in name order (deterministic export order).
+  std::vector<CounterSnapshot> Counters() const;
+  std::vector<HistogramSnapshot> Histograms() const;
+
+  /// Zeroes every value; registrations (and handed-out references) stay
+  /// valid.  For tests and for per-run baselines in long-lived processes.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  // Node-based maps: values never move, so references survive rehash-free.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace fairchain::obs
+
+#endif  // FAIRCHAIN_OBS_METRICS_HPP_

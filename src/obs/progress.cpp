@@ -1,0 +1,100 @@
+#include "obs/progress.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace fairchain::obs {
+
+bool StderrIsTty() { return ::isatty(STDERR_FILENO) == 1; }
+
+ProgressReporter::ProgressReporter(const Options& options)
+    : options_(options) {
+  if (!options_.enabled) return;
+  if (!options_.force_tty && !StderrIsTty()) return;
+  active_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+ProgressReporter::~ProgressReporter() { Stop(); }
+
+void ProgressReporter::Stop() {
+  if (!active_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (line_dirty_) {
+    // Erase the line so the final summary starts on a clean row.
+    std::fputs("\r\033[2K", stderr);
+    std::fflush(stderr);
+    line_dirty_ = false;
+  }
+  active_ = false;
+}
+
+void ProgressReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    wake_.wait_for(lock, options_.interval);
+    if (stopping_) break;
+    lock.unlock();
+    Render();
+    lock.lock();
+  }
+}
+
+void ProgressReporter::Render() {
+  // Pure registry reads: the counters are maintained by the campaign
+  // runner regardless of whether anyone is watching.
+  static auto& cells_done =
+      MetricsRegistry::Global().GetCounter("campaign.cells_done");
+  static auto& replications_done =
+      MetricsRegistry::Global().GetCounter("campaign.replications_done");
+  const std::uint64_t cells = cells_done.Value();
+  const std::uint64_t replications = replications_done.Value();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  const double reps_per_sec =
+      elapsed > 0.0 ? static_cast<double>(replications) / elapsed : 0.0;
+  const double percent =
+      options_.total_cells == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(cells) /
+                static_cast<double>(options_.total_cells);
+
+  char eta[32] = "--:--";
+  if (reps_per_sec > 0.0 && options_.total_replications > replications) {
+    const double remaining_s =
+        static_cast<double>(options_.total_replications - replications) /
+        reps_per_sec;
+    const auto total = static_cast<std::uint64_t>(remaining_s);
+    if (total >= 3600) {
+      std::snprintf(eta, sizeof(eta), "%" PRIu64 ":%02" PRIu64 ":%02" PRIu64,
+                    total / 3600, (total / 60) % 60, total % 60);
+    } else {
+      std::snprintf(eta, sizeof(eta), "%02" PRIu64 ":%02" PRIu64,
+                    total / 60, total % 60);
+    }
+  } else if (options_.total_replications != 0 &&
+             replications >= options_.total_replications) {
+    std::snprintf(eta, sizeof(eta), "00:00");
+  }
+
+  std::fprintf(stderr,
+               "\r\033[2K[campaign] cells %" PRIu64 "/%" PRIu64
+               " (%.1f%%) | %.3g reps/s | ETA %s",
+               cells, options_.total_cells, percent, reps_per_sec, eta);
+  std::fflush(stderr);
+  line_dirty_ = true;
+}
+
+}  // namespace fairchain::obs

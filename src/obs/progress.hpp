@@ -1,0 +1,69 @@
+// Live campaign progress on stderr: a single line, rewritten in place,
+// showing cells done/total, replication throughput, and an ETA.
+//
+//   [campaign] cells 42/128 (32.8%) | 1.24e+05 reps/s | ETA 00:01:43
+//
+// The reporter is a pure READER of the metrics registry — it samples the
+// campaign.* counters from a background thread on a throttled interval
+// (default 200 ms) and never touches the hot path.  It refuses to run
+// when stderr is not a TTY (piped logs should not fill with carriage
+// returns) unless explicitly forced, and it erases its line before the
+// destructor returns so subsequent output starts on a clean row.
+
+#ifndef FAIRCHAIN_OBS_PROGRESS_HPP_
+#define FAIRCHAIN_OBS_PROGRESS_HPP_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace fairchain::obs {
+
+/// Returns true when stderr is an interactive terminal.
+bool StderrIsTty();
+
+/// Background progress line for a campaign run.  Construct before the run
+/// with the known totals; destroy (or Stop()) after.  Inert unless
+/// `enabled` and stderr is a TTY (or `force_tty` for tests).
+class ProgressReporter {
+ public:
+  struct Options {
+    bool enabled = false;
+    bool force_tty = false;  ///< bypass the isatty gate (tests)
+    std::uint64_t total_cells = 0;
+    std::uint64_t total_replications = 0;
+    std::chrono::milliseconds interval{200};
+  };
+
+  explicit ProgressReporter(const Options& options);
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Joins the sampler thread and erases the progress line.  Idempotent;
+  /// the destructor calls it.
+  void Stop();
+
+  /// True when the reporter actually started its sampler thread.
+  bool active() const { return active_; }
+
+ private:
+  void Loop();
+  void Render();
+
+  Options options_;
+  bool active_ = false;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::thread thread_;
+  std::chrono::steady_clock::time_point start_time_;
+  bool line_dirty_ = false;  ///< a progress line is currently displayed
+};
+
+}  // namespace fairchain::obs
+
+#endif  // FAIRCHAIN_OBS_PROGRESS_HPP_

@@ -1,0 +1,257 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace fairchain::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+std::atomic<std::uint64_t> g_trace_epoch_ns{0};
+
+std::uint64_t SteadyNowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Wire helpers for the shard span payload (host byte order — the payload
+// never leaves the process tree, exactly like the chunk protocol).
+void PutU64(std::string& out, std::uint64_t value) {
+  char bytes[sizeof(value)];
+  std::memcpy(bytes, &value, sizeof(value));
+  out.append(bytes, sizeof(bytes));
+}
+
+void PutU32(std::string& out, std::uint32_t value) {
+  char bytes[sizeof(value)];
+  std::memcpy(bytes, &value, sizeof(value));
+  out.append(bytes, sizeof(bytes));
+}
+
+bool GetU64(const std::string& bytes, std::size_t& offset,
+            std::uint64_t* value) {
+  if (bytes.size() - offset < sizeof(*value)) return false;
+  std::memcpy(value, bytes.data() + offset, sizeof(*value));
+  offset += sizeof(*value);
+  return true;
+}
+
+bool GetU32(const std::string& bytes, std::size_t& offset,
+            std::uint32_t* value) {
+  if (bytes.size() - offset < sizeof(*value)) return false;
+  std::memcpy(value, bytes.data() + offset, sizeof(*value));
+  offset += sizeof(*value);
+  return true;
+}
+
+constexpr std::uint32_t kMaxSpanNameLength = 256;
+
+}  // namespace
+
+void SetTraceEnabled(bool enabled) {
+  if (enabled) {
+    g_trace_epoch_ns.store(SteadyNowNanos(), std::memory_order_relaxed);
+  }
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceNowNanos() {
+  const std::uint64_t now = SteadyNowNanos();
+  const std::uint64_t epoch =
+      g_trace_epoch_ns.load(std::memory_order_relaxed);
+  return now >= epoch ? now - epoch : 0;
+}
+
+// One thread's bounded span storage.  Single-writer (the owning thread);
+// `size` is the publication point for post-join readers.  Rings are
+// recycled through a free list when their thread exits — a reused ring
+// keeps its id and its recorded spans, and simply continues appending, so
+// pool-per-campaign execution does not grow a new 2.5 MB ring per worker
+// per run.
+struct TraceCollector::ThreadRing {
+  explicit ThreadRing(std::uint32_t thread_id) : id(thread_id) {
+    records.resize(kRingCapacity);
+  }
+  std::uint32_t id = 0;
+  std::vector<SpanRecord> records;
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+namespace {
+
+// Thread-exit hook: returns the ring to the collector's free list.
+struct RingLease {
+  TraceCollector::ThreadRing* ring = nullptr;
+  std::vector<TraceCollector::ThreadRing*>* free_list = nullptr;
+  std::mutex* mutex = nullptr;
+  ~RingLease() {
+    if (ring != nullptr && free_list != nullptr) {
+      std::lock_guard<std::mutex> lock(*mutex);
+      free_list->push_back(ring);
+    }
+  }
+};
+
+}  // namespace
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();  // never dtor'd
+  return *collector;
+}
+
+namespace {
+// The free list lives beside the collector (not inside the header type)
+// so ThreadRing can stay an implementation detail.
+std::vector<TraceCollector::ThreadRing*>& FreeRings() {
+  static auto* free_rings = new std::vector<TraceCollector::ThreadRing*>();
+  return *free_rings;
+}
+}  // namespace
+
+TraceCollector::ThreadRing& TraceCollector::RingForThisThread() {
+  thread_local RingLease lease;
+  if (lease.ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!FreeRings().empty()) {
+      lease.ring = FreeRings().back();
+      FreeRings().pop_back();
+    } else {
+      rings_.push_back(std::make_unique<ThreadRing>(next_thread_id_++));
+      lease.ring = rings_.back().get();
+    }
+    lease.free_list = &FreeRings();
+    lease.mutex = &mutex_;
+  }
+  return *lease.ring;
+}
+
+void Span::Commit() noexcept {
+  SpanRecord record;
+  record.name = name_;
+  record.start_ns = start_ns_;
+  record.end_ns = TraceNowNanos();
+  record.arg = arg_;
+  TraceCollector::ThreadRing& ring =
+      TraceCollector::Global().RingForThisThread();
+  record.thread = ring.id;
+  const std::size_t n = ring.size.load(std::memory_order_relaxed);
+  if (n >= TraceCollector::kRingCapacity) {
+    ring.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring.records[n] = record;
+  ring.size.store(n + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> TraceCollector::LocalSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  for (const auto& ring : rings_) {
+    const std::size_t n = ring->size.load(std::memory_order_acquire);
+    out.insert(out.end(), ring->records.begin(),
+               ring->records.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return out;
+}
+
+std::vector<ImportedSpan> TraceCollector::ShardSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return imported_;
+}
+
+std::uint64_t TraceCollector::DroppedSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    dropped += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Rings are reset, never destroyed: live threads hold leases into them.
+  for (const auto& ring : rings_) {
+    ring->size.store(0, std::memory_order_relaxed);
+    ring->dropped.store(0, std::memory_order_relaxed);
+  }
+  imported_.clear();
+}
+
+std::string TraceCollector::DrainSerializedSpans() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->size.load(std::memory_order_acquire);
+  }
+  if (total == 0) return {};
+  std::string payload;
+  PutU64(payload, total);
+  for (const auto& ring : rings_) {
+    const std::size_t n = ring->size.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const SpanRecord& record = ring->records[i];
+      PutU64(payload, record.start_ns);
+      PutU64(payload, record.end_ns);
+      PutU64(payload, record.arg);
+      PutU32(payload, record.thread);
+      const std::uint32_t length = static_cast<std::uint32_t>(
+          std::min<std::size_t>(std::strlen(record.name),
+                                kMaxSpanNameLength));
+      PutU32(payload, length);
+      payload.append(record.name, length);
+    }
+    ring->size.store(0, std::memory_order_relaxed);
+  }
+  return payload;
+}
+
+bool TraceCollector::ImportShardSpans(unsigned shard,
+                                      const std::string& payload) {
+  std::size_t offset = 0;
+  std::uint64_t count = 0;
+  if (!GetU64(payload, offset, &count)) return false;
+  // A span needs at least 28 payload bytes; reject counts the payload
+  // cannot possibly hold before reserving anything.
+  if (count > payload.size() / 28) return false;
+  std::vector<ImportedSpan> spans;
+  spans.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ImportedSpan span;
+    std::uint32_t name_length = 0;
+    if (!GetU64(payload, offset, &span.start_ns) ||
+        !GetU64(payload, offset, &span.end_ns) ||
+        !GetU64(payload, offset, &span.arg) ||
+        !GetU32(payload, offset, &span.thread) ||
+        !GetU32(payload, offset, &name_length) ||
+        name_length > kMaxSpanNameLength ||
+        payload.size() - offset < name_length) {
+      return false;
+    }
+    span.name.assign(payload, offset, name_length);
+    offset += name_length;
+    span.shard = shard;
+    spans.push_back(std::move(span));
+  }
+  if (offset != payload.size()) return false;  // trailing garbage
+  std::lock_guard<std::mutex> lock(mutex_);
+  imported_.insert(imported_.end(),
+                   std::make_move_iterator(spans.begin()),
+                   std::make_move_iterator(spans.end()));
+  return true;
+}
+
+void TraceCollector::OnShardWorkerStart() {
+  // The fork snapshotted the parent's rings and imported spans; the
+  // worker must stream only what IT records, so both are discarded.
+  Clear();
+}
+
+}  // namespace fairchain::obs

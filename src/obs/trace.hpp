@@ -1,0 +1,165 @@
+// Span tracing: bounded, allocation-free recording of timed scopes,
+// process-tree aware.
+//
+// The recording discipline mirrors the execution core's constraints:
+//   * DISABLED (the default) costs one relaxed atomic load and a branch
+//     per Span — nothing else happens, no clock read, no store.  The
+//     hotpath_bench instrumented family holds this to <2% ns/step.
+//   * ENABLED, a Span reads the steady clock twice and pushes one fixed
+//     SpanRecord into its thread's preallocated ring buffer.  The ring is
+//     allocated on the thread's FIRST span (never in steady state) and
+//     bounded (kRingCapacity); when full, new spans are dropped and
+//     counted — tracing can never grow memory without bound or stall a
+//     worker.
+//   * Span names must be string literals (or otherwise outlive the
+//     collector): records store the pointer, not a copy.  The pinned name
+//     taxonomy lives in docs/OBSERVABILITY.md.
+//
+// Process sharding: a forked shard worker calls OnShardWorkerStart() to
+// discard the buffers it inherited from the parent's snapshot, records
+// spans locally, and periodically drains them with DrainSerializedSpans()
+// into a length-prefixed pipe message (core/shard_executor.hpp, span
+// message).  The parent ImportShardSpans()s each payload, tagging the
+// records with the worker's shard index, so one exported trace shows the
+// whole process tree with per-shard tracks.  Steady-clock timestamps are
+// directly comparable across fork: parent and children share the clock
+// and the trace epoch captured at SetTraceEnabled(true).
+
+#ifndef FAIRCHAIN_OBS_TRACE_HPP_
+#define FAIRCHAIN_OBS_TRACE_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fairchain::obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// Turns span recording on or off process-wide.  Enabling (re)captures the
+/// trace epoch: subsequent span timestamps are nanoseconds since that
+/// moment.  Forked children inherit the flag and the epoch.
+void SetTraceEnabled(bool enabled);
+
+/// The single check every Span constructor performs.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Nanoseconds since the trace epoch (steady clock).
+std::uint64_t TraceNowNanos();
+
+/// One recorded scope.  `name` points at a string literal; `track` is -1
+/// for spans recorded in this process and the shard index for spans
+/// imported from a forked worker.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t arg = 0;      ///< small numeric payload (cell/chunk index)
+  std::uint32_t thread = 0;   ///< sequential id of the recording thread
+};
+
+/// A span imported from a shard worker: same shape, but the name crossed a
+/// process boundary so the collector owns a copy.
+struct ImportedSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t arg = 0;
+  std::uint32_t thread = 0;
+  unsigned shard = 0;
+};
+
+/// RAII timed scope.  When tracing is disabled construction is a load and
+/// a branch; nothing is recorded.
+class Span {
+ public:
+  explicit Span(const char* name, std::uint64_t arg = 0) {
+    if (TraceEnabled()) {
+      name_ = name;
+      arg_ = arg;
+      start_ns_ = TraceNowNanos();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) Commit();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Commit() noexcept;  // out of line: ring push
+
+  const char* name_ = nullptr;
+  std::uint64_t arg_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Owns every thread's span ring plus the spans imported from shard
+/// workers.  Buffers live until Clear(), surviving their threads, so a
+/// campaign's spans can be exported after the pool is joined.
+class TraceCollector {
+ public:
+  /// Ring capacity per thread, in spans.  At chunk/cell granularity a
+  /// campaign records a few spans per chunk, so 64k spans per thread
+  /// absorbs ~10k-cell campaigns before dropping (drops are counted).
+  static constexpr std::size_t kRingCapacity = 65536;
+
+  static TraceCollector& Global();
+
+  /// All spans recorded in this process, in ring order per thread.
+  std::vector<SpanRecord> LocalSpans() const;
+
+  /// All spans imported from shard workers.
+  std::vector<ImportedSpan> ShardSpans() const;
+
+  /// Spans dropped because a ring was full (local) — the exporter reports
+  /// this so a truncated trace is never mistaken for a complete one.
+  std::uint64_t DroppedSpans() const;
+
+  /// Discards every recorded and imported span and resets drop counts.
+  /// Rings stay allocated for their threads.
+  void Clear();
+
+  /// Serializes and removes every span currently in this process's rings
+  /// (the shard worker's flush).  Returns an empty string when there is
+  /// nothing to flush.  Wire format is an implementation detail shared
+  /// with ImportShardSpans; it never leaves the process tree.
+  std::string DrainSerializedSpans();
+
+  /// Parses a DrainSerializedSpans payload received from shard worker
+  /// `shard` and appends the spans.  Returns false (importing nothing) on
+  /// a malformed payload — the shard executor treats that as a framing
+  /// error.  Thread-safe: called from concurrent per-shard reader threads.
+  bool ImportShardSpans(unsigned shard, const std::string& payload);
+
+  /// Called at the top of a forked shard worker: drops the span state
+  /// inherited from the parent's snapshot so the worker streams only its
+  /// own spans.
+  void OnShardWorkerStart();
+
+  /// One thread's bounded span storage (definition in trace.cpp; public
+  /// only so the ring-recycling lease in the implementation can name it).
+  struct ThreadRing;
+
+ private:
+  friend class Span;
+
+  TraceCollector() = default;
+  ThreadRing& RingForThisThread();
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  std::vector<ImportedSpan> imported_;
+  std::uint32_t next_thread_id_ = 0;
+};
+
+}  // namespace fairchain::obs
+
+#endif  // FAIRCHAIN_OBS_TRACE_HPP_

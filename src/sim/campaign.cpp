@@ -12,6 +12,8 @@
 #include "core/execution_backend.hpp"
 #include "core/population.hpp"
 #include "core/shard_executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/model_factory.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -212,6 +214,25 @@ std::vector<ChunkJob> CampaignRunner::PlanJobs(
 std::vector<CellOutcome> CampaignRunner::Run(
     const ScenarioSpec& spec, const std::vector<ResultSink*>& sinks) const {
   const std::vector<CampaignCell> cells = spec.ExpandCells();
+  // Campaign-wide metrics (always on; two clock reads per multi-ms unit of
+  // work).  Resolved once per Run so the worker lambdas never touch the
+  // registry — recording is pure atomics.  --progress reads cells_done /
+  // replications_done live; cache-served cells credit their replications
+  // so throughput and ETA stay truthful on warm stores.
+  auto& metrics = obs::MetricsRegistry::Global();
+  obs::Counter& cells_total = metrics.GetCounter("campaign.cells_total");
+  obs::Counter& cells_done = metrics.GetCounter("campaign.cells_done");
+  obs::Counter& cells_cached = metrics.GetCounter("campaign.cells_cached");
+  obs::Counter& chunks_done = metrics.GetCounter("campaign.chunks_done");
+  obs::Counter& replications_done =
+      metrics.GetCounter("campaign.replications_done");
+  obs::Counter& rows_emitted = metrics.GetCounter("campaign.rows_emitted");
+  obs::LatencyHistogram& chunk_ns =
+      metrics.GetHistogram("campaign.chunk_ns");
+  obs::LatencyHistogram& reduce_ns =
+      metrics.GetHistogram("campaign.reduce_ns");
+  obs::Span run_span("campaign.run", cells.size());
+  cells_total.Add(cells.size());
   const core::ExecutionBackend* backend = options_.backend;
   std::unique_ptr<core::ExecutionBackend> owned_backend;
   if (backend == nullptr) {
@@ -252,11 +273,15 @@ std::vector<CellOutcome> CampaignRunner::Run(
     }
     if (options_.read_cache) {
       for (std::size_t i = 0; i < executions.size(); ++i) {
+        obs::Span probe_span("campaign.store_probe", i);
         store::LoadResult loaded = cache->Load(keys[i]);
         if (loaded.status == store::LoadStatus::kHit) {
           executions[i]->result = std::move(loaded.result);
           executions[i]->reduced = true;
           cached[i] = true;
+          cells_cached.Add();
+          cells_done.Add();
+          replications_done.Add(spec.replications);
         }
       }
     }
@@ -273,15 +298,22 @@ std::vector<CellOutcome> CampaignRunner::Run(
   // Caller holds emit_mutex.
   auto drain_reduced = [&] {
     while (next_emit < executions.size() && executions[next_emit]->reduced) {
+      obs::Span emit_span("campaign.emit", next_emit);
       EmitCellRows(spec, *executions[next_emit], sinks);
+      rows_emitted.Add(executions[next_emit]->result.checkpoints.size());
       ++next_emit;
     }
   };
 
   auto reduce_and_emit = [&](CellExecution& execution, std::size_t index) {
-    execution.result = core::ReduceToResult(
-        execution.model->name(), execution.stakes, execution.config,
-        spec.fairness, execution.lambdas, execution.population);
+    {
+      obs::Span reduce_span("campaign.reduce", index);
+      obs::ScopedLatency reduce_latency(reduce_ns);
+      execution.result = core::ReduceToResult(
+          execution.model->name(), execution.stakes, execution.config,
+          spec.fairness, execution.lambdas, execution.population);
+    }
+    cells_done.Add();
     execution.lambdas.clear();
     execution.lambdas.shrink_to_fit();
     execution.population.clear();
@@ -335,12 +367,18 @@ std::vector<CellOutcome> CampaignRunner::Run(
     // the identical reduction — which is why output is byte-identical.
     // Payload layout for chunk (cell, begin, end): the [begin, end)
     // columns of every λ checkpoint row, then of every population plane.
+    obs::Span execute_span("backend.execute", pending.size());
     core::RunSharded(
         process_shards, pending.size(),
         // Runs in the forked child.
         [&, state = std::make_shared<ShardChildState>()](std::size_t index) {
           const ChunkJob& job = pending[index];
           CellExecution& execution = *executions[job.cell];
+          // Recorded in the forked worker and streamed back over the span
+          // message, so the parent's trace shows this chunk on the
+          // worker's own track.
+          obs::Span chunk_span("campaign.chunk", job.cell);
+          obs::ScopedLatency chunk_latency(chunk_ns);
           const core::SimulationConfig& config = execution.config;
           const std::size_t cp = config.checkpoints.size();
           if (state->cell != job.cell || state->lambdas.empty()) {
@@ -405,6 +443,8 @@ std::vector<CellOutcome> CampaignRunner::Run(
                           p * config.replications + job.begin);
             source += span;
           }
+          chunks_done.Add();
+          replications_done.Add(span);
           if (execution.remaining_chunks.fetch_sub(1) == 1) {
             reduce_and_emit(execution, job.cell);
           }
@@ -417,19 +457,27 @@ std::vector<CellOutcome> CampaignRunner::Run(
     jobs.reserve(pending.size());
     for (const ChunkJob& job : pending) {
       CellExecution* execution = executions[job.cell].get();
-      jobs.push_back([execution, job, &reduce_and_emit, &allocate_matrices] {
+      jobs.push_back([execution, job, &reduce_and_emit, &allocate_matrices,
+                      &chunk_ns, &chunks_done, &replications_done] {
         allocate_matrices(*execution);
-        core::RunReplicationRange(*execution->model, execution->stakes,
-                                  execution->config, job.begin, job.end,
-                                  execution->lambdas.data(),
-                                  execution->population.empty()
-                                      ? nullptr
-                                      : execution->population.data());
+        {
+          obs::Span chunk_span("campaign.chunk", job.cell);
+          obs::ScopedLatency chunk_latency(chunk_ns);
+          core::RunReplicationRange(*execution->model, execution->stakes,
+                                    execution->config, job.begin, job.end,
+                                    execution->lambdas.data(),
+                                    execution->population.empty()
+                                        ? nullptr
+                                        : execution->population.data());
+        }
+        chunks_done.Add();
+        replications_done.Add(job.end - job.begin);
         if (execution->remaining_chunks.fetch_sub(1) == 1) {
           reduce_and_emit(*execution, job.cell);
         }
       });
     }
+    obs::Span execute_span("backend.execute", jobs.size());
     backend->Execute(std::move(jobs));
   }
 

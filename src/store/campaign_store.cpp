@@ -11,6 +11,8 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/result_codec.hpp"
 #include "support/fault_injection.hpp"
 #include "support/version.hpp"
@@ -49,6 +51,43 @@ std::uint64_t ProcessId() {
 #endif
 }
 
+// The store's slice of the metrics registry, resolved once: per-store
+// stats() values are deltas of these process-wide counters against the
+// snapshot taken when the store was opened.
+struct StoreCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& corrupt;
+  obs::Counter& version_mismatches;
+  obs::Counter& writes;
+  obs::Counter& write_failures;
+};
+
+StoreCounters& Counters() {
+  static auto& registry = obs::MetricsRegistry::Global();
+  static StoreCounters counters{
+      registry.GetCounter("store.hits"),
+      registry.GetCounter("store.misses"),
+      registry.GetCounter("store.corrupt"),
+      registry.GetCounter("store.version_mismatches"),
+      registry.GetCounter("store.writes"),
+      registry.GetCounter("store.write_failures"),
+  };
+  return counters;
+}
+
+StoreStats CurrentTotals() {
+  const StoreCounters& counters = Counters();
+  StoreStats totals;
+  totals.hits = counters.hits.Value();
+  totals.misses = counters.misses.Value();
+  totals.corrupt = counters.corrupt.Value();
+  totals.version_mismatches = counters.version_mismatches.Value();
+  totals.writes = counters.writes.Value();
+  totals.write_failures = counters.write_failures.Value();
+  return totals;
+}
+
 }  // namespace
 
 const std::string& DefaultCodeVersion() {
@@ -76,6 +115,7 @@ CampaignStore::CampaignStore(std::string directory, std::string code_version)
     throw std::runtime_error("CampaignStore: cannot create store directory '" +
                              directory_ + "': " + error.message());
   }
+  baseline_ = CurrentTotals();
 }
 
 std::string CampaignStore::EntryPath(const CellKey& key) const {
@@ -83,16 +123,22 @@ std::string CampaignStore::EntryPath(const CellKey& key) const {
 }
 
 LoadResult CampaignStore::Load(const CellKey& key) {
+  static auto& load_ns =
+      obs::MetricsRegistry::Global().GetHistogram("store.load_ns");
+  obs::ScopedLatency latency(load_ns);
+  obs::Span load_span("store.load");
   LoadResult loaded;
-  auto finish = [this, &loaded](LoadStatus status, std::string detail) {
+  auto finish = [&loaded](LoadStatus status, std::string detail) {
     loaded.status = status;
     loaded.detail = std::move(detail);
-    std::lock_guard<std::mutex> lock(mutex_);
+    StoreCounters& counters = Counters();
     switch (status) {
-      case LoadStatus::kHit: ++stats_.hits; break;
-      case LoadStatus::kMiss: ++stats_.misses; break;
-      case LoadStatus::kCorrupt: ++stats_.corrupt; break;
-      case LoadStatus::kVersionMismatch: ++stats_.version_mismatches; break;
+      case LoadStatus::kHit: counters.hits.Add(); break;
+      case LoadStatus::kMiss: counters.misses.Add(); break;
+      case LoadStatus::kCorrupt: counters.corrupt.Add(); break;
+      case LoadStatus::kVersionMismatch:
+        counters.version_mismatches.Add();
+        break;
     }
     return loaded;
   };
@@ -172,6 +218,10 @@ LoadResult CampaignStore::Load(const CellKey& key) {
 
 bool CampaignStore::Put(const CellKey& key,
                         const core::SimulationResult& result) {
+  static auto& put_ns =
+      obs::MetricsRegistry::Global().GetHistogram("store.put_ns");
+  obs::ScopedLatency latency(put_ns);
+  obs::Span put_span("store.put");
   std::string entry;
   entry.append(kEntryMagic, sizeof(kEntryMagic));
   entry.append(reinterpret_cast<const char*>(key.digest.data()),
@@ -188,20 +238,25 @@ bool CampaignStore::Put(const CellKey& key,
                payload_hash.size());
 
   std::uint64_t sequence = 0;
-  std::uint64_t write_number = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     sequence = ++temp_sequence_;
-    write_number = stats_.writes + stats_.write_failures + 1;
   }
+  // Per-store write ordinal (the fault-injection "nth write" index); the
+  // registry counters are process-wide, so subtract this store's opening
+  // snapshot.
+  const StoreStats totals = CurrentTotals();
+  const std::uint64_t write_number = (totals.writes - baseline_.writes) +
+                                     (totals.write_failures -
+                                      baseline_.write_failures) +
+                                     1;
   const std::string temp_path = EntryPath(key) + ".tmp." +
                                 std::to_string(ProcessId()) + "." +
                                 std::to_string(sequence);
-  auto fail = [this, &temp_path] {
+  auto fail = [&temp_path] {
     std::error_code ignored;
     std::filesystem::remove(temp_path, ignored);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.write_failures;
+    Counters().write_failures.Add();
     return false;
   };
 
@@ -225,14 +280,21 @@ bool CampaignStore::Put(const CellKey& key,
   std::error_code error;
   std::filesystem::rename(temp_path, EntryPath(key), error);
   if (error) return fail();
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.writes;
+  Counters().writes.Add();
   return true;
 }
 
 StoreStats CampaignStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  const StoreStats totals = CurrentTotals();
+  StoreStats delta;
+  delta.hits = totals.hits - baseline_.hits;
+  delta.misses = totals.misses - baseline_.misses;
+  delta.corrupt = totals.corrupt - baseline_.corrupt;
+  delta.version_mismatches =
+      totals.version_mismatches - baseline_.version_mismatches;
+  delta.writes = totals.writes - baseline_.writes;
+  delta.write_failures = totals.write_failures - baseline_.write_failures;
+  return delta;
 }
 
 }  // namespace fairchain::store

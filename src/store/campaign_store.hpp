@@ -35,8 +35,8 @@
 //   payload SHA-256                32 bytes
 //
 // Thread safety: Load/Put may be called concurrently from campaign
-// workers; stats are mutex-guarded, files are written under unique temp
-// names (pid + sequence number).
+// workers; stats live in atomic obs::MetricsRegistry counters, files are
+// written under unique temp names (pid + sequence number).
 
 #ifndef FAIRCHAIN_STORE_CAMPAIGN_STORE_HPP_
 #define FAIRCHAIN_STORE_CAMPAIGN_STORE_HPP_
@@ -86,7 +86,11 @@ struct LoadResult {
 };
 
 /// Monotonic per-store counters (one store object = one campaign run's
-/// accounting; the CLI prints them).
+/// accounting; the CLI prints them).  Backed by the process-wide
+/// obs::MetricsRegistry ("store.hits", "store.misses", ...): the store
+/// snapshots the counters at construction and stats() reports the delta,
+/// so per-store accounting and `--metrics` export share one source of
+/// truth.
 struct StoreStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -129,7 +133,7 @@ class CampaignStore {
   std::string directory_;
   std::string code_version_;
   mutable std::mutex mutex_;
-  StoreStats stats_;
+  StoreStats baseline_;  ///< registry totals when this store was opened
   std::uint64_t temp_sequence_ = 0;
 };
 

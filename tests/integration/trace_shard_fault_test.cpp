@@ -1,0 +1,122 @@
+// Tracing under shard-worker death: a SIGKILLed worker loses only the
+// spans it had not yet flushed, the parent keeps every span that made it
+// over the pipe, and the exported trace is still a well-formed document.
+//
+// Geometry (same as shard_fault_test.cpp): 4 cells x 8 reps chunked at 4
+// => 8 chunks; under shard:2, shard 0 owns {0,2,4,6} and shard 1 owns
+// {1,3,5,7}.  Workers flush their span ring right after each chunk
+// message, and the shard-chunk fault point sits after that flush — so
+// killing shard 1 at its 2nd chunk leaves exactly 2 of its chunk spans
+// in the parent, while shard 0 delivers all 4 of its own.
+//
+// POSIX-only, like the shard backend.
+
+#ifndef _WIN32
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/execution_backend.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "sim/campaign.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/scenario_spec.hpp"
+
+namespace fairchain {
+namespace {
+
+sim::ScenarioSpec FaultSpec() {
+  return sim::ScenarioSpec::FromText(
+      "name=trace-fault\n"
+      "description=span flushing under worker death\n"
+      "protocols=pow,mlpos\n"
+      "a=0.2,0.4\n"
+      "steps=50\n"
+      "reps=8\n"
+      "seed=20210620\n"
+      "checkpoints=2\n");
+}
+
+void RunShardCampaign() {
+  const core::ShardBackend backend(2);
+  std::ostringstream csv_out;
+  sim::CsvSink csv(csv_out);
+  sim::CampaignOptions options;
+  options.backend = &backend;
+  options.chunk_replications = 4;
+  sim::CampaignRunner(options).Run(FaultSpec(), {&csv});
+}
+
+class TraceShardFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("FAIRCHAIN_FAULT");
+    obs::TraceCollector::Global().Clear();
+    obs::SetTraceEnabled(true);
+  }
+  void TearDown() override {
+    unsetenv("FAIRCHAIN_FAULT");
+    obs::SetTraceEnabled(false);
+    obs::TraceCollector::Global().Clear();
+  }
+};
+
+std::size_t ChunkSpansFromShard(const std::vector<obs::ImportedSpan>& spans,
+                                unsigned shard) {
+  std::size_t count = 0;
+  for (const obs::ImportedSpan& span : spans) {
+    if (span.shard == shard && span.name == "campaign.chunk") ++count;
+  }
+  return count;
+}
+
+TEST_F(TraceShardFaultTest, KilledWorkerLosesOnlyUnflushedSpans) {
+  setenv("FAIRCHAIN_FAULT", "shard-chunk:1:2:kill", 1);
+  EXPECT_THROW(RunShardCampaign(), std::runtime_error);
+
+  const std::vector<obs::ImportedSpan> imported =
+      obs::TraceCollector::Global().ShardSpans();
+  // Shard 1 flushed after each of its first 2 chunks and died at the
+  // fault point right after the 2nd flush: exactly 2 chunk spans arrive.
+  EXPECT_EQ(ChunkSpansFromShard(imported, 1), 2u);
+  // Shard 0 was untouched and delivered all 4 of its chunks.
+  EXPECT_EQ(ChunkSpansFromShard(imported, 0), 4u);
+
+  // Every imported span is internally consistent despite the crash.
+  for (const obs::ImportedSpan& span : imported) {
+    EXPECT_LE(span.start_ns, span.end_ns) << span.name;
+    EXPECT_FALSE(span.name.empty());
+  }
+
+  // The parent can still export a well-formed trace document.
+  std::ostringstream out;
+  obs::WriteChromeTrace(out);
+  const std::string trace = out.str();
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace.find("\"name\":\"shard 0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"shard 1\""), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST_F(TraceShardFaultTest, TornSpanStreamNeverPoisonsTheParent) {
+  // Kill shard 0 mid wire message: whatever partial bytes the parent saw
+  // must not become spans, and the campaign must fail loudly.
+  setenv("FAIRCHAIN_FAULT", "shard-message:0:2:kill", 1);
+  EXPECT_THROW(RunShardCampaign(), std::runtime_error);
+  for (const obs::ImportedSpan& span :
+       obs::TraceCollector::Global().ShardSpans()) {
+    EXPECT_LE(span.start_ns, span.end_ns) << span.name;
+    EXPECT_FALSE(span.name.empty());
+  }
+}
+
+}  // namespace
+}  // namespace fairchain
+
+#endif  // _WIN32

@@ -1,0 +1,157 @@
+// Exporter schema pins: the trace-event JSON shape check_trace.py and
+// Perfetto rely on, the metrics JSONL line schema, and the summary table.
+// These are contract tests — loosening them silently breaks external
+// consumers of --trace/--metrics files.
+
+#include "obs/export.hpp"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fairchain::obs {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEnabled(false);
+    TraceCollector::Global().Clear();
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    TraceCollector::Global().Clear();
+  }
+};
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(ExportTest, EmptyTraceIsStillAValidDocument) {
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  const std::string trace = out.str();
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // The parent process track is always named.
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"fairchain\""), std::string::npos);
+}
+
+TEST_F(ExportTest, LocalSpansBecomeCompleteEventsOnPidZero) {
+  SetTraceEnabled(true);
+  { Span span("export.local", 9); }
+  SetTraceEnabled(false);
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  const std::string trace = out.str();
+  EXPECT_NE(trace.find("\"name\":\"export.local\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"v\":9}"), std::string::npos);
+  EXPECT_NE(trace.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":"), std::string::npos);
+}
+
+TEST_F(ExportTest, ImportedShardSpansGetTheirOwnNamedTrack) {
+  SetTraceEnabled(true);
+  { Span span("export.shard_side"); }
+  const std::string payload =
+      TraceCollector::Global().DrainSerializedSpans();
+  ASSERT_TRUE(TraceCollector::Global().ImportShardSpans(2, payload));
+  SetTraceEnabled(false);
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  const std::string trace = out.str();
+  // Shard 2 is pid 3 (parent is 0, shard s is s + 1) with a named track.
+  EXPECT_NE(trace.find("\"name\":\"shard 2\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"export.shard_side\""), std::string::npos);
+}
+
+TEST_F(ExportTest, SpanNamesAreJsonEscaped) {
+  SetTraceEnabled(true);
+  { Span span("export.\"quoted\""); }
+  SetTraceEnabled(false);
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  EXPECT_NE(out.str().find("export.\\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(ExportTest, DroppedSpansAreReportedAsAnInstantEvent) {
+  SetTraceEnabled(true);
+  for (std::size_t i = 0; i < TraceCollector::kRingCapacity + 5; ++i) {
+    Span span("export.flood");
+  }
+  SetTraceEnabled(false);
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  const std::string trace = out.str();
+  EXPECT_NE(trace.find("\"name\":\"trace.dropped_spans\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"count\":5"), std::string::npos);
+}
+
+TEST_F(ExportTest, BracesBalanceInTheTraceDocument) {
+  SetTraceEnabled(true);
+  { Span span("export.balance", 1); }
+  SetTraceEnabled(false);
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  const std::string trace = out.str();
+  EXPECT_EQ(CountOccurrences(trace, "{"), CountOccurrences(trace, "}"));
+  EXPECT_EQ(CountOccurrences(trace, "["), CountOccurrences(trace, "]"));
+}
+
+TEST_F(ExportTest, MetricsJsonlPinsTheLineSchema) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("export.test_counter").Add(11);
+  LatencyHistogram& histogram =
+      registry.GetHistogram("export.test_histogram");
+  for (int i = 0; i < 10; ++i) histogram.Record(1000);
+  std::ostringstream out;
+  WriteMetricsJsonl(out);
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("{\"type\":\"counter\",\"name\":"
+                       "\"export.test_counter\",\"value\":11}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("{\"type\":\"histogram\",\"name\":"
+                       "\"export.test_histogram\",\"count\":10,"
+                       "\"total_ns\":10000,"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"p50_ns\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"p95_ns\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"p99_ns\":"), std::string::npos);
+  // One JSON object per line, every line an object.
+  std::istringstream lines(jsonl);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST_F(ExportTest, SummaryTableListsCountersAndHistograms) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("export.table_counter").Add(3);
+  registry.GetHistogram("export.table_histogram").Record(5000);
+  const Table table = MetricsSummaryTable();
+  EXPECT_EQ(table.columns(), 6u);
+  EXPECT_EQ(table.rows(), registry.Counters().size() +
+                              registry.Histograms().size());
+}
+
+}  // namespace
+}  // namespace fairchain::obs

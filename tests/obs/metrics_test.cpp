@@ -1,0 +1,158 @@
+// MetricsRegistry contracts: idempotent registration with stable
+// references, lock-free recording semantics, log-bucket quantiles, and
+// deterministic snapshot order.  Metric names are unique per test — the
+// registry is process-global and never forgets a registration.
+
+#include "obs/metrics.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairchain::obs {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreExactAfterJoin) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(LatencyHistogramTest, CountsAndTotals) {
+  LatencyHistogram histogram;
+  histogram.Record(100);
+  histogram.Record(200);
+  histogram.Record(300);
+  EXPECT_EQ(histogram.Count(), 3u);
+  EXPECT_EQ(histogram.TotalNanos(), 600u);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramQuantileIsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.QuantileNanos(0.5), 0.0);
+  EXPECT_EQ(histogram.QuantileNanos(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantileLandsInTheSampleBucket) {
+  LatencyHistogram histogram;
+  // 100 ns lives in bucket floor(log2(100)) = 6, i.e. [64, 128).
+  for (int i = 0; i < 1000; ++i) histogram.Record(100);
+  const double p50 = histogram.QuantileNanos(0.5);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LT(p50, 128.0);
+  const double p99 = histogram.QuantileNanos(0.99);
+  EXPECT_GE(p99, 64.0);
+  EXPECT_LT(p99, 128.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesSeparateDistinctBuckets) {
+  LatencyHistogram histogram;
+  // 90 fast samples (~1 µs) and 10 slow ones (~1 ms): the p50 must report
+  // the fast bucket and the p99 the slow one, two decades apart.
+  for (int i = 0; i < 90; ++i) histogram.Record(1000);
+  for (int i = 0; i < 10; ++i) histogram.Record(1000000);
+  EXPECT_LT(histogram.QuantileNanos(0.5), 3000.0);
+  EXPECT_GT(histogram.QuantileNanos(0.99), 500000.0);
+}
+
+TEST(LatencyHistogramTest, ZeroAndOneNanosecondShareBucketZero) {
+  LatencyHistogram histogram;
+  histogram.Record(0);
+  histogram.Record(1);
+  const auto buckets = histogram.BucketCounts();
+  EXPECT_EQ(buckets[0], 2u);
+  const double p50 = histogram.QuantileNanos(0.5);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LT(p50, 2.0);
+}
+
+TEST(LatencyHistogramTest, ResetZeroesEverything) {
+  LatencyHistogram histogram;
+  histogram.Record(12345);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.TotalNanos(), 0u);
+  EXPECT_EQ(histogram.QuantileNanos(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameObject) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& a = registry.GetCounter("test.registry.same_counter");
+  Counter& b = registry.GetCounter("test.registry.same_counter");
+  EXPECT_EQ(&a, &b);
+  LatencyHistogram& h1 = registry.GetHistogram("test.registry.same_histogram");
+  LatencyHistogram& h2 = registry.GetHistogram("test.registry.same_histogram");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, ReferencesSurviveFurtherRegistration) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& stable = registry.GetCounter("test.registry.stable");
+  stable.Add(7);
+  // A burst of registrations must not move or invalidate the reference.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("test.registry.churn_" + std::to_string(i));
+  }
+  EXPECT_EQ(stable.Value(), 7u);
+  EXPECT_EQ(&registry.GetCounter("test.registry.stable"), &stable);
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreSortedByName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.registry.order_b");
+  registry.GetCounter("test.registry.order_a");
+  registry.GetCounter("test.registry.order_c");
+  const std::vector<CounterSnapshot> counters = registry.Counters();
+  for (std::size_t i = 1; i < counters.size(); ++i) {
+    EXPECT_LT(counters[i - 1].name, counters[i].name);
+  }
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesQuantiles) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  LatencyHistogram& histogram =
+      registry.GetHistogram("test.registry.snapshot_histogram");
+  for (int i = 0; i < 100; ++i) histogram.Record(4096);
+  for (const HistogramSnapshot& snapshot : registry.Histograms()) {
+    if (snapshot.name != "test.registry.snapshot_histogram") continue;
+    EXPECT_EQ(snapshot.count, 100u);
+    EXPECT_EQ(snapshot.total_ns, 409600u);
+    EXPECT_GE(snapshot.p50_ns, 4096.0);
+    EXPECT_LT(snapshot.p50_ns, 8192.0);
+    return;
+  }
+  FAIL() << "snapshot for registered histogram missing";
+}
+
+TEST(MetricsRegistryTest, ResetKeepsRegistrationsAndHandedOutReferences) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test.registry.reset_counter");
+  counter.Add(5);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add(2);
+  EXPECT_EQ(registry.GetCounter("test.registry.reset_counter").Value(), 2u);
+}
+
+}  // namespace
+}  // namespace fairchain::obs

@@ -1,0 +1,195 @@
+// Span/TraceCollector contracts: branch-only disabled path, monotonic
+// timestamps, bounded rings with counted drops, and the serialize/import
+// roundtrip the shard executor streams over its pipe.
+//
+// The collector is process-global; every test starts and ends from a
+// clean, disabled state via the fixture.
+
+#include "obs/trace.hpp"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairchain::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEnabled(false);
+    TraceCollector::Global().Clear();
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    TraceCollector::Global().Clear();
+  }
+};
+
+std::size_t CountSpans(const std::vector<SpanRecord>& spans,
+                       const std::string& name) {
+  std::size_t count = 0;
+  for (const SpanRecord& span : spans) {
+    if (name == span.name) ++count;
+  }
+  return count;
+}
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  { Span span("test.disabled", 1); }
+  EXPECT_TRUE(TraceCollector::Global().LocalSpans().empty());
+  EXPECT_EQ(TraceCollector::Global().DroppedSpans(), 0u);
+}
+
+TEST_F(TraceTest, EnabledSpanRecordsNameArgAndOrderedTimestamps) {
+  SetTraceEnabled(true);
+  { Span span("test.enabled", 42); }
+  const std::vector<SpanRecord> spans = TraceCollector::Global().LocalSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "test.enabled");
+  EXPECT_EQ(spans[0].arg, 42u);
+  EXPECT_LE(spans[0].start_ns, spans[0].end_ns);
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableStillCommits) {
+  SetTraceEnabled(true);
+  {
+    Span span("test.straddle");
+    SetTraceEnabled(false);
+  }
+  // The span captured its start while tracing was on; committing it keeps
+  // the record count consistent with what was started.
+  EXPECT_EQ(CountSpans(TraceCollector::Global().LocalSpans(),
+                       "test.straddle"),
+            1u);
+}
+
+TEST_F(TraceTest, TimestampsAreMonotonicWithinAThread) {
+  SetTraceEnabled(true);
+  for (int i = 0; i < 100; ++i) {
+    Span span("test.monotonic", static_cast<std::uint64_t>(i));
+  }
+  const std::vector<SpanRecord> spans = TraceCollector::Global().LocalSpans();
+  std::uint64_t previous_end = 0;
+  std::size_t seen = 0;
+  for (const SpanRecord& span : spans) {
+    if (std::string("test.monotonic") != span.name) continue;
+    EXPECT_LE(span.start_ns, span.end_ns);
+    EXPECT_GE(span.start_ns, previous_end);
+    previous_end = span.end_ns;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST_F(TraceTest, RingIsBoundedAndDropsAreCounted) {
+  SetTraceEnabled(true);
+  const std::size_t overflow = TraceCollector::kRingCapacity + 100;
+  for (std::size_t i = 0; i < overflow; ++i) {
+    Span span("test.overflow");
+  }
+  EXPECT_EQ(TraceCollector::Global().LocalSpans().size(),
+            TraceCollector::kRingCapacity);
+  EXPECT_EQ(TraceCollector::Global().DroppedSpans(), 100u);
+}
+
+TEST_F(TraceTest, ClearDiscardsSpansAndDropCounts) {
+  SetTraceEnabled(true);
+  { Span span("test.cleared"); }
+  TraceCollector::Global().Clear();
+  EXPECT_TRUE(TraceCollector::Global().LocalSpans().empty());
+  EXPECT_EQ(TraceCollector::Global().DroppedSpans(), 0u);
+  // The ring keeps working after a Clear.
+  { Span span("test.after_clear"); }
+  EXPECT_EQ(TraceCollector::Global().LocalSpans().size(), 1u);
+}
+
+TEST_F(TraceTest, ThreadsRecordIntoDistinctRings) {
+  SetTraceEnabled(true);
+  { Span span("test.thread_main"); }
+  std::thread worker([] { Span span("test.thread_worker"); });
+  worker.join();
+  const std::vector<SpanRecord> spans = TraceCollector::Global().LocalSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  std::uint32_t main_thread = 0;
+  std::uint32_t worker_thread = 0;
+  for (const SpanRecord& span : spans) {
+    if (std::string("test.thread_main") == span.name) {
+      main_thread = span.thread;
+    } else {
+      worker_thread = span.thread;
+    }
+  }
+  EXPECT_NE(main_thread, worker_thread);
+}
+
+TEST_F(TraceTest, DrainImportRoundtripTagsTheShard) {
+  SetTraceEnabled(true);
+  { Span span("test.roundtrip", 7); }
+  { Span span("test.roundtrip", 8); }
+  const std::string payload =
+      TraceCollector::Global().DrainSerializedSpans();
+  ASSERT_FALSE(payload.empty());
+  // Drained: the local rings are now empty (the worker-side contract).
+  EXPECT_TRUE(TraceCollector::Global().LocalSpans().empty());
+
+  ASSERT_TRUE(TraceCollector::Global().ImportShardSpans(3, payload));
+  const std::vector<ImportedSpan> imported =
+      TraceCollector::Global().ShardSpans();
+  ASSERT_EQ(imported.size(), 2u);
+  for (const ImportedSpan& span : imported) {
+    EXPECT_EQ(span.name, "test.roundtrip");
+    EXPECT_EQ(span.shard, 3u);
+    EXPECT_LE(span.start_ns, span.end_ns);
+  }
+  EXPECT_EQ(imported[0].arg + imported[1].arg, 15u);
+}
+
+TEST_F(TraceTest, DrainWithNothingRecordedIsEmpty) {
+  SetTraceEnabled(true);
+  EXPECT_TRUE(TraceCollector::Global().DrainSerializedSpans().empty());
+}
+
+TEST_F(TraceTest, TruncatedPayloadImportsNothing) {
+  SetTraceEnabled(true);
+  { Span span("test.truncated"); }
+  const std::string payload =
+      TraceCollector::Global().DrainSerializedSpans();
+  ASSERT_GT(payload.size(), 8u);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{8}, payload.size() - 1}) {
+    EXPECT_FALSE(TraceCollector::Global().ImportShardSpans(
+        0, payload.substr(0, keep)))
+        << "truncation to " << keep << " bytes was accepted";
+  }
+  // Trailing garbage is framing corruption too.
+  EXPECT_FALSE(TraceCollector::Global().ImportShardSpans(0, payload + "x"));
+  EXPECT_TRUE(TraceCollector::Global().ShardSpans().empty());
+}
+
+TEST_F(TraceTest, AbsurdSpanCountIsRejectedBeforeAllocating) {
+  std::string payload;
+  // count = 2^60, then nothing — must fail fast on the plausibility check.
+  std::uint64_t count = 1ULL << 60;
+  payload.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  EXPECT_FALSE(TraceCollector::Global().ImportShardSpans(0, payload));
+}
+
+TEST_F(TraceTest, OnShardWorkerStartDiscardsInheritedState) {
+  SetTraceEnabled(true);
+  { Span span("test.parent_span"); }
+  const std::string parent_payload =
+      TraceCollector::Global().DrainSerializedSpans();
+  ASSERT_TRUE(TraceCollector::Global().ImportShardSpans(0, parent_payload));
+  { Span span("test.parent_span_two"); }
+
+  TraceCollector::Global().OnShardWorkerStart();
+  EXPECT_TRUE(TraceCollector::Global().LocalSpans().empty());
+  EXPECT_TRUE(TraceCollector::Global().ShardSpans().empty());
+  EXPECT_TRUE(TraceCollector::Global().DrainSerializedSpans().empty());
+}
+
+}  // namespace
+}  // namespace fairchain::obs

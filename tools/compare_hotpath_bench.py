@@ -32,6 +32,13 @@ kernels do, and a loaded runner adds scheduling noise the kernels never
 see.  Those series are EXCLUDED from the machine-speed median and held
 to their own looser budget (--wall-limit, default 1.60), still
 normalised by the kernel median so a uniformly slow runner passes.
+
+Observability overhead pairs (BM_ObsInstrumented_X vs BM_ObsBase_X) are
+compared WITHIN the current run — same machine, same load, same binary —
+so no baseline or normalisation is involved: the instrumented loop (a
+disabled Span check plus a live histogram record per segment, the exact
+production call-site shape) must stay within --obs-limit (default 1.02,
+the "<2% ns/step with the layer compiled in but disabled" budget).
 """
 
 import argparse
@@ -45,6 +52,40 @@ WALL_CLOCK_PREFIXES = ("BM_ShardCampaign",)
 
 def is_wall_clock(name):
     return name.startswith(WALL_CLOCK_PREFIXES)
+
+
+# Within-run overhead pairs: instrumented series prefix -> base prefix.
+OBS_INSTRUMENTED_PREFIX = "BM_ObsInstrumented_"
+OBS_BASE_PREFIX = "BM_ObsBase_"
+
+
+def check_obs_overhead(current, limit, failures):
+    """Holds every BM_ObsInstrumented_X to limit x its BM_ObsBase_X twin
+    from the same run.  Pairs missing either side are reported, never
+    failed (retiring a protocol from the family must not break CI)."""
+    pairs = []
+    for name, value in sorted(current.items()):
+        if not name.startswith(OBS_INSTRUMENTED_PREFIX) or not value:
+            continue
+        base_name = OBS_BASE_PREFIX + name[len(OBS_INSTRUMENTED_PREFIX):]
+        base = current.get(base_name)
+        if not base:
+            print(f"note: {name} has no {base_name} twin; overhead unchecked")
+            continue
+        pairs.append((name, base, value))
+    if not pairs:
+        return
+    print(f"\nobservability overhead (within-run, limit {limit:.2f}x):")
+    print(f"{'pair':48} {'base ns':>9} {'instr ns':>9} {'ratio':>6}")
+    for name, base, value in pairs:
+        ratio = value / base
+        flag = ""
+        if ratio > limit:
+            failures.append(
+                f"{name}: instrumented/base ratio {ratio:.3f}x exceeds "
+                f"{limit:.2f}x (observability overhead budget)")
+            flag = "  << OVERHEAD"
+        print(f"{name:48} {base:9.2f} {value:9.2f} {ratio:6.3f}{flag}")
 
 
 def load_benchmarks(path):
@@ -78,6 +119,9 @@ def main():
     parser.add_argument("--wall-limit", type=float, default=1.60,
                         help="max allowed normalised slowdown for wall-clock "
                              "families like BM_ShardCampaign (default 1.60)")
+    parser.add_argument("--obs-limit", type=float, default=1.02,
+                        help="max instrumented/base ratio for the "
+                             "BM_Obs* within-run pairs (default 1.02)")
     args = parser.parse_args()
 
     baseline, _ = load_benchmarks(args.baseline)
@@ -91,6 +135,7 @@ def main():
     for name, value in sorted(current.items()):
         if value is None:
             failures.append(f"{name}: benchmark reported an error")
+    check_obs_overhead(current, args.obs_limit, failures)
 
     shared = sorted(name for name in baseline
                     if baseline[name] and current.get(name))

@@ -38,6 +38,9 @@
 #include "core/execution_backend.hpp"
 #include "core/experiments.hpp"
 #include "core/monte_carlo.hpp"
+#include "obs/export.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "protocol/model_factory.hpp"
 #include "protocol/win_probability.hpp"
 #include "sim/campaign.hpp"
@@ -69,6 +72,7 @@ int Usage() {
       "            [--threads T] [--backend serial|pool|shard:N]\n"
       "            [--csv FILE] [--jsonl FILE] [--no-files]\n"
       "            [--store DIR] [--resume] [--no-cache]\n"
+      "            [--trace FILE] [--metrics FILE] [--progress]\n"
       "            [--protocols p1,p2] [--a 0.1,0.2] [--w ...] [--v ...]\n"
       "            [--miners ...] [--whales ...] [--shards ...]\n"
       "            [--withhold ...] [--checkpoints N] [--spacing linear|log]\n"
@@ -78,6 +82,7 @@ int Usage() {
       "            [--threads T] [--backend serial|pool|shard:N] [--alpha A]\n"
       "            [--csv FILE] [--jsonl FILE] [--no-files]\n"
       "            [--store DIR] [--resume] [--no-cache]\n"
+      "            [--trace FILE] [--metrics FILE]\n"
       "            check scenario(s) against analytic oracles\n"
       "  bound     --protocol pow|mlpos|cpos [--a] [--w] [--v] [--shards] "
       "[--n]\n"
@@ -208,6 +213,53 @@ bool ConfigureStore(const FlagSet& flags, const char* command,
   return true;
 }
 
+// Arms span recording for --trace.  Must run before the campaign starts so
+// every worker thread — and every forked shard worker, which inherits the
+// flag and the trace epoch — records from the first chunk.
+void ConfigureTracing(const FlagSet& flags) {
+  if (!flags.Has("trace")) return;
+  obs::TraceCollector::Global().Clear();
+  obs::SetTraceEnabled(true);
+}
+
+// Writes the --trace / --metrics files and prints the observability
+// summary table.  With neither flag the default output stays byte-for-byte
+// what it was before the observability layer existed: nothing is written,
+// nothing extra is printed.
+int ExportObservability(const FlagSet& flags, const char* command) {
+  const bool tracing = flags.Has("trace");
+  const bool metrics = flags.Has("metrics");
+  if (!tracing && !metrics) return 0;
+  if (tracing) {
+    obs::SetTraceEnabled(false);
+    const std::string path = flags.GetString("trace", "");
+    std::ofstream out(path, std::ios::trunc);
+    if (out) obs::WriteChromeTrace(out);
+    if (!out.good()) {
+      std::fprintf(stderr, "%s: cannot write trace file '%s'\n", command,
+                   path.c_str());
+      return 1;
+    }
+    std::printf("wrote trace %s (load it in ui.perfetto.dev or "
+                "chrome://tracing)\n",
+                path.c_str());
+  }
+  if (metrics) {
+    const std::string path = flags.GetString("metrics", "");
+    std::ofstream out(path, std::ios::trunc);
+    if (out) obs::WriteMetricsJsonl(out);
+    if (!out.good()) {
+      std::fprintf(stderr, "%s: cannot write metrics file '%s'\n", command,
+                   path.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics %s\n", path.c_str());
+  }
+  std::printf("\n");
+  obs::MetricsSummaryTable().Emit("observability_summary");
+  return 0;
+}
+
 void PrintStoreStats(const store::CampaignStore* store) {
   if (store == nullptr) return;
   const store::StoreStats stats = store->stats();
@@ -224,8 +276,9 @@ void PrintStoreStats(const store::CampaignStore* store) {
 
 int RunCampaign(const FlagSet& flags) {
   std::vector<std::string> allowed = sim::ScenarioSpec::OverrideFlagNames();
-  allowed.insert(allowed.end(), {"threads", "backend", "csv", "jsonl",
-                                 "no-files", "store", "resume", "no-cache"});
+  allowed.insert(allowed.end(),
+                 {"threads", "backend", "csv", "jsonl", "no-files", "store",
+                  "resume", "no-cache", "trace", "metrics", "progress"});
   flags.RejectUnknown(allowed);
   if (flags.positionals().size() < 2) {
     std::fprintf(stderr, "campaign: need a scenario name or spec file\n");
@@ -271,8 +324,19 @@ int RunCampaign(const FlagSet& flags) {
       static_cast<unsigned long long>(spec.steps), options.threads,
       backend != nullptr ? backend->name().c_str() : "default");
 
+  ConfigureTracing(flags);
+  obs::ProgressReporter::Options progress_options;
+  progress_options.enabled = flags.GetBool("progress");
+  progress_options.total_cells = spec.CellCount();
+  progress_options.total_replications =
+      static_cast<std::uint64_t>(spec.CellCount()) * spec.replications;
+
   const auto start = std::chrono::steady_clock::now();
-  const std::vector<sim::CellOutcome> outcomes = runner.Run(spec, sinks.sinks());
+  std::vector<sim::CellOutcome> outcomes;
+  {
+    obs::ProgressReporter progress(progress_options);
+    outcomes = runner.Run(spec, sinks.sinks());
+  }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -291,14 +355,14 @@ int RunCampaign(const FlagSet& flags) {
   }
   std::printf("\n");
   PrintStoreStats(store.get());
-  return 0;
+  return ExportObservability(flags, "campaign");
 }
 
 int RunVerify(const FlagSet& flags) {
   std::vector<std::string> allowed = sim::ScenarioSpec::OverrideFlagNames();
   allowed.insert(allowed.end(),
                  {"threads", "backend", "csv", "jsonl", "no-files", "alpha",
-                  "all", "store", "resume", "no-cache"});
+                  "all", "store", "resume", "no-cache", "trace", "metrics"});
   flags.RejectUnknown(allowed);
 
   if (!RejectContradictoryFileFlags(flags, "verify")) return Usage();
@@ -349,6 +413,7 @@ int RunVerify(const FlagSet& flags) {
     return Usage();
   }
 
+  ConfigureTracing(flags);
   std::size_t total_failures = 0;
   for (sim::ScenarioSpec& spec : specs) {
     spec.ApplyOverrides(flags);
@@ -398,6 +463,8 @@ int RunVerify(const FlagSet& flags) {
                 specs.size(), total_failures);
   }
   PrintStoreStats(store.get());
+  const int export_status = ExportObservability(flags, "verify");
+  if (export_status != 0) return export_status;
   return total_failures == 0 ? 0 : 1;
 }
 
@@ -556,8 +623,8 @@ int main(int argc, char** argv) {
   try {
     // Boolean switches must be declared so a following positional
     // (e.g. `campaign --no-files table1`) is not swallowed as a value.
-    const FlagSet flags =
-        FlagSet::Parse(argc, argv, {"no-files", "all", "resume", "no-cache"});
+    const FlagSet flags = FlagSet::Parse(
+        argc, argv, {"no-files", "all", "resume", "no-cache", "progress"});
     if (flags.positionals().empty()) return Usage();
     const std::string& command = flags.positionals()[0];
     if (command == "simulate") return RunSimulate(flags);
