@@ -1,0 +1,10 @@
+#include "core/replication_block_workspace.hpp"
+
+namespace fairchain::core {
+
+ReplicationBlockWorkspace& ThreadLocalReplicationBlockWorkspace() {
+  thread_local ReplicationBlockWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace fairchain::core

@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace fairchain::obs {
 
@@ -20,6 +22,14 @@ void LatencyHistogram::Record(std::uint64_t nanoseconds) {
   total_ns_.fetch_add(nanoseconds, std::memory_order_relaxed);
 }
 
+void LatencyHistogram::Record(std::uint64_t nanoseconds,
+                              std::uint64_t occurrences) {
+  buckets_[BucketIndex(nanoseconds)].fetch_add(occurrences,
+                                               std::memory_order_relaxed);
+  count_.fetch_add(occurrences, std::memory_order_relaxed);
+  total_ns_.fetch_add(nanoseconds * occurrences, std::memory_order_relaxed);
+}
+
 double LatencyHistogram::QuantileNanos(double q) const {
   const std::array<std::uint64_t, kBuckets> counts = BucketCounts();
   std::uint64_t total = 0;
@@ -28,25 +38,32 @@ double LatencyHistogram::QuantileNanos(double q) const {
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the q-th sample (1-based, ceil — the classic nearest-rank
-  // definition, so p100 is the last sample's bucket).
-  const std::uint64_t rank =
-      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
-                                     q * static_cast<double>(total) + 0.5));
+  // definition, so p100 is the last sample's bucket).  Clamped into
+  // [1, total]: at totals near 2^53 the double rounding in q * total + 0.5
+  // can land PAST total, which used to walk off the end of the bucket scan
+  // and report 0.0 — far below the populated bucket's lower edge.
+  const std::uint64_t rank = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5), 1,
+      total);
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
     if (counts[b] == 0) continue;
     if (seen + counts[b] >= rank) {
       // Linear interpolation inside [2^b, 2^(b+1)): the rank's position
-      // within the bucket picks the point.
+      // within the bucket picks the point.  The result is clamped to the
+      // bucket's half-open range — a quantile estimate must never leave
+      // the bucket that holds its sample, whatever rounding does.
       const double low = b == 0 ? 0.0 : static_cast<double>(1ULL << b);
       const double width = b == 0 ? 2.0 : low;  // bucket 0 spans [0, 2)
       const double within = (static_cast<double>(rank - seen) - 0.5) /
                             static_cast<double>(counts[b]);
-      return low + width * within;
+      const double value = low + width * std::clamp(within, 0.0, 1.0);
+      return std::min(std::max(value, low),
+                      std::nextafter(low + width, low));
     }
     seen += counts[b];
   }
-  return 0.0;  // unreachable with total > 0
+  return 0.0;  // unreachable: rank <= total guarantees the scan lands
 }
 
 std::array<std::uint64_t, LatencyHistogram::kBuckets>

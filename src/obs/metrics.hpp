@@ -68,6 +68,11 @@ class LatencyHistogram {
 
   void Record(std::uint64_t nanoseconds);
 
+  /// Records `occurrences` samples of the same duration in O(1) — for
+  /// callers that aggregate before recording (and for tests that need
+  /// populations far beyond what a loop of single Records could build).
+  void Record(std::uint64_t nanoseconds, std::uint64_t occurrences);
+
   std::uint64_t Count() const {
     return count_.load(std::memory_order_relaxed);
   }
@@ -76,8 +81,9 @@ class LatencyHistogram {
   }
 
   /// Quantile estimate in nanoseconds (q in [0, 1]): finds the bucket
-  /// holding the q-th sample and interpolates linearly within it.  0 when
-  /// empty.
+  /// holding the q-th sample and interpolates linearly within it.  The
+  /// estimate is guaranteed to lie inside that bucket's [2^b, 2^(b+1))
+  /// range for every q and every population.  0 when empty.
   double QuantileNanos(double q) const;
 
   /// Raw bucket counts, for exporters.

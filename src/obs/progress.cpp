@@ -11,6 +11,29 @@ namespace fairchain::obs {
 
 bool StderrIsTty() { return ::isatty(STDERR_FILENO) == 1; }
 
+std::string FormatEta(double seconds) {
+  // NaN fails every comparison; negative estimates mean the rate sample
+  // is nonsense.  Both render as unknown rather than feeding snprintf.
+  if (!(seconds >= 0.0)) return "--:--";
+  // Saturate BEFORE the integer cast: casting a double at or above 2^64
+  // (a near-zero reps/s estimate early in a run) is undefined behaviour,
+  // and a raw %PRIu64 hour field would blow out the single-line display.
+  if (seconds >= 359999.5) return "99:59:59+";  // rounds to >= 100 h
+  // Round to the nearest second FIRST, then split: the carry propagates
+  // through the fields, so 59.7 s is 60 s -> "01:00" (never "00:60") and
+  // 3599.6 s -> "1:00:00".
+  const auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  char eta[16];
+  if (total >= 3600) {
+    std::snprintf(eta, sizeof(eta), "%" PRIu64 ":%02" PRIu64 ":%02" PRIu64,
+                  total / 3600, (total / 60) % 60, total % 60);
+  } else {
+    std::snprintf(eta, sizeof(eta), "%02" PRIu64 ":%02" PRIu64, total / 60,
+                  total % 60);
+  }
+  return eta;
+}
+
 ProgressReporter::ProgressReporter(const Options& options)
     : options_(options) {
   if (!options_.enabled) return;
@@ -71,28 +94,21 @@ void ProgressReporter::Render() {
           : 100.0 * static_cast<double>(cells) /
                 static_cast<double>(options_.total_cells);
 
-  char eta[32] = "--:--";
+  std::string eta = "--:--";
   if (reps_per_sec > 0.0 && options_.total_replications > replications) {
-    const double remaining_s =
+    eta = FormatEta(
         static_cast<double>(options_.total_replications - replications) /
-        reps_per_sec;
-    const auto total = static_cast<std::uint64_t>(remaining_s);
-    if (total >= 3600) {
-      std::snprintf(eta, sizeof(eta), "%" PRIu64 ":%02" PRIu64 ":%02" PRIu64,
-                    total / 3600, (total / 60) % 60, total % 60);
-    } else {
-      std::snprintf(eta, sizeof(eta), "%02" PRIu64 ":%02" PRIu64,
-                    total / 60, total % 60);
-    }
+        reps_per_sec);
   } else if (options_.total_replications != 0 &&
              replications >= options_.total_replications) {
-    std::snprintf(eta, sizeof(eta), "00:00");
+    eta = "00:00";
   }
 
   std::fprintf(stderr,
                "\r\033[2K[campaign] cells %" PRIu64 "/%" PRIu64
                " (%.1f%%) | %.3g reps/s | ETA %s",
-               cells, options_.total_cells, percent, reps_per_sec, eta);
+               cells, options_.total_cells, percent, reps_per_sec,
+               eta.c_str());
   std::fflush(stderr);
   line_dirty_ = true;
 }

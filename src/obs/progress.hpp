@@ -18,12 +18,22 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 
 namespace fairchain::obs {
 
 /// Returns true when stderr is an interactive terminal.
 bool StderrIsTty();
+
+/// Formats a remaining-time estimate in seconds as "MM:SS" (under an
+/// hour) or "H:MM:SS".  Total width is bounded for the progress line:
+///   * seconds round to the NEAREST second and the carry propagates, so
+///     59.7 renders "01:00", never "00:60";
+///   * estimates of 100 hours or more — including +inf, and any value a
+///     cast to integer could not represent — saturate to "99:59:59+";
+///   * NaN and negative inputs render the unknown marker "--:--".
+std::string FormatEta(double seconds);
 
 /// Background progress line for a campaign run.  Construct before the run
 /// with the known totals; destroy (or Stop()) after.  Inert unless

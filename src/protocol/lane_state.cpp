@@ -1,0 +1,48 @@
+#include "protocol/lane_state.hpp"
+
+#include <stdexcept>
+
+namespace fairchain::protocol {
+
+void LaneStakeState::Reset(const std::vector<double>& initial,
+                           std::size_t lane_count, bool compounding) {
+  if (initial.empty()) {
+    throw std::invalid_argument("LaneStakeState: initial stakes are empty");
+  }
+  double total = 0.0;
+  for (const double stake : initial) {
+    if (stake < 0.0) {
+      throw std::invalid_argument("LaneStakeState: negative initial stake");
+    }
+    total += stake;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("LaneStakeState: initial stakes sum to zero");
+  }
+  if (lane_count == 0 || lane_count > kMaxFenwickLanes) {
+    throw std::invalid_argument(
+        "LaneStakeState: lane count must be in [1, kMaxFenwickLanes]");
+  }
+  initial_ = initial;
+  lane_count_ = lane_count;
+  compounding_ = compounding;
+  income_.assign(initial.size() * lane_count, 0.0);
+  total_income_ = 0.0;
+  step_ = 0;
+  if (compounding) {
+    trees_.Build(initial, lane_count);
+  } else {
+    sampler_.Build(initial);
+  }
+}
+
+void LaneStakeState::WealthVector(std::size_t lane,
+                                  std::vector<double>* out) const {
+  const std::size_t miners = initial_.size();
+  out->resize(miners);
+  for (std::size_t i = 0; i < miners; ++i) {
+    (*out)[i] = initial_[i] + income_[i * lane_count_ + lane];
+  }
+}
+
+}  // namespace fairchain::protocol

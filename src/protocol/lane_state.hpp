@@ -1,0 +1,155 @@
+// LaneStakeState: the state of K replications of ONE game, advanced in
+// lockstep.
+//
+// The scalar StakeState carries one replication; campaigns run thousands
+// of replications of the same cell, and for the protocols whose dynamics
+// are one categorical draw + one credit per block the only thing that
+// differs between replications is the randomness.  This class lays the
+// per-replication state out structure-of-arrays — lane l's income for
+// miner i lives at income[i * K + l] — so the lockstep kernels in
+// lane_steps.hpp touch K adjacent values per operation and the inner
+// loops vectorize across replications instead of meandering through K
+// separate object graphs.
+//
+// What is shared vs per-lane:
+//   * initial stakes, miner count, and the step counter are SHARED — all
+//     lanes advance the same block index of the same cell;
+//   * total credited income is SHARED: every tracked protocol credits a
+//     constant reward per block, so each lane's total after s steps is
+//     the identical sum 0 + w + ... + w.  Keeping one accumulator makes
+//     the lane totals bit-identical to a scalar replay's;
+//   * per-miner income is PER-LANE (the SoA matrix);
+//   * effective stake is shared and frozen for static protocols (one
+//     FenwickSampler serves every lane) and per-lane for compounding
+//     protocols (a FenwickLanes column per lane), selected by the
+//     `compounding` flag at Reset.
+//
+// Semantics contract: lane l of a LaneStakeState evolves exactly like a
+// scalar StakeState fed the same winners — same credit order, same
+// floating-point additions (pinned by tests/protocol/lane_steps_
+// conformance_test.cpp).  Reward withholding is NOT modelled here: the
+// vectorized campaign mode only admits non-compounding protocols (where
+// withholding is vacuously a no-op), and the compounding lane kernels
+// exist for lockstep experimentation at withhold_period 0.
+
+#ifndef FAIRCHAIN_PROTOCOL_LANE_STATE_HPP_
+#define FAIRCHAIN_PROTOCOL_LANE_STATE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/fenwick.hpp"
+
+namespace fairchain::protocol {
+
+/// SoA state for K lockstep replications of one game.
+class LaneStakeState {
+ public:
+  LaneStakeState() = default;
+
+  /// Rebinds to a cell: initial resource vector, lane count, and whether
+  /// rewards feed back into stake.  Reuses storage across calls (a
+  /// replication block resets once per K replications, and repeated
+  /// same-shape resets must not allocate).  Throws std::invalid_argument
+  /// on an empty / negative / zero-sum initial vector or a lane count
+  /// outside [1, kMaxFenwickLanes].
+  void Reset(const std::vector<double>& initial, std::size_t lane_count,
+             bool compounding);
+
+  std::size_t miner_count() const { return initial_.size(); }
+  std::size_t lane_count() const { return lane_count_; }
+  bool compounding() const { return compounding_; }
+
+  /// Number of completed steps — shared: lanes advance in lockstep.
+  std::uint64_t step() const { return step_; }
+
+  /// Cumulative income of miner `miner` on lane `lane`.
+  double income(std::size_t lane, std::size_t miner) const {
+    return income_[miner * lane_count_ + lane];
+  }
+
+  /// Total credited income — shared across lanes (constant per-block
+  /// reward; see file comment).
+  double total_income() const { return total_income_; }
+
+  /// λ of miner `miner` on lane `lane` (0 before any reward).
+  double RewardFraction(std::size_t lane, std::size_t miner) const {
+    return total_income_ > 0.0
+               ? income_[miner * lane_count_ + lane] / total_income_
+               : 0.0;
+  }
+
+  /// Miner `miner`'s current effective stake on lane `lane` (O(log m) in
+  /// compounding mode; for tests and win-probability spot checks).
+  double stake(std::size_t lane, std::size_t miner) const {
+    return compounding_ ? trees_.Weight(lane, miner) : initial_[miner];
+  }
+
+  /// Lane `lane`'s wealth vector — initial resource plus credited income
+  /// per miner — resized into `out`; feeds the population concentration
+  /// metrics exactly like StakeState::WealthVector.
+  void WealthVector(std::size_t lane, std::vector<double>* out) const;
+
+  // --- Lockstep hot-path hooks (lane_steps.hpp kernels) -----------------
+
+  /// The frozen shared tree (static mode only).
+  const FenwickSampler& shared_sampler() const { return sampler_; }
+
+  /// The per-lane trees (compounding mode only).
+  FenwickLanes& lane_trees() { return trees_; }
+  const FenwickLanes& lane_trees() const { return trees_; }
+
+  /// Credits `w` to winners[l] on every lane l, income only — the
+  /// static-income step body.  One scatter into the SoA matrix plus one
+  /// shared-total add.
+  void CreditIncomeLanes(const std::uint32_t* winners, double w) {
+    const std::size_t stride = lane_count_;
+    double* income = income_.data();
+    for (std::size_t l = 0; l < stride; ++l) {  // dependency-free scatter
+      income[winners[l] * stride + l] += w;
+    }
+    total_income_ += w;
+  }
+
+  /// Credits `w` to winners[l] on every lane l AND reinforces each lane's
+  /// tree — the compounding step body.
+  void CreditCompoundingLanes(const std::uint32_t* winners, double w) {
+    CreditIncomeLanes(winners, w);
+    for (std::size_t l = 0; l < lane_count_; ++l) {
+      trees_.Add(l, winners[l], w);
+    }
+  }
+
+  /// Marks the end of a lockstep step (all lanes at once).
+  void AdvanceStep() { ++step_; }
+
+  /// The raw SoA income matrix ([miner * lane_count + lane]) — for the
+  /// fused batch kernel (lane_kernels.cpp), which keeps hot income rows in
+  /// registers across a whole step batch instead of scattering per step.
+  double* income_data() { return income_.data(); }
+
+  /// Batch equivalent of `step_count` x (CreditIncomeLanes total add +
+  /// AdvanceStep) for a kernel that has already applied the per-miner
+  /// credits itself.  The shared total is accumulated by REPEATED addition
+  /// — not `w * step_count` — so it stays bit-identical to the per-step
+  /// path (and to a scalar replay) despite rounding.
+  void FinishKernelSteps(double w, std::uint64_t step_count) {
+    for (std::uint64_t s = 0; s < step_count; ++s) total_income_ += w;
+    step_ += step_count;
+  }
+
+ private:
+  std::vector<double> initial_;
+  std::vector<double> income_;  // [miner * lane_count_ + lane]
+  FenwickSampler sampler_;      // static mode: one tree for all lanes
+  FenwickLanes trees_;          // compounding mode: one tree per lane
+  std::size_t lane_count_ = 0;
+  double total_income_ = 0.0;
+  std::uint64_t step_ = 0;
+  bool compounding_ = false;
+};
+
+}  // namespace fairchain::protocol
+
+#endif  // FAIRCHAIN_PROTOCOL_LANE_STATE_HPP_

@@ -1,0 +1,65 @@
+// Shared lockstep inner loops for the RunLaneSteps overrides — the
+// replication-vectorized analog of batched_steps.hpp.
+//
+// One step advances ALL K lanes: K counter-based uniforms in one fill
+// (PhiloxLanes), K winners in one masked multi-lane Fenwick descent, K
+// credits in one SoA scatter.  Every stage is a dependency-free loop over
+// lanes, so the compiler can vectorize across replications; nothing in
+// the step body allocates or branches on lane-varying data.
+//
+// Two dynamics cover the four lane-stepping protocols, mirroring the
+// scalar batched loops: the static-income loop (PoW / NEO — one frozen
+// tree serves every lane) and the compounding loop (ML-PoS / FSL-PoS —
+// per-lane trees, each reinforced by its own winner).
+//
+// Determinism contract: lane l consumes exactly the draw sequence of
+// PhiloxStream(seed, first_lane + l) and applies exactly the credits a
+// scalar StakeState replay of those winners would — so lane results are
+// invariant to K, to block partitioning, and to which backend runs them
+// (pinned by tests/protocol/lane_steps_conformance_test.cpp).
+
+#ifndef FAIRCHAIN_PROTOCOL_LANE_STEPS_HPP_
+#define FAIRCHAIN_PROTOCOL_LANE_STEPS_HPP_
+
+#include <cstdint>
+
+#include "protocol/lane_state.hpp"
+#include "support/philox.hpp"
+
+namespace fairchain::protocol::lanes {
+
+/// PoW / NEO: proportional proposer over the one frozen tree,
+/// non-compounding reward `w` per block on every lane.
+///
+/// Defined out of line in lane_kernels.cpp — the third ISA-widened kernel
+/// TU (see FAIRCHAIN_LANE_SIMD in CMakeLists.txt).  Unlike the compounding
+/// loop below, every step of this dynamic reads the SAME frozen tree and
+/// touches only the income matrix, so the whole step batch fuses: uniforms
+/// are consumed zero-copy from the Philox row buffer, descents of adjacent
+/// steps interleave to hide gather latency, and the two-miner game keeps
+/// its income rows in registers across the entire batch.  Output is
+/// bit-identical to the naive per-step loop (same winners, same credit
+/// order — pinned by the lane conformance tests).
+void RunStaticIncomeLaneSteps(LaneStakeState& block, double w,
+                              std::uint64_t step_count, PhiloxLanes& rng);
+
+/// ML-PoS / FSL-PoS: one categorical draw per block per lane, reward `w`
+/// compounds into that lane's tree (withholding is out of scope here —
+/// see the LaneStakeState contract).
+inline void RunCompoundingLaneSteps(LaneStakeState& block, double w,
+                                    std::uint64_t step_count,
+                                    PhiloxLanes& rng) {
+  double u[kMaxFenwickLanes];
+  std::uint32_t winner[kMaxFenwickLanes];
+  FenwickLanes& trees = block.lane_trees();
+  for (std::uint64_t s = 0; s < step_count; ++s) {
+    rng.FillUniformDoubles(u);
+    trees.SampleLanes(u, winner);
+    block.CreditCompoundingLanes(winner, w);
+    block.AdvanceStep();
+  }
+}
+
+}  // namespace fairchain::protocol::lanes
+
+#endif  // FAIRCHAIN_PROTOCOL_LANE_STEPS_HPP_

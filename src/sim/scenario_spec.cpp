@@ -168,6 +168,16 @@ void Assign(ScenarioSpec& spec, const std::string& key,
     spec.population_metrics = ParseOnOff(key, value);
   } else if (key == "final_lambdas") {
     spec.keep_final_lambdas = ParseOnOff(key, value);
+  } else if (key == "stepping") {
+    if (value == "scalar") {
+      spec.stepping = core::SteppingMode::kScalar;
+    } else if (value == "vectorized") {
+      spec.stepping = core::SteppingMode::kVectorized;
+    } else {
+      throw std::invalid_argument(
+          "ScenarioSpec: stepping expects scalar|vectorized, got '" + value +
+          "'");
+    }
   } else if (key == "steps") {
     spec.steps = ParseU64(key, value);
   } else if (key == "reps") {
@@ -470,7 +480,11 @@ std::string ScenarioSpec::ToText() const {
       << "eps=" << FormatDouble(fairness.epsilon) << "\n"
       << "delta=" << FormatDouble(fairness.delta) << "\n"
       << "population=" << (population_metrics ? "on" : "off") << "\n"
-      << "final_lambdas=" << (keep_final_lambdas ? "on" : "off") << "\n";
+      << "final_lambdas=" << (keep_final_lambdas ? "on" : "off") << "\n"
+      << "stepping="
+      << (stepping == core::SteppingMode::kVectorized ? "vectorized"
+                                                      : "scalar")
+      << "\n";
   return out.str();
 }
 
@@ -485,7 +499,7 @@ const std::vector<std::string>& ScenarioSpec::OverrideFlagNames() {
       "protocols", "miners",      "whales",  "a",     "w",
       "v",         "shards",      "withhold", "stakes", "steps",
       "reps",      "seed",        "checkpoints", "spacing", "eps",
-      "delta",     "population",  "final_lambdas"};
+      "delta",     "population",  "final_lambdas", "stepping"};
   return names;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/fairness.hpp"
+#include "core/monte_carlo.hpp"
 #include "support/flags.hpp"
 
 namespace fairchain::sim {
@@ -117,6 +118,11 @@ struct ScenarioSpec {
   /// cell).  The streamed CSV/JSONL rows never read them, so turn off
   /// (`final_lambdas=off`) for 100k-replication cells.
   bool keep_final_lambdas = true;
+  /// Stepping mode requested for every cell (`stepping=scalar|vectorized`).
+  /// Vectorized only takes effect where core::UsesVectorizedStepping says
+  /// so (static-stake models with a lane kernel); every other cell keeps
+  /// the scalar path, byte-identical to `stepping=scalar`.
+  core::SteppingMode stepping = core::SteppingMode::kScalar;
 
   /// Throws std::invalid_argument on an empty axis, an unknown protocol,
   /// out-of-range allocations / miner counts, or zero steps/replications.
@@ -135,7 +141,7 @@ struct ScenarioSpec {
   ///   name, description, protocols, miners, whales, a, w, v, shards,
   ///   withhold, stakes (split|pareto:A|zipf:S), steps, reps, seed,
   ///   checkpoints, spacing (linear|log), eps, delta, population (on|off),
-  ///   final_lambdas (on|off)
+  ///   final_lambdas (on|off), stepping (scalar|vectorized)
   /// Unknown keys throw std::invalid_argument (same contract as
   /// FlagSet::RejectUnknown: a typo must not silently become a default).
   static ScenarioSpec FromText(const std::string& text);
@@ -151,7 +157,7 @@ struct ScenarioSpec {
   /// Applies CLI overrides (all optional): --reps, --steps, --seed,
   /// --checkpoints, --spacing, --eps, --delta, --protocols, --miners,
   /// --whales, --a, --w, --v, --shards, --withhold, --stakes,
-  /// --population, --final_lambdas.  List-valued flags take
+  /// --population, --final_lambdas, --stepping.  List-valued flags take
   /// comma-separated values and replace the whole axis.
   void ApplyOverrides(const FlagSet& flags);
 

@@ -1,0 +1,239 @@
+// Counter-based pseudo-random number generation (Philox4x32-10).
+//
+// The replication-vectorized stepping core advances K replication lanes in
+// lockstep, and each lane needs its own reproducible stream.  A stateful
+// generator (xoshiro in support/rng.hpp) makes that awkward: every lane
+// would carry 256 bits of evolving state and a serial dependency between
+// consecutive draws.  Philox (Salmon et al., SC'11 — "Parallel random
+// numbers: as easy as 1, 2, 3") inverts the design: draw d of lane r is a
+// pure function
+//
+//     Philox4x32-10(key = Mix(seed), counter = (d / 2, r))[d % 2]
+//
+// of the seed, the lane id, and the draw index.  Consequences the
+// vectorized core is built on:
+//   * lane seeding is ORDER-FREE: lane r's stream depends only on
+//     (seed, r) — the counter-based analog of the RngStream discipline
+//     "replication r always uses RngStream(seed).Split(r)", so any
+//     partition of replications into lane blocks yields identical values;
+//   * streams are NON-OVERLAPPING BY CONSTRUCTION: the cipher is a
+//     bijection per key, and distinct (block, lane) counters are distinct
+//     inputs, so two lanes can never share an output block — a structural
+//     guarantee where split-stream generators offer a statistical one;
+//   * draws have NO loop-carried dependency: K lanes' draws are K
+//     independent dataflow chains, which is what lets the lockstep inner
+//     loops schedule (and auto-vectorize) across lanes.
+//
+// Implemented from scratch (public-domain algorithm), same as the xoshiro
+// family in rng.hpp; pinned against the canonical Random123 known-answer
+// vectors in tests/support/philox_test.cpp.  Philox output is
+// statistically independent of — but numerically different from — the
+// xoshiro streams, which is why vectorized stepping is a documented
+// statistical-equivalence mode, not a bit-exact one (see
+// core/replication_block_workspace.hpp).
+
+#ifndef FAIRCHAIN_SUPPORT_PHILOX_HPP_
+#define FAIRCHAIN_SUPPORT_PHILOX_HPP_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fairchain {
+
+/// The Philox4x32-10 block function: encrypts a 128-bit counter under a
+/// 64-bit key in 10 rounds of 32x32->64 multiply / xor mixing.
+class Philox4x32 {
+ public:
+  using Block = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  /// One block: pure, stateless, O(1).  Inline — this is the innermost
+  /// operation of every vectorized Monte Carlo step, called once per lane
+  /// per two draws.
+  static Block Encrypt(Block counter, Key key) {
+    for (int round = 0; round < 9; ++round) {
+      counter = Round(counter, key);
+      key[0] += kWeyl0;
+      key[1] += kWeyl1;
+    }
+    return Round(counter, key);
+  }
+
+  /// Expands a 64-bit seed into a key (SplitMix64, the same seeding
+  /// procedure RngStream uses).
+  static Key KeyFromSeed(std::uint64_t seed);
+
+  // Algorithm constants (Salmon et al., Table 2), public so the SoA lane
+  // kernel in philox.cpp runs the identical schedule.
+  static constexpr std::uint32_t kMult0 = 0xD2511F53u;
+  static constexpr std::uint32_t kMult1 = 0xCD9E8D57u;
+  static constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  static constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+ private:
+  static Block Round(const Block& c, const Key& k) {
+    const std::uint64_t product0 = static_cast<std::uint64_t>(kMult0) * c[0];
+    const std::uint64_t product1 = static_cast<std::uint64_t>(kMult1) * c[2];
+    return Block{
+        static_cast<std::uint32_t>(product1 >> 32) ^ c[1] ^ k[0],
+        static_cast<std::uint32_t>(product1),
+        static_cast<std::uint32_t>(product0 >> 32) ^ c[3] ^ k[1],
+        static_cast<std::uint32_t>(product0),
+    };
+  }
+};
+
+/// The 64-bit value of draw `draw_index` on lane `lane` under `key` — THE
+/// defining function of the Philox stream discipline.  Both PhiloxStream
+/// and PhiloxLanes produce exactly this sequence; the conformance tests
+/// pin them against it.
+std::uint64_t PhiloxDraw(Philox4x32::Key key, std::uint64_t lane,
+                         std::uint64_t draw_index);
+
+/// Sequential view of one lane's stream: the counter-based analog of
+/// RngStream(seed).Split(lane), with the same NextU64/NextDouble surface
+/// so scalar reference simulations can be driven draw-for-draw identically
+/// to a vectorized lane.
+class PhiloxStream {
+ public:
+  PhiloxStream(std::uint64_t seed, std::uint64_t lane)
+      : key_(Philox4x32::KeyFromSeed(seed)), lane_(lane) {}
+
+  /// Next raw 64-bit draw: PhiloxDraw(key, lane, d) for d = 0, 1, 2, ...
+  /// Consecutive draws share one cipher block (two 64-bit halves), so the
+  /// amortised cost is half an Encrypt per draw.
+  std::uint64_t NextU64() {
+    const std::uint64_t block_index = next_draw_ >> 1;
+    if ((next_draw_ & 1) == 0 || cached_block_ != block_index) {
+      const Philox4x32::Block block = Philox4x32::Encrypt(
+          {static_cast<std::uint32_t>(block_index),
+           static_cast<std::uint32_t>(block_index >> 32),
+           static_cast<std::uint32_t>(lane_),
+           static_cast<std::uint32_t>(lane_ >> 32)},
+          key_);
+      low_ = block[0] | (static_cast<std::uint64_t>(block[1]) << 32);
+      high_ = block[2] | (static_cast<std::uint64_t>(block[3]) << 32);
+      cached_block_ = block_index;
+    }
+    const std::uint64_t value = (next_draw_ & 1) == 0 ? low_ : high_;
+    ++next_draw_;
+    return value;
+  }
+
+  /// Uniform double in [0, 1): identical bit mapping to
+  /// RngStream::NextDouble (53 high bits).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1), safe as a log() input; identical mapping to
+  /// RngStream::NextOpenDouble.
+  double NextOpenDouble() {
+    return (static_cast<double>(NextU64() >> 11) + 0.5) * 0x1.0p-53;
+  }
+
+  /// O(1) random access: the next NextU64 returns draw `draw_index` — the
+  /// counter-based property that makes checkpoint-segment resumption free.
+  void Seek(std::uint64_t draw_index) {
+    next_draw_ = draw_index;
+    cached_block_ = ~std::uint64_t{0};
+  }
+
+  std::uint64_t draw_index() const { return next_draw_; }
+  std::uint64_t lane() const { return lane_; }
+
+ private:
+  Philox4x32::Key key_;
+  std::uint64_t lane_ = 0;
+  std::uint64_t next_draw_ = 0;
+  std::uint64_t cached_block_ = ~std::uint64_t{0};
+  std::uint64_t low_ = 0;
+  std::uint64_t high_ = 0;
+};
+
+/// Lockstep generator for a block of K consecutive lanes: one shared draw
+/// cursor, K independent streams.  FillUniformDoubles(out) yields lane l's
+/// next draw in out[l] — exactly PhiloxStream(seed, first_lane + l) would
+/// produce.  Cipher blocks are produced kBlocksAhead at a time by the
+/// out-of-line SoA kernel in philox.cpp (an ISA-widened TU): one refill
+/// serves 2 * kBlocksAhead consecutive draws per lane, so the per-refill
+/// setup amortises and the independent per-(lane, block) cipher chains
+/// overlap in the out-of-order window.  Counter-based random access makes
+/// look-ahead free: blocks computed past a segment boundary are exactly
+/// the blocks the next segment consumes.
+class PhiloxLanes {
+ public:
+  /// Cipher blocks computed per refill (2 draws per lane each).
+  static constexpr std::size_t kBlocksAhead = 4;
+
+  PhiloxLanes() = default;
+
+  /// Re-seeds the block: lane slot l maps to stream (seed, first_lane + l).
+  /// Reuses buffers once capacity covers `lanes` (no steady-state
+  /// allocation in the replication loop).
+  void Reset(std::uint64_t seed, std::uint64_t first_lane, std::size_t lanes);
+
+  /// Writes one uniform [0, 1) double per lane into out[0 .. lane_count)
+  /// and advances the shared draw cursor by one.  A plain row copy when
+  /// the draw is buffered; every 2 * kBlocksAhead draws the buffer is
+  /// refilled through the SoA cipher kernel.
+  void FillUniformDoubles(double* out) {
+    const double* row = NextRow();
+    for (std::size_t l = 0; l < lane_count_; ++l) out[l] = row[l];
+  }
+
+  /// The buffered row for the next draw — the zero-copy variant of
+  /// FillUniformDoubles for kernels that consume the row in place.  The
+  /// pointer is valid until the next Fill/NextRow/Reset/Seek call.
+  const double* NextRow() {
+    const std::uint64_t block_index = next_draw_ >> 1;
+    // The unsigned difference covers "before the buffer" and "past the
+    // buffer" in one comparison; the invalidated state (Reset / Seek)
+    // parks buffered_first_ at a sentinel no real block index reaches
+    // (block indices are draw_index / 2, so they never exceed 2^63).
+    if (block_index - buffered_first_ >= kBlocksAhead) {
+      Refill(block_index);
+    }
+    const std::size_t row =
+        (block_index - buffered_first_) * 2 + (next_draw_ & 1);
+    ++next_draw_;
+    return buffer_.data() + row * lane_count_;
+  }
+
+  std::size_t lane_count() const { return lane_count_; }
+  std::uint64_t first_lane() const { return first_lane_; }
+  std::uint64_t draw_index() const { return next_draw_; }
+
+  /// O(1) cursor jump (counter-based random access); the next Fill yields
+  /// every lane's draw `draw_index`.
+  void Seek(std::uint64_t draw_index) {
+    next_draw_ = draw_index;
+    buffered_first_ = kInvalidBuffer;
+  }
+
+ private:
+  /// Encrypts cipher blocks [first_block, first_block + kBlocksAhead) for
+  /// every lane through the structure-of-arrays round loops and stores
+  /// every 64-bit half already converted to a uniform [0, 1) double
+  /// (identical bit mapping to PhiloxStream::NextDouble).  Buffer row
+  /// 2 * j + h holds half h of block first_block + j.
+  void Refill(std::uint64_t first_block);
+
+  /// "Nothing buffered": far enough from every reachable block index that
+  /// block - kInvalidBuffer can never land inside [0, kBlocksAhead) —
+  /// ~0 would wrap to block + 1 and alias the first blocks.
+  static constexpr std::uint64_t kInvalidBuffer = std::uint64_t{1} << 63;
+
+  Philox4x32::Key key_{};
+  std::uint64_t first_lane_ = 0;
+  std::size_t lane_count_ = 0;
+  std::uint64_t next_draw_ = 0;
+  std::uint64_t buffered_first_ = kInvalidBuffer;
+  std::vector<double> buffer_;  // [2 * kBlocksAhead rows][lane_count_]
+};
+
+}  // namespace fairchain
+
+#endif  // FAIRCHAIN_SUPPORT_PHILOX_HPP_

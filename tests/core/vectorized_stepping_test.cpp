@@ -1,0 +1,203 @@
+// The vectorized stepping mode end to end: eligibility resolution, the
+// lane-block driver against its scalar Philox replay, and the invariance
+// properties (partition, backend, population metrics) that make
+// `stepping=vectorized` an execution detail rather than a semantic switch.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/execution_backend.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/population.hpp"
+#include "core/replication_block_workspace.hpp"
+#include "protocol/c_pos.hpp"
+#include "protocol/extensions.hpp"
+#include "protocol/fsl_pos.hpp"
+#include "protocol/ml_pos.hpp"
+#include "protocol/pow.hpp"
+#include "protocol/stake_state.hpp"
+#include "support/fenwick.hpp"
+#include "support/philox.hpp"
+
+namespace fairchain::core {
+namespace {
+
+constexpr double kW = 0.01;
+
+SimulationConfig SmallConfig(SteppingMode stepping) {
+  SimulationConfig config;
+  config.steps = 300;
+  config.replications = 37;  // deliberately not a lane-width multiple
+  config.seed = 987654321;
+  config.checkpoints = {100, 250, 300};
+  config.stepping = stepping;
+  return config;
+}
+
+TEST(VectorizedSteppingTest, EligibilityRequiresRequestKernelAndStaticStake) {
+  const SimulationConfig scalar = SmallConfig(SteppingMode::kScalar);
+  const SimulationConfig vectorized = SmallConfig(SteppingMode::kVectorized);
+  const protocol::PowModel pow(kW);
+  const protocol::NeoModel neo(kW);
+  const protocol::MlPosModel mlpos(kW);
+  const protocol::FslPosModel fslpos(kW);
+  const protocol::CPosModel cpos(1.0, 0.5, 4);
+  // Static-stake lane kernels accelerate only when asked.
+  EXPECT_TRUE(UsesVectorizedStepping(pow, vectorized));
+  EXPECT_TRUE(UsesVectorizedStepping(neo, vectorized));
+  EXPECT_FALSE(UsesVectorizedStepping(pow, scalar));
+  // Compounding models keep the scalar batched path even when asked: their
+  // lane kernels exist (conformance-tested) but per-lane trees lose to the
+  // scalar loop, and withholding is not modelled there.
+  EXPECT_FALSE(UsesVectorizedStepping(mlpos, vectorized));
+  EXPECT_FALSE(UsesVectorizedStepping(fslpos, vectorized));
+  // No lane kernel at all.
+  EXPECT_FALSE(UsesVectorizedStepping(cpos, vectorized));
+}
+
+TEST(VectorizedSteppingTest, BlockRangeRejectsIneligibleModels) {
+  const SimulationConfig config = SmallConfig(SteppingMode::kVectorized);
+  std::vector<double> lambdas(config.checkpoints.size() *
+                              config.replications);
+  ReplicationBlockWorkspace workspace;
+  const protocol::MlPosModel mlpos(kW);
+  EXPECT_THROW(RunReplicationBlockRange(mlpos, {0.2, 0.8}, config, 0, 4,
+                                        lambdas.data(), nullptr, workspace),
+               std::invalid_argument);
+  const protocol::CPosModel cpos(1.0, 0.5, 4);
+  EXPECT_THROW(RunReplicationBlockRange(cpos, {0.2, 0.8}, config, 0, 4,
+                                        lambdas.data(), nullptr, workspace),
+               std::invalid_argument);
+}
+
+// The defining semantics: matrix cell (c, r) of a vectorized range equals a
+// scalar game stepped one winner at a time from PhiloxStream(seed, r)
+// through the same branchless Fenwick descent — for every replication,
+// regardless of where the lane-block boundaries fall (37 = 2×16 + 5).
+TEST(VectorizedSteppingTest, MatrixMatchesScalarPhiloxReplayPerReplication) {
+  const SimulationConfig config = SmallConfig(SteppingMode::kVectorized);
+  const std::vector<double> stakes = {0.2, 0.5, 0.3};
+  const protocol::PowModel model(kW);
+  const std::size_t reps = config.replications;
+  const std::size_t cp_count = config.checkpoints.size();
+  std::vector<double> lambdas(cp_count * reps);
+  std::vector<double> population(PopulationMatrixSize(config));
+  ReplicationBlockWorkspace workspace;
+  RunReplicationBlockRange(model, stakes, config, 0, reps, lambdas.data(),
+                           population.data(), workspace);
+  FenwickSampler sampler;
+  std::vector<double> wealth;
+  std::vector<double> scratch;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    PhiloxStream rng(config.seed, rep);
+    protocol::StakeState state(stakes);
+    sampler.Build(stakes);
+    std::uint64_t done = 0;
+    for (std::size_t cp = 0; cp < cp_count; ++cp) {
+      for (; done < config.checkpoints[cp]; ++done) {
+        state.CreditIncome(sampler.SampleFlat(rng.NextDouble()), kW);
+        state.AdvanceStep();
+      }
+      ASSERT_EQ(lambdas[cp * reps + rep],
+                state.RewardFraction(config.miner))
+          << "rep=" << rep << " cp=" << cp;
+      std::vector<double> state_wealth;
+      state.WealthVector(&state_wealth);
+      const PopulationSnapshot snapshot =
+          MeasurePopulation(state_wealth, &scratch);
+      const std::size_t plane = cp_count * reps;
+      const std::size_t cell = cp * reps + rep;
+      ASSERT_EQ(population[0 * plane + cell], snapshot.gini);
+      ASSERT_EQ(population[2 * plane + cell], snapshot.nakamoto);
+    }
+  }
+}
+
+TEST(VectorizedSteppingTest, OutputIsInvariantToRangePartition) {
+  const SimulationConfig config = SmallConfig(SteppingMode::kVectorized);
+  const std::vector<double> stakes = {0.1, 0.4, 0.2, 0.3};
+  const protocol::NeoModel model(kW);
+  const std::size_t reps = config.replications;
+  const std::size_t cells = config.checkpoints.size() * reps;
+  std::vector<double> whole(cells);
+  ReplicationBlockWorkspace workspace;
+  RunReplicationBlockRange(model, stakes, config, 0, reps, whole.data(),
+                           nullptr, workspace);
+  // Split at awkward offsets (mid-block, block-aligned, singleton tail);
+  // the per-replication Philox streams make the partition invisible.
+  std::vector<double> split(cells);
+  for (const std::size_t cut : {1ul, 7ul, 16ul, 36ul}) {
+    std::fill(split.begin(), split.end(), 0.0);
+    RunReplicationBlockRange(model, stakes, config, 0, cut, split.data(),
+                             nullptr, workspace);
+    RunReplicationBlockRange(model, stakes, config, cut, reps, split.data(),
+                             nullptr, workspace);
+    ASSERT_EQ(split, whole) << "cut=" << cut;
+  }
+  // And the dispatching entry point lands on the same bytes.
+  std::vector<double> dispatched(cells);
+  RunReplicationRange(model, stakes, config, 0, reps, dispatched.data());
+  EXPECT_EQ(dispatched, whole);
+}
+
+TEST(VectorizedSteppingTest, EngineResultsAreIdenticalAcrossBackends) {
+  const protocol::PowModel model(kW);
+  SimulationConfig config = SmallConfig(SteppingMode::kVectorized);
+  const MonteCarloEngine engine(config, FairnessSpec{});
+  const SerialBackend serial;
+  const ThreadPoolBackend four(4);
+  const ShardBackend sharded(2);
+  const SimulationResult a = engine.Run(model, {0.2, 0.8}, serial);
+  const SimulationResult b = engine.Run(model, {0.2, 0.8}, four);
+  const SimulationResult c = engine.Run(model, {0.2, 0.8}, sharded);
+  ASSERT_EQ(a.final_lambdas.size(), config.replications);
+  EXPECT_EQ(a.final_lambdas, b.final_lambdas);
+  EXPECT_EQ(a.final_lambdas, c.final_lambdas);
+  for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+    EXPECT_EQ(a.checkpoints[i].mean, b.checkpoints[i].mean);
+    EXPECT_EQ(a.checkpoints[i].p95, b.checkpoints[i].p95);
+    EXPECT_EQ(a.checkpoints[i].gini, b.checkpoints[i].gini);
+  }
+}
+
+// A kVectorized request on a compounding model must be a no-op: same bytes
+// as kScalar, because the request falls back to the scalar batched path.
+TEST(VectorizedSteppingTest, CompoundingModelsFallBackToScalarByteIdentical) {
+  const protocol::MlPosModel model(kW);
+  const MonteCarloEngine scalar(SmallConfig(SteppingMode::kScalar),
+                                FairnessSpec{});
+  const MonteCarloEngine vectorized(SmallConfig(SteppingMode::kVectorized),
+                                    FairnessSpec{});
+  const SimulationResult a = scalar.Run(model, {0.2, 0.8});
+  const SimulationResult b = vectorized.Run(model, {0.2, 0.8});
+  EXPECT_EQ(a.final_lambdas, b.final_lambdas);
+  for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+    EXPECT_EQ(a.checkpoints[i].mean, b.checkpoints[i].mean);
+    EXPECT_EQ(a.checkpoints[i].unfair_probability,
+              b.checkpoints[i].unfair_probability);
+  }
+}
+
+// For cells it accelerates, the mode changes the keystream (Philox lanes
+// instead of xoshiro splits) — the documented statistical-equivalence
+// contract, NOT byte equality.  Sanity-check both halves: bytes differ,
+// but the mean λ still lands on the static-stake expectation a = 0.2
+// (PoW's λ is a Binomial(n, a)/n mean, σ/√R ≈ 0.0037 here).
+TEST(VectorizedSteppingTest, AcceleratedCellsKeepTheDistributionNotTheBytes) {
+  const protocol::PowModel model(kW);
+  SimulationConfig scalar_config = SmallConfig(SteppingMode::kScalar);
+  SimulationConfig vector_config = SmallConfig(SteppingMode::kVectorized);
+  scalar_config.replications = vector_config.replications = 512;
+  const MonteCarloEngine scalar(scalar_config, FairnessSpec{});
+  const MonteCarloEngine vectorized(vector_config, FairnessSpec{});
+  const SimulationResult a = scalar.Run(model, {0.2, 0.8});
+  const SimulationResult b = vectorized.Run(model, {0.2, 0.8});
+  EXPECT_NE(a.final_lambdas, b.final_lambdas);
+  EXPECT_NEAR(b.Final().mean, 0.2, 5 * 0.0037);
+  EXPECT_NEAR(a.Final().mean, b.Final().mean, 6 * 0.0037);
+}
+
+}  // namespace
+}  // namespace fairchain::core

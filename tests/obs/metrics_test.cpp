@@ -86,6 +86,65 @@ TEST(LatencyHistogramTest, ZeroAndOneNanosecondShareBucketZero) {
   EXPECT_LT(p50, 2.0);
 }
 
+TEST(LatencyHistogramTest, SingleSampleQuantilesPinToBucketMidpoint) {
+  // One 100 ns sample, bucket [64, 128): with rank 1 of 1 the
+  // interpolation point is the bucket midpoint, for EVERY quantile.  Pinned
+  // exactly — this is the smallest population where an interpolation
+  // rounding bug could escape the bucket.
+  LatencyHistogram histogram;
+  histogram.Record(100);
+  EXPECT_EQ(histogram.QuantileNanos(0.50), 96.0);
+  EXPECT_EQ(histogram.QuantileNanos(0.99), 96.0);
+  EXPECT_EQ(histogram.QuantileNanos(0.0), 96.0);
+  EXPECT_EQ(histogram.QuantileNanos(1.0), 96.0);
+}
+
+TEST(LatencyHistogramTest, BulkRecordMatchesRepeatedSingleRecords) {
+  LatencyHistogram bulk;
+  LatencyHistogram loop;
+  bulk.Record(1000, 90);
+  bulk.Record(1000000, 10);
+  for (int i = 0; i < 90; ++i) loop.Record(1000);
+  for (int i = 0; i < 10; ++i) loop.Record(1000000);
+  EXPECT_EQ(bulk.Count(), loop.Count());
+  EXPECT_EQ(bulk.TotalNanos(), loop.TotalNanos());
+  EXPECT_EQ(bulk.BucketCounts(), loop.BucketCounts());
+  EXPECT_EQ(bulk.QuantileNanos(0.5), loop.QuantileNanos(0.5));
+  EXPECT_EQ(bulk.QuantileNanos(0.99), loop.QuantileNanos(0.99));
+}
+
+TEST(LatencyHistogramTest, QuantileNeverLeavesItsBucketAtExtremePopulations) {
+  // Regression for the below-bucket-edge bug: with totals near 2^53 the
+  // rank computation `(uint64)(q * total + 0.5)` rounds PAST total, and
+  // the bucket scan used to fall off the end and report 0.0 — far below
+  // the lower edge of the only populated bucket.  The rank clamp keeps
+  // every quantile inside [2^b, 2^(b+1)).
+  LatencyHistogram histogram;
+  constexpr std::uint64_t kHuge = 1ULL << 53;  // above double's exact ints
+  histogram.Record(100, kHuge - 1);
+  for (const double q : {0.5, 0.99, 0.999999999999, 1.0}) {
+    const double value = histogram.QuantileNanos(q);
+    EXPECT_GE(value, 64.0) << "q=" << q;
+    EXPECT_LT(value, 128.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotoneAcrossBuckets) {
+  LatencyHistogram histogram;
+  histogram.Record(100, 1ULL << 40);
+  histogram.Record(100000, 1ULL << 40);
+  double previous = 0.0;
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const double value = histogram.QuantileNanos(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+  // And the extremes stay inside their respective sample buckets.
+  EXPECT_LT(histogram.QuantileNanos(0.0), 128.0);
+  EXPECT_GE(histogram.QuantileNanos(1.0), 65536.0);
+  EXPECT_LT(histogram.QuantileNanos(1.0), 131072.0);
+}
+
 TEST(LatencyHistogramTest, ResetZeroesEverything) {
   LatencyHistogram histogram;
   histogram.Record(12345);

@@ -1,0 +1,70 @@
+// FormatEta boundary behaviour: the progress line's ETA field is one
+// bounded-width token whatever the rate estimate does.  Regressions here
+// rendered "00:60" (seconds rounding up without a carry), unbounded hour
+// fields, and — worst — an undefined-behaviour double-to-uint64 cast when
+// an early near-zero reps/s sample produced an astronomical estimate.
+
+#include "obs/progress.hpp"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace fairchain::obs {
+namespace {
+
+TEST(FormatEtaTest, ZeroAndSmallValues) {
+  EXPECT_EQ(FormatEta(0.0), "00:00");
+  EXPECT_EQ(FormatEta(0.4), "00:00");
+  EXPECT_EQ(FormatEta(1.0), "00:01");
+  EXPECT_EQ(FormatEta(59.0), "00:59");
+  EXPECT_EQ(FormatEta(61.0), "01:01");
+  EXPECT_EQ(FormatEta(3599.0), "59:59");
+}
+
+TEST(FormatEtaTest, SecondsRoundingCarriesIntoMinutes) {
+  // The "00:60" regression: 59.7 s must carry into the minute field.
+  EXPECT_EQ(FormatEta(59.7), "01:00");
+  EXPECT_EQ(FormatEta(59.4), "00:59");
+  EXPECT_EQ(FormatEta(119.6), "02:00");
+}
+
+TEST(FormatEtaTest, CarryPropagatesIntoHours) {
+  EXPECT_EQ(FormatEta(3599.6), "1:00:00");
+  EXPECT_EQ(FormatEta(3600.0), "1:00:00");
+  EXPECT_EQ(FormatEta(3661.0), "1:01:01");
+  EXPECT_EQ(FormatEta(7322.4), "2:02:02");
+}
+
+TEST(FormatEtaTest, HourFieldIsCappedNotUnbounded) {
+  EXPECT_EQ(FormatEta(99.0 * 3600 + 59 * 60 + 59), "99:59:59");
+  // 99:59:59.5 rounds to 100 hours: saturate instead of widening.
+  EXPECT_EQ(FormatEta(359999.5), "99:59:59+");
+  EXPECT_EQ(FormatEta(1.0e6), "99:59:59+");
+}
+
+TEST(FormatEtaTest, AstronomicalEstimatesSaturateInsteadOfOverflowing) {
+  // A reps/s estimate of ~1e-300 early in a run yields remaining seconds
+  // far beyond 2^64; the raw cast the old code performed is undefined
+  // behaviour there.
+  EXPECT_EQ(FormatEta(1.0e300), "99:59:59+");
+  EXPECT_EQ(FormatEta(std::numeric_limits<double>::max()), "99:59:59+");
+  EXPECT_EQ(FormatEta(std::numeric_limits<double>::infinity()), "99:59:59+");
+}
+
+TEST(FormatEtaTest, InvalidEstimatesRenderUnknown) {
+  EXPECT_EQ(FormatEta(std::numeric_limits<double>::quiet_NaN()), "--:--");
+  EXPECT_EQ(FormatEta(-1.0), "--:--");
+  EXPECT_EQ(FormatEta(-std::numeric_limits<double>::infinity()), "--:--");
+}
+
+TEST(ProgressReporterTest, DisabledReporterNeverStartsItsThread) {
+  ProgressReporter::Options options;
+  options.enabled = false;
+  ProgressReporter reporter(options);
+  EXPECT_FALSE(reporter.active());
+  reporter.Stop();  // idempotent no-op
+}
+
+}  // namespace
+}  // namespace fairchain::obs

@@ -1,0 +1,241 @@
+// Lane-stepping conformance: the RunLaneSteps overrides against their
+// defining contract.
+//
+// The promise (incentive_model.hpp): lane l of a LaneStakeState advanced
+// by RunLaneSteps evolves EXACTLY like a scalar StakeState fed the same
+// winner sequence, where the winners come from PhiloxStream(seed,
+// first_lane + l) through the same branchless Fenwick selection.  That
+// per-lane bit-exactness is what makes vectorized campaign output
+// invariant to the lane-block width K, to checkpoint segmentation, and to
+// which backend runs the block — the properties verified here per
+// protocol.  (Equivalence to the xoshiro-driven scalar campaigns is
+// statistical, not bitwise; the integration suite judges that leg with
+// the closed-form oracles.)
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "protocol/c_pos.hpp"
+#include "protocol/extensions.hpp"
+#include "protocol/fsl_pos.hpp"
+#include "protocol/lane_state.hpp"
+#include "protocol/lane_steps.hpp"
+#include "protocol/ml_pos.hpp"
+#include "protocol/pow.hpp"
+#include "support/fenwick.hpp"
+#include "support/philox.hpp"
+
+namespace fairchain::protocol {
+namespace {
+
+constexpr std::uint64_t kSeed = 20210620;
+constexpr double kReward = 0.75;  // deliberately not exactly representable
+                                  // sums: accumulation order must match too
+
+std::vector<double> ParetoishStakes(std::size_t miners) {
+  std::vector<double> stakes(miners);
+  for (std::size_t i = 0; i < miners; ++i) {
+    stakes[i] = 1.0 / static_cast<double>(1 + (i % 13));
+  }
+  return stakes;
+}
+
+struct LaneCase {
+  const char* label;
+  std::unique_ptr<IncentiveModel> model;
+};
+
+std::vector<LaneCase> LaneModels() {
+  std::vector<LaneCase> cases;
+  cases.push_back({"PoW", std::make_unique<PowModel>(kReward)});
+  cases.push_back({"NEO", std::make_unique<NeoModel>(kReward)});
+  cases.push_back({"ML-PoS", std::make_unique<MlPosModel>(kReward)});
+  cases.push_back({"FSL-PoS", std::make_unique<FslPosModel>(kReward)});
+  return cases;
+}
+
+// The scalar reference: replication `lane` stepped one winner at a time on
+// a scalar StakeState, drawing from PhiloxStream(seed, lane) through the
+// same branchless descent.  The mirror sampler tracks the state's internal
+// tree operation-for-operation in the compounding case.
+void ScalarReference(const IncentiveModel& model,
+                     const std::vector<double>& stakes, std::uint64_t lane,
+                     std::uint64_t steps, StakeState* state,
+                     FenwickSampler* mirror_out = nullptr) {
+  PhiloxStream rng(kSeed, lane);
+  FenwickSampler local_mirror;
+  FenwickSampler& mirror = mirror_out ? *mirror_out : local_mirror;
+  mirror.Build(stakes);
+  const bool compounds = model.RewardCompounds();
+  const double w = model.RewardPerStep();
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    const std::size_t winner = mirror.SampleFlat(rng.NextDouble());
+    if (compounds) {
+      state->CreditCompounding(winner, w);
+      mirror.Add(winner, w);
+    } else {
+      state->CreditIncome(winner, w);
+    }
+    state->AdvanceStep();
+  }
+}
+
+TEST(LaneStepsConformanceTest, EveryLaneMatchesItsScalarReplayBitExactly) {
+  for (const std::size_t miners : {2ul, 3ul, 37ul}) {
+    const std::vector<double> stakes = ParetoishStakes(miners);
+    for (const LaneCase& test_case : LaneModels()) {
+      ASSERT_TRUE(test_case.model->SupportsLaneStepping());
+      constexpr std::size_t kLaneCount = 8;
+      constexpr std::uint64_t kSteps = 600;
+      LaneStakeState block;
+      block.Reset(stakes, kLaneCount, test_case.model->RewardCompounds());
+      PhiloxLanes rng;
+      rng.Reset(kSeed, /*first_lane=*/0, kLaneCount);
+      test_case.model->RunLaneSteps(block, 0, kSteps, rng);
+      EXPECT_EQ(block.step(), kSteps);
+      const bool compounds = test_case.model->RewardCompounds();
+      for (std::uint64_t lane = 0; lane < kLaneCount; ++lane) {
+        StakeState reference(stakes);
+        FenwickSampler mirror;
+        ScalarReference(*test_case.model, stakes, lane, kSteps, &reference,
+                        &mirror);
+        ASSERT_EQ(block.total_income(), reference.total_income())
+            << test_case.label;
+        for (std::size_t i = 0; i < miners; ++i) {
+          ASSERT_EQ(block.income(lane, i), reference.income(i))
+              << test_case.label << " m=" << miners << " lane=" << lane
+              << " miner=" << i;
+          ASSERT_EQ(block.RewardFraction(lane, i),
+                    reference.RewardFraction(i))
+              << test_case.label << " lane=" << lane;
+          // Stake is read back through the lane tree's prefix sums, so the
+          // operation-identical comparator is the scalar mirror TREE (the
+          // flat StakeState accumulator may differ in the last ulps).
+          ASSERT_EQ(block.stake(lane, i),
+                    compounds ? mirror.Weight(i) : reference.stake(i))
+              << test_case.label << " lane=" << lane;
+        }
+        std::vector<double> lane_wealth;
+        std::vector<double> reference_wealth;
+        block.WealthVector(lane, &lane_wealth);
+        reference.WealthVector(&reference_wealth);
+        ASSERT_EQ(lane_wealth, reference_wealth) << test_case.label;
+      }
+    }
+  }
+}
+
+TEST(LaneStepsConformanceTest, ResultsAreInvariantToLaneBlockWidth) {
+  // 16 replications stepped as one block of 16, two of 8, or four of 4
+  // must produce identical per-replication λ: the lane-block partition is
+  // an execution detail, exactly like thread chunking in the scalar
+  // engine.
+  const std::vector<double> stakes = ParetoishStakes(5);
+  constexpr std::uint64_t kSteps = 400;
+  constexpr std::size_t kTotal = 16;
+  for (const LaneCase& test_case : LaneModels()) {
+    std::vector<double> whole(kTotal);
+    LaneStakeState block;
+    block.Reset(stakes, kTotal, test_case.model->RewardCompounds());
+    PhiloxLanes rng;
+    rng.Reset(kSeed, 0, kTotal);
+    test_case.model->RunLaneSteps(block, 0, kSteps, rng);
+    for (std::size_t r = 0; r < kTotal; ++r) {
+      whole[r] = block.RewardFraction(r, 0);
+    }
+    for (const std::size_t width : {8ul, 4ul}) {
+      for (std::size_t first = 0; first < kTotal; first += width) {
+        LaneStakeState part;
+        part.Reset(stakes, width, test_case.model->RewardCompounds());
+        PhiloxLanes part_rng;
+        part_rng.Reset(kSeed, first, width);
+        test_case.model->RunLaneSteps(part, 0, kSteps, part_rng);
+        for (std::size_t l = 0; l < width; ++l) {
+          ASSERT_EQ(part.RewardFraction(l, 0), whole[first + l])
+              << test_case.label << " width=" << width
+              << " replication=" << (first + l);
+        }
+      }
+    }
+  }
+}
+
+TEST(LaneStepsConformanceTest, ResultsAreInvariantToSegmentation) {
+  // One 1000-step call vs checkpoint-style segments (300 + 600 + 100) on
+  // the same PhiloxLanes cursor: identical final state, so checkpointed
+  // vectorized campaigns read the same λ as unsegmented ones.
+  const std::vector<double> stakes = ParetoishStakes(7);
+  constexpr std::size_t kLaneCount = 8;
+  for (const LaneCase& test_case : LaneModels()) {
+    const bool compounds = test_case.model->RewardCompounds();
+    LaneStakeState whole;
+    whole.Reset(stakes, kLaneCount, compounds);
+    PhiloxLanes whole_rng;
+    whole_rng.Reset(kSeed, 0, kLaneCount);
+    test_case.model->RunLaneSteps(whole, 0, 1000, whole_rng);
+
+    LaneStakeState split;
+    split.Reset(stakes, kLaneCount, compounds);
+    PhiloxLanes split_rng;
+    split_rng.Reset(kSeed, 0, kLaneCount);
+    test_case.model->RunLaneSteps(split, 0, 300, split_rng);
+    test_case.model->RunLaneSteps(split, 300, 600, split_rng);
+    test_case.model->RunLaneSteps(split, 900, 100, split_rng);
+
+    for (std::size_t l = 0; l < kLaneCount; ++l) {
+      for (std::size_t i = 0; i < stakes.size(); ++i) {
+        ASSERT_EQ(split.income(l, i), whole.income(l, i))
+            << test_case.label << " lane=" << l << " miner=" << i;
+      }
+    }
+  }
+}
+
+TEST(LaneStepsConformanceTest, StepBeginMismatchThrows) {
+  const std::vector<double> stakes = ParetoishStakes(3);
+  PowModel model(kReward);
+  LaneStakeState block;
+  block.Reset(stakes, 4, false);
+  PhiloxLanes rng;
+  rng.Reset(kSeed, 0, 4);
+  EXPECT_THROW(model.RunLaneSteps(block, 5, 10, rng),
+               std::invalid_argument);
+  model.RunLaneSteps(block, 0, 10, rng);
+  EXPECT_THROW(model.RunLaneSteps(block, 0, 10, rng),
+               std::invalid_argument);
+  model.RunLaneSteps(block, 10, 10, rng);
+  EXPECT_EQ(block.step(), 20u);
+}
+
+TEST(LaneStepsConformanceTest, ModelsWithoutLaneSupportSaySoAndThrow) {
+  // Multi-winner / deterministic protocols have no lane kernel; the base
+  // implementation must refuse loudly rather than silently emulate.
+  CPosModel model(1.0, 0.5, 4);
+  EXPECT_FALSE(model.SupportsLaneStepping());
+  LaneStakeState block;
+  block.Reset(ParetoishStakes(3), 4, true);
+  PhiloxLanes rng;
+  rng.Reset(kSeed, 0, 4);
+  EXPECT_THROW(model.RunLaneSteps(block, 0, 10, rng), std::logic_error);
+}
+
+TEST(LaneStakeStateTest, ResetValidatesArguments) {
+  LaneStakeState block;
+  EXPECT_THROW(block.Reset({}, 4, false), std::invalid_argument);
+  EXPECT_THROW(block.Reset({1.0, -0.5}, 4, false), std::invalid_argument);
+  EXPECT_THROW(block.Reset({0.0, 0.0}, 4, false), std::invalid_argument);
+  EXPECT_THROW(block.Reset({1.0, 1.0}, 0, false), std::invalid_argument);
+  EXPECT_THROW(block.Reset({1.0, 1.0}, kMaxFenwickLanes + 1, false),
+               std::invalid_argument);
+  block.Reset({1.0, 1.0}, kMaxFenwickLanes, false);
+  EXPECT_EQ(block.lane_count(), kMaxFenwickLanes);
+  EXPECT_EQ(block.miner_count(), 2u);
+  EXPECT_EQ(block.step(), 0u);
+  EXPECT_EQ(block.total_income(), 0.0);
+}
+
+}  // namespace
+}  // namespace fairchain::protocol

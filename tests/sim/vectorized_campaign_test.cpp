@@ -1,0 +1,122 @@
+// The `stepping` spec key through the sim layer: parsing / round-trip /
+// overrides, CellConfig propagation, the store-key compatibility rule
+// (vectorized keys fork ONLY for cells the mode actually accelerates), and
+// campaign-level determinism of vectorized cells across thread counts.
+
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/monte_carlo.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/scenario_spec.hpp"
+#include "support/flags.hpp"
+
+namespace fairchain::sim {
+namespace {
+
+ScenarioSpec VectorizedSpec(const std::string& protocol) {
+  ScenarioSpec spec;
+  spec.name = "vectorized-test";
+  spec.protocols = {protocol};
+  spec.steps = 200;
+  spec.replications = 48;
+  spec.seed = 11;
+  spec.checkpoint_count = 3;
+  spec.stepping = core::SteppingMode::kVectorized;
+  return spec;
+}
+
+class CollectSink : public ResultSink {
+ public:
+  void WriteRow(const CampaignRow& row) override { rows.push_back(row); }
+  std::vector<CampaignRow> rows;
+};
+
+TEST(SteppingSpecKeyTest, ParsesRoundTripsAndRejectsGarbage) {
+  EXPECT_EQ(ScenarioSpec().stepping, core::SteppingMode::kScalar);
+  ScenarioSpec spec = ScenarioSpec::FromText("stepping=vectorized\n");
+  EXPECT_EQ(spec.stepping, core::SteppingMode::kVectorized);
+  const ScenarioSpec parsed = ScenarioSpec::FromText(spec.ToText());
+  EXPECT_EQ(parsed.stepping, core::SteppingMode::kVectorized);
+  ScenarioSpec overridden;
+  overridden.ApplyOverrides(
+      FlagSet::Parse({"--stepping", "vectorized"}));
+  EXPECT_EQ(overridden.stepping, core::SteppingMode::kVectorized);
+  EXPECT_THROW(ScenarioSpec::FromText("stepping=simd\n"),
+               std::invalid_argument);
+}
+
+TEST(SteppingSpecKeyTest, CellConfigPlumbsSteppingMode) {
+  ScenarioSpec spec = VectorizedSpec("pow");
+  EXPECT_EQ(CellConfig(spec, 0).stepping, core::SteppingMode::kVectorized);
+  spec.stepping = core::SteppingMode::kScalar;
+  EXPECT_EQ(CellConfig(spec, 0).stepping, core::SteppingMode::kScalar);
+}
+
+TEST(SteppingSpecKeyTest, StoreKeysForkOnlyForAcceleratedCells) {
+  // PoW resolves vectorized: different keystream, different results, so
+  // the content address MUST differ from the scalar cell's.
+  ScenarioSpec pow = VectorizedSpec("pow");
+  const std::vector<CampaignCell> pow_cells = pow.ExpandCells();
+  const std::string pow_vectorized = CellStorePreimage(pow, pow_cells[0]);
+  pow.stepping = core::SteppingMode::kScalar;
+  const std::string pow_scalar = CellStorePreimage(pow, pow_cells[0]);
+  EXPECT_NE(pow_vectorized, pow_scalar);
+  EXPECT_NE(pow_vectorized.find("stepping=vectorized"), std::string::npos);
+  EXPECT_EQ(pow_scalar.find("stepping"), std::string::npos);
+
+  // ML-PoS falls back to scalar byte-identical results, so the request
+  // must NOT fork its key — a warm store stays warm.
+  ScenarioSpec mlpos = VectorizedSpec("mlpos");
+  const std::vector<CampaignCell> mlpos_cells = mlpos.ExpandCells();
+  const std::string mlpos_vectorized =
+      CellStorePreimage(mlpos, mlpos_cells[0]);
+  mlpos.stepping = core::SteppingMode::kScalar;
+  EXPECT_EQ(mlpos_vectorized, CellStorePreimage(mlpos, mlpos_cells[0]));
+}
+
+TEST(SteppingSpecKeyTest, VectorizedCampaignIsThreadCountInvariant) {
+  auto run = [](unsigned threads) {
+    CampaignOptions options;
+    options.threads = threads;
+    CollectSink sink;
+    CampaignRunner(options).Run(VectorizedSpec("pow"), {&sink});
+    return sink.rows;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].mean, parallel[i].mean) << i;
+    EXPECT_EQ(serial[i].p05, parallel[i].p05) << i;
+    EXPECT_EQ(serial[i].gini, parallel[i].gini) << i;
+  }
+}
+
+TEST(SteppingSpecKeyTest, VectorizedChangesAcceleratedRowsOnly) {
+  ScenarioSpec spec = VectorizedSpec("pow");
+  spec.protocols = {"pow", "mlpos"};
+  CollectSink vectorized;
+  CampaignRunner().Run(spec, {&vectorized});
+  spec.stepping = core::SteppingMode::kScalar;
+  CollectSink scalar;
+  CampaignRunner().Run(spec, {&scalar});
+  ASSERT_EQ(vectorized.rows.size(), scalar.rows.size());
+  bool pow_differs = false;
+  for (std::size_t i = 0; i < scalar.rows.size(); ++i) {
+    ASSERT_EQ(vectorized.rows[i].protocol, scalar.rows[i].protocol);
+    if (scalar.rows[i].protocol == "ML-PoS") {
+      // Fallback cells: byte-identical to the scalar campaign.
+      EXPECT_EQ(vectorized.rows[i].mean, scalar.rows[i].mean) << i;
+      EXPECT_EQ(vectorized.rows[i].p95, scalar.rows[i].p95) << i;
+    } else if (vectorized.rows[i].mean != scalar.rows[i].mean) {
+      pow_differs = true;
+    }
+  }
+  // The accelerated protocol really took the other keystream.
+  EXPECT_TRUE(pow_differs);
+}
+
+}  // namespace
+}  // namespace fairchain::sim

@@ -136,5 +136,154 @@ TEST(FenwickSamplerTest, FlatDescentMatchesBranchyDescentEverywhere) {
   }
 }
 
+// --- Boundary clamps (the out-of-range bugfix) --------------------------
+// Property: for EVERY tree and EVERY u01 — including 0, the largest double
+// below 1, exactly 1.0, and beyond — both descents return an index in
+// [0, max(size, 1)).  Before the LastPositive clamp, an empty tree made
+// size_ - 1 wrap to SIZE_MAX and read (far) out of bounds.
+
+TEST(FenwickSamplerTest, BoundaryU01NeverEscapesRange) {
+  const double kBoundaryU[] = {0.0, 0x1.fffffffffffffp-1, 1.0, 1.5};
+  for (const std::size_t size : {1u, 2u, 3u, 5u, 8u, 37u, 100u}) {
+    std::vector<double> weights(size, 1.0);
+    FenwickSampler sampler;
+    sampler.Build(weights);
+    for (const double u : kBoundaryU) {
+      const std::size_t branchy = sampler.Sample(u);
+      const std::size_t flat = sampler.SampleFlat(u);
+      EXPECT_LT(branchy, size) << "size " << size << " u " << u;
+      EXPECT_LT(flat, size) << "size " << size << " u " << u;
+      EXPECT_EQ(branchy, flat) << "size " << size << " u " << u;
+    }
+    // u01 exactly 1.0 overruns every prefix; the winner must be the last
+    // positive-weight element.
+    EXPECT_EQ(sampler.Sample(1.0), size - 1);
+  }
+}
+
+TEST(FenwickSamplerTest, EmptyTreeClampsToZero) {
+  FenwickSampler empty;
+  empty.Build({});
+  for (const double u : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(empty.Sample(u), 0u) << "u " << u;
+    EXPECT_EQ(empty.SampleFlat(u), 0u) << "u " << u;
+  }
+  FenwickSampler never_built;  // default-constructed: size 0, no storage
+  EXPECT_EQ(never_built.Sample(0.5), 0u);
+  EXPECT_EQ(never_built.SampleFlat(0.5), 0u);
+}
+
+TEST(FenwickSamplerTest, AllZeroTreeClampsInRange) {
+  for (const std::size_t size : {1u, 2u, 5u, 16u}) {
+    FenwickSampler sampler;
+    sampler.Build(std::vector<double>(size, 0.0));
+    for (const double u : {0.0, 0x1.fffffffffffffp-1, 1.0}) {
+      EXPECT_LT(sampler.Sample(u), size) << "size " << size << " u " << u;
+      EXPECT_LT(sampler.SampleFlat(u), size)
+          << "size " << size << " u " << u;
+    }
+  }
+}
+
+// --- Lockstep lane descents ---------------------------------------------
+
+TEST(FenwickSamplerTest, SampleFlatLanesMatchesScalarElementwise) {
+  RngStream rng(20210620);
+  for (const std::size_t size : {1ul, 2ul, 3ul, 8ul, 37ul, 1000ul}) {
+    std::vector<double> weights(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      weights[i] = (i % 5 == 2) ? 0.0 : 1.0 / static_cast<double>(i + 1);
+    }
+    if (size > 1 && weights[0] == 0.0) weights[0] = 1.0;
+    FenwickSampler sampler;
+    sampler.Build(weights);
+    for (const std::size_t lanes : {1ul, 4ul, 8ul, 16ul}) {
+      double u[kMaxFenwickLanes];
+      std::uint32_t out[kMaxFenwickLanes];
+      for (int round = 0; round < 200; ++round) {
+        for (std::size_t l = 0; l < lanes; ++l) u[l] = rng.NextDouble();
+        if (round == 0) {  // boundary round
+          u[0] = 0.0;
+          if (lanes > 1) u[lanes - 1] = 0x1.fffffffffffffp-1;
+          if (lanes > 2) u[1] = 1.0;
+        }
+        sampler.SampleFlatLanes(u, lanes, out);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          ASSERT_EQ(out[l], sampler.SampleFlat(u[l]))
+              << "size " << size << " lanes " << lanes << " lane " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(FenwickLanesTest, BuildReplicatesWeightsPerLane) {
+  FenwickLanes lanes;
+  lanes.Build({1.0, 2.0, 3.0, 4.0, 5.0}, 4);
+  EXPECT_EQ(lanes.size(), 5u);
+  EXPECT_EQ(lanes.lane_count(), 4u);
+  for (std::size_t l = 0; l < 4; ++l) {
+    EXPECT_DOUBLE_EQ(lanes.Total(l), 15.0);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_DOUBLE_EQ(lanes.Weight(l, i), static_cast<double>(i + 1));
+    }
+  }
+}
+
+TEST(FenwickLanesTest, AddTouchesOnlyItsLane) {
+  FenwickLanes lanes;
+  lanes.Build({1.0, 1.0, 1.0}, 3);
+  lanes.Add(1, 2, 4.0);
+  EXPECT_DOUBLE_EQ(lanes.Weight(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(lanes.Total(1), 7.0);
+  for (const std::size_t other : {0u, 2u}) {
+    EXPECT_DOUBLE_EQ(lanes.Weight(other, 2), 1.0);
+    EXPECT_DOUBLE_EQ(lanes.Total(other), 3.0);
+  }
+}
+
+// The defining property: lane l of FenwickLanes behaves exactly like an
+// independent scalar FenwickSampler receiving the same Add calls — same
+// selections at every u01, including after the lanes' stakes diverge
+// (a compounding game) and at the overran boundary.
+TEST(FenwickLanesTest, LanesMatchIndependentScalarSamplers) {
+  RngStream rng(777);
+  for (const std::size_t size : {2ul, 3ul, 8ul, 37ul}) {
+    constexpr std::size_t kLaneCount = 8;
+    std::vector<double> weights(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      weights[i] = 1.0 + static_cast<double>(i % 3);
+    }
+    FenwickLanes lanes;
+    lanes.Build(weights, kLaneCount);
+    std::vector<FenwickSampler> scalars(kLaneCount);
+    for (auto& scalar : scalars) scalar.Build(weights);
+    double u[kLaneCount];
+    std::uint32_t out[kLaneCount];
+    for (int step = 0; step < 500; ++step) {
+      for (std::size_t l = 0; l < kLaneCount; ++l) u[l] = rng.NextDouble();
+      if (step == 0) u[0] = 0x1.fffffffffffffp-1;
+      lanes.SampleLanes(u, out);
+      for (std::size_t l = 0; l < kLaneCount; ++l) {
+        const std::size_t expected = scalars[l].SampleFlat(u[l]);
+        ASSERT_EQ(out[l], expected)
+            << "size " << size << " step " << step << " lane " << l;
+        // Reinforce the winner: lanes diverge exactly like a PoS game.
+        lanes.Add(l, expected, 0.5);
+        scalars[l].Add(expected, 0.5);
+      }
+    }
+  }
+}
+
+TEST(FenwickLanesTest, DegenerateTreesStayInRange) {
+  FenwickLanes zero;
+  zero.Build(std::vector<double>(4, 0.0), 4);
+  const double u[4] = {0.0, 0.5, 0x1.fffffffffffffp-1, 1.0};
+  std::uint32_t out[4] = {99, 99, 99, 99};
+  zero.SampleLanes(u, out);
+  for (int l = 0; l < 4; ++l) EXPECT_LT(out[l], 4u) << "lane " << l;
+}
+
 }  // namespace
 }  // namespace fairchain

@@ -77,6 +77,7 @@ int Usage() {
       "            [--miners ...] [--whales ...] [--shards ...]\n"
       "            [--withhold ...] [--checkpoints N] [--spacing linear|log]\n"
       "            [--eps E] [--delta D] [--final_lambdas on|off]\n"
+      "            [--stepping scalar|vectorized]\n"
       "  scenarios [name]   list registered scenarios / describe one\n"
       "  verify    <name|spec-file>|--all  [--reps N] [--steps N] [--seed S]\n"
       "            [--threads T] [--backend serial|pool|shard:N] [--alpha A]\n"
