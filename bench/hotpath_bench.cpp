@@ -48,6 +48,7 @@
 #include <new>
 #include <vector>
 
+#include "chain/chain_replication.hpp"
 #include "core/execution_backend.hpp"
 #include "core/monte_carlo.hpp"
 #include "core/replication_block_workspace.hpp"
@@ -305,6 +306,57 @@ void BM_LinearScan_MlPos(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearScan_MlPos)->RangeMultiplier(10)->Range(100, 100000);
 
+// --- chain-dynamics kernels -------------------------------------------------
+
+// ns per block-discovery event of the chain-replication kernel
+// (src/chain).  One iteration = one 4096-event segment through
+// StepChainEvents — the shape RunChainReplicationRange drives between
+// checkpoints — so items_per_second compares directly against the
+// batched incentive families above (one chain event plays the role of
+// one block step).
+constexpr std::uint64_t kChainSegmentEvents = 4096;
+
+void ChainStepLoop(benchmark::State& bench_state,
+                   const chain::ChainGameSpec& spec) {
+  chain::ChainReplicationWorkspace workspace;
+  workspace.Bind(spec);
+  RngStream rng(20210620);
+  for (auto _ : bench_state) {
+    chain::StepChainEvents(spec, workspace.state(), rng,
+                           kChainSegmentEvents);
+  }
+  bench_state.SetItemsProcessed(
+      static_cast<int64_t>(bench_state.iterations()) *
+      static_cast<int64_t>(kChainSegmentEvents));
+}
+
+// Fork-race machine at alpha = 0.3; arg = propagation delay in hundredths
+// of a mean block interval.  delay = 0 is the forkless iid fast path (the
+// verify layer's binomial anchor, one Bernoulli pair per event); larger
+// delays spend more events inside races, exercising the window-draw and
+// reorg-settlement arms.
+void BM_ChainStep(benchmark::State& state) {
+  chain::ChainGameSpec spec;
+  spec.dynamics = chain::ChainDynamics::kForkRace;
+  spec.alpha = 0.3;
+  spec.delay = static_cast<double>(state.range(0)) / 100.0;
+  ChainStepLoop(state, spec);
+}
+BENCHMARK(BM_ChainStep)->Arg(0)->Arg(25)->Arg(150);
+
+// Eyal–Sirer selfish-mining machine at alpha = 1/3 (the paper's classic
+// threshold case); arg = gamma in percent.  gamma steers how often the
+// tie-race arm draws, so the three points bracket the state machine's
+// branch mix.
+void BM_SelfishGame(benchmark::State& state) {
+  chain::ChainGameSpec spec;
+  spec.dynamics = chain::ChainDynamics::kSelfish;
+  spec.alpha = 1.0 / 3.0;
+  spec.gamma = static_cast<double>(state.range(0)) / 100.0;
+  ChainStepLoop(state, spec);
+}
+BENCHMARK(BM_SelfishGame)->Arg(0)->Arg(50)->Arg(100);
+
 // --- process-shard scaling --------------------------------------------------
 
 // Wall-clock of one whole campaign (4 cells × 256 replications × 2000
@@ -520,5 +572,46 @@ void BM_ZeroAllocVectorized_PoW(benchmark::State& bench_state) {
   }
 }
 BENCHMARK(BM_ZeroAllocVectorized_PoW)->Arg(2)->Arg(1000);
+
+// Same property for the chain-dynamics kernel: after a warm-up
+// replication Bind()s the workspace, a full chain replication — Reset,
+// checkpoint-segment StepChainEvents, λ and chain-observable recording —
+// must not allocate.
+void BM_ZeroAllocChainReplication(benchmark::State& bench_state) {
+  core::SimulationConfig config;
+  config.steps = 256;
+  config.replications = 4;
+  config.checkpoints = {128, 256};
+  chain::ChainGameSpec spec;
+  spec.dynamics = chain::ChainDynamics::kForkRace;
+  spec.alpha = 0.3;
+  spec.delay = 0.25;
+  std::vector<double> lambdas(config.checkpoints.size() *
+                              config.replications);
+  std::vector<double> chain_matrix(chain::ChainMatrixSize(config));
+  chain::ChainReplicationWorkspace workspace;
+  // Warm-up: binds the workspace to the spec.
+  chain::RunChainReplicationRange(spec, config, 0, 1, lambdas.data(),
+                                  chain_matrix.data(), workspace);
+  std::uint64_t allocations = 0;
+  for (auto _ : bench_state) {
+    const std::uint64_t before =
+        g_allocation_count.load(std::memory_order_relaxed);
+    chain::RunChainReplicationRange(spec, config, 1, 2, lambdas.data(),
+                                    chain_matrix.data(), workspace);
+    allocations +=
+        g_allocation_count.load(std::memory_order_relaxed) - before;
+  }
+  bench_state.counters["allocs_per_replication"] =
+      static_cast<double>(allocations) /
+      static_cast<double>(bench_state.iterations());
+  bench_state.SetItemsProcessed(static_cast<int64_t>(
+      bench_state.iterations() * static_cast<int64_t>(config.steps)));
+  if (allocations != 0) {
+    bench_state.SkipWithError(
+        "steady-state chain replication allocated on the heap");
+  }
+}
+BENCHMARK(BM_ZeroAllocChainReplication);
 
 }  // namespace

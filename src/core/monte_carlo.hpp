@@ -110,6 +110,14 @@ struct CheckpointStats {
   double hhi = std::numeric_limits<double>::quiet_NaN();
   double nakamoto = std::numeric_limits<double>::quiet_NaN();
   double top_decile_share = std::numeric_limits<double>::quiet_NaN();
+
+  // Chain-dynamics observables (NaN for ordinary incentive cells; filled
+  // by chain::ReduceChainMetrics for fork/propagation/selfish campaigns).
+  // orphan_rate / reorg_depth_mean are averages across replications,
+  // reorg_depth_max the maximum across replications.
+  double orphan_rate = std::numeric_limits<double>::quiet_NaN();
+  double reorg_depth_mean = std::numeric_limits<double>::quiet_NaN();
+  double reorg_depth_max = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Full result of a simulation campaign.

@@ -5,11 +5,15 @@
 namespace fairchain::core {
 
 double SelfishMiningRevenue(double alpha, double gamma) {
-  if (!(alpha > 0.0) || alpha > 0.5) {
+  // Negated comparisons so NaN fails validation instead of slipping
+  // through (NaN > 0.0 and NaN > 0.5 are both false).
+  if (!(alpha > 0.0) || !(alpha <= 0.5)) {
     throw std::invalid_argument(
-        "SelfishMiningRevenue: alpha must be in (0, 0.5]");
+        "SelfishMiningRevenue: alpha must be in (0, 0.5] — the closed form "
+        "diverges for a majority pool (revenue -> 1); use "
+        "SelfishMiningSimulator for alpha > 0.5");
   }
-  if (gamma < 0.0 || gamma > 1.0) {
+  if (!(gamma >= 0.0) || !(gamma <= 1.0)) {
     throw std::invalid_argument(
         "SelfishMiningRevenue: gamma must be in [0, 1]");
   }
@@ -23,7 +27,7 @@ double SelfishMiningRevenue(double alpha, double gamma) {
 }
 
 double SelfishMiningThreshold(double gamma) {
-  if (gamma < 0.0 || gamma > 1.0) {
+  if (!(gamma >= 0.0) || !(gamma <= 1.0)) {
     throw std::invalid_argument(
         "SelfishMiningThreshold: gamma must be in [0, 1]");
   }
@@ -34,9 +38,11 @@ SelfishMiningSimulator::SelfishMiningSimulator(double alpha, double gamma)
     : alpha_(alpha), gamma_(gamma) {
   if (!(alpha > 0.0) || !(alpha < 1.0)) {
     throw std::invalid_argument(
-        "SelfishMiningSimulator: alpha must be in (0, 1)");
+        "SelfishMiningSimulator: alpha must be in (0, 1) — the state "
+        "machine is well defined for a majority pool, unlike "
+        "SelfishMiningRevenue, which requires alpha <= 0.5");
   }
-  if (gamma < 0.0 || gamma > 1.0) {
+  if (!(gamma >= 0.0) || !(gamma <= 1.0)) {
     throw std::invalid_argument(
         "SelfishMiningSimulator: gamma must be in [0, 1]");
   }

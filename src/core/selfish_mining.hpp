@@ -30,6 +30,16 @@ namespace fairchain::core {
 
 /// Closed-form long-run revenue share of a selfish pool (Eyal-Sirer
 /// equation (8)).  alpha in (0, 0.5], gamma in [0, 1].
+///
+/// Domain note (why the formula stops at 0.5 while the simulator accepts
+/// any alpha in (0, 1)): the closed form is the stationary revenue of the
+/// withholding state machine, whose lead is a random walk with drift
+/// alpha - (1 - alpha).  For alpha > 0.5 the walk is transient — the pool
+/// outpaces the honest chain forever, its revenue share tends to 1, and
+/// equation (8)'s denominator changes sign, so evaluating it would return
+/// a meaningless number.  SelfishMiningSimulator remains well defined
+/// there (any finite horizon has a definite share approaching 1);
+/// this function deliberately throws instead of extrapolating.
 double SelfishMiningRevenue(double alpha, double gamma);
 
 /// The profitability threshold: selfish mining beats honest mining when
@@ -52,9 +62,16 @@ struct SelfishMiningResult {
 };
 
 /// Event-level simulator of the Eyal-Sirer state machine.
+///
+/// Accepts the full alpha in (0, 1): unlike the closed form (see
+/// SelfishMiningRevenue's domain note) the state machine itself is well
+/// defined for a majority pool — its finite-horizon revenue share simply
+/// exceeds alpha and tends to 1.  Tests cross-validate the two on the
+/// shared domain (0, 0.5] and pin the divergent behaviour above it.
 class SelfishMiningSimulator {
  public:
-  /// Creates a simulator; alpha in (0, 1), gamma in [0, 1].
+  /// Creates a simulator; alpha in (0, 1), gamma in [0, 1].  NaN
+  /// parameters are rejected like any other out-of-range value.
   SelfishMiningSimulator(double alpha, double gamma);
 
   /// Simulates `block_events` block discoveries and returns the outcome.

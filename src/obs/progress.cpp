@@ -23,7 +23,9 @@ std::string FormatEta(double seconds) {
   // through the fields, so 59.7 s is 60 s -> "01:00" (never "00:60") and
   // 3599.6 s -> "1:00:00".
   const auto total = static_cast<std::uint64_t>(seconds + 0.5);
-  char eta[16];
+  // Sized for the full %PRIu64 range so -Wformat-truncation can prove the
+  // worst case fits; the saturation above keeps the real output <= 9 chars.
+  char eta[32];
   if (total >= 3600) {
     std::snprintf(eta, sizeof(eta), "%" PRIu64 ":%02" PRIu64 ":%02" PRIu64,
                   total / 3600, (total / 60) % 60, total % 60);

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "chain/chain_replication.hpp"
 #include "core/execution_backend.hpp"
 #include "core/population.hpp"
 #include "core/shard_executor.hpp"
@@ -26,10 +27,17 @@ namespace {
 struct CellExecution {
   CampaignCell cell;
   core::SimulationConfig config;
+  // Incentive cells bind a protocol model; chain cells bind a game spec
+  // instead (model stays null) and record per-replication chain
+  // observables alongside λ.
   std::unique_ptr<protocol::IncentiveModel> model;
+  bool chain = false;
+  chain::ChainGameSpec game;
+  std::string protocol_name;  // model->name(), or the chain dynamics name
   std::vector<double> stakes;
-  std::vector<double> lambdas;     // [checkpoint * reps + rep]
-  std::vector<double> population;  // PopulationMatrixSize layout (or empty)
+  std::vector<double> lambdas;      // [checkpoint * reps + rep]
+  std::vector<double> population;   // PopulationMatrixSize layout (or empty)
+  std::vector<double> chain_matrix; // ChainMatrixSize layout (or empty)
   std::once_flag allocate_once;  // matrices allocated by the first chunk
   std::atomic<std::size_t> remaining_chunks{0};
   core::SimulationResult result;
@@ -73,6 +81,11 @@ void EmitCellRows(const ScenarioSpec& spec, const CellExecution& execution,
     row.hhi = stats.hhi;
     row.nakamoto = stats.nakamoto;
     row.top_decile_share = stats.top_decile_share;
+    row.gamma = execution.cell.gamma;
+    row.delay = execution.cell.delay;
+    row.orphan_rate = stats.orphan_rate;
+    row.reorg_depth_mean = stats.reorg_depth_mean;
+    row.reorg_depth_max = stats.reorg_depth_max;
     for (ResultSink* sink : sinks) sink->WriteRow(row);
   }
 }
@@ -95,6 +108,7 @@ struct ShardChildState {
   std::size_t cell = std::numeric_limits<std::size_t>::max();
   std::vector<double> lambdas;
   std::vector<double> population;
+  std::vector<double> chain_matrix;
 };
 
 }  // namespace
@@ -102,6 +116,31 @@ struct ShardChildState {
 std::string CellStorePreimage(const ScenarioSpec& spec,
                               const CampaignCell& cell) {
   const core::SimulationConfig config = CellConfig(spec, cell);
+  if (cell.chain_dynamics) {
+    // Chain cells fork the preimage under their own header: the physics is
+    // different (fork races instead of incentive games), so a chain cell
+    // must never collide with an incentive entry — and incentive preimages
+    // stay byte-for-byte what they were before chain campaigns existed.
+    std::string out = "fairchain-chain-cell-v1\n";
+    out += "dynamics=" + cell.protocol + "\n";
+    out += "alpha=" + DoubleBits(cell.a) + "\n";
+    out += "gamma=" + DoubleBits(cell.gamma) + "\n";
+    out += "delay=" + DoubleBits(cell.delay) + "\n";
+    out += "steps=" + std::to_string(config.steps);
+    out += "\nreplications=" + std::to_string(config.replications);
+    out += "\nseed=" + std::to_string(config.seed);
+    out += "\ncheckpoints=";
+    for (std::size_t i = 0; i < config.checkpoints.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(config.checkpoints[i]);
+    }
+    out += "\nkeep_final_lambdas=";
+    out += config.keep_final_lambdas ? '1' : '0';
+    out += "\nepsilon=" + DoubleBits(spec.fairness.epsilon);
+    out += "\ndelta=" + DoubleBits(spec.fairness.delta);
+    out += "\n";
+    return out;
+  }
   std::string out = "fairchain-cell-v1\n";
   out += "protocol=" + cell.protocol + "\n";
   out += "w=" + DoubleBits(cell.w) + "\n";
@@ -164,6 +203,13 @@ core::SimulationConfig CellConfig(const ScenarioSpec& spec,
   config.population_metrics = spec.population_metrics;
   config.keep_final_lambdas = spec.keep_final_lambdas;
   config.stepping = spec.stepping;
+  if (cell.chain_dynamics) {
+    // Chain cells have no stake population to take Gini/HHI over and no
+    // lane kernel; they record their own observables (the chain matrix)
+    // and always step the scalar event machine.
+    config.population_metrics = false;
+    config.stepping = core::SteppingMode::kScalar;
+  }
   if (spec.spacing == CheckpointSpacing::kLog) {
     config.checkpoints = core::LogCheckpoints(
         spec.steps, std::max<std::size_t>(2, spec.checkpoint_count),
@@ -263,8 +309,19 @@ std::vector<CellOutcome> CampaignRunner::Run(
     execution->cell = cell;
     execution->config = CellConfig(spec, cell);
     execution->config.Validate();
-    execution->model =
-        protocol::MakeModel(cell.protocol, cell.w, cell.v, cell.shards);
+    if (cell.chain_dynamics) {
+      execution->chain = true;
+      execution->game.dynamics = chain::ParseChainDynamics(cell.protocol);
+      execution->game.alpha = cell.a;
+      execution->game.gamma = cell.gamma;
+      execution->game.delay = cell.delay;
+      execution->game.Validate();
+      execution->protocol_name = cell.protocol;
+    } else {
+      execution->model =
+          protocol::MakeModel(cell.protocol, cell.w, cell.v, cell.shards);
+      execution->protocol_name = execution->model->name();
+    }
     execution->stakes = cell.Stakes();
     executions.push_back(std::move(execution));
   }
@@ -322,14 +379,20 @@ std::vector<CellOutcome> CampaignRunner::Run(
       obs::Span reduce_span("campaign.reduce", index);
       obs::ScopedLatency reduce_latency(reduce_ns);
       execution.result = core::ReduceToResult(
-          execution.model->name(), execution.stakes, execution.config,
+          execution.protocol_name, execution.stakes, execution.config,
           spec.fairness, execution.lambdas, execution.population);
+      if (execution.chain) {
+        chain::ReduceChainMetrics(execution.config, execution.chain_matrix,
+                                  execution.result);
+      }
     }
     cells_done.Add();
     execution.lambdas.clear();
     execution.lambdas.shrink_to_fit();
     execution.population.clear();
     execution.population.shrink_to_fit();
+    execution.chain_matrix.clear();
+    execution.chain_matrix.shrink_to_fit();
     // Persist before emitting: once a cell's rows are visible its entry is
     // committed, so a crash after partial output never loses stored work.
     if (cache != nullptr) cache->Put(keys[index], execution.result);
@@ -368,6 +431,10 @@ std::vector<CellOutcome> CampaignRunner::Run(
         execution.population.assign(
             core::PopulationMatrixSize(execution.config), 0.0);
       }
+      if (execution.chain) {
+        execution.chain_matrix.assign(
+            chain::ChainMatrixSize(execution.config), 0.0);
+      }
     });
   };
 
@@ -401,17 +468,35 @@ std::vector<CellOutcome> CampaignRunner::Run(
                     ? core::PopulationMatrixSize(config)
                     : 0,
                 0.0);
+            state->chain_matrix.assign(
+                execution.chain ? chain::ChainMatrixSize(config) : 0, 0.0);
           }
-          core::RunReplicationRange(*execution.model, execution.stakes,
-                                    config, job.begin, job.end,
-                                    state->lambdas.data(),
-                                    state->population.empty()
-                                        ? nullptr
-                                        : state->population.data());
+          if (execution.chain) {
+            chain::RunChainReplicationRange(execution.game, config,
+                                            job.begin, job.end,
+                                            state->lambdas.data(),
+                                            state->chain_matrix.data());
+          } else {
+            core::RunReplicationRange(*execution.model, execution.stakes,
+                                      config, job.begin, job.end,
+                                      state->lambdas.data(),
+                                      state->population.empty()
+                                          ? nullptr
+                                          : state->population.data());
+          }
           const std::size_t span = job.end - job.begin;
+          // Plane rows follow the λ rows: population planes for incentive
+          // cells, chain planes for chain cells (never both — chain cells
+          // force population_metrics off).  Same marshaling either way.
+          const double* plane_data = execution.chain
+                                         ? state->chain_matrix.data()
+                                         : state->population.data();
           const std::size_t planes =
-              state->population.empty() ? 0
-                                        : core::kPopulationMetricCount * cp;
+              execution.chain
+                  ? chain::kChainMetricCount * cp
+                  : (state->population.empty()
+                         ? 0
+                         : core::kPopulationMetricCount * cp);
           std::vector<double> payload;
           payload.reserve((cp + planes) * span);
           for (std::size_t c = 0; c < cp; ++c) {
@@ -420,8 +505,7 @@ std::vector<CellOutcome> CampaignRunner::Run(
             payload.insert(payload.end(), row + job.begin, row + job.end);
           }
           for (std::size_t p = 0; p < planes; ++p) {
-            const double* row =
-                state->population.data() + p * config.replications;
+            const double* row = plane_data + p * config.replications;
             payload.insert(payload.end(), row + job.begin, row + job.end);
           }
           return payload;
@@ -434,9 +518,15 @@ std::vector<CellOutcome> CampaignRunner::Run(
           const core::SimulationConfig& config = execution.config;
           const std::size_t span = job.end - job.begin;
           const std::size_t cp = config.checkpoints.size();
+          double* plane_dest = execution.chain
+                                   ? execution.chain_matrix.data()
+                                   : execution.population.data();
           const std::size_t planes =
-              execution.population.empty() ? 0
-                                           : core::kPopulationMetricCount * cp;
+              execution.chain
+                  ? chain::kChainMetricCount * cp
+                  : (execution.population.empty()
+                         ? 0
+                         : core::kPopulationMetricCount * cp);
           if (payload.size() != (cp + planes) * span) {
             throw std::runtime_error(
                 "campaign shard payload size mismatch for cell " +
@@ -451,8 +541,7 @@ std::vector<CellOutcome> CampaignRunner::Run(
           }
           for (std::size_t p = 0; p < planes; ++p) {
             std::copy(source, source + span,
-                      execution.population.data() +
-                          p * config.replications + job.begin);
+                      plane_dest + p * config.replications + job.begin);
             source += span;
           }
           chunks_done.Add();
@@ -475,12 +564,20 @@ std::vector<CellOutcome> CampaignRunner::Run(
         {
           obs::Span chunk_span("campaign.chunk", job.cell);
           obs::ScopedLatency chunk_latency(chunk_ns);
-          core::RunReplicationRange(*execution->model, execution->stakes,
-                                    execution->config, job.begin, job.end,
-                                    execution->lambdas.data(),
-                                    execution->population.empty()
-                                        ? nullptr
-                                        : execution->population.data());
+          if (execution->chain) {
+            chain::RunChainReplicationRange(execution->game,
+                                            execution->config, job.begin,
+                                            job.end,
+                                            execution->lambdas.data(),
+                                            execution->chain_matrix.data());
+          } else {
+            core::RunReplicationRange(*execution->model, execution->stakes,
+                                      execution->config, job.begin, job.end,
+                                      execution->lambdas.data(),
+                                      execution->population.empty()
+                                          ? nullptr
+                                          : execution->population.data());
+          }
         }
         chunks_done.Add();
         replications_done.Add(job.end - job.begin);

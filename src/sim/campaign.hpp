@@ -139,6 +139,10 @@ core::SimulationConfig CellConfig(const ScenarioSpec& spec,
 /// that simulate the same game share one store entry no matter how they
 /// were scheduled.  The runner prefixes the store's code-version stamp and
 /// hashes the result into the cell's content address (store::MakeCellKey).
+/// Chain-dynamics cells use their own preimage header
+/// ("fairchain-chain-cell-v1") over (dynamics, alpha, gamma, delay) plus
+/// the shared horizon fields, so they can never collide with incentive
+/// entries — whose preimages remain byte-identical to earlier revisions.
 std::string CellStorePreimage(const ScenarioSpec& spec,
                               const CampaignCell& cell);
 

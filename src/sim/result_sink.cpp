@@ -22,7 +22,8 @@ const std::string& CsvSink::Header() {
       "scenario,cell,protocol,miners,whales,a,w,v,shards,withhold,steps,"
       "replications,cell_seed,checkpoint,step,mean,std_dev,p05,p25,median,"
       "p75,p95,min,max,unfair_probability,convergence_step,stake_dist,gini,"
-      "hhi,nakamoto,top_decile_share";
+      "hhi,nakamoto,top_decile_share,gamma,delay,orphan_rate,"
+      "reorg_depth_mean,reorg_depth_max";
   return header;
 }
 
@@ -55,7 +56,11 @@ void CsvSink::WriteRow(const CampaignRow& row) {
   out_ << ',' << EscapeCsvField(row.stake_dist) << ','
        << FormatDouble(row.gini) << ',' << FormatDouble(row.hhi) << ','
        << FormatDouble(row.nakamoto) << ','
-       << FormatDouble(row.top_decile_share) << "\n";
+       << FormatDouble(row.top_decile_share) << ','
+       << FormatDouble(row.gamma) << ',' << FormatDouble(row.delay) << ','
+       << FormatDouble(row.orphan_rate) << ','
+       << FormatDouble(row.reorg_depth_mean) << ','
+       << FormatDouble(row.reorg_depth_max) << "\n";
 }
 
 void CsvSink::EndCampaign() { out_.flush(); }
@@ -101,6 +106,11 @@ void JsonlSink::WriteRow(const CampaignRow& row) {
        << ",\"hhi\":" << JsonNumber(row.hhi)
        << ",\"nakamoto\":" << JsonNumber(row.nakamoto)
        << ",\"top_decile_share\":" << JsonNumber(row.top_decile_share)
+       << ",\"gamma\":" << JsonNumber(row.gamma)
+       << ",\"delay\":" << JsonNumber(row.delay)
+       << ",\"orphan_rate\":" << JsonNumber(row.orphan_rate)
+       << ",\"reorg_depth_mean\":" << JsonNumber(row.reorg_depth_mean)
+       << ",\"reorg_depth_max\":" << JsonNumber(row.reorg_depth_max)
        << "}\n";
 }
 

@@ -70,6 +70,14 @@ struct CampaignRow {
   double hhi = std::numeric_limits<double>::quiet_NaN();
   double nakamoto = std::numeric_limits<double>::quiet_NaN();
   double top_decile_share = std::numeric_limits<double>::quiet_NaN();
+  /// Chain-dynamics columns (appended): the cell's gamma / delay
+  /// parameters (0 for incentive cells) and the fork observables at this
+  /// checkpoint, NaN (CSV `nan`, JSONL null) for incentive cells.
+  double gamma = 0.0;
+  double delay = 0.0;
+  double orphan_rate = std::numeric_limits<double>::quiet_NaN();
+  double reorg_depth_mean = std::numeric_limits<double>::quiet_NaN();
+  double reorg_depth_max = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Abstract streaming consumer of campaign rows.  Doubles are rendered

@@ -1,11 +1,30 @@
 #include "sim/scenario_registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace fairchain::sim {
 
 namespace {
+
+// Edit distance between scenario names, for "did you mean" suggestions
+// (the same idiom FlagSet and the backend parser use for their names).
+std::size_t Levenshtein(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[b.size()];
+}
 
 ScenarioRegistry BuildBuiltIns() {
   ScenarioRegistry registry;
@@ -194,6 +213,54 @@ ScenarioRegistry BuildBuiltIns() {
     registry.Register(std::move(spec));
   }
 
+  // --- Chain-dynamics campaigns (fork/propagation/selfish scenarios) ----
+  {
+    ScenarioSpec spec;
+    spec.name = "selfish-grid";
+    spec.description =
+        "Eyal-Sirer selfish mining over the alpha x gamma grid, judged "
+        "against the closed-form revenue share";
+    spec.family = ScenarioFamily::kChain;
+    spec.protocols = {"selfish"};
+    spec.allocations = {0.15, 0.3, 0.45};
+    spec.gammas = {0.0, 0.5, 1.0};
+    spec.steps = 4000;
+    spec.replications = 2000;
+    spec.checkpoint_count = 20;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "propagation-delay-sweep";
+    spec.description =
+        "Fork races under a propagation-delay sweep at a=0.3: the delay=0 "
+        "cell is exactly Binomial, the rest pin orphan-rate/reorg-depth "
+        "renewal forms and delay monotonicity";
+    spec.family = ScenarioFamily::kChain;
+    spec.protocols = {"forkrace"};
+    spec.allocations = {0.3};
+    spec.delays = {0.0, 0.05, 0.1, 0.2, 0.4};
+    spec.steps = 5000;
+    spec.replications = 2000;
+    spec.checkpoint_count = 20;
+    registry.Register(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "orphan-hashrate-sweep";
+    spec.description =
+        "Orphan-rate x hashrate-share sweep: fork races over minority, "
+        "quarter, and symmetric shares at two delays";
+    spec.family = ScenarioFamily::kChain;
+    spec.protocols = {"forkrace"};
+    spec.allocations = {0.1, 0.25, 0.5};
+    spec.delays = {0.1, 0.3};
+    spec.steps = 4000;
+    spec.replications = 1500;
+    spec.checkpoint_count = 20;
+    registry.Register(std::move(spec));
+  }
+
   return registry;
 }
 
@@ -229,8 +296,32 @@ const ScenarioSpec& ScenarioRegistry::Get(const std::string& name) const {
     if (!known.empty()) known += ", ";
     known += spec.name;
   }
-  throw std::invalid_argument("ScenarioRegistry: unknown scenario '" + name +
-                              "' (known: " + known + ")");
+  // Suggest the closest registered name when the typo is plausibly one:
+  // within 3 edits, or sharing a prefix of at least 4 characters.
+  const ScenarioSpec* closest = nullptr;
+  std::size_t best = 4;
+  for (const ScenarioSpec& spec : specs_) {
+    const std::size_t distance = Levenshtein(name, spec.name);
+    if (distance < best) {
+      best = distance;
+      closest = &spec;
+    }
+  }
+  if (closest == nullptr && name.size() >= 4) {
+    for (const ScenarioSpec& spec : specs_) {
+      if (spec.name.rfind(name.substr(0, 4), 0) == 0) {
+        closest = &spec;
+        break;
+      }
+    }
+  }
+  std::string message =
+      "ScenarioRegistry: unknown scenario '" + name + "'";
+  if (closest != nullptr) {
+    message += " — did you mean '" + closest->name + "'?";
+  }
+  message += " (known: " + known + ")";
+  throw std::invalid_argument(message);
 }
 
 std::vector<std::string> ScenarioRegistry::Names() const {

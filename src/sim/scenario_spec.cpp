@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "chain/chain_replication.hpp"
 #include "protocol/model_factory.hpp"
 
 namespace fairchain::sim {
@@ -130,6 +131,20 @@ void Assign(ScenarioSpec& spec, const std::string& key,
     spec.name = value;
   } else if (key == "description") {
     spec.description = value;
+  } else if (key == "family") {
+    if (value == "incentive") {
+      spec.family = ScenarioFamily::kIncentive;
+    } else if (value == "chain") {
+      spec.family = ScenarioFamily::kChain;
+    } else {
+      throw std::invalid_argument(
+          "ScenarioSpec: family expects incentive|chain, got '" + value +
+          "'");
+    }
+  } else if (key == "gamma") {
+    spec.gammas = ParseDoubleList(key, value);
+  } else if (key == "delay") {
+    spec.delays = ParseDoubleList(key, value);
   } else if (key == "protocols") {
     spec.protocols = SplitCommas(value);
   } else if (key == "miners") {
@@ -279,6 +294,12 @@ std::vector<double> CampaignCell::Stakes() const {
 
 std::string CampaignCell::Label() const {
   std::ostringstream out;
+  if (chain_dynamics) {
+    // Chain cells: only the parameters that matter to the dynamics.
+    out << "dynamics=" << protocol << " a=" << a << " gamma=" << gamma
+        << " delay=" << delay;
+    return out.str();
+  }
   out << "protocol=" << protocol << " miners=" << miners;
   if (whales != 1) out << " whales=" << whales;
   out << " a=" << a << " w=" << w << " v=" << v << " shards=" << shards;
@@ -303,9 +324,45 @@ void ScenarioSpec::Validate() const {
                 name + "')");
   }
   require(!protocols.empty(), "protocols must not be empty");
-  for (const std::string& protocol : protocols) {
-    require(protocol::IsKnownModelName(protocol),
-            "unknown protocol '" + protocol + "'");
+  if (family == ScenarioFamily::kChain) {
+    // Chain-dynamics specs: protocols name chain kernels, gamma/delay are
+    // live axes, and the incentive-only axes must sit at their defaults —
+    // chain games are two-party (tracked share a vs the rest) with no
+    // notion of whales, rewards, shards, or withholding.
+    for (const std::string& protocol : protocols) {
+      require(chain::IsKnownChainDynamicsName(protocol),
+              "unknown chain dynamics '" + protocol +
+                  "' (chain family expects selfish|forkrace)");
+    }
+    require(miner_counts == std::vector<std::size_t>{2},
+            "chain family requires miners=2 (two-party games)");
+    require(whale_counts == std::vector<std::size_t>{1},
+            "chain family requires whales=1");
+    require(withhold_periods == std::vector<std::uint64_t>{0},
+            "chain family does not support withholding (withhold=0)");
+    require(stake_dists == std::vector<std::string>{"split"},
+            "chain family requires stakes=split (a is the hash share)");
+    require(!gammas.empty(), "gamma must not be empty");
+    for (const double gamma : gammas) {
+      require(gamma >= 0.0 && gamma <= 1.0, "every gamma must lie in [0, 1]");
+    }
+    require(!delays.empty(), "delay must not be empty");
+    for (const double delay : delays) {
+      require(std::isfinite(delay) && delay >= 0.0,
+              "every delay must be finite and >= 0");
+    }
+  } else {
+    for (const std::string& protocol : protocols) {
+      require(protocol::IsKnownModelName(protocol),
+              "unknown protocol '" + protocol + "'");
+    }
+    // Keep the chain-only axes pinned at their defaults so incentive grids
+    // never reindex (and ToText round-trips losslessly without emitting
+    // the chain keys).
+    require(gammas == std::vector<double>{0.0},
+            "gamma is a chain-family axis (set family=chain)");
+    require(delays == std::vector<double>{0.0},
+            "delay is a chain-family axis (set family=chain)");
   }
   require(!miner_counts.empty(), "miners must not be empty");
   for (const std::size_t miners : miner_counts) {
@@ -345,7 +402,8 @@ void ScenarioSpec::Validate() const {
 std::size_t ScenarioSpec::CellCount() const {
   return protocols.size() * miner_counts.size() * whale_counts.size() *
          allocations.size() * rewards.size() * inflations.size() *
-         shard_counts.size() * withhold_periods.size() * stake_dists.size();
+         shard_counts.size() * withhold_periods.size() * stake_dists.size() *
+         gammas.size() * delays.size();
 }
 
 std::vector<CampaignCell> ScenarioSpec::ExpandCells() const {
@@ -361,18 +419,26 @@ std::vector<CampaignCell> ScenarioSpec::ExpandCells() const {
               for (const std::uint32_t shards : shard_counts) {
                 for (const std::uint64_t withhold : withhold_periods) {
                   for (const std::string& stake_dist : stake_dists) {
-                    CampaignCell cell;
-                    cell.index = cells.size();
-                    cell.protocol = protocol;
-                    cell.miners = miners;
-                    cell.whales = whales;
-                    cell.a = a;
-                    cell.w = w;
-                    cell.v = v;
-                    cell.shards = shards;
-                    cell.withhold = withhold;
-                    cell.stake_dist = stake_dist;
-                    cells.push_back(std::move(cell));
+                    for (const double gamma : gammas) {
+                      for (const double delay : delays) {
+                        CampaignCell cell;
+                        cell.index = cells.size();
+                        cell.protocol = protocol;
+                        cell.miners = miners;
+                        cell.whales = whales;
+                        cell.a = a;
+                        cell.w = w;
+                        cell.v = v;
+                        cell.shards = shards;
+                        cell.withhold = withhold;
+                        cell.stake_dist = stake_dist;
+                        cell.chain_dynamics =
+                            family == ScenarioFamily::kChain;
+                        cell.gamma = gamma;
+                        cell.delay = delay;
+                        cells.push_back(std::move(cell));
+                      }
+                    }
                   }
                 }
               }
@@ -462,6 +528,14 @@ std::string ScenarioSpec::ToText() const {
   std::ostringstream out;
   out << "name=" << name << "\n";
   if (!description.empty()) out << "description=" << description << "\n";
+  // Only chain specs emit the family/gamma/delay keys, keeping incentive
+  // ToText output byte-identical to earlier revisions (pinned in tests and
+  // embedded in stored campaign metadata).
+  if (family == ScenarioFamily::kChain) {
+    out << "family=chain\n"
+        << "gamma=" << JoinDoubles(gammas) << "\n"
+        << "delay=" << JoinDoubles(delays) << "\n";
+  }
   out << "protocols=" << JoinList(protocols) << "\n"
       << "miners=" << JoinList(miner_counts) << "\n"
       << "whales=" << JoinList(whale_counts) << "\n"
@@ -496,10 +570,11 @@ void ScenarioSpec::ApplyOverrides(const FlagSet& flags) {
 
 const std::vector<std::string>& ScenarioSpec::OverrideFlagNames() {
   static const std::vector<std::string> names = {
-      "protocols", "miners",      "whales",  "a",     "w",
-      "v",         "shards",      "withhold", "stakes", "steps",
-      "reps",      "seed",        "checkpoints", "spacing", "eps",
-      "delta",     "population",  "final_lambdas", "stepping"};
+      "family",    "protocols",   "miners",  "whales", "a",
+      "w",         "v",           "shards",  "withhold", "stakes",
+      "gamma",     "delay",       "steps",   "reps",   "seed",
+      "checkpoints", "spacing",   "eps",     "delta",  "population",
+      "final_lambdas", "stepping"};
   return names;
 }
 

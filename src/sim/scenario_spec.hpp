@@ -60,10 +60,22 @@ struct StakeDistribution {
 /// unknown form or an out-of-range parameter.
 StakeDistribution ParseStakeDistribution(const std::string& text);
 
+/// Which physics a spec's cells run.
+enum class ScenarioFamily {
+  /// The paper's incentive games: `protocols` name protocol::MakeModel
+  /// models, rewards compound, every block commits (the default).
+  kIncentive,
+  /// Chain-dynamics games: `protocols` name chain::ChainDynamics kernels
+  /// ("selfish", "forkrace"); blocks fork, race, and orphan, and the
+  /// cells additionally record orphan-rate / reorg-depth observables.
+  kChain,
+};
+
 /// One fully bound grid cell: a single (protocol, parameters) mining game.
 struct CampaignCell {
   std::size_t index = 0;      ///< position in the expanded grid, row-major
-  std::string protocol;       ///< model name (protocol::MakeModel)
+  std::string protocol;       ///< model name (protocol::MakeModel), or the
+                              ///< chain dynamics name for chain cells
   std::size_t miners = 2;     ///< total number of miners
   std::size_t whales = 1;     ///< miners sharing the tracked allocation `a`
   double a = 0.2;             ///< combined initial share of the whales
@@ -72,6 +84,11 @@ struct CampaignCell {
   std::uint32_t shards = 32;  ///< C-PoS committee count P
   std::uint64_t withhold = 0; ///< reward-withholding period (0 = off)
   std::string stake_dist = "split";  ///< stake-distribution token
+  /// True for ScenarioFamily::kChain cells: `a` is the tracked hash
+  /// share, and gamma / delay parameterise the dynamics.
+  bool chain_dynamics = false;
+  double gamma = 0.0;  ///< selfish tie-breaking share (chain cells)
+  double delay = 0.0;  ///< propagation delay, mean-block-interval units
 
   /// Stake vector for this cell.  For "split": the first `whales` miners
   /// split `a` equally, the remaining miners split 1 - a equally
@@ -90,8 +107,15 @@ struct ScenarioSpec {
   std::string name = "custom";
   std::string description;
 
+  /// Cell physics (`family=incentive|chain`).  kChain interprets
+  /// `protocols` as chain dynamics names ("selfish", "forkrace"), unlocks
+  /// the gamma / delay axes, and restricts the incentive-only axes to
+  /// their defaults (two miners, one whale, split stakes, no
+  /// withholding) — chain games are two-party by construction.
+  ScenarioFamily family = ScenarioFamily::kIncentive;
+
   // Grid axes.  Cells are enumerated row-major in this field order:
-  // protocol is the slowest-varying axis, stake distribution the fastest.
+  // protocol is the slowest-varying axis, delay the fastest.
   std::vector<std::string> protocols = {"mlpos"};
   std::vector<std::size_t> miner_counts = {2};
   std::vector<std::size_t> whale_counts = {1};
@@ -101,6 +125,10 @@ struct ScenarioSpec {
   std::vector<std::uint32_t> shard_counts = {32};
   std::vector<std::uint64_t> withhold_periods = {0};
   std::vector<std::string> stake_dists = {"split"};
+  /// Chain-family axes (`gamma=` / `delay=`); must stay at their {0.0}
+  /// defaults for incentive specs, so existing grids never reindex.
+  std::vector<double> gammas = {0.0};
+  std::vector<double> delays = {0.0};
 
   // Scalars shared by every cell.
   std::uint64_t steps = 5000;
@@ -138,10 +166,11 @@ struct ScenarioSpec {
   /// Parses `key=value` lines.  Blank lines and whole-line '#' comments
   /// are skipped (values may contain '#'); list-valued keys take
   /// comma-separated values.  Keys:
-  ///   name, description, protocols, miners, whales, a, w, v, shards,
-  ///   withhold, stakes (split|pareto:A|zipf:S), steps, reps, seed,
-  ///   checkpoints, spacing (linear|log), eps, delta, population (on|off),
-  ///   final_lambdas (on|off), stepping (scalar|vectorized)
+  ///   name, description, family (incentive|chain), protocols, miners,
+  ///   whales, a, w, v, shards, withhold, stakes (split|pareto:A|zipf:S),
+  ///   gamma, delay, steps, reps, seed, checkpoints, spacing (linear|log),
+  ///   eps, delta, population (on|off), final_lambdas (on|off),
+  ///   stepping (scalar|vectorized)
   /// Unknown keys throw std::invalid_argument (same contract as
   /// FlagSet::RejectUnknown: a typo must not silently become a default).
   static ScenarioSpec FromText(const std::string& text);
@@ -155,10 +184,11 @@ struct ScenarioSpec {
   std::string ToText() const;
 
   /// Applies CLI overrides (all optional): --reps, --steps, --seed,
-  /// --checkpoints, --spacing, --eps, --delta, --protocols, --miners,
-  /// --whales, --a, --w, --v, --shards, --withhold, --stakes,
-  /// --population, --final_lambdas, --stepping.  List-valued flags take
-  /// comma-separated values and replace the whole axis.
+  /// --checkpoints, --spacing, --eps, --delta, --family, --protocols,
+  /// --miners, --whales, --a, --w, --v, --shards, --withhold, --stakes,
+  /// --gamma, --delay, --population, --final_lambdas, --stepping.
+  /// List-valued flags take comma-separated values and replace the whole
+  /// axis.
   void ApplyOverrides(const FlagSet& flags);
 
   /// Flag names ApplyOverrides understands (for FlagSet::RejectUnknown).

@@ -53,7 +53,7 @@ namespace fairchain::store {
 /// Bump on ANY change to the entry layout, the result codec, or the
 /// simulation semantics that existing keys cannot capture.  Part of the
 /// code-version stamp, so a bump invalidates every cached cell at once.
-inline constexpr int kStoreSchemaRevision = 1;
+inline constexpr int kStoreSchemaRevision = 2;
 
 /// The stamp written into (and checked against) every entry:
 /// "<library version>+schema<revision>".

@@ -128,6 +128,9 @@ std::string EncodeSimulationResult(const core::SimulationResult& result) {
     PutDouble(out, stats.hhi);
     PutDouble(out, stats.nakamoto);
     PutDouble(out, stats.top_decile_share);
+    PutDouble(out, stats.orphan_rate);
+    PutDouble(out, stats.reorg_depth_mean);
+    PutDouble(out, stats.reorg_depth_max);
   }
   PutU64(out, result.final_lambdas.size());
   for (const double lambda : result.final_lambdas) PutDouble(out, lambda);
@@ -169,6 +172,9 @@ core::SimulationResult DecodeSimulationResult(std::string_view bytes) {
     stats.hhi = reader.Double();
     stats.nakamoto = reader.Double();
     stats.top_decile_share = reader.Double();
+    stats.orphan_rate = reader.Double();
+    stats.reorg_depth_mean = reader.Double();
+    stats.reorg_depth_max = reader.Double();
     return stats;
   });
   result.final_lambdas =

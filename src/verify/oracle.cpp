@@ -5,6 +5,7 @@
 
 #include "core/bounds.hpp"
 #include "core/polya.hpp"
+#include "core/selfish_mining.hpp"
 #include "math/special.hpp"
 
 namespace fairchain::verify {
@@ -50,7 +51,10 @@ std::size_t OraclePrediction::StochasticComparisons() const {
   if (deterministic_lambda) return 0;
   std::size_t count = 0;
   if (mean) ++count;
-  if (mean_upper || mean_lower) ++count;
+  // One one-sided drift test per claimed side (a two-sided band claims
+  // both and contributes two comparisons).
+  if (mean_upper) ++count;
+  if (mean_lower) ++count;
   if (variance) ++count;
   if (!pmf.empty()) ++count;
   if (unfair_probability) ++count;
@@ -235,6 +239,100 @@ OraclePrediction DeterministicShareOracle::Predict(
 }
 
 // ---------------------------------------------------------------------------
+// SelfishMiningRevenueOracle (Eyal & Sirer 2014, chain family)
+// ---------------------------------------------------------------------------
+
+bool SelfishMiningRevenueOracle::AppliesTo(
+    const sim::CampaignCell& cell) const {
+  // The closed form only exists on (0, 0.5] (see SelfishMiningRevenue's
+  // domain note); majority-pool cells run unverified by this oracle.
+  return cell.chain_dynamics && cell.protocol == "selfish" && cell.a <= 0.5;
+}
+
+OraclePrediction SelfishMiningRevenueOracle::Predict(
+    const sim::CampaignCell& cell, const core::FairnessSpec& fairness,
+    std::uint64_t steps) const {
+  (void)fairness;
+  const double revenue = core::SelfishMiningRevenue(cell.a, cell.gamma);
+  OraclePrediction prediction;
+  // Finite-horizon band: the stationary revenue R plus/minus the
+  // end-of-horizon settle bias.  One withholding cycle moves at most a few
+  // blocks between the numerator and denominator, so the bias is O(1/n);
+  // 6/n is a comfortably conservative cap (cross-validated by
+  // tests/chain/selfish_cross_validation_test.cpp).
+  const double slack = 6.0 / static_cast<double>(steps);
+  prediction.mean_lower = revenue - slack;
+  prediction.mean_upper = revenue + slack;
+  return prediction;
+}
+
+// ---------------------------------------------------------------------------
+// ForkRaceOracle (renewal closed forms, chain family)
+// ---------------------------------------------------------------------------
+
+bool ForkRaceOracle::AppliesTo(const sim::CampaignCell& cell) const {
+  return cell.chain_dynamics && cell.protocol == "forkrace";
+}
+
+OraclePrediction ForkRaceOracle::Predict(const sim::CampaignCell& cell,
+                                         const core::FairnessSpec& fairness,
+                                         std::uint64_t steps) const {
+  const double a = cell.a;
+  const double n = static_cast<double>(steps);
+  OraclePrediction prediction;
+  if (cell.delay == 0.0) {
+    // No propagation window — no forks ever: every event is an iid
+    // Bernoulli(a) discovery that commits, so K ~ Binomial(n, a) EXACTLY
+    // and the chain observables are identically zero.
+    prediction.mean = a;
+    prediction.variance = a * (1.0 - a) / n;
+    prediction.pmf.resize(static_cast<std::size_t>(steps) + 1);
+    for (std::uint64_t k = 0; k <= steps; ++k) {
+      prediction.pmf[static_cast<std::size_t>(k)] =
+          math::BinomialPmf(steps, k, a);
+    }
+    ExactUnfairFromPmf(prediction.pmf, steps, a, fairness, prediction);
+    prediction.unfair_upper_bound =
+        core::PowUnfairUpperBound(steps, a, fairness.epsilon);
+    prediction.orphan_rate_expected = 0.0;
+    prediction.orphan_rate_tolerance = 1e-12;
+    prediction.reorg_depth_expected = 0.0;
+    prediction.reorg_depth_tolerance = 1e-12;
+    return prediction;
+  }
+  // delay > 0.  Race resolution favours the majority side (the minority's
+  // extension is contested more often AND it wins the uncontested round
+  // less often), so E[λ] sits on the majority's side of a; exactly 1/2 at
+  // a = 1/2 by exchangeability.  The small slack absorbs the open-race
+  // attribution at the horizon.
+  const double slack = 3.0 / n;
+  if (std::fabs(a - 0.5) < 1e-12) {
+    prediction.mean = 0.5;
+  } else if (a < 0.5) {
+    prediction.mean_upper = a + slack;
+  } else {
+    prediction.mean_lower = a - slack;
+  }
+  // Renewal closed forms: a fork opens after a synced discovery with
+  // probability rho, races last Geometric(1 - rho) rounds, the loser
+  // orphans whole — orphans/events -> rho/(1+rho), mean reorg depth
+  // -> 1/(1-rho).
+  const double rho = a * (-std::expm1(-(1.0 - a) * cell.delay)) +
+                     (1.0 - a) * (-std::expm1(-a * cell.delay));
+  prediction.orphan_rate_expected = rho / (1.0 + rho);
+  prediction.orphan_rate_tolerance = std::max(0.02, 8.0 / n);
+  // The per-replication reorg-depth mean is a ratio estimator; only claim
+  // it when enough races resolve per replication for the bias to vanish
+  // inside the tolerance.
+  const double expected_reorgs = n * rho * (1.0 - rho) / (1.0 + rho);
+  if (expected_reorgs >= 30.0) {
+    prediction.reorg_depth_expected = 1.0 / (1.0 - rho);
+    prediction.reorg_depth_tolerance = 0.15;
+  }
+  return prediction;
+}
+
+// ---------------------------------------------------------------------------
 // Catalogue
 // ---------------------------------------------------------------------------
 
@@ -244,8 +342,10 @@ const std::vector<const Oracle*>& DefaultOracles() {
   static const PolyaBetaLimitOracle polya;
   static const CPosMartingaleOracle cpos;
   static const SlPosDriftOracle slpos;
+  static const SelfishMiningRevenueOracle selfish;
+  static const ForkRaceOracle forkrace;
   static const std::vector<const Oracle*> oracles = {
-      &deterministic, &binomial, &polya, &cpos, &slpos};
+      &deterministic, &binomial, &polya, &cpos, &slpos, &selfish, &forkrace};
   return oracles;
 }
 

@@ -68,6 +68,17 @@ struct OraclePrediction {
   /// that tends to MlPosLimitNormalisedVariance(w).
   std::optional<double> unfair_upper_bound;
 
+  /// Chain-dynamics claims (fork-aware cells only): the expected
+  /// final-checkpoint orphan rate and mean reorg depth, each checked as a
+  /// structural tolerance comparison against the cell's reduced chain
+  /// observables (absolute tolerance; finite-horizon/ratio-estimator bias
+  /// dominates sampling error at campaign scale, so no p-value is run and
+  /// neither claim joins the Bonferroni denominator).
+  std::optional<double> orphan_rate_expected;
+  double orphan_rate_tolerance = 0.0;
+  std::optional<double> reorg_depth_expected;
+  double reorg_depth_tolerance = 0.0;
+
   /// Number of p-value-producing checks the judge will run for this
   /// prediction — the cell's contribution to the Bonferroni denominator.
   /// Deterministic and structural checks cannot false-alarm and do not
@@ -153,6 +164,39 @@ class SlPosDriftOracle : public Oracle {
 class DeterministicShareOracle : public Oracle {
  public:
   std::string name() const override { return "deterministic-share"; }
+  bool AppliesTo(const sim::CampaignCell& cell) const override;
+  OraclePrediction Predict(const sim::CampaignCell& cell,
+                           const core::FairnessSpec& fairness,
+                           std::uint64_t steps) const override;
+};
+
+/// Chain-dynamics "selfish" cells with alpha <= 0.5: the Eyal–Sirer
+/// closed-form revenue share R(alpha, gamma) pins E[λ] of the selfish
+/// kernel inside a ±O(1/n) finite-horizon band (mean_lower AND mean_upper,
+/// one one-sided drift check per side).  The band, not an exact mean
+/// claim, because R is the stationary revenue while the simulated horizon
+/// is finite: the end-of-horizon lead settle biases λ by at most a few
+/// blocks, i.e. O(1/n) on the λ scale.
+class SelfishMiningRevenueOracle : public Oracle {
+ public:
+  std::string name() const override { return "selfish-revenue"; }
+  bool AppliesTo(const sim::CampaignCell& cell) const override;
+  OraclePrediction Predict(const sim::CampaignCell& cell,
+                           const core::FairnessSpec& fairness,
+                           std::uint64_t steps) const override;
+};
+
+/// Chain-dynamics "forkrace" cells.  At delay = 0 the model collapses to
+/// iid proportional discovery, so K ~ Binomial(n, a) EXACTLY — the full
+/// binomial battery (pmf, moments, exact unfair probability, Hoeffding
+/// bound) plus exact zero-orphan claims.  For delay > 0: race resolution
+/// favours the majority side, pinning the side of a that E[λ] lies on
+/// (exactly 1/2 at a = 1/2 by symmetry), and the renewal closed forms
+/// ρ = a(1-e^{-(1-a)d}) + (1-a)(1-e^{-ad}), orphan rate ρ/(1+ρ), reorg
+/// depth 1/(1-ρ) bound the chain observables within tolerance.
+class ForkRaceOracle : public Oracle {
+ public:
+  std::string name() const override { return "forkrace-renewal"; }
   bool AppliesTo(const sim::CampaignCell& cell) const override;
   OraclePrediction Predict(const sim::CampaignCell& cell,
                            const core::FairnessSpec& fairness,

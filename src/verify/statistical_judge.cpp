@@ -141,6 +141,25 @@ CellVerdict StatisticalJudge::Judge(
         problems << "unfair probability outside [0, 1]; ";
         break;
       }
+      // Chain observables: NaN (incentive cells) is fine; recorded values
+      // must satisfy the definitional ranges — an orphan rate is a
+      // fraction of block events, depths are non-negative, and a maximum
+      // dominates its mean.
+      if (!std::isnan(stats.orphan_rate)) {
+        if (stats.orphan_rate < 0.0 || stats.orphan_rate > 1.0) {
+          problems << "orphan rate " << Num(stats.orphan_rate)
+                   << " outside [0, 1] at step " << stats.step << "; ";
+          break;
+        }
+        if (stats.reorg_depth_mean < 0.0 ||
+            stats.reorg_depth_max < stats.reorg_depth_mean - 1e-12) {
+          problems << "reorg depths inconsistent (mean "
+                   << Num(stats.reorg_depth_mean) << ", max "
+                   << Num(stats.reorg_depth_max) << ") at step "
+                   << stats.step << "; ";
+          break;
+        }
+      }
       // Population concentration metrics: NaN (disabled) is fine; recorded
       // values must satisfy the definitional ranges — Gini in [0, 1), HHI
       // in [1/m, 1], Nakamoto in [1, m], and the top decile's share at
@@ -218,31 +237,32 @@ CellVerdict StatisticalJudge::Judge(
     }
   }
 
-  // --- one-sided drift ----------------------------------------------------
+  // --- one-sided drift (one check per claimed side; a band claims both) ---
   if ((prediction.mean_upper || prediction.mean_lower) &&
       final_stats != nullptr && !lambdas.empty()) {
-    const bool upper = prediction.mean_upper.has_value();
-    const double bound =
-        upper ? *prediction.mean_upper : *prediction.mean_lower;
-    const double se = final_stats->std_dev / std::sqrt(replications);
-    // Signed excess beyond the claimed side; positive = violating.
-    const double excess = upper ? final_stats->mean - bound
-                                : bound - final_stats->mean;
-    if (se == 0.0) {
-      verdict.checks.push_back(
-          excess <= config_.deterministic_tolerance
-              ? StructuralPass("mean-drift", excess)
-              : StructuralFail("mean-drift", excess,
-                               "zero-variance mean on wrong side of " +
-                                   Num(bound)));
-    } else {
-      const double z = excess / se;
-      const double p = std::clamp(1.0 - math::NormalCdf(z), 0.0, 1.0);
-      statistical("mean-drift", z, p,
-                  "mean " + Num(final_stats->mean) + " must lie " +
-                      (upper ? "below " : "above ") + Num(bound) +
-                      ", one-sided z=" + Num(z));
-    }
+    const auto drift = [&](double bound, bool upper) {
+      const double se = final_stats->std_dev / std::sqrt(replications);
+      // Signed excess beyond the claimed side; positive = violating.
+      const double excess = upper ? final_stats->mean - bound
+                                  : bound - final_stats->mean;
+      if (se == 0.0) {
+        verdict.checks.push_back(
+            excess <= config_.deterministic_tolerance
+                ? StructuralPass("mean-drift", excess)
+                : StructuralFail("mean-drift", excess,
+                                 "zero-variance mean on wrong side of " +
+                                     Num(bound)));
+      } else {
+        const double z = excess / se;
+        const double p = std::clamp(1.0 - math::NormalCdf(z), 0.0, 1.0);
+        statistical("mean-drift", z, p,
+                    "mean " + Num(final_stats->mean) + " must lie " +
+                        (upper ? "below " : "above ") + Num(bound) +
+                        ", one-sided z=" + Num(z));
+      }
+    };
+    if (prediction.mean_upper) drift(*prediction.mean_upper, true);
+    if (prediction.mean_lower) drift(*prediction.mean_lower, false);
   }
 
   // --- variance (equitability) -------------------------------------------
@@ -358,6 +378,41 @@ CellVerdict StatisticalJudge::Judge(
                     "observed unfair proportion " + Num(proportion) +
                         " exceeds analytic bound " + Num(bound));
       }
+    }
+  }
+
+  // --- chain observables: structural tolerance comparisons ----------------
+  if (final_stats != nullptr) {
+    const auto tolerance_check = [&](const std::string& check,
+                                     double observed, double expected,
+                                     double tolerance) {
+      if (std::isnan(observed)) {
+        verdict.checks.push_back(StructuralFail(
+            check, 0.0,
+            "oracle claims a chain observable but the cell recorded none "
+            "(expected " +
+                Num(expected) + ") — oracle misapplied"));
+        return;
+      }
+      const double error = std::fabs(observed - expected);
+      verdict.checks.push_back(
+          error <= tolerance
+              ? StructuralPass(check, error)
+              : StructuralFail(check, error,
+                               "observed " + Num(observed) + " vs expected " +
+                                   Num(expected) + ", |error| = " +
+                                   Num(error) + " exceeds tolerance " +
+                                   Num(tolerance)));
+    };
+    if (prediction.orphan_rate_expected) {
+      tolerance_check("orphan-rate", final_stats->orphan_rate,
+                      *prediction.orphan_rate_expected,
+                      prediction.orphan_rate_tolerance);
+    }
+    if (prediction.reorg_depth_expected) {
+      tolerance_check("reorg-depth", final_stats->reorg_depth_mean,
+                      *prediction.reorg_depth_expected,
+                      prediction.reorg_depth_tolerance);
     }
   }
 

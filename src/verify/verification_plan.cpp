@@ -1,5 +1,8 @@
 #include "verify/verification_plan.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <map>
 #include <utility>
 
 #include "sim/scenario_registry.hpp"
@@ -76,10 +79,65 @@ VerificationReport VerifyCampaign(
     sink->BeginVerification(plan.spec());
   }
 
+  // Cross-cell physics the per-cell judge cannot see: within a group of
+  // forkrace cells that differ only in propagation delay, the
+  // final-checkpoint orphan rate must be non-decreasing in delay (a wider
+  // window can only contest more blocks).  Each adjacent-pair comparison
+  // is attached to the higher-delay cell's verdict as a structural check.
+  std::map<std::size_t, std::vector<CheckResult>> cross_checks;
+  {
+    // (a, gamma) -> cell indices of forkrace cells, later sorted by delay.
+    std::map<std::pair<double, double>, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const sim::CampaignCell& cell = plan.cells()[i].cell;
+      if (cell.chain_dynamics && cell.protocol == "forkrace" &&
+          !outcomes[i].result.checkpoints.empty()) {
+        groups[{cell.a, cell.gamma}].push_back(i);
+      }
+    }
+    // Sampling slack: the compared values are means over replications, so
+    // their noise is far below this at any campaign scale worth verifying.
+    constexpr double kMonotoneSlack = 0.01;
+    for (auto& [key, members] : groups) {
+      if (members.size() < 2) continue;
+      std::sort(members.begin(), members.end(),
+                [&](std::size_t lhs, std::size_t rhs) {
+                  return plan.cells()[lhs].cell.delay <
+                         plan.cells()[rhs].cell.delay;
+                });
+      for (std::size_t j = 1; j < members.size(); ++j) {
+        const std::size_t prev = members[j - 1];
+        const std::size_t next = members[j];
+        const double low =
+            outcomes[prev].result.checkpoints.back().orphan_rate;
+        const double high =
+            outcomes[next].result.checkpoints.back().orphan_rate;
+        CheckResult check;
+        check.check = "orphan-monotone-delay";
+        check.statistic = high - low;
+        check.passed = !(high < low - kMonotoneSlack);
+        if (!check.passed) {
+          check.detail =
+              "orphan rate " + sim::FormatDouble(high) + " at delay " +
+              sim::FormatDouble(plan.cells()[next].cell.delay) +
+              " fell below " + sim::FormatDouble(low) + " at delay " +
+              sim::FormatDouble(plan.cells()[prev].cell.delay);
+        }
+        cross_checks[next].push_back(std::move(check));
+      }
+    }
+  }
+
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const PlannedCell& planned = plan.cells()[i];
     CellVerdict verdict =
         judge.Judge(planned.cell, planned.prediction, outcomes[i].result);
+    if (const auto extra = cross_checks.find(i); extra != cross_checks.end()) {
+      for (CheckResult& check : extra->second) {
+        if (!check.passed) verdict.passed = false;
+        verdict.checks.push_back(std::move(check));
+      }
+    }
     for (const CheckResult& check : verdict.checks) {
       VerdictRow row;
       row.scenario = plan.spec().name;

@@ -2,6 +2,8 @@
 
 #include "core/selfish_mining.hpp"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "support/rng.hpp"
@@ -14,6 +16,28 @@ TEST(SelfishRevenueTest, Validation) {
   EXPECT_THROW(SelfishMiningRevenue(0.6, 0.5), std::invalid_argument);
   EXPECT_THROW(SelfishMiningRevenue(0.3, -0.1), std::invalid_argument);
   EXPECT_THROW(SelfishMiningRevenue(0.3, 1.1), std::invalid_argument);
+}
+
+TEST(SelfishRevenueTest, RejectsNaNParameters) {
+  // Negated-comparison validation: NaN must fail every range check
+  // instead of flowing into the closed form (or the state machine) and
+  // poisoning downstream oracle bands.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(SelfishMiningRevenue(nan, 0.5), std::invalid_argument);
+  EXPECT_THROW(SelfishMiningRevenue(0.3, nan), std::invalid_argument);
+  EXPECT_THROW(SelfishMiningThreshold(nan), std::invalid_argument);
+  EXPECT_THROW(SelfishMiningSimulator(nan, 0.5), std::invalid_argument);
+  EXPECT_THROW(SelfishMiningSimulator(0.3, nan), std::invalid_argument);
+}
+
+TEST(SelfishRevenueTest, MajorityPoolThrowsWhileSimulatorRuns) {
+  // The documented domain split: the formula refuses alpha > 0.5 (the
+  // stationary revenue diverges), the simulator stays defined there.
+  EXPECT_THROW(SelfishMiningRevenue(0.51, 0.0), std::invalid_argument);
+  SelfishMiningSimulator simulator(0.6, 0.0);
+  RngStream rng(77);
+  const SelfishMiningResult result = simulator.Run(rng, 200000);
+  EXPECT_GT(result.RevenueShare(), 0.6);
 }
 
 TEST(SelfishRevenueTest, EqualsAlphaAtThreshold) {

@@ -46,17 +46,24 @@ CampaignRow SampleRow() {
   row.hhi = 0.3;
   row.nakamoto = 2;
   row.top_decile_share = 0.6;
+  row.gamma = 0.5;
+  row.delay = 0.2;
+  row.orphan_rate = 0.03;
+  row.reorg_depth_mean = 1.5;
+  row.reorg_depth_max = 4.0;
   return row;
 }
 
 TEST(ResultSinkTest, CsvHeaderSchemaIsStable) {
   // Pinned on purpose: downstream plotting scripts key on these columns.
-  // New columns may only be appended (stake_dist..top_decile_share were).
+  // New columns may only be appended (stake_dist..top_decile_share were,
+  // then the chain-dynamics gamma..reorg_depth_max block).
   EXPECT_EQ(CsvSink::Header(),
             "scenario,cell,protocol,miners,whales,a,w,v,shards,withhold,"
             "steps,replications,cell_seed,checkpoint,step,mean,std_dev,p05,"
             "p25,median,p75,p95,min,max,unfair_probability,convergence_step,"
-            "stake_dist,gini,hhi,nakamoto,top_decile_share");
+            "stake_dist,gini,hhi,nakamoto,top_decile_share,gamma,delay,"
+            "orphan_rate,reorg_depth_mean,reorg_depth_max");
 }
 
 TEST(ResultSinkTest, CsvRowMatchesSchema) {
@@ -74,7 +81,7 @@ TEST(ResultSinkTest, CsvRowMatchesSchema) {
   EXPECT_EQ(row,
             "demo,3,cpos,5,2,0.25,0.01,0.1,32,1000,5000,100,42,7,800,0.2,"
             "0.015,0.17,0.19,0.2,0.21,0.23,0.1,0.3,0.05,400,pareto:1.16,"
-            "0.42,0.3,2,0.6");
+            "0.42,0.3,2,0.6,0.5,0.2,0.03,1.5,4");
 }
 
 TEST(ResultSinkTest, CsvNeverConvergedRendersAsNever) {
@@ -108,6 +115,33 @@ TEST(ResultSinkTest, DisabledPopulationMetricsRenderAsNanAndNull) {
     sink.WriteRow(row);
     EXPECT_NE(out.str().find("\"gini\":null"), std::string::npos);
     EXPECT_NE(out.str().find("\"top_decile_share\":null"), std::string::npos);
+  }
+}
+
+TEST(ResultSinkTest, IncentiveRowsRenderChainObservablesAsNanAndNull) {
+  // Incentive-family cells never produce fork physics, so a
+  // default-constructed row's orphan/reorg columns must read as "no data"
+  // (nan in CSV, null in JSONL), while the gamma/delay axes keep their 0.0
+  // defaults.
+  CampaignRow row = SampleRow();
+  row.gamma = 0.0;
+  row.delay = 0.0;
+  row.orphan_rate = std::numeric_limits<double>::quiet_NaN();
+  row.reorg_depth_mean = std::numeric_limits<double>::quiet_NaN();
+  row.reorg_depth_max = std::numeric_limits<double>::quiet_NaN();
+  {
+    std::ostringstream out;
+    CsvSink sink(out);
+    sink.WriteRow(row);
+    EXPECT_NE(out.str().find(",0.6,0,0,nan,nan,nan"), std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    JsonlSink sink(out);
+    sink.WriteRow(row);
+    EXPECT_NE(out.str().find("\"orphan_rate\":null"), std::string::npos);
+    EXPECT_NE(out.str().find("\"reorg_depth_mean\":null"), std::string::npos);
+    EXPECT_NE(out.str().find("\"reorg_depth_max\":null"), std::string::npos);
   }
 }
 

@@ -49,6 +49,45 @@ TEST(ScenarioRegistryTest, Table1GridMatchesThePaper) {
             (std::vector<std::size_t>{2, 3, 4, 5, 10}));
 }
 
+TEST(ScenarioRegistryTest, ChainDynamicsScenariosRegistered) {
+  const ScenarioRegistry& registry = ScenarioRegistry::BuiltIn();
+  for (const char* name : {"selfish-grid", "propagation-delay-sweep",
+                           "orphan-hashrate-sweep"}) {
+    ASSERT_TRUE(registry.Contains(name)) << name;
+    const ScenarioSpec& spec = registry.Get(name);
+    EXPECT_EQ(spec.family, ScenarioFamily::kChain) << name;
+    for (const CampaignCell& cell : spec.ExpandCells()) {
+      EXPECT_TRUE(cell.chain_dynamics) << name;
+    }
+  }
+  // The grids advertised in the descriptions.
+  EXPECT_EQ(registry.Get("selfish-grid").CellCount(), 9u);
+  EXPECT_EQ(registry.Get("propagation-delay-sweep").CellCount(), 5u);
+  EXPECT_EQ(registry.Get("orphan-hashrate-sweep").CellCount(), 6u);
+}
+
+TEST(ScenarioRegistryTest, UnknownNameSuggestsClosestScenario) {
+  try {
+    ScenarioRegistry::BuiltIn().Get("selfish-gird");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("did you mean 'selfish-grid'"), std::string::npos)
+        << what;
+  }
+  try {
+    ScenarioRegistry::BuiltIn().Get("propagation");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    // Too many edits for the distance rule; the shared prefix still
+    // resolves a suggestion.
+    EXPECT_NE(std::string(error.what())
+                  .find("did you mean 'propagation-delay-sweep'"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(ScenarioRegistryTest, UnknownNameThrowsWithKnownNames) {
   try {
     ScenarioRegistry::BuiltIn().Get("nosuch");

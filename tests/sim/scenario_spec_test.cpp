@@ -401,5 +401,98 @@ TEST(ScenarioSpecTest, OverridesMayRepeatKeysParsedFromText) {
   EXPECT_EQ(spec.replications, 250u);
 }
 
+// --- chain-dynamics family ---------------------------------------------------
+
+TEST(ScenarioSpecTest, ChainFamilyParsesExpandsAndRoundTrips) {
+  ScenarioSpec spec = ScenarioSpec::FromText(
+      "name=chain-grid\n"
+      "description=chain family round trip\n"
+      "family=chain\n"
+      "protocols=selfish,forkrace\n"
+      "a=0.3,0.45\n"
+      "gamma=0,0.5\n"
+      "delay=0,0.25\n"
+      "steps=100\n"
+      "reps=10\n");
+  EXPECT_EQ(spec.family, ScenarioFamily::kChain);
+  EXPECT_EQ(spec.CellCount(), 2u * 2u * 2u * 2u);
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 16u);
+  for (const CampaignCell& cell : cells) {
+    EXPECT_TRUE(cell.chain_dynamics);
+    EXPECT_EQ(cell.miners, 2u);
+  }
+  // delay is the fastest-varying axis, gamma the next.
+  EXPECT_EQ(cells[0].delay, 0.0);
+  EXPECT_EQ(cells[1].delay, 0.25);
+  EXPECT_EQ(cells[0].gamma, 0.0);
+  EXPECT_EQ(cells[2].gamma, 0.5);
+  EXPECT_EQ(cells[0].protocol, "selfish");
+  EXPECT_EQ(cells[8].protocol, "forkrace");
+
+  const ScenarioSpec parsed = ScenarioSpec::FromText(spec.ToText());
+  EXPECT_EQ(parsed.family, ScenarioFamily::kChain);
+  EXPECT_EQ(parsed.gammas, spec.gammas);
+  EXPECT_EQ(parsed.delays, spec.delays);
+  EXPECT_EQ(parsed.CellCount(), spec.CellCount());
+}
+
+TEST(ScenarioSpecTest, IncentiveToTextOmitsChainKeys) {
+  // The incentive family's serialised form must stay byte-compatible with
+  // pre-chain readers: no family/gamma/delay lines appear.
+  const ScenarioSpec spec;
+  const std::string text = spec.ToText();
+  EXPECT_EQ(text.find("family="), std::string::npos);
+  EXPECT_EQ(text.find("gamma="), std::string::npos);
+  EXPECT_EQ(text.find("delay="), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, ChainFamilyValidationConstraints) {
+  auto chain = [](const std::string& extra) {
+    return "name=c\ndescription=d\nfamily=chain\nprotocols=selfish\n" +
+           extra;
+  };
+  // Unknown dynamics name.
+  EXPECT_THROW(ScenarioSpec::FromText(
+                   "name=c\ndescription=d\nfamily=chain\nprotocols=pow\n")
+                   .Validate(),
+               std::invalid_argument);
+  // Chain cells are strictly two-group games.
+  EXPECT_THROW(ScenarioSpec::FromText(chain("miners=5\n")).Validate(),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromText(chain("withhold=100\n")).Validate(),
+               std::invalid_argument);
+  // Gamma out of range / delay negative.
+  EXPECT_THROW(ScenarioSpec::FromText(chain("gamma=1.5\n")).Validate(),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromText(chain("delay=-0.5\n")).Validate(),
+               std::invalid_argument);
+  // The chain axes are meaningless for the incentive family and must be
+  // rejected loudly rather than silently ignored.
+  EXPECT_THROW(ScenarioSpec::FromText(
+                   "name=c\ndescription=d\nprotocols=pow\ngamma=0.5\n")
+                   .Validate(),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromText(
+                   "name=c\ndescription=d\nprotocols=pow\ndelay=0.1\n")
+                   .Validate(),
+               std::invalid_argument);
+  // A well-formed chain grid validates.
+  EXPECT_NO_THROW(
+      ScenarioSpec::FromText(chain("gamma=0,1\ndelay=0\n")).Validate());
+}
+
+TEST(ScenarioSpecTest, ChainCellLabelNamesDynamicsAndAxes) {
+  ScenarioSpec spec = ScenarioSpec::FromText(
+      "name=c\ndescription=d\nfamily=chain\nprotocols=forkrace\n"
+      "a=0.3\ngamma=0.5\ndelay=0.2\n");
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 1u);
+  const std::string label = cells[0].Label();
+  EXPECT_NE(label.find("forkrace"), std::string::npos) << label;
+  EXPECT_NE(label.find("gamma"), std::string::npos) << label;
+  EXPECT_NE(label.find("delay"), std::string::npos) << label;
+}
+
 }  // namespace
 }  // namespace fairchain::sim

@@ -1,0 +1,133 @@
+// End-to-end verification of chain-dynamics campaigns: the real oracle
+// catalogue must accept an Eyal–Sirer grid and a fork-race sweep, the
+// cross-cell orphan-monotonicity check must ride along, and — the
+// negative control — an intentionally wrong oracle (one that claims the
+// honest E[λ] = α for a selfish pool) must FAIL, proving the judge has
+// the statistical power to catch a broken closed form at this scale.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/selfish_mining.hpp"
+#include "sim/scenario_spec.hpp"
+#include "verify/oracle.hpp"
+#include "verify/verification_plan.hpp"
+
+namespace fairchain::verify {
+namespace {
+
+sim::ScenarioSpec SelfishSpec() {
+  // alpha = 0.4, gamma = 0.9 sits far above the profitability threshold:
+  // R ≈ 0.56, a full 0.16 above the honest share — an effect size no
+  // judge should miss at 600 replications.
+  return sim::ScenarioSpec::FromText(
+      "name=selfish-check\n"
+      "description=selfish grid for verification\n"
+      "family=chain\n"
+      "protocols=selfish\n"
+      "a=0.4\n"
+      "gamma=0.9\n"
+      "steps=2000\n"
+      "reps=600\n"
+      "seed=20210620\n"
+      "checkpoints=4\n");
+}
+
+sim::ScenarioSpec ForkRaceSpec() {
+  return sim::ScenarioSpec::FromText(
+      "name=forkrace-check\n"
+      "description=fork race sweep for verification\n"
+      "family=chain\n"
+      "protocols=forkrace\n"
+      "a=0.3\n"
+      "delay=0,0.1,0.3\n"
+      "steps=2000\n"
+      "reps=600\n"
+      "seed=20210620\n"
+      "checkpoints=4\n");
+}
+
+TEST(ChainVerificationTest, SelfishGridPassesAgainstClosedForm) {
+  const VerificationPlan plan(SelfishSpec());
+  ASSERT_EQ(plan.cells().size(), 1u);
+  EXPECT_EQ(plan.OracleCoverage(), 1u);
+  EXPECT_EQ(plan.cells()[0].prediction.oracle, "selfish-revenue");
+  const VerificationReport report =
+      VerifyCampaign(plan, VerificationOptions{}, {});
+  EXPECT_TRUE(report.passed) << "failures: " << report.failures;
+}
+
+TEST(ChainVerificationTest, ForkRaceSweepPassesWithMonotonicityChecks) {
+  const VerificationPlan plan(ForkRaceSpec());
+  ASSERT_EQ(plan.cells().size(), 3u);
+  EXPECT_EQ(plan.OracleCoverage(), 3u);
+  const VerificationReport report =
+      VerifyCampaign(plan, VerificationOptions{}, {});
+  EXPECT_TRUE(report.passed) << "failures: " << report.failures;
+  // The cross-cell check attaches to the two higher-delay cells.
+  std::size_t monotone_checks = 0;
+  for (const CellVerdict& verdict : report.verdicts) {
+    for (const CheckResult& check : verdict.checks) {
+      if (check.check == "orphan-monotone-delay") {
+        ++monotone_checks;
+        EXPECT_TRUE(check.passed) << check.detail;
+        EXPECT_GE(check.statistic, -0.01);
+      }
+    }
+  }
+  EXPECT_EQ(monotone_checks, 2u);
+  // The delayed cells carry structural orphan-rate checks against the
+  // renewal form.
+  bool saw_orphan_check = false;
+  for (const CellVerdict& verdict : report.verdicts) {
+    for (const CheckResult& check : verdict.checks) {
+      if (check.check == "orphan-rate") saw_orphan_check = true;
+    }
+  }
+  EXPECT_TRUE(saw_orphan_check);
+}
+
+// The negative control: an oracle that applies to selfish chain cells but
+// claims the HONEST expectation E[λ] = α.  At α = 0.4, γ = 0.9 the true
+// revenue is ≈ 0.56, so the verdict must reject — if it ever passes, the
+// verification stack has lost the power that makes its green runs
+// meaningful.
+class WrongSelfishOracle : public Oracle {
+ public:
+  std::string name() const override { return "wrong-selfish"; }
+  bool AppliesTo(const sim::CampaignCell& cell) const override {
+    return cell.chain_dynamics && cell.protocol == "selfish";
+  }
+  OraclePrediction Predict(const sim::CampaignCell& cell,
+                           const core::FairnessSpec& fairness,
+                           std::uint64_t steps) const override {
+    (void)fairness;
+    (void)steps;
+    OraclePrediction prediction;
+    prediction.mean = cell.a;
+    return prediction;
+  }
+};
+
+TEST(ChainVerificationTest, WrongOracleNegativeControlFails) {
+  static const WrongSelfishOracle wrong;
+  const std::vector<const Oracle*> catalogue = {&wrong};
+  const VerificationPlan plan(SelfishSpec(), &catalogue);
+  ASSERT_EQ(plan.OracleCoverage(), 1u);
+  EXPECT_EQ(plan.cells()[0].prediction.oracle, "wrong-selfish");
+  const VerificationReport report =
+      VerifyCampaign(plan, VerificationOptions{}, {});
+  EXPECT_FALSE(report.passed)
+      << "a closed form off by 0.16 in the mean must not verify";
+  EXPECT_GT(report.failures, 0u);
+}
+
+// Sanity of the control itself: the effect size really is what the
+// comment above claims, so the rejection is substance, not luck.
+TEST(ChainVerificationTest, NegativeControlEffectSizeIsLarge) {
+  EXPECT_GT(core::SelfishMiningRevenue(0.4, 0.9) - 0.4, 0.15);
+}
+
+}  // namespace
+}  // namespace fairchain::verify

@@ -11,6 +11,7 @@
 #include "core/bounds.hpp"
 #include "core/equitability.hpp"
 #include "core/polya.hpp"
+#include "core/selfish_mining.hpp"
 #include "math/special.hpp"
 
 namespace fairchain::verify {
@@ -231,6 +232,114 @@ TEST(DeterministicOracleTest, EosConstantRewardPullsTowardUniform) {
   EXPECT_GT(*whale.deterministic_lambda, 0.5);
 }
 
+sim::CampaignCell MakeChainCell(const std::string& dynamics, double a,
+                                double gamma = 0.0, double delay = 0.0) {
+  sim::CampaignCell cell = MakeCell(dynamics, a);
+  cell.chain_dynamics = true;
+  cell.gamma = gamma;
+  cell.delay = delay;
+  return cell;
+}
+
+TEST(SelfishRevenueOracleTest, AppliesOnlyToMinoritySelfishChainCells) {
+  const SelfishMiningRevenueOracle oracle;
+  EXPECT_TRUE(oracle.AppliesTo(MakeChainCell("selfish", 0.3, 0.5)));
+  EXPECT_TRUE(oracle.AppliesTo(MakeChainCell("selfish", 0.5, 0.0)));
+  EXPECT_FALSE(oracle.AppliesTo(MakeChainCell("selfish", 0.6, 0.5)))
+      << "the closed form has no value for a majority pool";
+  EXPECT_FALSE(oracle.AppliesTo(MakeChainCell("forkrace", 0.3)));
+  EXPECT_FALSE(oracle.AppliesTo(MakeCell("selfish", 0.3)))
+      << "an incentive cell that merely shares the name is not chain";
+}
+
+TEST(SelfishRevenueOracleTest, BandBracketsClosedFormRevenue) {
+  const SelfishMiningRevenueOracle oracle;
+  const core::FairnessSpec fairness{0.1, 0.1};
+  const std::uint64_t n = 4000;
+  const double revenue = core::SelfishMiningRevenue(0.4, 0.9);
+  const OraclePrediction prediction =
+      oracle.Predict(MakeChainCell("selfish", 0.4, 0.9), fairness, n);
+  ASSERT_TRUE(prediction.mean_lower.has_value());
+  ASSERT_TRUE(prediction.mean_upper.has_value());
+  EXPECT_NEAR(*prediction.mean_lower, revenue - 6.0 / 4000.0, 1e-12);
+  EXPECT_NEAR(*prediction.mean_upper, revenue + 6.0 / 4000.0, 1e-12);
+  EXPECT_FALSE(prediction.mean.has_value());
+  // One drift test per claimed side.
+  EXPECT_EQ(prediction.StochasticComparisons(), 2u);
+  // At alpha = 0.4, gamma = 0.9 the pool earns well above its hash share —
+  // the property the wrong-oracle negative control leans on.
+  EXPECT_GT(revenue, 0.5);
+}
+
+TEST(ForkRaceOracleTest, ZeroDelayIsTheFullBinomialBattery) {
+  const ForkRaceOracle oracle;
+  EXPECT_TRUE(oracle.AppliesTo(MakeChainCell("forkrace", 0.3)));
+  EXPECT_FALSE(oracle.AppliesTo(MakeCell("forkrace", 0.3)));
+  const core::FairnessSpec fairness{0.1, 0.1};
+  const std::uint64_t n = 200;
+  const OraclePrediction prediction =
+      oracle.Predict(MakeChainCell("forkrace", 0.2), fairness, n);
+  ASSERT_TRUE(prediction.mean.has_value());
+  EXPECT_DOUBLE_EQ(*prediction.mean, 0.2);
+  ASSERT_TRUE(prediction.variance.has_value());
+  EXPECT_NEAR(*prediction.variance, 0.2 * 0.8 / 200.0, 1e-15);
+  ASSERT_EQ(prediction.pmf.size(), n + 1);
+  EXPECT_NEAR(prediction.pmf[40], math::BinomialPmf(n, 40, 0.2), 1e-12);
+  ASSERT_TRUE(prediction.unfair_probability.has_value());
+  ASSERT_TRUE(prediction.unfair_upper_bound.has_value());
+  // Exact zero fork physics, checked at essentially zero tolerance.
+  ASSERT_TRUE(prediction.orphan_rate_expected.has_value());
+  EXPECT_DOUBLE_EQ(*prediction.orphan_rate_expected, 0.0);
+  EXPECT_LE(prediction.orphan_rate_tolerance, 1e-9);
+  ASSERT_TRUE(prediction.reorg_depth_expected.has_value());
+  EXPECT_DOUBLE_EQ(*prediction.reorg_depth_expected, 0.0);
+}
+
+TEST(ForkRaceOracleTest, DelayedRacesClaimRenewalForms) {
+  const ForkRaceOracle oracle;
+  const core::FairnessSpec fairness{0.1, 0.1};
+  const std::uint64_t n = 5000;
+  const double a = 0.3;
+  const double d = 0.2;
+  const OraclePrediction prediction =
+      oracle.Predict(MakeChainCell("forkrace", a, 0.0, d), fairness, n);
+  // Minority drift: only an upper mean claim.
+  ASSERT_TRUE(prediction.mean_upper.has_value());
+  EXPECT_NEAR(*prediction.mean_upper, a + 3.0 / 5000.0, 1e-12);
+  EXPECT_FALSE(prediction.mean_lower.has_value());
+  EXPECT_FALSE(prediction.mean.has_value());
+  EXPECT_TRUE(prediction.pmf.empty());
+  const double rho = a * (1.0 - std::exp(-(1.0 - a) * d)) +
+                     (1.0 - a) * (1.0 - std::exp(-a * d));
+  ASSERT_TRUE(prediction.orphan_rate_expected.has_value());
+  EXPECT_NEAR(*prediction.orphan_rate_expected, rho / (1.0 + rho), 1e-12);
+  ASSERT_TRUE(prediction.reorg_depth_expected.has_value());
+  EXPECT_NEAR(*prediction.reorg_depth_expected, 1.0 / (1.0 - rho), 1e-12);
+
+  // Majority cell: the claim flips to a lower bound.
+  const OraclePrediction majority =
+      oracle.Predict(MakeChainCell("forkrace", 0.7, 0.0, d), fairness, n);
+  ASSERT_TRUE(majority.mean_lower.has_value());
+  EXPECT_FALSE(majority.mean_upper.has_value());
+  // Symmetric cell: exact 1/2 by exchangeability.
+  const OraclePrediction symmetric =
+      oracle.Predict(MakeChainCell("forkrace", 0.5, 0.0, d), fairness, n);
+  ASSERT_TRUE(symmetric.mean.has_value());
+  EXPECT_DOUBLE_EQ(*symmetric.mean, 0.5);
+}
+
+TEST(ForkRaceOracleTest, ReorgDepthClaimGatedOnResolvedRaceCount) {
+  // At a short horizon too few races resolve for the ratio estimator to
+  // settle; the oracle must drop the reorg-depth claim rather than emit a
+  // check destined to false-alarm.
+  const ForkRaceOracle oracle;
+  const core::FairnessSpec fairness{0.1, 0.1};
+  const OraclePrediction shallow = oracle.Predict(
+      MakeChainCell("forkrace", 0.3, 0.0, 0.05), fairness, 240);
+  EXPECT_TRUE(shallow.orphan_rate_expected.has_value());
+  EXPECT_FALSE(shallow.reorg_depth_expected.has_value());
+}
+
 TEST(OraclePredictionTest, StochasticComparisonCounting) {
   OraclePrediction prediction;
   EXPECT_EQ(prediction.StochasticComparisons(), 0u);
@@ -278,6 +387,12 @@ TEST(DefaultOraclesTest, OrderedCatalogueResolvesEveryProtocolFamily) {
   EXPECT_EQ(match(degenerate), "polya-beta-limit");
   // Withheld ML-PoS has no exact oracle (sanity checks still run).
   EXPECT_EQ(match(MakeCell("mlpos", 0.2, 0.01, 2, 500)), "");
+  // Chain-dynamics cells resolve to the fork-aware oracles.
+  EXPECT_EQ(match(MakeChainCell("selfish", 0.3, 0.5)), "selfish-revenue");
+  EXPECT_EQ(match(MakeChainCell("forkrace", 0.3, 0.0, 0.2)),
+            "forkrace-renewal");
+  // Majority selfish pools run unverified (the closed form diverges).
+  EXPECT_EQ(match(MakeChainCell("selfish", 0.6, 0.5)), "");
 }
 
 }  // namespace

@@ -54,7 +54,13 @@ TEST(VerificationPlanTest, EveryBuiltInScenarioHasPinnedOracleCoverage) {
        {"table1", {16, 20}},     {"whale-sweep", {18, 24}},
        {"multi-whale", {6, 9}},  {"withhold-grid", {2, 10}},
        {"committee", {9, 9}},    {"pareto-population", {12, 12}},
-       {"large-population-sweep", {8, 8}}};
+       {"large-population-sweep", {8, 8}},
+       // Chain-dynamics family: every selfish cell sits at alpha <= 0.5
+       // (the closed form's domain) and every forkrace cell has a renewal
+       // form, so coverage is total.
+       {"selfish-grid", {9, 9}},
+       {"propagation-delay-sweep", {5, 5}},
+       {"orphan-hashrate-sweep", {6, 6}}};
   const sim::ScenarioRegistry& registry = sim::ScenarioRegistry::BuiltIn();
   ASSERT_EQ(registry.size(), expected.size());
   for (const std::string& name : registry.Names()) {

@@ -78,7 +78,10 @@ int Usage() {
       "            [--withhold ...] [--checkpoints N] [--spacing linear|log]\n"
       "            [--eps E] [--delta D] [--final_lambdas on|off]\n"
       "            [--stepping scalar|vectorized]\n"
-      "  scenarios [name]   list registered scenarios / describe one\n"
+      "            [--family incentive|chain] [--gamma 0,0.5,1] "
+      "[--delay 0,0.1]\n"
+      "  scenarios [name]   list registered scenarios grouped by family\n"
+      "            (paper / population / chain-dynamics) / describe one\n"
       "  verify    <name|spec-file>|--all  [--reps N] [--steps N] [--seed S]\n"
       "            [--threads T] [--backend serial|pool|shard:N] [--alpha A]\n"
       "            [--csv FILE] [--jsonl FILE] [--no-files]\n"
@@ -469,6 +472,16 @@ int RunVerify(const FlagSet& flags) {
   return total_failures == 0 ? 0 : 1;
 }
 
+// Display family for the scenarios listing.  Chain-dynamics scenarios
+// carry their family in the spec; within the incentive family, the paper's
+// own figures/tables (fig*, table1) are separated from the beyond-the-paper
+// population workloads.
+const char* ScenarioGroup(const sim::ScenarioSpec& spec) {
+  if (spec.family == sim::ScenarioFamily::kChain) return "chain-dynamics";
+  if (spec.name.rfind("fig", 0) == 0 || spec.name == "table1") return "paper";
+  return "population";
+}
+
 int RunScenarios(const FlagSet& flags) {
   flags.RejectUnknown({});
   const sim::ScenarioRegistry& registry = sim::ScenarioRegistry::BuiltIn();
@@ -479,24 +492,37 @@ int RunScenarios(const FlagSet& flags) {
                 spec.ToText().c_str());
     return 0;
   }
-  Table table({"name", "cells", "protocols", "steps", "reps", "description"});
-  table.SetTitle("Registered scenarios (run with: fairchain campaign <name>)");
-  for (const std::string& name : registry.Names()) {
-    const sim::ScenarioSpec& spec = registry.Get(name);
-    std::string protocols;
-    for (const std::string& protocol : spec.protocols) {
-      if (!protocols.empty()) protocols += ",";
-      protocols += protocol;
+  // One table per family so the listing reads as a catalogue: the paper's
+  // reproduction targets first, then the population workloads beyond the
+  // paper, then the fork-aware chain-dynamics campaigns.
+  for (const char* group : {"paper", "population", "chain-dynamics"}) {
+    Table table(
+        {"name", "cells", "protocols", "steps", "reps", "description"});
+    table.SetTitle(std::string(group) +
+                   " scenarios (run with: fairchain campaign <name>)");
+    bool any = false;
+    for (const std::string& name : registry.Names()) {
+      const sim::ScenarioSpec& spec = registry.Get(name);
+      if (std::string(ScenarioGroup(spec)) != group) continue;
+      any = true;
+      std::string protocols;
+      for (const std::string& protocol : spec.protocols) {
+        if (!protocols.empty()) protocols += ",";
+        protocols += protocol;
+      }
+      table.AddRow();
+      table.Cell(spec.name);
+      table.Cell(static_cast<std::uint64_t>(spec.CellCount()));
+      table.Cell(protocols);
+      table.Cell(spec.steps);
+      table.Cell(spec.replications);
+      table.Cell(spec.description);
     }
-    table.AddRow();
-    table.Cell(spec.name);
-    table.Cell(static_cast<std::uint64_t>(spec.CellCount()));
-    table.Cell(protocols);
-    table.Cell(spec.steps);
-    table.Cell(spec.replications);
-    table.Cell(spec.description);
+    if (any) {
+      table.Emit("cli_scenarios");
+      std::printf("\n");
+    }
   }
-  table.Emit("cli_scenarios");
   return 0;
 }
 
