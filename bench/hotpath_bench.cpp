@@ -64,6 +64,7 @@
 #include "protocol/pow.hpp"
 #include "protocol/sl_pos.hpp"
 #include "protocol/stake_state.hpp"
+#include "sim/scenario_registry.hpp"
 #include "sim/scenario_spec.hpp"
 #include "support/philox.hpp"
 #include "support/rng.hpp"
@@ -405,6 +406,61 @@ BENCHMARK(BM_ShardCampaign)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+#endif
+
+// --- cost-aware scheduling --------------------------------------------------
+
+// Wall-clock of the registry's hetero-cost-mix campaign (C-PoS + PoW +
+// selfish-chain — a ~30x per-step cost spread across three cells) under
+// the static planner versus the cost-aware scheduler, on the stealing
+// thread pool and the demand-driven shard backend.  The static arm is the
+// true coarse planner this PR replaced: one cell-granular chunk per cell
+// dispatched in grid order, so the whole campaign's tail is the most
+// expensive cell on one worker.  tools/compare_hotpath_bench.py derives
+// its --hetero-speedup floor from the static/cost ratio WITHIN one run
+// (machine speed cancels); the floor only arms on runners with >= 4 CPUs,
+// where the parallelism the scheduler unlocks is physically available.
+//
+// Args: (mode 0 = pool / 1 = shard, workers, policy 0 = static / 1 = cost).
+void BM_HeterogeneousCampaign(benchmark::State& bench_state) {
+  const bool shard_mode = bench_state.range(0) == 1;
+  const auto workers = static_cast<unsigned>(bench_state.range(1));
+  const bool cost_aware = bench_state.range(2) == 1;
+  const sim::ScenarioSpec& spec =
+      sim::ScenarioRegistry::BuiltIn().Get("hetero-cost-mix");
+  const core::ThreadPoolBackend pool(workers);
+  const core::ShardBackend sharded(workers);
+  sim::CampaignOptions options;
+  options.backend =
+      shard_mode ? static_cast<const core::ExecutionBackend*>(&sharded)
+                 : &pool;
+  if (cost_aware) {
+    options.schedule = sim::SchedulePolicy::kCostAware;
+  } else {
+    options.schedule = sim::SchedulePolicy::kStatic;
+    options.chunk_replications = spec.replications;
+  }
+  const sim::CampaignRunner runner(options);
+  for (auto _ : bench_state) {
+    const auto outcomes = runner.Run(spec, {});
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  const auto steps_per_iteration = static_cast<int64_t>(
+      static_cast<std::uint64_t>(spec.CellCount()) * spec.replications *
+      spec.steps);
+  bench_state.SetItemsProcessed(bench_state.iterations() *
+                                steps_per_iteration);
+}
+#ifndef _WIN32
+BENCHMARK(BM_HeterogeneousCampaign)
+    ->Args({0, 4, 0})  // pool/4, static planner
+    ->Args({0, 4, 1})  // pool/4, cost-aware
+    ->Args({1, 2, 0})  // shard:2, static
+    ->Args({1, 2, 1})  // shard:2, cost-aware
+    ->Args({1, 4, 0})  // shard:4, static
+    ->Args({1, 4, 1})  // shard:4, cost-aware
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 #endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "support/env.hpp"
 #include "support/thread_pool.hpp"
 
@@ -12,16 +13,20 @@ void SerialBackend::Execute(std::vector<std::function<void()>> jobs) const {
   for (auto& job : jobs) job();
 }
 
-ThreadPoolBackend::ThreadPoolBackend(unsigned threads)
-    : threads_(threads != 0 ? threads : EnvThreads()) {}
+ThreadPoolBackend::ThreadPoolBackend(unsigned threads, bool stealing)
+    : threads_(threads != 0 ? threads : EnvThreads()), stealing_(stealing) {}
 
 unsigned ThreadPoolBackend::Concurrency() const { return threads_; }
 
 void ThreadPoolBackend::Execute(
     std::vector<std::function<void()>> jobs) const {
-  ThreadPool pool(threads_);
-  pool.SubmitBatch(std::move(jobs));
-  pool.Wait();
+  const std::uint64_t steals =
+      RunStealingBatch(threads_, std::move(jobs), stealing_);
+  if (steals != 0) {
+    static auto& steal_count =
+        obs::MetricsRegistry::Global().GetCounter("campaign.steal_count");
+    steal_count.Add(steals);
+  }
 }
 
 ShardBackend::ShardBackend(unsigned shards) : shards_(shards) {

@@ -71,13 +71,21 @@ class SerialBackend final : public ExecutionBackend {
   void Execute(std::vector<std::function<void()>> jobs) const override;
 };
 
-/// Runs jobs across a fixed-size ThreadPool, dispatched as one batch
-/// (ThreadPool::SubmitBatch).  A fresh pool per Execute keeps the backend
-/// re-entrant and the workers' thread-local arenas scoped to one campaign.
+/// Runs jobs across a batch of worker threads with per-worker deques and
+/// work stealing (support::RunStealingBatch): job i is dealt onto deque
+/// i % threads, each worker drains its own deque front-to-back, and a
+/// worker whose deque runs dry steals from the back of the most loaded
+/// sibling — so a worker that finishes a cheap cell's chunks immediately
+/// picks up an expensive cell's remaining ones.  Successful steals are
+/// counted into the `campaign.steal_count` metric.  Fresh worker threads
+/// per Execute keep the backend re-entrant and the workers' thread-local
+/// arenas scoped to one campaign.
 class ThreadPoolBackend final : public ExecutionBackend {
  public:
-  /// `threads` = 0 means EnvThreads().
-  explicit ThreadPoolBackend(unsigned threads = 0);
+  /// `threads` = 0 means EnvThreads().  `stealing` false pins every job to
+  /// the worker it was dealt to — the static-dispatch control arm the
+  /// scheduler benchmarks compare against; output is identical either way.
+  explicit ThreadPoolBackend(unsigned threads = 0, bool stealing = true);
 
   std::string name() const override { return "threadpool"; }
   unsigned Concurrency() const override;
@@ -85,6 +93,7 @@ class ThreadPoolBackend final : public ExecutionBackend {
 
  private:
   unsigned threads_;
+  bool stealing_;
 };
 
 /// Runs jobs across N forked worker PROCESSES ("shard:N" on the CLI).

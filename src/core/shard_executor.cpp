@@ -1,10 +1,13 @@
 #include "core/shard_executor.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -23,7 +26,7 @@ namespace fairchain::core {
 #ifdef _WIN32
 
 void RunSharded(unsigned, std::size_t, const ShardComputeFn&,
-                const ShardConsumeFn&) {
+                const ShardConsumeFn&, const ShardOptions&) {
   throw std::runtime_error(
       "RunSharded: the process-sharded backend requires fork/pipe (POSIX)");
 }
@@ -36,6 +39,12 @@ constexpr std::uint64_t kChunkMagic = 0xFA17C8A1'C0DE0001ULL;
 constexpr std::uint64_t kErrorMagic = 0xFA17C8A1'C0DE0002ULL;
 constexpr std::uint64_t kDoneMagic = 0xFA17C8A1'C0DE0003ULL;
 constexpr std::uint64_t kSpanMagic = 0xFA17C8A1'C0DE0004ULL;
+constexpr std::uint64_t kRequestMagic = 0xFA17C8A1'C0DE0005ULL;
+constexpr std::uint64_t kGrantMagic = 0xFA17C8A1'C0DE0006ULL;
+
+// Grant-index sentinel: no more work, drain and exit.
+constexpr std::uint64_t kNoMoreWork =
+    std::numeric_limits<std::uint64_t>::max();
 
 // Span payloads are a few dozen bytes per span over at most one ring; a
 // worker can never legitimately exceed this, so larger lengths are torn
@@ -43,7 +52,7 @@ constexpr std::uint64_t kSpanMagic = 0xFA17C8A1'C0DE0004ULL;
 constexpr std::uint64_t kMaxSpanPayload = 1ULL << 26;
 
 // Full write with EINTR retry; returns false on any unrecoverable error
-// (e.g. EPIPE after the parent died).
+// (e.g. EPIPE after the other end died).
 bool WriteAll(int fd, const void* data, std::size_t len) {
   const char* cursor = static_cast<const char*>(data);
   while (len > 0) {
@@ -79,13 +88,41 @@ bool WriteU64(int fd, std::uint64_t value) {
   return WriteAll(fd, &value, sizeof(value));
 }
 
-// The worker-side loop: compute and stream every owned chunk, then the
-// done marker.  Never returns normally — the worker always _exit()s so no
-// inherited stdio buffer, atexit hook, or gtest state replays in the
-// child.
-[[noreturn]] void RunWorker(unsigned shard, unsigned shard_count,
-                            std::size_t chunk_count,
-                            const ShardComputeFn& compute, int fd) {
+bool ReadU64(int fd, std::uint64_t* value) {
+  return ReadAll(fd, value, sizeof(*value)) == sizeof(*value);
+}
+
+// Grant writes race worker deaths: a SIGKILLed worker turns the parent's
+// next grant write into EPIPE, which must surface as a recorded shard
+// failure — not as a process-fatal SIGPIPE.  Ignored around the whole
+// RunSharded scope (installed before fork, so workers inherit it and
+// their writes after a parent death fail with EPIPE -> _exit(3), exactly
+// as before).
+class ScopedIgnoreSigpipe {
+ public:
+  ScopedIgnoreSigpipe() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    installed_ = sigaction(SIGPIPE, &ignore, &previous_) == 0;
+  }
+  ~ScopedIgnoreSigpipe() {
+    if (installed_) sigaction(SIGPIPE, &previous_, nullptr);
+  }
+  ScopedIgnoreSigpipe(const ScopedIgnoreSigpipe&) = delete;
+  ScopedIgnoreSigpipe& operator=(const ScopedIgnoreSigpipe&) = delete;
+
+ private:
+  struct sigaction previous_ {};
+  bool installed_ = false;
+};
+
+// The worker-side loop: alternate grant -> compute -> stream -> request
+// until the sentinel, then the done marker.  Never returns normally — the
+// worker always _exit()s so no inherited stdio buffer, atexit hook, or
+// gtest state replays in the child.
+[[noreturn]] void RunWorker(unsigned shard, const ShardComputeFn& compute,
+                            int data_fd, int cmd_fd) {
   // The fork snapshotted the parent's recorded spans; discard them so this
   // worker streams only what it records itself.
   obs::TraceCollector::Global().OnShardWorkerStart();
@@ -93,80 +130,123 @@ bool WriteU64(int fd, std::uint64_t value) {
   // complete chunk message and before the done marker, so a worker killed
   // between chunks has already shipped every committed span — only spans
   // of the chunk in flight can be lost.
-  auto flush_spans = [fd] {
+  auto flush_spans = [data_fd] {
     if (!obs::TraceEnabled()) return true;
     const std::string spans =
         obs::TraceCollector::Global().DrainSerializedSpans();
     if (spans.empty()) return true;
-    return WriteU64(fd, kSpanMagic) &&
-           WriteU64(fd, static_cast<std::uint64_t>(spans.size())) &&
-           WriteAll(fd, spans.data(), spans.size());
+    return WriteU64(data_fd, kSpanMagic) &&
+           WriteU64(data_fd, static_cast<std::uint64_t>(spans.size())) &&
+           WriteAll(data_fd, spans.data(), spans.size());
   };
   std::uint64_t sent = 0;
   try {
-    for (std::size_t j = shard; j < chunk_count;
-         j += static_cast<std::size_t>(shard_count)) {
-      const std::vector<double> payload = compute(j);
-      if (!WriteU64(fd, kChunkMagic) ||
-          !WriteU64(fd, static_cast<std::uint64_t>(j))) {
+    for (;;) {
+      std::uint64_t magic = 0;
+      std::uint64_t index = 0;
+      if (!ReadU64(cmd_fd, &magic) || magic != kGrantMagic ||
+          !ReadU64(cmd_fd, &index)) {
+        _exit(3);
+      }
+      if (index == kNoMoreWork) break;
+      const std::vector<double> payload =
+          compute(static_cast<std::size_t>(index));
+      if (!WriteU64(data_fd, kChunkMagic) || !WriteU64(data_fd, index)) {
         _exit(3);
       }
       // Torn-message fault point: the header is on the wire, the payload
       // is not.
       MaybeInjectFault("shard-message", shard, sent + 1);
-      if (!WriteU64(fd, static_cast<std::uint64_t>(payload.size())) ||
-          !WriteAll(fd, payload.data(), payload.size() * sizeof(double))) {
+      if (!WriteU64(data_fd, static_cast<std::uint64_t>(payload.size())) ||
+          !WriteAll(data_fd, payload.data(),
+                    payload.size() * sizeof(double))) {
         _exit(3);
       }
       ++sent;
       if (!flush_spans()) _exit(3);
-      // Clean-death fault point: between two complete chunk messages.
+      // Clean-death / stall fault point: the chunk is fully streamed, the
+      // next grant is not yet requested — a stalled worker here holds no
+      // work, so the other workers drain the whole remaining queue (the
+      // worst-case interleaving the scheduler golden tests force).
       MaybeInjectFault("shard-chunk", shard, sent);
+      if (!WriteU64(data_fd, kRequestMagic) || !WriteU64(data_fd, sent)) {
+        _exit(3);
+      }
     }
     if (!flush_spans()) _exit(3);
-    if (!WriteU64(fd, kDoneMagic) || !WriteU64(fd, sent)) _exit(3);
+    if (!WriteU64(data_fd, kDoneMagic) || !WriteU64(data_fd, sent)) _exit(3);
     _exit(0);
   } catch (const std::exception& error) {
     const std::string what = error.what();
-    if (WriteU64(fd, kErrorMagic) &&
-        WriteU64(fd, static_cast<std::uint64_t>(what.size()))) {
-      WriteAll(fd, what.data(), what.size());
+    if (WriteU64(data_fd, kErrorMagic) &&
+        WriteU64(data_fd, static_cast<std::uint64_t>(what.size()))) {
+      WriteAll(data_fd, what.data(), what.size());
     }
     _exit(1);
   }
 }
 
+// The parent-side grant queue, shared by every reader thread.
+struct GrantQueue {
+  std::mutex mutex;
+  std::vector<std::size_t> order;
+  std::size_t next = 0;
+
+  // Returns kNoMoreWork when exhausted.
+  std::uint64_t Pop() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (next >= order.size()) return kNoMoreWork;
+    return static_cast<std::uint64_t>(order[next++]);
+  }
+};
+
 // One shard's parent-side state.
 struct ShardStream {
   pid_t pid = -1;
-  int read_fd = -1;
-  std::uint64_t expected_chunks = 0;
+  int data_fd = -1;  ///< read end of the worker's data pipe
+  int cmd_fd = -1;   ///< write end of the worker's command pipe
   std::uint64_t received = 0;
   bool done_seen = false;
+  // The single outstanding grant (the protocol allows at most one).
+  bool has_outstanding = false;
+  std::uint64_t outstanding = 0;
+  std::chrono::steady_clock::time_point grant_time;
+  std::uint64_t last_grant_ns = 0;
   std::string error;  // empty = clean so far
 };
 
-bool ReadU64(int fd, std::uint64_t* value) {
-  return ReadAll(fd, value, sizeof(*value)) == sizeof(*value);
+// Writes one grant to the worker and records it as outstanding.  Returns
+// false when the worker is unreachable (dead child -> EPIPE).
+bool SendGrant(ShardStream& stream, std::uint64_t index) {
+  if (!WriteU64(stream.cmd_fd, kGrantMagic) ||
+      !WriteU64(stream.cmd_fd, index)) {
+    return false;
+  }
+  if (index != kNoMoreWork) {
+    stream.has_outstanding = true;
+    stream.outstanding = index;
+    stream.grant_time = std::chrono::steady_clock::now();
+  }
+  return true;
 }
 
-// Drains one worker's stream, validating the framing; fills
-// stream.error on the first deviation and stops.
-void ReadShardStream(ShardStream& stream, unsigned shard,
-                     unsigned shard_count, std::size_t chunk_count,
-                     const ShardConsumeFn& consume) {
-  std::uint64_t expected_index = shard;
+// Drains one worker's stream, serving its grant requests from the shared
+// queue and validating the framing; fills stream.error on the first
+// deviation and stops.  Chunks this worker was granted but never
+// delivered are NOT re-granted — the run fails loudly after the other
+// workers finish draining the queue.
+void ReadShardStream(ShardStream& stream, unsigned shard, GrantQueue& queue,
+                     std::size_t chunk_count, const ShardConsumeFn& consume,
+                     const ShardOptions& options) {
   while (true) {
     std::uint64_t magic = 0;
-    const std::size_t got = ReadAll(stream.read_fd, &magic, sizeof(magic));
+    const std::size_t got = ReadAll(stream.data_fd, &magic, sizeof(magic));
     if (got == 0) {
       stream.error = stream.done_seen
                          ? ""  // clean EOF after the done marker
                          : "stream ended before the done marker (worker "
                            "died after " +
-                               std::to_string(stream.received) + " of " +
-                               std::to_string(stream.expected_chunks) +
-                               " chunks)";
+                               std::to_string(stream.received) + " chunks)";
       return;
     }
     if (got != sizeof(magic)) {
@@ -179,12 +259,12 @@ void ReadShardStream(ShardStream& stream, unsigned shard,
     }
     if (magic == kErrorMagic) {
       std::uint64_t length = 0;
-      if (!ReadU64(stream.read_fd, &length) || length > (1u << 20)) {
+      if (!ReadU64(stream.data_fd, &length) || length > (1u << 20)) {
         stream.error = "torn error message";
         return;
       }
       std::string what(length, '\0');
-      if (ReadAll(stream.read_fd, what.data(), length) != length) {
+      if (ReadAll(stream.data_fd, what.data(), length) != length) {
         stream.error = "torn error message";
         return;
       }
@@ -193,12 +273,12 @@ void ReadShardStream(ShardStream& stream, unsigned shard,
     }
     if (magic == kSpanMagic) {
       std::uint64_t length = 0;
-      if (!ReadU64(stream.read_fd, &length) || length > kMaxSpanPayload) {
+      if (!ReadU64(stream.data_fd, &length) || length > kMaxSpanPayload) {
         stream.error = "torn span message";
         return;
       }
       std::string spans(static_cast<std::size_t>(length), '\0');
-      if (ReadAll(stream.read_fd, spans.data(), spans.size()) !=
+      if (ReadAll(stream.data_fd, spans.data(), spans.size()) !=
           spans.size()) {
         stream.error = "torn span message";
         return;
@@ -209,16 +289,40 @@ void ReadShardStream(ShardStream& stream, unsigned shard,
       }
       continue;
     }
+    if (magic == kRequestMagic) {
+      std::uint64_t seq = 0;
+      if (!ReadU64(stream.data_fd, &seq)) {
+        stream.error = "torn request message";
+        return;
+      }
+      if (stream.has_outstanding || seq != stream.received) {
+        stream.error = "request out of sequence (worker reports " +
+                       std::to_string(seq) + " chunks, parent consumed " +
+                       std::to_string(stream.received) + ")";
+        return;
+      }
+      const auto request_time = std::chrono::steady_clock::now();
+      const std::uint64_t index = queue.Pop();
+      if (!SendGrant(stream, index)) {
+        stream.error = "worker died awaiting a grant";
+        return;
+      }
+      stream.last_grant_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - request_time)
+              .count());
+      continue;
+    }
     if (magic == kDoneMagic) {
       std::uint64_t sent = 0;
-      if (!ReadU64(stream.read_fd, &sent)) {
+      if (!ReadU64(stream.data_fd, &sent)) {
         stream.error = "torn done marker";
         return;
       }
-      if (sent != stream.expected_chunks ||
-          stream.received != stream.expected_chunks) {
-        stream.error = "done marker after " + std::to_string(sent) + " of " +
-                       std::to_string(stream.expected_chunks) + " chunks";
+      if (stream.has_outstanding || sent != stream.received) {
+        stream.error = "done marker after " + std::to_string(sent) +
+                       " chunks (parent consumed " +
+                       std::to_string(stream.received) + ")";
         return;
       }
       stream.done_seen = true;
@@ -230,19 +334,23 @@ void ReadShardStream(ShardStream& stream, unsigned shard,
     }
     std::uint64_t index = 0;
     std::uint64_t count = 0;
-    if (!ReadU64(stream.read_fd, &index) || !ReadU64(stream.read_fd, &count)) {
+    if (!ReadU64(stream.data_fd, &index) ||
+        !ReadU64(stream.data_fd, &count)) {
       stream.error = "worker died mid-message (torn chunk header)";
       return;
     }
-    if (index != expected_index || index >= chunk_count) {
+    if (!stream.has_outstanding || index != stream.outstanding ||
+        index >= chunk_count) {
       stream.error = "chunk " + std::to_string(index) +
-                     " out of order (expected " +
-                     std::to_string(expected_index) + ")";
+                     " does not match the outstanding grant" +
+                     (stream.has_outstanding
+                          ? " (" + std::to_string(stream.outstanding) + ")"
+                          : " (none outstanding)");
       return;
     }
     std::vector<double> payload(static_cast<std::size_t>(count));
     const std::size_t want = payload.size() * sizeof(double);
-    if (ReadAll(stream.read_fd, payload.data(), want) != want) {
+    if (ReadAll(stream.data_fd, payload.data(), want) != want) {
       stream.error = "worker died mid-message (torn chunk payload, chunk " +
                      std::to_string(index) + ")";
       return;
@@ -254,37 +362,89 @@ void ReadShardStream(ShardStream& stream, unsigned shard,
       stream.error = std::string("consume failed: ") + error.what();
       return;
     }
+    stream.has_outstanding = false;
     ++stream.received;
-    expected_index += shard_count;
+    if (options.on_chunk) {
+      ShardChunkStats stats;
+      stats.index = static_cast<std::size_t>(index);
+      stats.shard = shard;
+      stats.busy_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - stream.grant_time)
+              .count());
+      stats.grant_ns = stream.last_grant_ns;
+      options.on_chunk(stats);
+    }
   }
 }
 
 }  // namespace
 
 void RunSharded(unsigned shard_count, std::size_t chunk_count,
-                const ShardComputeFn& compute,
-                const ShardConsumeFn& consume) {
+                const ShardComputeFn& compute, const ShardConsumeFn& consume,
+                const ShardOptions& options) {
   if (shard_count == 0) {
     throw std::invalid_argument("RunSharded: shard_count must be >= 1");
   }
   if (chunk_count == 0) return;
 
-  // All pipes exist before the first fork so every worker can close every
-  // descriptor that is not its own write end.
-  std::vector<int> read_fds(shard_count, -1);
-  std::vector<int> write_fds(shard_count, -1);
-  for (unsigned s = 0; s < shard_count; ++s) {
-    int fds[2];
-    if (pipe(fds) != 0) {
-      for (unsigned t = 0; t < s; ++t) {
-        close(read_fds[t]);
-        close(write_fds[t]);
+  GrantQueue queue;
+  if (options.grant_order.empty()) {
+    queue.order.reserve(chunk_count);
+    for (std::size_t j = 0; j < chunk_count; ++j) queue.order.push_back(j);
+  } else {
+    if (options.grant_order.size() != chunk_count) {
+      throw std::invalid_argument(
+          "RunSharded: grant_order must cover every chunk exactly once");
+    }
+    std::vector<bool> seen(chunk_count, false);
+    for (const std::size_t j : options.grant_order) {
+      if (j >= chunk_count || seen[j]) {
+        throw std::invalid_argument(
+            "RunSharded: grant_order must be a permutation of the chunk "
+            "indices");
       }
+      seen[j] = true;
+    }
+    queue.order = options.grant_order;
+  }
+
+  // All pipes exist before the first fork so every worker can close every
+  // descriptor that is not its own pair.
+  std::vector<int> data_read(shard_count, -1);
+  std::vector<int> data_write(shard_count, -1);
+  std::vector<int> cmd_read(shard_count, -1);
+  std::vector<int> cmd_write(shard_count, -1);
+  auto close_all = [&](unsigned upto) {
+    for (unsigned t = 0; t < upto; ++t) {
+      close(data_read[t]);
+      close(data_write[t]);
+      close(cmd_read[t]);
+      close(cmd_write[t]);
+    }
+  };
+  for (unsigned s = 0; s < shard_count; ++s) {
+    int data_fds[2];
+    int cmd_fds[2];
+    if (pipe(data_fds) != 0) {
+      close_all(s);
       throw std::runtime_error("RunSharded: pipe() failed");
     }
-    read_fds[s] = fds[0];
-    write_fds[s] = fds[1];
+    if (pipe(cmd_fds) != 0) {
+      close(data_fds[0]);
+      close(data_fds[1]);
+      close_all(s);
+      throw std::runtime_error("RunSharded: pipe() failed");
+    }
+    data_read[s] = data_fds[0];
+    data_write[s] = data_fds[1];
+    cmd_read[s] = cmd_fds[0];
+    cmd_write[s] = cmd_fds[1];
   }
+
+  // Grant writes must fail with EPIPE, not kill the process; workers
+  // inherit the disposition (see ScopedIgnoreSigpipe).
+  ScopedIgnoreSigpipe ignore_sigpipe;
 
   // Inherited stdio buffers would be replayed by a worker that crashes
   // through a buffered FILE*; flush everything before snapshotting.
@@ -292,18 +452,9 @@ void RunSharded(unsigned shard_count, std::size_t chunk_count,
 
   std::vector<ShardStream> streams(shard_count);
   for (unsigned s = 0; s < shard_count; ++s) {
-    for (std::size_t j = s; j < chunk_count;
-         j += static_cast<std::size_t>(shard_count)) {
-      ++streams[s].expected_chunks;
-    }
-  }
-  for (unsigned s = 0; s < shard_count; ++s) {
     const pid_t pid = fork();
     if (pid < 0) {
-      for (unsigned t = 0; t < shard_count; ++t) {
-        close(read_fds[t]);
-        close(write_fds[t]);
-      }
+      close_all(shard_count);
       for (unsigned t = 0; t < s; ++t) {
         kill(streams[t].pid, SIGKILL);
         waitpid(streams[t].pid, nullptr, 0);
@@ -312,27 +463,55 @@ void RunSharded(unsigned shard_count, std::size_t chunk_count,
     }
     if (pid == 0) {
       for (unsigned t = 0; t < shard_count; ++t) {
-        close(read_fds[t]);
-        if (t != s) close(write_fds[t]);
+        close(data_read[t]);
+        close(cmd_write[t]);
+        if (t != s) {
+          close(data_write[t]);
+          close(cmd_read[t]);
+        }
       }
-      RunWorker(s, shard_count, chunk_count, compute, write_fds[s]);
+      RunWorker(s, compute, data_write[s], cmd_read[s]);
     }
     streams[s].pid = pid;
-    streams[s].read_fd = read_fds[s];
+    streams[s].data_fd = data_read[s];
+    streams[s].cmd_fd = cmd_write[s];
   }
-  for (unsigned s = 0; s < shard_count; ++s) close(write_fds[s]);
+  for (unsigned s = 0; s < shard_count; ++s) {
+    close(data_write[s]);
+    close(cmd_read[s]);
+  }
+
+  // Prime every worker with its first grant, in shard order — a pure
+  // function of (grant_order, shard count), so fault tests can pin which
+  // chunk a worker computes first.  Later grants are earned on demand.
+  for (unsigned s = 0; s < shard_count; ++s) {
+    const std::uint64_t index = queue.Pop();
+    if (!SendGrant(streams[s], index)) {
+      streams[s].error = "worker died before its first grant";
+    }
+  }
 
   // One reader per worker: payloads are consumed as they arrive, in any
-  // cross-shard order (they commute — disjoint target ranges).
+  // cross-shard order (they commute — disjoint target ranges), and each
+  // reader serves its own worker's grant requests so no shard ever waits
+  // on another shard's reader.
   std::vector<std::thread> readers;
   readers.reserve(shard_count);
   for (unsigned s = 0; s < shard_count; ++s) {
-    readers.emplace_back([&streams, s, shard_count, chunk_count, &consume] {
-      ReadShardStream(streams[s], s, shard_count, chunk_count, consume);
-    });
+    if (!streams[s].error.empty()) continue;
+    readers.emplace_back(
+        [&streams, s, &queue, chunk_count, &consume, &options] {
+          ReadShardStream(streams[s], s, queue, chunk_count, consume,
+                          options);
+        });
   }
   for (std::thread& reader : readers) reader.join();
-  for (unsigned s = 0; s < shard_count; ++s) close(read_fds[s]);
+  // Closing the command pipes unblocks any worker still waiting on a
+  // grant after its reader bailed out (it reads EOF and exits).
+  for (unsigned s = 0; s < shard_count; ++s) {
+    close(cmd_write[s]);
+    close(data_read[s]);
+  }
 
   // Reap every worker, then report the first failure: a reader-detected
   // framing error wins over the exit status (it names the chunk), but a

@@ -3,10 +3,16 @@
 //
 // RunSharded is the transport under the ShardBackend.  The caller brings a
 // flat list of `chunk_count` independent chunks (in the campaign runner:
-// one (cell, replication-range) pair each).  Chunks are distributed
-// round-robin by index — worker s computes chunks {s, s+N, s+2N, ...} in
-// ascending order — which is a pure function of (chunk index, shard
-// count), never of timing, so the partition is reproducible.
+// one (cell, replication-range) pair each).  Chunk ownership is
+// DEMAND-DRIVEN: the parent holds one grant queue (the caller's
+// `grant_order`, default ascending index) and hands out one chunk per
+// worker at a time — each worker is primed with one grant at fork, and
+// earns its next grant by finishing the previous chunk.  A worker that
+// drains cheap chunks therefore immediately absorbs the queue's expensive
+// tail instead of idling behind a static j%N partition.  WHICH worker
+// computes a chunk is timing-dependent; WHAT every chunk computes and
+// where its payload lands never is, so output stays byte-identical to the
+// serial backend at any shard count (the campaign determinism contract).
 //
 // Per the execution-backend contract (core/execution_backend.hpp), every
 // chunk's payload is pre-addressed: `compute(j)` returns the chunk's
@@ -16,35 +22,51 @@
 // is the caller's reduction/emission cursor, exactly as with the
 // in-process backends.
 //
-// Wire protocol (one pipe per worker, host byte order — the workers are
-// forks of this very process, never remote):
-//   chunk message:  [kChunkMagic u64][chunk index u64][count u64]
-//                   [count doubles]
-//   error message:  [kErrorMagic u64][length u64][length bytes of what()]
-//   done message:   [kDoneMagic u64][chunks streamed u64]
-//   span message:   [kSpanMagic u64][length u64][length bytes of
-//                   obs::TraceCollector::DrainSerializedSpans payload]
-// Workers send their chunks strictly in their assigned ascending order,
-// then exactly one done message, then _exit(0).  When tracing is enabled
-// a worker also flushes its recorded spans as span messages — after each
-// complete chunk message and once more before the done marker — which the
-// parent imports into the process-wide obs::TraceCollector tagged with
-// the worker's shard index; one exported trace therefore shows the whole
-// process tree.  The parent runs one reader thread per worker and
-// validates the full framing: magic, chunk ownership and order, payload
-// length, span payload well-formedness, the done count, and the worker's
-// exit status.  ANY deviation — a worker SIGKILLed mid-message, a torn
-// payload, an early EOF, a nonzero exit — makes RunSharded throw after
-// draining every worker; it never returns partial results silently.
+// Wire protocol (host byte order — the workers are forks of this very
+// process, never remote).  Each worker has TWO pipes: a data pipe
+// (worker -> parent) and a command pipe (parent -> worker).
+//
+// Worker -> parent, on the data pipe:
+//   chunk message:   [kChunkMagic u64][chunk index u64][count u64]
+//                    [count doubles]
+//   request message: [kRequestMagic u64][chunks sent so far u64]
+//   error message:   [kErrorMagic u64][length u64][length bytes of what()]
+//   done message:    [kDoneMagic u64][chunks streamed u64]
+//   span message:    [kSpanMagic u64][length u64][length bytes of
+//                    obs::TraceCollector::DrainSerializedSpans payload]
+// Parent -> worker, on the command pipe:
+//   grant message:   [kGrantMagic u64][chunk index u64]
+//                    (index kNoMoreWork = drain: send the done message
+//                    and exit)
+//
+// A worker's life is a strict alternation: read grant, compute the chunk,
+// stream its chunk message, flush spans, send a request, repeat — so the
+// parent sees request k only after chunk k is fully on the wire, and at
+// most ONE chunk per worker is ever in flight.  The parent runs one
+// reader thread per worker which validates the full framing — magic,
+// grant/request sequencing, that a chunk message matches the worker's
+// outstanding grant, payload length, span payload well-formedness, the
+// done count, and the worker's exit status.
+//
+// Failure semantics: when a worker dies, the chunks it was granted but
+// never delivered are NOT re-granted, and the surviving workers keep
+// draining the remaining queue to completion — then RunSharded throws,
+// naming the dead shard.  Nothing is emitted for cells missing a chunk,
+// but every cell whose chunks all arrived has been consumed (and, in the
+// campaign runner, committed to the store), so a resumed run recomputes
+// only the affected cells.  It never returns partial results silently.
 //
 // Fault-injection sites (support/fault_injection.hpp): a worker passes
-// shard-message after each header and shard-chunk after each complete
-// chunk message, so crash tests can sever the stream at either boundary.
+// shard-message after each chunk header and shard-chunk after each
+// complete chunk message (before requesting its next grant), so crash
+// tests can sever the stream at either boundary and stall tests can force
+// worst-case grant interleavings.
 
 #ifndef FAIRCHAIN_CORE_SHARD_EXECUTOR_HPP_
 #define FAIRCHAIN_CORE_SHARD_EXECUTOR_HPP_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -58,18 +80,43 @@ using ShardComputeFn = std::function<std::vector<double>(std::size_t)>;
 
 /// Consumes one chunk's payload in the parent.  Called from per-worker
 /// reader threads — concurrently across shards — so it must be
-/// thread-safe; chunks of one shard arrive in their assigned order.
-/// Exceptions abort the run and are rethrown by the parent.
+/// thread-safe.  Exceptions abort the run and are rethrown by the parent.
 using ShardConsumeFn =
     std::function<void(std::size_t, std::vector<double>&&)>;
 
+/// Parent-side observation of one consumed chunk, for scheduler metrics.
+struct ShardChunkStats {
+  std::size_t index = 0;       ///< chunk index
+  unsigned shard = 0;          ///< worker that computed it
+  std::uint64_t busy_ns = 0;   ///< grant written -> payload fully consumed
+  std::uint64_t grant_ns = 0;  ///< request read -> grant written (0 for
+                               ///< the primed first grant)
+};
+
+/// Scheduling knobs for RunSharded.  Defaults reproduce plain ascending
+/// grant order with no observation.
+struct ShardOptions {
+  /// Order chunks are granted in; must be a permutation of
+  /// [0, chunk_count).  Empty = ascending index.  The campaign runner
+  /// passes longest-processing-time order (descending modeled cost) so
+  /// the expensive chunks start first and the cheap tail levels the
+  /// finish.
+  std::vector<std::size_t> grant_order;
+  /// Called from the reader threads (concurrently across shards) after
+  /// each chunk is consumed.  Null = no observation.
+  std::function<void(const ShardChunkStats&)> on_chunk;
+};
+
 /// Executes chunks [0, chunk_count) across `shard_count` forked worker
-/// processes and feeds every payload to `consume`.  Returns only when all
-/// payloads are consumed, all workers are reaped, and the framing was
-/// valid end to end; throws std::runtime_error otherwise (dead worker,
-/// torn message, bad framing, worker-side exception).  POSIX only.
+/// processes via the demand-driven grant protocol and feeds every payload
+/// to `consume`.  Returns only when all payloads are consumed, all
+/// workers are reaped, and the framing was valid end to end; throws
+/// std::runtime_error otherwise (dead worker, torn message, bad framing,
+/// worker-side exception) — after the surviving workers have drained
+/// every still-grantable chunk.  POSIX only.
 void RunSharded(unsigned shard_count, std::size_t chunk_count,
-                const ShardComputeFn& compute, const ShardConsumeFn& consume);
+                const ShardComputeFn& compute, const ShardConsumeFn& consume,
+                const ShardOptions& options = {});
 
 }  // namespace fairchain::core
 

@@ -3,7 +3,9 @@
 #include <unistd.h>
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "obs/metrics.hpp"
 
@@ -36,12 +38,25 @@ std::string FormatEta(double seconds) {
   return eta;
 }
 
+double EstimateEtaSeconds(double elapsed_seconds, double done,
+                          double total) {
+  if (total > 0.0 && done >= total) return 0.0;
+  if (!(elapsed_seconds > 0.0) || !(done > 0.0) || !(total > 0.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return elapsed_seconds * (total - done) / done;
+}
+
 ProgressReporter::ProgressReporter(const Options& options)
     : options_(options) {
   if (!options_.enabled) return;
   if (!options_.force_tty && !StderrIsTty()) return;
   active_ = true;
   start_time_ = std::chrono::steady_clock::now();
+  auto& registry = MetricsRegistry::Global();
+  cost_total_base_ =
+      registry.GetCounter("campaign.cost_total_ns").Value();
+  cost_done_base_ = registry.GetCounter("campaign.cost_done_ns").Value();
   thread_ = std::thread([this] { Loop(); });
 }
 
@@ -96,8 +111,26 @@ void ProgressReporter::Render() {
           : 100.0 * static_cast<double>(cells) /
                 static_cast<double>(options_.total_cells);
 
+  // ETA weights remaining work by MODELED COST when the runner published
+  // cost counters this run (campaign.cost_total_ns / cost_done_ns deltas
+  // against the construction-time baselines); replication counts are the
+  // fallback so the line still works for callers that never planned.
+  static auto& cost_total_counter =
+      MetricsRegistry::Global().GetCounter("campaign.cost_total_ns");
+  static auto& cost_done_counter =
+      MetricsRegistry::Global().GetCounter("campaign.cost_done_ns");
+  const std::uint64_t cost_total =
+      cost_total_counter.Value() - cost_total_base_;
+  const std::uint64_t cost_done =
+      cost_done_counter.Value() - cost_done_base_;
+
   std::string eta = "--:--";
-  if (reps_per_sec > 0.0 && options_.total_replications > replications) {
+  if (cost_total > 0) {
+    eta = FormatEta(EstimateEtaSeconds(elapsed,
+                                       static_cast<double>(cost_done),
+                                       static_cast<double>(cost_total)));
+  } else if (reps_per_sec > 0.0 &&
+             options_.total_replications > replications) {
     eta = FormatEta(
         static_cast<double>(options_.total_replications - replications) /
         reps_per_sec);

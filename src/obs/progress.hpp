@@ -35,6 +35,19 @@ bool StderrIsTty();
 ///   * NaN and negative inputs render the unknown marker "--:--".
 std::string FormatEta(double seconds);
 
+/// Remaining-seconds estimate from a work ledger: `done` of `total` units
+/// finished after `elapsed_seconds`.  Pure (testable without a thread):
+///   * done >= total (and total > 0) -> 0.0, the run is finished;
+///   * elapsed <= 0, done <= 0, or total <= 0 -> NaN (no rate yet;
+///     FormatEta renders it as the unknown marker);
+///   * otherwise elapsed * (total - done) / done — the constant-rate
+///     extrapolation.
+/// The campaign reporter feeds MODELED-COST units (campaign.cost_done_ns
+/// over cost_total_ns) rather than replication counts, so a campaign
+/// whose cheap cells finish first does not show a collapsing ETA that
+/// explodes when the expensive tail starts.
+double EstimateEtaSeconds(double elapsed_seconds, double done, double total);
+
 /// Background progress line for a campaign run.  Construct before the run
 /// with the known totals; destroy (or Stop()) after.  Inert unless
 /// `enabled` and stderr is a TTY (or `force_tty` for tests).
@@ -66,6 +79,11 @@ class ProgressReporter {
 
   Options options_;
   bool active_ = false;
+  // Cost-counter baselines snapshotted at construction: the registry's
+  // counters are cumulative across a process's runs, and the ETA must
+  // weight only THIS run's modeled work.
+  std::uint64_t cost_total_base_ = 0;
+  std::uint64_t cost_done_base_ = 0;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;

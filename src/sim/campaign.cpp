@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 
 #include "chain/chain_replication.hpp"
@@ -16,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "protocol/model_factory.hpp"
+#include "sim/cost_model.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 
@@ -101,9 +105,34 @@ std::string DoubleBits(double value) {
   return buffer;
 }
 
+// Minimum modeled cost per chunk (1 ms).  Below this, dispatch overhead
+// (closure/grant round-trips, payload framing) rivals the work itself — a
+// cell whose whole replication budget models cheaper than this floor runs
+// as ONE chunk instead of shattering into per-replication confetti.
+constexpr double kMinChunkNs = 1e6;
+
+// Longest-processing-time order over the pending chunks: descending
+// modeled cost, ties broken by ascending index so the order is a pure
+// function of the plan.  Starting the expensive chunks first lets the
+// cheap tail level out the finish — the classic LPT bound.
+std::vector<std::size_t> LptOrder(const std::vector<ChunkJob>& jobs) {
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&jobs](std::size_t a, std::size_t b) {
+              if (jobs[a].cost_ns != jobs[b].cost_ns) {
+                return jobs[a].cost_ns > jobs[b].cost_ns;
+              }
+              return a < b;
+            });
+  return order;
+}
+
 // Full per-cell matrices a forked shard worker computes into; reused
-// across the worker's consecutive chunks of one cell (pending jobs are in
-// ascending cell order, so each cell's chunks arrive contiguously).
+// across the worker's consecutive chunks of one cell.  Under LPT grant
+// order a worker's consecutive chunks usually belong to the same
+// expensive cell, so the reuse still pays; an out-of-order grant merely
+// reallocates — correctness never depends on arrival order.
 struct ShardChildState {
   std::size_t cell = std::numeric_limits<std::size_t>::max();
   std::vector<double> lambdas;
@@ -252,17 +281,47 @@ unsigned CampaignRunner::PlannedConcurrency() const {
 
 std::vector<ChunkJob> CampaignRunner::PlanJobs(
     const ScenarioSpec& spec) const {
-  const std::uint64_t chunk =
-      ChunkSize(spec.replications, PlannedConcurrency());
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  const unsigned threads = PlannedConcurrency();
+  // Per-cell modeled replication cost (always finite and positive): the
+  // cost model's BENCH-calibrated priors, refined by the EWMA over chunks
+  // this process has already observed.  Estimates only shape chunk
+  // GEOMETRY — the simulated values depend on (cell seed, replication
+  // index) alone, so a wrong estimate costs wall clock, never bytes.
+  CostModel& model = CostModel::Global();
+  std::vector<double> rep_ns(cells.size(), 1.0);
+  double total_ns = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    rep_ns[i] = model.EstimateReplicationNs(cells[i], spec.steps);
+    total_ns += rep_ns[i] * static_cast<double>(spec.replications);
+  }
+  const bool cost_aware = options_.chunk_replications == 0 &&
+                          options_.schedule == SchedulePolicy::kCostAware;
+  // Cost-aware target: ~4 chunks per worker of EQUAL MODELED COST across
+  // the whole campaign (not per cell), floored at kMinChunkNs.  An
+  // expensive cell therefore splits into many small-replication chunks
+  // while a cheap cell contributes a few large ones — the geometry that
+  // keeps every worker busy until the campaign's last millisecond.
+  const double target_ns =
+      std::max(total_ns / (static_cast<double>(threads) * 4.0), kMinChunkNs);
   std::vector<ChunkJob> jobs;
-  const std::size_t cells = spec.ExpandCells().size();
-  for (std::size_t cell = 0; cell < cells; ++cell) {
+  for (std::size_t cell = 0; cell < cells.size(); ++cell) {
+    std::uint64_t chunk;
+    if (cost_aware) {
+      const double reps_per_chunk = target_ns / rep_ns[cell];
+      chunk = static_cast<std::uint64_t>(std::llround(reps_per_chunk));
+      chunk = std::clamp<std::uint64_t>(chunk, 1, spec.replications);
+    } else {
+      chunk = ChunkSize(spec.replications, threads);
+    }
     for (std::uint64_t begin = 0; begin < spec.replications; begin += chunk) {
       ChunkJob job;
       job.cell = cell;
       job.begin = static_cast<std::size_t>(begin);
       job.end = static_cast<std::size_t>(
           std::min(spec.replications, begin + chunk));
+      job.cost_ns =
+          rep_ns[cell] * static_cast<double>(job.end - job.begin);
       jobs.push_back(job);
     }
   }
@@ -285,10 +344,21 @@ std::vector<CellOutcome> CampaignRunner::Run(
   obs::Counter& replications_done =
       metrics.GetCounter("campaign.replications_done");
   obs::Counter& rows_emitted = metrics.GetCounter("campaign.rows_emitted");
-  obs::LatencyHistogram& chunk_ns =
-      metrics.GetHistogram("campaign.chunk_ns");
+  // Chunk latency split by cell family: incentive games and chain
+  // fork-races have cost distributions an order of magnitude apart, and a
+  // merged histogram hides both.
+  obs::LatencyHistogram& chunk_ns_incentive =
+      metrics.GetHistogram("campaign.chunk_ns.incentive");
+  obs::LatencyHistogram& chunk_ns_chain =
+      metrics.GetHistogram("campaign.chunk_ns.chain");
   obs::LatencyHistogram& reduce_ns =
       metrics.GetHistogram("campaign.reduce_ns");
+  // Modeled-cost progress: total at Run start (every planned chunk plus
+  // cache-served cells), done as chunks complete.  --progress weights its
+  // ETA by these, so a campaign that front-loads cheap cells doesn't show
+  // a collapsing-then-exploding estimate.
+  obs::Counter& cost_total_ns = metrics.GetCounter("campaign.cost_total_ns");
+  obs::Counter& cost_done_ns = metrics.GetCounter("campaign.cost_done_ns");
   obs::Span run_span("campaign.run", cells.size());
   cells_total.Add(cells.size());
   const core::ExecutionBackend* backend = options_.backend;
@@ -326,6 +396,17 @@ std::vector<CellOutcome> CampaignRunner::Run(
     executions.push_back(std::move(execution));
   }
 
+  // Plan the job grid up front (it is pure): per-job modeled costs feed
+  // the cost counters below, the cache probe, and the dispatch order.
+  const std::vector<ChunkJob> plan = PlanJobs(spec);
+  std::vector<double> cell_cost_ns(executions.size(), 0.0);
+  double plan_cost_ns = 0.0;
+  for (const ChunkJob& job : plan) {
+    cell_cost_ns[job.cell] += job.cost_ns;
+    plan_cost_ns += job.cost_ns;
+  }
+  cost_total_ns.Add(static_cast<std::uint64_t>(plan_cost_ns));
+
   // Content addresses and cache probe.  A verified hit hands the cell its
   // decoded result up front; its chunks are never scheduled.  Corrupt or
   // version-mismatched entries count as misses — the cell recomputes and
@@ -351,6 +432,9 @@ std::vector<CellOutcome> CampaignRunner::Run(
           cells_cached.Add();
           cells_done.Add();
           replications_done.Add(spec.replications);
+          // A cache hit retires the cell's whole modeled cost: the ETA
+          // must see warm-store cells as finished work, not free work.
+          cost_done_ns.Add(static_cast<std::uint64_t>(cell_cost_ns[i]));
         }
       }
     }
@@ -412,7 +496,6 @@ std::vector<CellOutcome> CampaignRunner::Run(
   // Dispatch exactly the job grid PlanJobs describes (the plan the tests
   // assert on) minus cache-served cells, as one batch so cells interleave
   // across workers.
-  const std::vector<ChunkJob> plan = PlanJobs(spec);
   std::vector<ChunkJob> pending;
   pending.reserve(plan.size());
   for (const ChunkJob& job : plan) {
@@ -438,15 +521,49 @@ std::vector<CellOutcome> CampaignRunner::Run(
     });
   };
 
+  // Dispatch order: longest modeled cost first under kCostAware (LPT —
+  // expensive chunks start early, the cheap tail levels the finish), plan
+  // order under kStatic.  Order never affects output: payloads land in
+  // pre-addressed slots and emission is cursor-ordered.
+  const bool lpt_dispatch =
+      options_.schedule == SchedulePolicy::kCostAware && !pending.empty();
+
   const unsigned process_shards = backend->ProcessShards();
   if (!pending.empty() && process_shards > 0) {
-    // Process-sharded path: forked workers compute chunks round-robin and
-    // stream raw payloads back; the parent commits each payload into the
-    // exact matrix slots the in-process path would have written, then runs
-    // the identical reduction — which is why output is byte-identical.
+    // Process-sharded path: forked workers pull chunks through the
+    // demand-driven grant protocol and stream raw payloads back; the
+    // parent commits each payload into the exact matrix slots the
+    // in-process path would have written, then runs the identical
+    // reduction — which is why output is byte-identical.
     // Payload layout for chunk (cell, begin, end): the [begin, end)
     // columns of every λ checkpoint row, then of every population plane.
     obs::Span execute_span("backend.execute", pending.size());
+    // Scheduler observability, recorded parent-side (the child's clock
+    // readings die with the fork): per-chunk busy time into the family
+    // histograms and the cost model's EWMA, grant round-trip latency, and
+    // per-shard busy-nanosecond counters (the busy-fraction skew the
+    // traced-shard CI step asserts on).
+    obs::LatencyHistogram& grant_ns_hist =
+        metrics.GetHistogram("campaign.grant_ns");
+    std::vector<obs::Counter*> shard_busy;
+    shard_busy.reserve(process_shards);
+    for (unsigned s = 0; s < process_shards; ++s) {
+      shard_busy.push_back(&metrics.GetCounter(
+          "campaign.shard_busy_ns." + std::to_string(s)));
+    }
+    core::ShardOptions shard_options;
+    if (lpt_dispatch) shard_options.grant_order = LptOrder(pending);
+    shard_options.on_chunk = [&](const core::ShardChunkStats& stats) {
+      const ChunkJob& job = pending[stats.index];
+      CellExecution& execution = *executions[job.cell];
+      (execution.chain ? chunk_ns_chain : chunk_ns_incentive)
+          .Record(stats.busy_ns);
+      if (stats.grant_ns != 0) grant_ns_hist.Record(stats.grant_ns);
+      shard_busy[stats.shard]->Add(stats.busy_ns);
+      CostModel::Global().Observe(execution.cell, execution.config.steps,
+                                  job.end - job.begin, stats.busy_ns);
+      cost_done_ns.Add(static_cast<std::uint64_t>(job.cost_ns));
+    };
     core::RunSharded(
         process_shards, pending.size(),
         // Runs in the forked child.
@@ -455,9 +572,10 @@ std::vector<CellOutcome> CampaignRunner::Run(
           CellExecution& execution = *executions[job.cell];
           // Recorded in the forked worker and streamed back over the span
           // message, so the parent's trace shows this chunk on the
-          // worker's own track.
+          // worker's own track.  (Latency histograms are recorded
+          // parent-side via on_chunk — a child-side record dies with the
+          // fork.)
           obs::Span chunk_span("campaign.chunk", job.cell);
-          obs::ScopedLatency chunk_latency(chunk_ns);
           const core::SimulationConfig& config = execution.config;
           const std::size_t cp = config.checkpoints.size();
           if (state->cell != job.cell || state->lambdas.empty()) {
@@ -549,21 +667,32 @@ std::vector<CellOutcome> CampaignRunner::Run(
           if (execution.remaining_chunks.fetch_sub(1) == 1) {
             reduce_and_emit(execution, job.cell);
           }
-        });
+        },
+        shard_options);
   } else if (!pending.empty()) {
     // In-process path.  Each chunk steps in its worker's thread-local
     // arena, reused across chunks and cells (zero steady-state allocation
-    // within a cell).
+    // within a cell).  Jobs are submitted in dispatch order (LPT under
+    // kCostAware); the stealing pool deals them round-robin from there.
+    std::vector<std::size_t> submit_order(pending.size());
+    std::iota(submit_order.begin(), submit_order.end(), std::size_t{0});
+    if (lpt_dispatch) submit_order = LptOrder(pending);
     std::vector<std::function<void()>> jobs;
     jobs.reserve(pending.size());
-    for (const ChunkJob& job : pending) {
+    for (const std::size_t index : submit_order) {
+      const ChunkJob job = pending[index];
       CellExecution* execution = executions[job.cell].get();
-      jobs.push_back([execution, job, &reduce_and_emit, &allocate_matrices,
-                      &chunk_ns, &chunks_done, &replications_done] {
+      obs::LatencyHistogram* hist =
+          execution->chain ? &chunk_ns_chain : &chunk_ns_incentive;
+      jobs.push_back([execution, job, hist, &reduce_and_emit,
+                      &allocate_matrices, &chunks_done, &replications_done,
+                      &cost_done_ns] {
         allocate_matrices(*execution);
         {
           obs::Span chunk_span("campaign.chunk", job.cell);
-          obs::ScopedLatency chunk_latency(chunk_ns);
+          // Timed by hand (not ScopedLatency) because the same reading
+          // also feeds the cost model's EWMA.
+          const auto start = std::chrono::steady_clock::now();
           if (execution->chain) {
             chain::RunChainReplicationRange(execution->game,
                                             execution->config, job.begin,
@@ -578,9 +707,18 @@ std::vector<CellOutcome> CampaignRunner::Run(
                                           ? nullptr
                                           : execution->population.data());
           }
+          const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+          hist->Record(elapsed_ns);
+          CostModel::Global().Observe(execution->cell,
+                                      execution->config.steps,
+                                      job.end - job.begin, elapsed_ns);
         }
         chunks_done.Add();
         replications_done.Add(job.end - job.begin);
+        cost_done_ns.Add(static_cast<std::uint64_t>(job.cost_ns));
         if (execution->remaining_chunks.fetch_sub(1) == 1) {
           reduce_and_emit(*execution, job.cell);
         }

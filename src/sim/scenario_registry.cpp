@@ -261,6 +261,26 @@ ScenarioRegistry BuildBuiltIns() {
     registry.Register(std::move(spec));
   }
 
+  // --- Scheduler workloads --------------------------------------------
+  {
+    ScenarioSpec spec;
+    spec.name = "hetero-cost-mix";
+    spec.description =
+        "Deliberately imbalanced mixed-family grid (C-PoS epoch machine "
+        "vs PoW vs selfish-mining chain cells, ~30x cost spread per "
+        "replication) — the cost-aware scheduler benchmark workload";
+    spec.family = ScenarioFamily::kMixed;
+    spec.protocols = {"cpos", "pow", "selfish"};
+    spec.allocations = {0.33};
+    spec.gammas = {0.5};
+    spec.steps = 3000;
+    spec.replications = 96;
+    spec.checkpoint_count = 10;
+    spec.population_metrics = false;
+    spec.keep_final_lambdas = false;
+    registry.Register(std::move(spec));
+  }
+
   return registry;
 }
 

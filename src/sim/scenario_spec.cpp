@@ -136,10 +136,12 @@ void Assign(ScenarioSpec& spec, const std::string& key,
       spec.family = ScenarioFamily::kIncentive;
     } else if (value == "chain") {
       spec.family = ScenarioFamily::kChain;
+    } else if (value == "mixed") {
+      spec.family = ScenarioFamily::kMixed;
     } else {
       throw std::invalid_argument(
-          "ScenarioSpec: family expects incentive|chain, got '" + value +
-          "'");
+          "ScenarioSpec: family expects incentive|chain|mixed, got '" +
+          value + "'");
     }
   } else if (key == "gamma") {
     spec.gammas = ParseDoubleList(key, value);
@@ -324,7 +326,38 @@ void ScenarioSpec::Validate() const {
                 name + "')");
   }
   require(!protocols.empty(), "protocols must not be empty");
-  if (family == ScenarioFamily::kChain) {
+  if (family == ScenarioFamily::kMixed) {
+    // Mixed specs: each protocol token must resolve in exactly one of the
+    // two (disjoint) namespaces, and the grid carries the chain family's
+    // structural constraints — the chain cells are two-party games, and
+    // the incentive cells must share their coordinates so one grid holds
+    // both.  gamma/delay apply to the chain cells only and are pinned to
+    // a single value each: incentive cells zero them out, so a second
+    // gamma would mint duplicate incentive cells.
+    for (const std::string& protocol : protocols) {
+      require(chain::IsKnownChainDynamicsName(protocol) ||
+                  protocol::IsKnownModelName(protocol),
+              "unknown protocol '" + protocol +
+                  "' (mixed family accepts incentive models and chain "
+                  "dynamics names)");
+    }
+    require(miner_counts == std::vector<std::size_t>{2},
+            "mixed family requires miners=2 (chain games are two-party)");
+    require(whale_counts == std::vector<std::size_t>{1},
+            "mixed family requires whales=1");
+    require(withhold_periods == std::vector<std::uint64_t>{0},
+            "mixed family does not support withholding (withhold=0)");
+    require(stake_dists == std::vector<std::string>{"split"},
+            "mixed family requires stakes=split (a is the hash share)");
+    require(gammas.size() == 1,
+            "mixed family requires a single gamma (chain cells only)");
+    require(gammas[0] >= 0.0 && gammas[0] <= 1.0,
+            "gamma must lie in [0, 1]");
+    require(delays.size() == 1,
+            "mixed family requires a single delay (chain cells only)");
+    require(std::isfinite(delays[0]) && delays[0] >= 0.0,
+            "delay must be finite and >= 0");
+  } else if (family == ScenarioFamily::kChain) {
     // Chain-dynamics specs: protocols name chain kernels, gamma/delay are
     // live axes, and the incentive-only axes must sit at their defaults —
     // chain games are two-party (tracked share a vs the rest) with no
@@ -432,10 +465,19 @@ std::vector<CampaignCell> ScenarioSpec::ExpandCells() const {
                         cell.shards = shards;
                         cell.withhold = withhold;
                         cell.stake_dist = stake_dist;
+                        // Mixed grids resolve the family per cell; the
+                        // namespaces are disjoint (Validate rejects any
+                        // token known to neither).
                         cell.chain_dynamics =
-                            family == ScenarioFamily::kChain;
-                        cell.gamma = gamma;
-                        cell.delay = delay;
+                            family == ScenarioFamily::kChain ||
+                            (family == ScenarioFamily::kMixed &&
+                             chain::IsKnownChainDynamicsName(protocol));
+                        // Incentive cells carry no chain axes: zeroing
+                        // them keeps their store preimages and labels
+                        // identical to the same cell in a pure incentive
+                        // spec.
+                        cell.gamma = cell.chain_dynamics ? gamma : 0.0;
+                        cell.delay = cell.chain_dynamics ? delay : 0.0;
                         cells.push_back(std::move(cell));
                       }
                     }
@@ -531,8 +573,9 @@ std::string ScenarioSpec::ToText() const {
   // Only chain specs emit the family/gamma/delay keys, keeping incentive
   // ToText output byte-identical to earlier revisions (pinned in tests and
   // embedded in stored campaign metadata).
-  if (family == ScenarioFamily::kChain) {
-    out << "family=chain\n"
+  if (family == ScenarioFamily::kChain || family == ScenarioFamily::kMixed) {
+    out << (family == ScenarioFamily::kChain ? "family=chain\n"
+                                             : "family=mixed\n")
         << "gamma=" << JoinDoubles(gammas) << "\n"
         << "delay=" << JoinDoubles(delays) << "\n";
   }

@@ -69,6 +69,16 @@ enum class ScenarioFamily {
   /// ("selfish", "forkrace"); blocks fork, race, and orphan, and the
   /// cells additionally record orphan-rate / reorg-depth observables.
   kChain,
+  /// Both in one grid: each protocol token resolves per cell — chain
+  /// dynamics names run the chain physics, everything else an incentive
+  /// model.  The protocol namespaces are disjoint, so resolution is
+  /// unambiguous.  Mixed specs carry the chain family's structural
+  /// constraints (two miners, one whale, split stakes, no withholding)
+  /// and a SINGLE gamma/delay pair (applied to the chain cells, zeroed on
+  /// incentive cells so no incentive cell is duplicated across a chain
+  /// axis).  This is the family heterogeneous scheduler benchmarks use:
+  /// cost-per-replication spans orders of magnitude across one grid.
+  kMixed,
 };
 
 /// One fully bound grid cell: a single (protocol, parameters) mining game.
@@ -107,11 +117,12 @@ struct ScenarioSpec {
   std::string name = "custom";
   std::string description;
 
-  /// Cell physics (`family=incentive|chain`).  kChain interprets
+  /// Cell physics (`family=incentive|chain|mixed`).  kChain interprets
   /// `protocols` as chain dynamics names ("selfish", "forkrace"), unlocks
   /// the gamma / delay axes, and restricts the incentive-only axes to
   /// their defaults (two miners, one whale, split stakes, no
-  /// withholding) — chain games are two-party by construction.
+  /// withholding) — chain games are two-party by construction.  kMixed
+  /// resolves each protocol token per cell (see ScenarioFamily::kMixed).
   ScenarioFamily family = ScenarioFamily::kIncentive;
 
   // Grid axes.  Cells are enumerated row-major in this field order:
@@ -166,7 +177,7 @@ struct ScenarioSpec {
   /// Parses `key=value` lines.  Blank lines and whole-line '#' comments
   /// are skipped (values may contain '#'); list-valued keys take
   /// comma-separated values.  Keys:
-  ///   name, description, family (incentive|chain), protocols, miners,
+  ///   name, description, family (incentive|chain|mixed), protocols, miners,
   ///   whales, a, w, v, shards, withhold, stakes (split|pareto:A|zipf:S),
   ///   gamma, delay, steps, reps, seed, checkpoints, spacing (linear|log),
   ///   eps, delta, population (on|off), final_lambdas (on|off),

@@ -34,6 +34,9 @@
 //                  temp file is complete, before the atomic rename)
 //   store-payload  index = 0; count = entries written (fires after roughly
 //                  half the entry's payload bytes — a truncated temp file)
+//   pool-task      index = worker id; count = tasks that worker has
+//                  finished in the current stealing batch (fires between
+//                  two tasks — stalling here forces siblings to steal)
 
 #ifndef FAIRCHAIN_SUPPORT_FAULT_INJECTION_HPP_
 #define FAIRCHAIN_SUPPORT_FAULT_INJECTION_HPP_

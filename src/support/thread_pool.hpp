@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -55,6 +56,30 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };
+
+/// Runs one fixed batch of tasks across `threads` workers with per-worker
+/// deques and work stealing, blocking until every task has finished.
+///
+/// Task i is dealt onto deque i % threads; a worker pops its OWN deque
+/// front-to-back (preserving the batch's locality — consecutive chunks of
+/// one campaign cell stay on one worker while it keeps up), and when its
+/// deque drains it STEALS from the back of the busiest sibling — so a
+/// worker that finishes a run of cheap tasks immediately relieves whoever
+/// holds the expensive ones.  Tasks must not submit further tasks: the
+/// batch is closed, which is what makes "every deque empty" a correct
+/// termination condition.
+///
+/// Returns the number of successful steals (tasks executed by a worker
+/// other than the one they were dealt to).  With `stealing` false the
+/// deal is static: each worker runs exactly its own deque — the control
+/// arm benchmarks compare against.
+///
+/// Determinism: like ThreadPool, stealing only changes WHICH worker runs
+/// a task and WHEN, never what the task computes — callers uphold the
+/// index-derived-RNG / disjoint-output contract (core/execution_backend).
+std::uint64_t RunStealingBatch(unsigned threads,
+                               std::vector<std::function<void()>> tasks,
+                               bool stealing = true);
 
 /// Runs `body(i)` for i in [0, count) across `threads` workers in contiguous
 /// chunks, blocking until completion.  With threads <= 1 runs inline.

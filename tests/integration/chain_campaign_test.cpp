@@ -160,9 +160,11 @@ class ChainCampaignStoreTest : public ::testing::Test {
 TEST_F(ChainCampaignStoreTest, KilledShardWorkerThenResumeIsByteIdentical) {
   store::CampaignStore store(directory_);
   const core::ShardBackend backend(2);
-  // Shard 1 dies after delivering its 2nd chunk: the first two chain
-  // cells are complete and committed, the last two are unfinishable.
-  setenv("FAIRCHAIN_FAULT", "shard-chunk:1:2:kill", 1);
+  // Shard 1 dies mid-message on its primed first chunk (the only chunk a
+  // worker deterministically owns under demand-driven grants): that chunk
+  // is lost, its cell is unfinishable this run, and the surviving worker
+  // drains every other chunk — so exactly three of the four cells commit.
+  setenv("FAIRCHAIN_FAULT", "shard-message:1:1:kill", 1);
   EXPECT_THROW(RunChainCampaign(&backend, &store), std::runtime_error);
   unsetenv("FAIRCHAIN_FAULT");
 
@@ -170,10 +172,11 @@ TEST_F(ChainCampaignStoreTest, KilledShardWorkerThenResumeIsByteIdentical) {
   EXPECT_EQ(resumed.csv, Reference().csv);
   EXPECT_EQ(resumed.jsonl, Reference().jsonl);
   ASSERT_EQ(resumed.outcomes.size(), 4u);
-  EXPECT_TRUE(resumed.outcomes[0].from_cache);
-  EXPECT_TRUE(resumed.outcomes[1].from_cache);
-  EXPECT_FALSE(resumed.outcomes[2].from_cache);
-  EXPECT_FALSE(resumed.outcomes[3].from_cache);
+  std::size_t cached = 0;
+  for (const sim::CellOutcome& outcome : resumed.outcomes) {
+    if (outcome.from_cache) ++cached;
+  }
+  EXPECT_EQ(cached, 3u);
 }
 
 TEST_F(ChainCampaignStoreTest, SecondIdenticalCampaignIsServedFromCache) {

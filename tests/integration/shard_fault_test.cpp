@@ -42,10 +42,13 @@ namespace {
 namespace fs = std::filesystem;
 
 // Four cells x 8 replications, chunked at 4 => exactly 2 chunks per cell,
-// 8 chunks total.  Under shard:2, shard 0 owns chunks {0,2,4,6} and
-// shard 1 owns {1,3,5,7} — so killing shard 1 after its 2nd chunk (global
-// chunks 1 and 3 delivered) leaves cells 0 and 1 complete and cells 2 and
-// 3 unfinishable.  Every assertion below leans on this fixed geometry.
+// 8 chunks total.  Chunk ownership is demand-driven (the grant protocol in
+// core/shard_executor.hpp), so WHICH chunks a worker computes after its
+// first is timing-dependent — but each worker's FIRST chunk is the
+// deterministic primed grant, so every fault below aims at nth=1.  When a
+// worker dies, its undelivered chunk is lost for the run while the
+// survivor drains the rest of the queue; assertions therefore count
+// committed cells rather than naming them.
 sim::ScenarioSpec FaultSpec() {
   return sim::ScenarioSpec::FromText(
       "name=fault-harness\n"
@@ -140,7 +143,7 @@ class ShardFaultTest : public ::testing::Test {
 TEST_F(ShardFaultTest, KilledWorkerFailsLoudlyAndStoresFinishedCells) {
   store::CampaignStore store(directory_);
   const core::ShardBackend backend(2);
-  setenv("FAIRCHAIN_FAULT", "shard-chunk:1:2:kill", 1);
+  setenv("FAIRCHAIN_FAULT", "shard-chunk:1:1:kill", 1);
   try {
     RunCampaign(&backend, &store);
     FAIL() << "a SIGKILLed shard worker must fail the campaign";
@@ -149,15 +152,19 @@ TEST_F(ShardFaultTest, KilledWorkerFailsLoudlyAndStoresFinishedCells) {
     EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
     EXPECT_NE(what.find("signal 9"), std::string::npos) << what;
   }
-  // Cells 0 and 1 finished before the kill and were committed; cells 2
-  // and 3 lost chunks and must NOT have entries.
-  EXPECT_EQ(CommittedEntries(directory_), 2u);
+  // Shard 1 died AFTER fully delivering its primed chunk, so no chunk was
+  // lost: the surviving worker drained the whole grant queue and every
+  // cell was committed — yet the run still failed loudly above.
+  EXPECT_EQ(CommittedEntries(directory_), 4u);
 }
 
 TEST_F(ShardFaultTest, ResumeAfterWorkerDeathIsByteIdentical) {
   store::CampaignStore store(directory_);
   const core::ShardBackend backend(2);
-  setenv("FAIRCHAIN_FAULT", "shard-chunk:1:2:kill", 1);
+  // Kill shard 1 mid-message on its primed chunk: exactly that one chunk
+  // is lost, so exactly one cell is unfinishable this run (which one
+  // depends on the cost model's dispatch order — count, don't name).
+  setenv("FAIRCHAIN_FAULT", "shard-message:1:1:kill", 1);
   EXPECT_THROW(RunCampaign(&backend, &store), std::runtime_error);
   unsetenv("FAIRCHAIN_FAULT");
 
@@ -165,21 +172,22 @@ TEST_F(ShardFaultTest, ResumeAfterWorkerDeathIsByteIdentical) {
   EXPECT_EQ(resumed.csv, Reference().csv);
   EXPECT_EQ(resumed.jsonl, Reference().jsonl);
   ASSERT_EQ(resumed.outcomes.size(), 4u);
-  EXPECT_TRUE(resumed.outcomes[0].from_cache);
-  EXPECT_TRUE(resumed.outcomes[1].from_cache);
-  EXPECT_FALSE(resumed.outcomes[2].from_cache);
-  EXPECT_FALSE(resumed.outcomes[3].from_cache);
+  std::size_t cached = 0;
+  for (const sim::CellOutcome& outcome : resumed.outcomes) {
+    if (outcome.from_cache) ++cached;
+  }
+  EXPECT_EQ(cached, 3u);
   const store::StoreStats stats = store.stats();
-  EXPECT_EQ(stats.hits, 2u);
-  EXPECT_EQ(stats.writes, 4u);  // 2 before the kill + 2 on resume
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.writes, 4u);  // 3 before the kill + 1 on resume
 }
 
 TEST_F(ShardFaultTest, TornMessageFailsLoudlyAndResumes) {
   store::CampaignStore store(directory_);
   const core::ShardBackend backend(2);
-  // Kill shard 0 after it has written chunk 2's header but NOT its
-  // payload: the parent must call that exactly what it is.
-  setenv("FAIRCHAIN_FAULT", "shard-message:0:2:kill", 1);
+  // Kill shard 0 after it has written its primed chunk's header but NOT
+  // its payload: the parent must call that exactly what it is.
+  setenv("FAIRCHAIN_FAULT", "shard-message:0:1:kill", 1);
   try {
     RunCampaign(&backend, &store);
     FAIL() << "a torn wire message must fail the campaign";
@@ -210,7 +218,10 @@ TEST_F(ShardFaultTest, CleanWorkerExitMidStreamIsAnError) {
 
 TEST_F(ShardFaultTest, StalledWorkerIsWaitedForNotCorrupted) {
   const core::ShardBackend backend(2);
-  setenv("FAIRCHAIN_FAULT", "shard-chunk:1:2:stall=200", 1);
+  // Stall shard 1 after its primed chunk, before it requests another: the
+  // worst-case grant interleaving — the survivor drains the entire queue
+  // while the stalled worker holds nothing — must still be byte-identical.
+  setenv("FAIRCHAIN_FAULT", "shard-chunk:1:1:stall=200", 1);
   const Captured stalled = RunCampaign(&backend, nullptr);
   EXPECT_EQ(stalled.csv, Reference().csv);
   EXPECT_EQ(stalled.jsonl, Reference().jsonl);

@@ -3,11 +3,12 @@
 // over the pipe, and the exported trace is still a well-formed document.
 //
 // Geometry (same as shard_fault_test.cpp): 4 cells x 8 reps chunked at 4
-// => 8 chunks; under shard:2, shard 0 owns {0,2,4,6} and shard 1 owns
-// {1,3,5,7}.  Workers flush their span ring right after each chunk
-// message, and the shard-chunk fault point sits after that flush — so
-// killing shard 1 at its 2nd chunk leaves exactly 2 of its chunk spans
-// in the parent, while shard 0 delivers all 4 of its own.
+// => 8 chunks.  Chunk ownership is demand-driven, so only each worker's
+// FIRST chunk (the primed grant) is deterministic — faults aim at nth=1.
+// Workers flush their span ring right after each chunk message, and the
+// shard-chunk fault point sits after that flush — so killing shard 1 at
+// its 1st chunk leaves exactly 1 of its chunk spans in the parent, while
+// shard 0 drains and delivers the other 7.
 //
 // POSIX-only, like the shard backend.
 
@@ -77,16 +78,16 @@ std::size_t ChunkSpansFromShard(const std::vector<obs::ImportedSpan>& spans,
 }
 
 TEST_F(TraceShardFaultTest, KilledWorkerLosesOnlyUnflushedSpans) {
-  setenv("FAIRCHAIN_FAULT", "shard-chunk:1:2:kill", 1);
+  setenv("FAIRCHAIN_FAULT", "shard-chunk:1:1:kill", 1);
   EXPECT_THROW(RunShardCampaign(), std::runtime_error);
 
   const std::vector<obs::ImportedSpan> imported =
       obs::TraceCollector::Global().ShardSpans();
-  // Shard 1 flushed after each of its first 2 chunks and died at the
-  // fault point right after the 2nd flush: exactly 2 chunk spans arrive.
-  EXPECT_EQ(ChunkSpansFromShard(imported, 1), 2u);
-  // Shard 0 was untouched and delivered all 4 of its chunks.
-  EXPECT_EQ(ChunkSpansFromShard(imported, 0), 4u);
+  // Shard 1 flushed after its primed chunk and died at the fault point
+  // right after that flush: exactly 1 chunk span arrives.
+  EXPECT_EQ(ChunkSpansFromShard(imported, 1), 1u);
+  // Shard 0 was untouched and drained the other 7 chunks.
+  EXPECT_EQ(ChunkSpansFromShard(imported, 0), 7u);
 
   // Every imported span is internally consistent despite the crash.
   for (const obs::ImportedSpan& span : imported) {
@@ -107,7 +108,7 @@ TEST_F(TraceShardFaultTest, KilledWorkerLosesOnlyUnflushedSpans) {
 TEST_F(TraceShardFaultTest, TornSpanStreamNeverPoisonsTheParent) {
   // Kill shard 0 mid wire message: whatever partial bytes the parent saw
   // must not become spans, and the campaign must fail loudly.
-  setenv("FAIRCHAIN_FAULT", "shard-message:0:2:kill", 1);
+  setenv("FAIRCHAIN_FAULT", "shard-message:0:1:kill", 1);
   EXPECT_THROW(RunShardCampaign(), std::runtime_error);
   for (const obs::ImportedSpan& span :
        obs::TraceCollector::Global().ShardSpans()) {

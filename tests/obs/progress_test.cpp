@@ -6,6 +6,7 @@
 
 #include "obs/progress.hpp"
 
+#include <cmath>
 #include <limits>
 
 #include <gtest/gtest.h>
@@ -56,6 +57,31 @@ TEST(FormatEtaTest, InvalidEstimatesRenderUnknown) {
   EXPECT_EQ(FormatEta(std::numeric_limits<double>::quiet_NaN()), "--:--");
   EXPECT_EQ(FormatEta(-1.0), "--:--");
   EXPECT_EQ(FormatEta(-std::numeric_limits<double>::infinity()), "--:--");
+}
+
+TEST(EstimateEtaSecondsTest, BoundaryCases) {
+  // Completed work reports zero remaining regardless of the rate.
+  EXPECT_EQ(EstimateEtaSeconds(10.0, 100.0, 100.0), 0.0);
+  EXPECT_EQ(EstimateEtaSeconds(10.0, 150.0, 100.0), 0.0);
+  // No progress yet (or a meaningless denominator): unknown, not infinity.
+  EXPECT_TRUE(std::isnan(EstimateEtaSeconds(10.0, 0.0, 100.0)));
+  EXPECT_TRUE(std::isnan(EstimateEtaSeconds(0.0, 50.0, 100.0)));
+  EXPECT_TRUE(std::isnan(EstimateEtaSeconds(10.0, 50.0, 0.0)));
+  // Plain proportional case: half done in 10 s leaves 10 s.
+  EXPECT_DOUBLE_EQ(EstimateEtaSeconds(10.0, 50.0, 100.0), 10.0);
+}
+
+TEST(EstimateEtaSecondsTest, CostWeightingKeepsEtaHonestOnSkewedCampaigns) {
+  // A campaign whose cheap cells finish first: 90% of the REPLICATIONS are
+  // done after 10 s, but only 10% of the modeled COST.  A replication-
+  // weighted ETA would collapse to ~1.1 s and then explode once the
+  // expensive cells start; the cost-weighted estimate says 90 s of work
+  // remains from the start.
+  const double rep_weighted = EstimateEtaSeconds(10.0, 90.0, 100.0);
+  const double cost_weighted = EstimateEtaSeconds(10.0, 10.0, 100.0);
+  EXPECT_NEAR(rep_weighted, 10.0 / 9.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cost_weighted, 90.0);
+  EXPECT_GT(cost_weighted, 50.0 * rep_weighted);
 }
 
 TEST(ProgressReporterTest, DisabledReporterNeverStartsItsThread) {

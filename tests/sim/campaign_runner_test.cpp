@@ -10,6 +10,7 @@
 
 #include "core/monte_carlo.hpp"
 #include "protocol/model_factory.hpp"
+#include "sim/cost_model.hpp"
 #include "sim/result_sink.hpp"
 
 namespace fairchain::sim {
@@ -121,9 +122,16 @@ TEST(CampaignRunnerTest, CellSeedsAreDistinctAndIndexStable) {
 }
 
 TEST(CampaignRunnerTest, PlanInterleavesAllCellsInOneBatch) {
+  // Steps large enough that a single replication's modeled cost keeps the
+  // per-chunk target above the 1 ms floor; the cost-aware planner then
+  // splits each cell into ~threads*4/cells chunks regardless of how the
+  // EWMA has drifted (equal-cost cells make the split scale-invariant).
+  CostModel::Global().Reset();
+  ScenarioSpec spec = SmallSpec();
+  spec.steps = 200000;
   CampaignOptions options;
   options.threads = 4;
-  const auto jobs = CampaignRunner(options).PlanJobs(SmallSpec());
+  const auto jobs = CampaignRunner(options).PlanJobs(spec);
   // Every cell contributes multiple chunks to the single submitted batch,
   // so workers drain cells concurrently rather than serially.
   std::set<std::size_t> cells;
@@ -140,6 +148,40 @@ TEST(CampaignRunnerTest, PlanInterleavesAllCellsInOneBatch) {
     if (job.cell == 0) covered += job.end - job.begin;
   }
   EXPECT_EQ(covered, 64u);
+}
+
+TEST(CampaignRunnerTest, TinyCellsNeverShatterBelowTheCostFloor) {
+  // Degenerate case: cells so cheap that cost-proportional sizing would
+  // produce sub-microsecond chunks.  The 1 ms minimum-cost floor collapses
+  // each 200-step cell to a single chunk instead of shattering it into
+  // per-replication slivers whose scheduling overhead dwarfs the work.
+  CostModel::Global().Reset();
+  CampaignOptions options;
+  options.threads = 4;
+  const auto jobs = CampaignRunner(options).PlanJobs(SmallSpec());
+  ASSERT_EQ(jobs.size(), 4u);
+  for (const ChunkJob& job : jobs) {
+    EXPECT_EQ(job.begin, 0u);
+    EXPECT_EQ(job.end, 64u);
+    EXPECT_GT(job.cost_ns, 0.0);
+  }
+}
+
+TEST(CampaignRunnerTest, StaticPolicyKeepsUniformChunks) {
+  // Opting out of cost-aware planning restores the legacy uniform split:
+  // ceil-divided chunks of equal size, identical across cells.
+  CampaignOptions options;
+  options.threads = 4;
+  options.schedule = SchedulePolicy::kStatic;
+  const auto jobs = CampaignRunner(options).PlanJobs(SmallSpec());
+  std::size_t chunks_of_first = 0;
+  for (const ChunkJob& job : jobs) {
+    if (job.cell == 0) {
+      ++chunks_of_first;
+      EXPECT_EQ(job.end - job.begin, 4u);
+    }
+  }
+  EXPECT_EQ(chunks_of_first, 16u);
 }
 
 TEST(CampaignRunnerTest, WithholdPeriodReachesTheSimulation) {

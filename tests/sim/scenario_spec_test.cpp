@@ -482,6 +482,76 @@ TEST(ScenarioSpecTest, ChainFamilyValidationConstraints) {
       ScenarioSpec::FromText(chain("gamma=0,1\ndelay=0\n")).Validate());
 }
 
+// --- mixed family ------------------------------------------------------------
+
+TEST(ScenarioSpecTest, MixedFamilyResolvesPhysicsPerCell) {
+  ScenarioSpec spec = ScenarioSpec::FromText(
+      "name=mixed\n"
+      "description=incentive and chain cells in one campaign\n"
+      "family=mixed\n"
+      "protocols=cpos,pow,selfish\n"
+      "a=0.33\n"
+      "gamma=0.5\n"
+      "delay=0.1\n"
+      "steps=100\n"
+      "reps=10\n");
+  EXPECT_NO_THROW(spec.Validate());
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_FALSE(cells[0].chain_dynamics);  // cpos
+  EXPECT_FALSE(cells[1].chain_dynamics);  // pow
+  EXPECT_TRUE(cells[2].chain_dynamics);   // selfish
+  // The chain axes only reach chain cells; incentive cells keep the zero
+  // defaults so their store preimages match a pure incentive spec's.
+  EXPECT_EQ(cells[0].gamma, 0.0);
+  EXPECT_EQ(cells[0].delay, 0.0);
+  EXPECT_EQ(cells[1].gamma, 0.0);
+  EXPECT_EQ(cells[2].gamma, 0.5);
+  EXPECT_EQ(cells[2].delay, 0.1);
+}
+
+TEST(ScenarioSpecTest, MixedFamilyRoundTripsThroughText) {
+  const ScenarioSpec spec = ScenarioSpec::FromText(
+      "name=mixed\ndescription=d\nfamily=mixed\n"
+      "protocols=mlpos,forkrace\na=0.2\ngamma=0.25\ndelay=0.5\n");
+  const std::string text = spec.ToText();
+  EXPECT_NE(text.find("family=mixed"), std::string::npos);
+  const ScenarioSpec parsed = ScenarioSpec::FromText(text);
+  EXPECT_EQ(parsed.family, ScenarioFamily::kMixed);
+  EXPECT_EQ(parsed.gammas, spec.gammas);
+  EXPECT_EQ(parsed.delays, spec.delays);
+  EXPECT_EQ(parsed.CellCount(), spec.CellCount());
+}
+
+TEST(ScenarioSpecTest, MixedFamilyValidationConstraints) {
+  // Base omits gamma/delay (their {0} defaults validate) so each probe can
+  // set them without tripping FromText's duplicate-key rejection.
+  auto mixed = [](const std::string& extra) {
+    return "name=m\ndescription=d\nfamily=mixed\nprotocols=pow,selfish\n" +
+           extra;
+  };
+  EXPECT_NO_THROW(
+      ScenarioSpec::FromText(mixed("gamma=0.5\ndelay=0\n")).Validate());
+  // Every token must resolve in the incentive OR chain namespace.
+  EXPECT_THROW(
+      ScenarioSpec::FromText(
+          "name=m\ndescription=d\nfamily=mixed\nprotocols=pow,nope\n")
+          .Validate(),
+      std::invalid_argument);
+  // The chain cells keep the two-party restrictions, which the mixed
+  // family therefore imposes on the whole grid.
+  EXPECT_THROW(ScenarioSpec::FromText(mixed("miners=5\n")).Validate(),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromText(mixed("withhold=100\n")).Validate(),
+               std::invalid_argument);
+  // Chain axes stay singletons: a gamma sweep would multiply the incentive
+  // cells by identical copies.
+  EXPECT_THROW(ScenarioSpec::FromText(mixed("gamma=0.1,0.2\n")).Validate(),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromText(mixed("delay=0,0.25\n")).Validate(),
+               std::invalid_argument);
+}
+
 TEST(ScenarioSpecTest, ChainCellLabelNamesDynamicsAndAxes) {
   ScenarioSpec spec = ScenarioSpec::FromText(
       "name=c\ndescription=d\nfamily=chain\nprotocols=forkrace\n"

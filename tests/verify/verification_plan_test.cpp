@@ -60,7 +60,10 @@ TEST(VerificationPlanTest, EveryBuiltInScenarioHasPinnedOracleCoverage) {
        // form, so coverage is total.
        {"selfish-grid", {9, 9}},
        {"propagation-delay-sweep", {5, 5}},
-       {"orphan-hashrate-sweep", {6, 6}}};
+       {"orphan-hashrate-sweep", {6, 6}},
+       // Mixed-family scheduler workload: cpos + pow + selfish at one
+       // allocation each, all oracle-covered.
+       {"hetero-cost-mix", {3, 3}}};
   const sim::ScenarioRegistry& registry = sim::ScenarioRegistry::BuiltIn();
   ASSERT_EQ(registry.size(), expected.size());
   for (const std::string& name : registry.Names()) {

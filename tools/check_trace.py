@@ -5,6 +5,7 @@ Usage:
     tools/check_trace.py TRACE.json [--metrics METRICS.jsonl]
                          [--require-shard-tracks N]
                          [--require-span NAME]...
+                         [--max-shard-skew FRACTION]
 
 Checks that TRACE.json is a well-formed Chrome/Perfetto trace-event
 document of the shape src/obs/export.cpp pins:
@@ -23,6 +24,13 @@ tracks that each carry at least one span (the proof that a sharded run
 streamed worker spans back over the pipe).  --require-span NAME (give it
 multiple times) demands at least one "X" event with that exact name.
 
+--max-shard-skew FRACTION asserts scheduler balance: each shard track's
+busy fraction is the summed duration of its "campaign.chunk" spans over
+the common wall window (first chunk start to last chunk end across all
+shards), and the spread max - min across shards must not exceed
+FRACTION.  This is the load-balance contract of the demand-driven grant
+dispatcher — a static j%N ownership of heterogeneous cells fails it.
+
 --metrics validates the JSONL sidecar: one JSON object per line, each
 either {"type":"counter","name",...,"value"} with a non-negative integer
 value, or {"type":"histogram",...} with count/total_ns/p50_ns/p95_ns/
@@ -39,7 +47,34 @@ import sys
 SHARD_TRACK_RE = re.compile(r"^shard (\d+)$")
 
 
-def check_trace(path, require_shard_tracks, require_spans, errors):
+def check_shard_skew(path, chunk_spans, max_shard_skew, errors):
+    """chunk_spans: pid -> list of (ts, dur) for its campaign.chunk spans."""
+    if len(chunk_spans) < 2:
+        print(f"{path}: shard skew not measurable "
+              f"({len(chunk_spans)} shard track(s) with chunk spans)")
+        return
+    window_start = min(ts for spans in chunk_spans.values()
+                       for ts, _ in spans)
+    window_end = max(ts + dur for spans in chunk_spans.values()
+                     for ts, dur in spans)
+    window = window_end - window_start
+    if window <= 0:
+        errors.append(f"{path}: degenerate chunk-span wall window")
+        return
+    fractions = {pid: sum(dur for _, dur in spans) / window
+                 for pid, spans in chunk_spans.items()}
+    skew = max(fractions.values()) - min(fractions.values())
+    detail = ", ".join(f"shard {pid - 1}: {fraction:.3f}"
+                       for pid, fraction in sorted(fractions.items()))
+    print(f"{path}: shard busy fractions [{detail}], skew {skew:.3f}")
+    if skew > max_shard_skew:
+        errors.append(
+            f"{path}: shard busy-fraction skew {skew:.3f} exceeds "
+            f"--max-shard-skew {max_shard_skew}")
+
+
+def check_trace(path, require_shard_tracks, require_spans, max_shard_skew,
+                errors):
     try:
         with open(path, "r", encoding="utf-8") as handle:
             document = json.load(handle)
@@ -60,6 +95,7 @@ def check_trace(path, require_shard_tracks, require_spans, errors):
     process_names = {}   # pid -> name from process_name metadata
     span_pids = set()    # pids that host at least one "X" event
     span_names = set()
+    chunk_spans = {}     # shard pid -> [(ts, dur)] of campaign.chunk spans
     for index, event in enumerate(events):
         where = f"{path}: event[{index}]"
         if not isinstance(event, dict):
@@ -84,6 +120,12 @@ def check_trace(path, require_shard_tracks, require_spans, errors):
                         f"{where} ({name}): {key} is not a number >= 0")
             span_pids.add(event.get("pid"))
             span_names.add(name)
+            pid = event.get("pid")
+            ts, dur = event.get("ts"), event.get("dur")
+            if (name == "campaign.chunk" and isinstance(pid, int) and
+                    pid > 0 and isinstance(ts, (int, float)) and
+                    isinstance(dur, (int, float))):
+                chunk_spans.setdefault(pid, []).append((ts, dur))
         elif phase == "M" and name == "process_name":
             args = event.get("args")
             track = args.get("name") if isinstance(args, dict) else None
@@ -125,6 +167,8 @@ def check_trace(path, require_shard_tracks, require_spans, errors):
     for required in require_spans:
         if required not in span_names:
             errors.append(f"{path}: no span named {required!r}")
+    if max_shard_skew is not None:
+        check_shard_skew(path, chunk_spans, max_shard_skew, errors)
 
     print(f"{path}: {len(events)} events, "
           f"{len(span_names)} distinct span names, "
@@ -189,11 +233,16 @@ def main():
     parser.add_argument("--require-span", action="append", default=[],
                         metavar="NAME",
                         help="span name that must appear (repeatable)")
+    parser.add_argument("--max-shard-skew", type=float, default=None,
+                        metavar="FRACTION",
+                        help="maximum allowed spread of per-shard busy "
+                             "fractions (campaign.chunk span time over the "
+                             "common wall window)")
     args = parser.parse_args()
 
     errors = []
     check_trace(args.trace, args.require_shard_tracks, args.require_span,
-                errors)
+                args.max_shard_skew, errors)
     if args.metrics:
         check_metrics(args.metrics, errors)
 
